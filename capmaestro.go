@@ -1,0 +1,265 @@
+package capmaestro
+
+import (
+	"io"
+
+	"capmaestro/internal/capping"
+	"capmaestro/internal/core"
+	"capmaestro/internal/dc"
+	"capmaestro/internal/power"
+	"capmaestro/internal/scheduler"
+	"capmaestro/internal/server"
+	"capmaestro/internal/sim"
+	"capmaestro/internal/topocheck"
+	"capmaestro/internal/topology"
+	"capmaestro/internal/workload"
+)
+
+// Power units and server models.
+type (
+	// Watts is the power unit used throughout the library.
+	Watts = power.Watts
+	// ServerModel is a server's controllable AC power envelope
+	// (idle, Pcap_min, Pcap_max).
+	ServerModel = power.ServerModel
+)
+
+// Kilowatts constructs a Watts value from kilowatts.
+func Kilowatts(kw float64) Watts { return power.Kilowatts(kw) }
+
+// DefaultServerModel returns the paper's Table 4 server class:
+// idle 160 W, Pcap_min 270 W, Pcap_max 490 W.
+func DefaultServerModel() ServerModel { return power.DefaultServerModel() }
+
+// Control trees and allocation (the paper's core algorithm).
+type (
+	// Priority is a workload priority level; larger is more important.
+	Priority = core.Priority
+	// Policy selects how priorities influence allocation.
+	Policy = core.Policy
+	// Node is one node of a power control tree.
+	Node = core.Node
+	// SupplyLeaf is the per-power-supply endpoint of a capping controller.
+	SupplyLeaf = core.SupplyLeaf
+	// Allocation is the result of one budgeting run.
+	Allocation = core.Allocation
+	// Summary is the priority-grouped metrics a subtree reports upstream.
+	Summary = core.Summary
+	// SPOReport describes stranded power found and reclaimed.
+	SPOReport = core.SPOReport
+)
+
+// Allocation policies evaluated in the paper.
+const (
+	// NoPriority distributes power proportionally to demand, ignoring
+	// priorities.
+	NoPriority = core.NoPriority
+	// LocalPriority honors priorities only at the lowest shifting level
+	// (a Dynamo-style baseline).
+	LocalPriority = core.LocalPriority
+	// GlobalPriority is CapMaestro's policy: priority-aware at every
+	// level of the hierarchy.
+	GlobalPriority = core.GlobalPriority
+)
+
+// NewShifting creates a shifting-controller node with a power limit
+// (non-positive means unlimited) over the given children.
+func NewShifting(id string, limit Watts, children ...*Node) *Node {
+	return core.NewShifting(id, limit, children...)
+}
+
+// NewLeaf creates a capping-controller endpoint node for one power supply.
+func NewLeaf(id string, leaf SupplyLeaf) *Node { return core.NewLeaf(id, leaf) }
+
+// Allocate runs the two-phase priority-aware capping algorithm over a
+// control tree with the given root budget (non-positive uses the tree's
+// constraint).
+func Allocate(root *Node, budget Watts, policy Policy) (*Allocation, error) {
+	return core.Allocate(root, budget, policy)
+}
+
+// AllocateAll allocates each control tree independently (one per feed and
+// phase, as the paper deploys).
+func AllocateAll(trees []*Node, budgets []Watts, policy Policy) ([]*Allocation, error) {
+	return core.AllocateAll(trees, budgets, policy)
+}
+
+// AllocateWithSPO allocates with the stranded power optimization: a second
+// pass reclaims budgets that supplies cannot draw and shifts them to capped
+// servers on the same feed.
+func AllocateWithSPO(trees []*Node, budgets []Watts, policy Policy) ([]*Allocation, *SPOReport, error) {
+	return core.AllocateWithSPO(trees, budgets, policy)
+}
+
+// PredictConsumption returns each server's achievable AC power under the
+// given allocations, accounting for intrinsic per-supply load splits.
+func PredictConsumption(trees []*Node, allocs []*Allocation) map[string]Watts {
+	return core.PredictConsumption(trees, allocs)
+}
+
+// ParsePolicy converts "none", "local", or "global" to a Policy.
+func ParsePolicy(name string) (Policy, error) { return core.ParsePolicy(name) }
+
+// Physical topology modelling.
+type (
+	// Topology is a set of per-feed power-distribution trees.
+	Topology = topology.Topology
+	// TopologyNode is one element of the physical power hierarchy.
+	TopologyNode = topology.Node
+	// FeedID identifies an independent power feed ("A"/"B", "X"/"Y").
+	FeedID = topology.FeedID
+	// Derating converts equipment ratings into enforceable limits.
+	Derating = topology.Derating
+)
+
+// DeviceKind classifies physical power-distribution equipment.
+type DeviceKind = topology.Kind
+
+// Device kinds, from the utility down to the server.
+const (
+	KindVirtual     = topology.KindVirtual
+	KindUtility     = topology.KindUtility
+	KindATS         = topology.KindATS
+	KindUPS         = topology.KindUPS
+	KindTransformer = topology.KindTransformer
+	KindRPP         = topology.KindRPP
+	KindCDU         = topology.KindCDU
+	KindOutlet      = topology.KindOutlet
+)
+
+// NewTopology assembles and validates a topology from per-feed roots.
+func NewTopology(roots ...*TopologyNode) (*Topology, error) { return topology.New(roots...) }
+
+// NewTopologyNode creates an unlinked physical node; link with AddChild.
+func NewTopologyNode(id string, kind DeviceKind, rating Watts) *TopologyNode {
+	return topology.NewNode(id, kind, rating)
+}
+
+// NewTopologySupply creates a power-supply leaf for the given server
+// carrying the split fraction r of the server's load.
+func NewTopologySupply(id, serverID string, split float64) *TopologyNode {
+	return topology.NewSupply(id, serverID, split)
+}
+
+// DefaultDerating applies the conventional 80% sustained-loading rule.
+func DefaultDerating() Derating { return topology.DefaultDerating() }
+
+// FullRating uses 100% of each rating (for already-derated limits).
+func FullRating() Derating { return topology.FullRating() }
+
+// ReadTopologyJSON parses and validates a declarative topology document
+// (see cmd/topoctl -example for the format).
+func ReadTopologyJSON(r io.Reader) (*Topology, error) { return topology.ReadJSON(r) }
+
+// Servers and capping controllers.
+type (
+	// Server is a simulated dual-corded server with a node manager.
+	Server = server.Server
+	// ServerConfig describes a server to simulate.
+	ServerConfig = server.Config
+	// Supply is one power supply of a server.
+	Supply = server.Supply
+	// Controller is the per-supply PI capping controller (Section 4.2).
+	Controller = capping.Controller
+	// ControllerConfig tunes a capping controller.
+	ControllerConfig = capping.Config
+)
+
+// NewServer constructs a simulated server.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// NewController builds a capping controller for a node (a *Server or any
+// implementation of the capping.Node sensor/actuator interface).
+func NewController(node capping.Node, cfg ControllerConfig) (*Controller, error) {
+	return capping.New(node, cfg)
+}
+
+// Simulation.
+type (
+	// Simulator is the tick-based data-center simulation.
+	Simulator = sim.Simulator
+	// SimConfig assembles a simulation.
+	SimConfig = sim.Config
+	// ServerSpec describes one simulated server's workload and class.
+	ServerSpec = sim.ServerSpec
+)
+
+// NewSimulator validates the configuration and builds a simulator.
+func NewSimulator(cfg SimConfig) (*Simulator, error) { return sim.New(cfg) }
+
+// Capacity studies (the paper's Section 6.4 evaluation).
+type (
+	// DataCenterConfig mirrors Table 4 of the paper.
+	DataCenterConfig = dc.Config
+	// Scenario selects typical or worst-case operating conditions.
+	Scenario = dc.Scenario
+	// StudyOptions tunes the Monte Carlo capacity study.
+	StudyOptions = dc.StudyOptions
+	// CapacityResult reports a capacity search outcome.
+	CapacityResult = dc.CapacityResult
+)
+
+// Capacity-study scenarios.
+const (
+	// Typical models normal operation: both feeds up, Google-profile load.
+	Typical = dc.Typical
+	// WorstCase models a power emergency: one feed down, all servers at
+	// 100% utilization.
+	WorstCase = dc.WorstCase
+)
+
+// DefaultDataCenterConfig returns the paper's Table 4 data center.
+func DefaultDataCenterConfig() DataCenterConfig { return dc.DefaultConfig() }
+
+// FindCapacity determines the largest deployable server count whose
+// average cap ratio stays below the 1% criterion (Figure 9).
+func FindCapacity(cfg DataCenterConfig, scenario Scenario, policy Policy, opts StudyOptions) (CapacityResult, error) {
+	return dc.FindCapacity(cfg, scenario, policy, opts)
+}
+
+// Workload models.
+
+// NormalizedThroughput estimates the relative throughput of a server
+// consuming `consumed` watts against an uncapped demand of `demand` watts,
+// calibrated against the paper's Apache measurements.
+func NormalizedThroughput(consumed, demand Watts) float64 {
+	return workload.NormalizedThroughput(consumed, demand)
+}
+
+// Job scheduling coordination (the Section 7 extension).
+type (
+	// Scheduler places jobs onto servers, keeps servers priority-pure
+	// where possible, and pushes priority changes to the power manager.
+	Scheduler = scheduler.Scheduler
+	// Job is a placement request (cores + priority).
+	Job = scheduler.Job
+	// JobID identifies a job.
+	JobID = scheduler.JobID
+	// SchedServer describes a schedulable server (ID + cores).
+	SchedServer = scheduler.ServerInfo
+)
+
+// NewScheduler creates a job scheduler over the given servers; onChange
+// (may be nil) receives server priority changes, typically wired to
+// Simulator.SetPriority or the production power manager.
+func NewScheduler(servers []SchedServer, onChange scheduler.PriorityChange) (*Scheduler, error) {
+	return scheduler.New(servers, onChange)
+}
+
+// Topology validation (the Section 7 extension).
+type (
+	// TopologyReport summarizes a wiring verification run.
+	TopologyReport = topocheck.Report
+	// TopologyPlant is the live system a verification perturbs.
+	TopologyPlant = topocheck.Plant
+)
+
+// VerifyTopology checks a declared topology against the live system by
+// perturbing one server at a time and watching which branch meters
+// respond. Wrap a *Simulator with NewSimPlant to verify simulations.
+func VerifyTopology(declared *Topology, plant TopologyPlant) (*TopologyReport, error) {
+	return topocheck.Verify(declared, plant, topocheck.Options{})
+}
+
+// NewSimPlant adapts a running simulation to the TopologyPlant interface.
+func NewSimPlant(s *Simulator) TopologyPlant { return &topocheck.SimPlant{Sim: s} }

@@ -1,0 +1,234 @@
+// Tests of the public facade: everything a downstream user touches should
+// be reachable without importing internal packages.
+package capmaestro_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"capmaestro"
+)
+
+func facadeLeaf(id, srv string, prio capmaestro.Priority, demand capmaestro.Watts) *capmaestro.Node {
+	return capmaestro.NewLeaf(id, capmaestro.SupplyLeaf{
+		SupplyID: id, ServerID: srv, Priority: prio, Share: 1,
+		CapMin: 270, CapMax: 490, Demand: demand,
+	})
+}
+
+func TestFacadeAllocate(t *testing.T) {
+	tree := capmaestro.NewShifting("top", 1400,
+		capmaestro.NewShifting("left", 750,
+			facadeLeaf("SA", "SA", 1, 430), facadeLeaf("SB", "SB", 0, 430)),
+		capmaestro.NewShifting("right", 750,
+			facadeLeaf("SC", "SC", 0, 430), facadeLeaf("SD", "SD", 0, 430)),
+	)
+	alloc, err := capmaestro.Allocate(tree, 1240, capmaestro.GlobalPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := alloc.Budget("SA"); got != 430 {
+		t.Errorf("SA budget = %v, want 430", got)
+	}
+}
+
+func TestFacadeParsePolicy(t *testing.T) {
+	p, err := capmaestro.ParsePolicy("global")
+	if err != nil || p != capmaestro.GlobalPriority {
+		t.Errorf("ParsePolicy(global) = %v, %v", p, err)
+	}
+	if _, err := capmaestro.ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy should fail")
+	}
+}
+
+func TestFacadeUnitsAndModels(t *testing.T) {
+	if capmaestro.Kilowatts(6.9) != 6900 {
+		t.Error("Kilowatts wrong")
+	}
+	m := capmaestro.DefaultServerModel()
+	if m.CapMin != 270 || m.CapMax != 490 {
+		t.Error("default model wrong")
+	}
+	if tp := capmaestro.NormalizedThroughput(314, 420); math.Abs(tp-0.82) > 0.01 {
+		t.Errorf("throughput model = %v, want ~0.82", tp)
+	}
+}
+
+func TestFacadeTopologyAndSimulator(t *testing.T) {
+	mkFeed := func(feed capmaestro.FeedID) *capmaestro.TopologyNode {
+		root := capmaestro.NewTopologyNode(string(feed), capmaestro.KindUtility, 0)
+		root.Feed = feed
+		cdu := root.AddChild(capmaestro.NewTopologyNode(string(feed)+"-cdu", capmaestro.KindCDU, 900))
+		cdu.AddChild(capmaestro.NewTopologySupply("s1-"+string(feed), "s1", 0.5))
+		return root
+	}
+	topo, err := capmaestro.NewTopology(mkFeed("A"), mkFeed("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	derating := capmaestro.FullRating()
+	s, err := capmaestro.NewSimulator(capmaestro.SimConfig{
+		Topology: topo,
+		Servers: map[string]capmaestro.ServerSpec{
+			"s1": {Priority: 1, Utilization: 0.9},
+		},
+		Policy:      capmaestro.GlobalPriority,
+		RootBudgets: map[capmaestro.FeedID]capmaestro.Watts{"A": 900, "B": 900},
+		Derating:    &derating,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(30 * time.Second)
+	if p := s.Server("s1").ACPower(); p < 400 {
+		t.Errorf("uncapped server power = %v", p)
+	}
+	if len(s.TrippedBreakers()) != 0 {
+		t.Error("unexpected breaker trip")
+	}
+	if d := capmaestro.DefaultDerating(); d.Fraction != 0.8 {
+		t.Error("default derating wrong")
+	}
+}
+
+func TestFacadeSPO(t *testing.T) {
+	x := capmaestro.NewShifting("x", 0,
+		capmaestro.NewLeaf("a-x", capmaestro.SupplyLeaf{
+			SupplyID: "a-x", ServerID: "a", Share: 0.7,
+			CapMin: 270, CapMax: 490, Demand: 480}),
+	)
+	y := capmaestro.NewShifting("y", 0,
+		capmaestro.NewLeaf("a-y", capmaestro.SupplyLeaf{
+			SupplyID: "a-y", ServerID: "a", Share: 0.3,
+			CapMin: 270, CapMax: 490, Demand: 480}),
+		capmaestro.NewLeaf("b-y", capmaestro.SupplyLeaf{
+			SupplyID: "b-y", ServerID: "b", Share: 1,
+			CapMin: 270, CapMax: 490, Demand: 490}),
+	)
+	trees := []*capmaestro.Node{x, y}
+	budgets := []capmaestro.Watts{210, 600}
+	allocs, report, err := capmaestro.AllocateWithSPO(trees, budgets, capmaestro.GlobalPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 2 {
+		t.Fatal("expected two allocations")
+	}
+	cons := capmaestro.PredictConsumption(trees, allocs)
+	if cons["a"] <= 0 || cons["b"] <= 0 {
+		t.Errorf("consumption = %v", cons)
+	}
+	if report.TotalStranded < 0 {
+		t.Error("negative stranding")
+	}
+}
+
+func TestFacadeCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity search is expensive")
+	}
+	cfg := capmaestro.DefaultDataCenterConfig()
+	cfg.TransformersPerFeed = 1
+	cfg.RPPsPerTransformer = 2
+	cfg.CDUsPerRPP = 2
+	cfg.ContractualPerPhase = capmaestro.Kilowatts(25)
+	res, err := capmaestro.FindCapacity(cfg, capmaestro.WorstCase, capmaestro.GlobalPriority,
+		capmaestro.StudyOptions{WorstCaseRuns: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalServers <= 0 {
+		t.Errorf("capacity = %+v", res)
+	}
+}
+
+func TestFacadeServerAndController(t *testing.T) {
+	srv, err := capmaestro.NewServer(capmaestro.ServerConfig{
+		ID:    "s1",
+		Model: capmaestro.DefaultServerModel(),
+		Supplies: []capmaestro.Supply{
+			{ID: "psA", Split: 0.5},
+			{ID: "psB", Split: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := capmaestro.NewController(srv, capmaestro.ControllerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetUtilization(1)
+	ctl.SetBudget("psB", 200)
+	for p := 0; p < 6; p++ {
+		for s := 0; s < 8; s++ {
+			srv.Step(time.Second)
+			ctl.Sense()
+		}
+		ctl.Iterate()
+	}
+	if b, _ := srv.SupplyACPower("psB"); b > 202 {
+		t.Errorf("psB = %v exceeds 200 W budget through the facade", b)
+	}
+}
+
+func TestFacadeTopologyJSONAndVerify(t *testing.T) {
+	doc := `{"feeds": [
+		{"id": "X", "kind": "utility", "children": [
+			{"id": "cdu1", "kind": "cdu", "rating_watts": 2000, "children": [
+				{"id": "a-ps", "kind": "supply", "server": "a"}
+			]},
+			{"id": "cdu2", "kind": "cdu", "rating_watts": 2000, "children": [
+				{"id": "b-ps", "kind": "supply", "server": "b"}
+			]}
+		]}
+	]}`
+	topo, err := capmaestro.ReadTopologyJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	derating := capmaestro.FullRating()
+	s, err := capmaestro.NewSimulator(capmaestro.SimConfig{
+		Topology: topo,
+		Servers: map[string]capmaestro.ServerSpec{
+			"a": {Utilization: 1}, "b": {Utilization: 1},
+		},
+		Policy:   capmaestro.GlobalPriority,
+		Derating: &derating,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := capmaestro.VerifyTopology(topo, capmaestro.NewSimPlant(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Errorf("self-verification failed: %s", report)
+	}
+}
+
+func TestFacadeScheduler(t *testing.T) {
+	var changes int
+	sched, err := capmaestro.NewScheduler(
+		[]capmaestro.SchedServer{{ID: "n1", Cores: 28}},
+		func(string, capmaestro.Priority, capmaestro.Priority) { changes++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Submit(capmaestro.Job{ID: "j1", Cores: 8, Priority: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if changes != 1 {
+		t.Errorf("priority changes = %d, want 1", changes)
+	}
+	if err := sched.MeterEnergy("n1", 400, 160, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if sched.EnergyWh("j1") <= 0 {
+		t.Error("job energy not metered")
+	}
+}

@@ -1,0 +1,87 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run all [-fast] [-seed N] [-csv DIR]
+//	experiments -run table2,fig9
+//
+// Each experiment prints its measured rows/series next to the values the
+// paper reports. -csv writes the time series of figure experiments as CSV
+// files for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"capmaestro/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		run    = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		fast   = flag.Bool("fast", false, "reduce Monte Carlo run counts for a quick pass")
+		seed   = flag.Int64("seed", 0, "random seed for reproducibility")
+		csvDir = flag.String("csv", "", "directory to write figure time series as CSV")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n",
+					id, strings.Join(experiments.IDs(), ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := experiments.Options{Fast: *fast, Seed: *seed}
+	for _, e := range selected {
+		fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Text)
+		if *csvDir != "" && res.Recorder != nil {
+			path := filepath.Join(*csvDir, res.ID+".csv")
+			if err := writeCSV(path, res); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(series written to %s)\n\n", path)
+		}
+	}
+}
+
+func writeCSV(path string, res *experiments.Result) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.Recorder.WriteCSV(f)
+}

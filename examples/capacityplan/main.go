@@ -1,0 +1,52 @@
+// Capacity planning: how many servers can your power infrastructure
+// actually host? This example sizes a small private data center (a scaled
+// down version of the paper's Table 4 facility) under each capping policy,
+// for both normal operation and a worst-case feed failure.
+//
+//	go run ./examples/capacityplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"capmaestro"
+)
+
+func main() {
+	// A modest facility: one transformer per feed, 3 RPPs each feeding 4
+	// racks, 65 kW contracted per phase.
+	cfg := capmaestro.DefaultDataCenterConfig()
+	cfg.TransformersPerFeed = 1
+	cfg.RPPsPerTransformer = 3
+	cfg.CDUsPerRPP = 4
+	cfg.ContractualPerPhase = capmaestro.Kilowatts(65)
+	cfg.HighPriorityFraction = 0.25
+
+	fmt.Printf("Facility: %d racks, %.0f kW contracted per phase, 25%% high-priority work.\n\n",
+		cfg.Racks(), cfg.ContractualPerPhase.KW())
+
+	opts := capmaestro.StudyOptions{TypicalRuns: 100, WorstCaseRuns: 20, Seed: 7}
+	fmt.Printf("%-16s  %-22s  %-22s\n", "Policy", "Typical capacity", "Worst-case capacity")
+	for _, policy := range []capmaestro.Policy{
+		capmaestro.NoPriority, capmaestro.LocalPriority, capmaestro.GlobalPriority,
+	} {
+		typical, err := capmaestro.FindCapacity(cfg, capmaestro.Typical, policy, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst, err := capmaestro.FindCapacity(cfg, capmaestro.WorstCase, policy, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s  %4d servers (%2d/rack)  %4d servers (%2d/rack)\n",
+			policy, typical.TotalServers, typical.ServersPerRack,
+			worst.TotalServers, worst.ServersPerRack)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading: the worst-case column is what you can safely deploy. Priority-aware")
+	fmt.Println("capping converts the gap between typical and worst case into extra servers:")
+	fmt.Println("low-priority work is throttled during (rare) emergencies while high-priority")
+	fmt.Println("work keeps within 1% of full performance.")
+}

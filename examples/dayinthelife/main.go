@@ -1,0 +1,139 @@
+// Day in the life: everything working together over a compressed 24-hour
+// cycle — diurnal load swings, a scheduler placing and completing a
+// critical job, a demand-response event trimming the utility budget, and
+// a feed failure at the worst possible moment. Throughout, CapMaestro
+// keeps every breaker safe and every high-priority watt flowing.
+//
+//	go run ./examples/dayinthelife
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"capmaestro"
+	"capmaestro/internal/workload"
+)
+
+const serversPerFeedCDU = 4
+
+func main() {
+	// Two feeds, one 1.6 kW-rated CDU each, four dual-corded servers.
+	mkFeed := func(feed capmaestro.FeedID) *capmaestro.TopologyNode {
+		root := capmaestro.NewTopologyNode(string(feed), capmaestro.KindUtility, 0)
+		root.Feed = feed
+		cdu := root.AddChild(capmaestro.NewTopologyNode(string(feed)+"-cdu", capmaestro.KindCDU, 1600))
+		for i := 0; i < serversPerFeedCDU; i++ {
+			id := fmt.Sprintf("node%d", i)
+			cdu.AddChild(capmaestro.NewTopologySupply(id+"-"+string(feed), id, 0.5))
+		}
+		return root
+	}
+	topo, err := capmaestro.NewTopology(mkFeed("A"), mkFeed("B"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	servers := map[string]capmaestro.ServerSpec{}
+	for i := 0; i < serversPerFeedCDU; i++ {
+		servers[fmt.Sprintf("node%d", i)] = capmaestro.ServerSpec{Utilization: 0.2}
+	}
+	derating := capmaestro.FullRating()
+	s, err := capmaestro.NewSimulator(capmaestro.SimConfig{
+		Topology: topo,
+		Servers:  servers,
+		Policy:   capmaestro.GlobalPriority,
+		RootBudgets: map[capmaestro.FeedID]capmaestro.Watts{
+			"A": 1600, "B": 1600,
+		},
+		Derating: &derating,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := capmaestro.NewScheduler(
+		[]capmaestro.SchedServer{
+			{ID: "node0", Cores: 28}, {ID: "node1", Cores: 28},
+			{ID: "node2", Cores: 28}, {ID: "node3", Cores: 28},
+		},
+		func(serverID string, _, new capmaestro.Priority) {
+			if err := s.SetPriority(serverID, new); err != nil {
+				log.Fatal(err)
+			}
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	profile := workload.DefaultDiurnalProfile()
+	profile.Peak = 0.95
+	status := func(label string) {
+		var total capmaestro.Watts
+		for id := range servers {
+			total += s.Server(id).ACPower()
+		}
+		fmt.Printf("%-32s fleet %6.0f W   node0 %5.1f W (throttle %4.1f%%)   tripped=%d\n",
+			label, float64(total),
+			float64(s.Server("node0").ACPower()), s.Server("node0").ThrottleLevel()*100,
+			len(s.TrippedBreakers()))
+	}
+	setLoad := func(hour int) {
+		u := profile.At(time.Duration(hour) * time.Hour)
+		for id := range servers {
+			s.SetUtilization(id, u)
+		}
+	}
+
+	fmt.Println("A compressed day for a 4-server, dual-feed pod (Global Priority):")
+	fmt.Println()
+
+	setLoad(4)
+	s.Run(time.Minute)
+	status("04:00 overnight trough")
+
+	setLoad(10)
+	s.Run(time.Minute)
+	status("10:00 morning ramp")
+
+	// A critical batch lands on node0.
+	if _, err := sched.Submit(capmaestro.Job{ID: "quarterly-close", Cores: 16, Priority: 1}); err != nil {
+		log.Fatal(err)
+	}
+	setLoad(14)
+	s.Run(time.Minute)
+	status("14:00 critical job on node0")
+
+	// Peak load and the utility calls a demand-response event: the pod
+	// must shed to 1.7 kW. Low-priority servers absorb it.
+	setLoad(16)
+	s.SetRootBudget("A", 850)
+	s.SetRootBudget("B", 850)
+	s.Run(90 * time.Second)
+	status("16:00 peak + demand response")
+
+	// The event ends; moments later feed B fails at full peak load.
+	s.SetRootBudget("A", 1600)
+	s.SetRootBudget("B", 1600)
+	s.FailFeed("B")
+	s.Run(2 * time.Minute)
+	status("17:30 feed B failure at peak")
+
+	// Evening: feed restored, job finishes.
+	s.RestoreFeed("B")
+	if err := sched.Remove("quarterly-close"); err != nil {
+		log.Fatal(err)
+	}
+	setLoad(22)
+	s.Run(time.Minute)
+	status("22:00 recovered evening")
+
+	fmt.Println()
+	if len(s.TrippedBreakers()) == 0 && len(s.InvariantViolations()) == 0 {
+		fmt.Println("The whole day passed without a tripped breaker or a budget violation;")
+		fmt.Println("node0's critical job kept its power through the demand-response event")
+		fmt.Println("and the feed failure.")
+	} else {
+		fmt.Printf("PROBLEMS: tripped=%v violations=%v\n",
+			s.TrippedBreakers(), s.InvariantViolations())
+	}
+}

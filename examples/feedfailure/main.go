@@ -1,0 +1,72 @@
+// Feed failure: the headline safety scenario for N+N redundant data
+// centers. Two dual-corded servers share a pair of feeds whose CDUs are
+// rated well below the combined worst-case load. When one feed fails, the
+// whole load lands on the surviving feed — overloading its breaker — and
+// CapMaestro must throttle the servers back under the limit before the
+// breaker's UL 489 trip window expires.
+//
+//	go run ./examples/feedfailure
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"capmaestro"
+)
+
+func main() {
+	// Each feed: utility -> 800 W-rated CDU -> one cord of each server.
+	mkFeed := func(feed capmaestro.FeedID) *capmaestro.TopologyNode {
+		root := capmaestro.NewTopologyNode(string(feed), capmaestro.KindUtility, 0)
+		root.Feed = feed
+		cdu := root.AddChild(capmaestro.NewTopologyNode(string(feed)+"-cdu", capmaestro.KindCDU, 800))
+		cdu.AddChild(capmaestro.NewTopologySupply("web-"+string(feed), "web", 0.5))
+		cdu.AddChild(capmaestro.NewTopologySupply("batch-"+string(feed), "batch", 0.5))
+		return root
+	}
+	topo, err := capmaestro.NewTopology(mkFeed("A"), mkFeed("B"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	derating := capmaestro.FullRating() // the 800 W ratings are already usable limits
+	s, err := capmaestro.NewSimulator(capmaestro.SimConfig{
+		Topology: topo,
+		Servers: map[string]capmaestro.ServerSpec{
+			"web":   {Priority: 1, Utilization: 1.0}, // latency-critical
+			"batch": {Priority: 0, Utilization: 1.0}, // throttle me first
+		},
+		Policy:      capmaestro.GlobalPriority,
+		RootBudgets: map[capmaestro.FeedID]capmaestro.Watts{"A": 800, "B": 800},
+		Derating:    &derating,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s.Schedule(30*time.Second, "fail feed B", func(s *capmaestro.Simulator) {
+		s.FailFeed("B")
+		fmt.Printf("t=%3.0fs  ** feed B fails: 980 W of demand now rides the 800 W A-side CDU\n",
+			s.Now().Seconds())
+	})
+
+	fmt.Println("t(s)    A-CDU load   web power (throttle)   batch power (throttle)")
+	for i := 0; i < 10; i++ {
+		s.Run(10 * time.Second)
+		web, batch := s.Server("web"), s.Server("batch")
+		fmt.Printf("t=%3.0fs  %7.1f W   %7.1f W (%4.1f%%)      %7.1f W (%4.1f%%)\n",
+			s.Now().Seconds(), float64(s.NodeLoad("A-cdu")),
+			float64(web.ACPower()), web.ThrottleLevel()*100,
+			float64(batch.ACPower()), batch.ThrottleLevel()*100)
+	}
+
+	fmt.Println()
+	if tripped := s.TrippedBreakers(); len(tripped) == 0 {
+		fmt.Println("No breaker tripped. The low-priority batch server absorbed the capping;")
+		fmt.Println("the high-priority web server kept (nearly) full performance throughout.")
+	} else {
+		fmt.Printf("Breakers tripped: %v\n", tripped)
+	}
+}

@@ -1,0 +1,95 @@
+// Stranded power: servers don't split load evenly across their two power
+// cords, so per-feed budgets can be physically unusable — "stranded" — on
+// one feed while another server on that feed is starved. This example
+// rebuilds the paper's Figure 7a scenario and shows the stranded power
+// optimization (SPO) reclaiming the waste.
+//
+//	go run ./examples/strandedpower
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"capmaestro"
+)
+
+func main() {
+	// Two feeds, 700 W budget each. SA draws only from X (its Y cord is
+	// unplugged), SB only from Y, and SC/SD draw from both with an
+	// intrinsic, unchangeable split mismatch.
+	leaf := func(id, srv string, prio capmaestro.Priority, share float64, demand capmaestro.Watts) *capmaestro.Node {
+		return capmaestro.NewLeaf(id, capmaestro.SupplyLeaf{
+			SupplyID: id, ServerID: srv, Priority: prio, Share: share,
+			CapMin: 270, CapMax: 490, Demand: demand,
+		})
+	}
+	buildTrees := func() []*capmaestro.Node {
+		x := capmaestro.NewShifting("x-top", 1400,
+			capmaestro.NewShifting("x-left", 750,
+				leaf("SA-x", "SA", 1, 1.0, 414)),
+			capmaestro.NewShifting("x-right", 750,
+				leaf("SC-x", "SC", 0, 0.533, 433),
+				leaf("SD-x", "SD", 0, 0.461, 439)),
+		)
+		y := capmaestro.NewShifting("y-top", 1400,
+			capmaestro.NewShifting("y-left", 750,
+				leaf("SB-y", "SB", 0, 1.0, 415)),
+			capmaestro.NewShifting("y-right", 750,
+				leaf("SC-y", "SC", 0, 0.467, 433),
+				leaf("SD-y", "SD", 0, 0.539, 439)),
+		)
+		return []*capmaestro.Node{x, y}
+	}
+	budgets := []capmaestro.Watts{700, 700}
+
+	trees := buildTrees()
+	plain, err := capmaestro.AllocateAll(trees, budgets, capmaestro.GlobalPriority)
+	if err != nil {
+		log.Fatal(err)
+	}
+	consPlain := capmaestro.PredictConsumption(trees, plain)
+
+	withSPO, report, err := capmaestro.AllocateWithSPO(trees, budgets, capmaestro.GlobalPriority)
+	if err != nil {
+		log.Fatal(err)
+	}
+	consSPO := capmaestro.PredictConsumption(trees, withSPO)
+
+	fmt.Println("Budgets X/Y (W), consumption, and throughput vs. uncapped:")
+	fmt.Println()
+	fmt.Println("Server    w/o SPO budgets     power  tput      w/ SPO budgets      power  tput")
+	demands := map[string]capmaestro.Watts{"SA": 414, "SB": 415, "SC": 433, "SD": 439}
+	supplies := map[string][2]string{
+		"SA": {"SA-x", ""}, "SB": {"", "SB-y"}, "SC": {"SC-x", "SC-y"}, "SD": {"SD-x", "SD-y"},
+	}
+	get := func(allocs []*capmaestro.Allocation, id string) (x, y capmaestro.Watts) {
+		if s := supplies[id][0]; s != "" {
+			x = allocs[0].Budget(s)
+		}
+		if s := supplies[id][1]; s != "" {
+			y = allocs[1].Budget(s)
+		}
+		return
+	}
+	for _, id := range []string{"SA", "SB", "SC", "SD"} {
+		x0, y0 := get(plain, id)
+		x1, y1 := get(withSPO, id)
+		fmt.Printf("%-6s  %6.0f / %-6.0f  %7.0f  %.2f    %6.0f / %-6.0f  %7.0f  %.2f\n",
+			id, float64(x0), float64(y0), float64(consPlain[id]),
+			capmaestro.NormalizedThroughput(consPlain[id], demands[id]),
+			float64(x1), float64(y1), float64(consSPO[id]),
+			capmaestro.NormalizedThroughput(consSPO[id], demands[id]))
+	}
+
+	fmt.Println()
+	fmt.Printf("SPO found %.0f W stranded on %d supplies:\n",
+		float64(report.TotalStranded), len(report.Stranded))
+	for _, s := range report.Stranded {
+		fmt.Printf("  %-6s budgeted %5.1f W but can draw only %5.1f W (%.1f W stranded)\n",
+			s.SupplyID, float64(s.Budget), float64(s.Usable), float64(s.Stranded))
+	}
+	fmt.Println()
+	fmt.Println("The reclaimed watts flow to SB — the server that was starving on feed Y —")
+	fmt.Println("without touching SC/SD, whose consumption is pinned by their X-side budgets.")
+}

@@ -1,0 +1,3 @@
+module capmaestro
+
+go 1.22

@@ -1,0 +1,188 @@
+package breaker
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"capmaestro/internal/power"
+)
+
+func mustBreaker(t *testing.T, rating power.Watts) *Breaker {
+	t.Helper()
+	b, err := New(rating, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Config{}); err == nil {
+		t.Error("zero rating should fail")
+	}
+	if _, err := New(-100, Config{}); err == nil {
+		t.Error("negative rating should fail")
+	}
+	if _, err := New(100, Config{HoldFraction: 0.5}); err == nil {
+		t.Error("hold fraction below 1 should fail")
+	}
+	if _, err := New(100, Config{HoldFraction: 2, InstantaneousFraction: 1.5}); err == nil {
+		t.Error("instantaneous below hold should fail")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with invalid config should panic")
+		}
+	}()
+	MustNew(-1, Config{})
+}
+
+func TestUL489Datum(t *testing.T) {
+	// The paper's safety window: a breaker at 160% load operates for at
+	// least 30 seconds before tripping.
+	b := mustBreaker(t, 1000)
+	d, trips := b.TimeToTrip(1600)
+	if !trips {
+		t.Fatal("160% load must eventually trip")
+	}
+	if math.Abs(d.Seconds()-30) > 1e-6 {
+		t.Errorf("time to trip at 160%% = %v, want 30s", d)
+	}
+}
+
+func TestHoldRegionNeverTrips(t *testing.T) {
+	b := mustBreaker(t, 1000)
+	if _, trips := b.TimeToTrip(1000); trips {
+		t.Error("rated load must hold forever")
+	}
+	if _, trips := b.TimeToTrip(500); trips {
+		t.Error("half load must hold forever")
+	}
+	for i := 0; i < 10000; i++ {
+		if b.Apply(1000, time.Second) {
+			t.Fatal("breaker tripped at rated load")
+		}
+	}
+}
+
+func TestInstantaneousRegion(t *testing.T) {
+	b := mustBreaker(t, 1000)
+	d, trips := b.TimeToTrip(8000)
+	if !trips || d != 0 {
+		t.Errorf("8x load should trip instantly, got (%v, %v)", d, trips)
+	}
+	if !b.Apply(9000, time.Millisecond) {
+		t.Error("Apply in instantaneous region should trip immediately")
+	}
+}
+
+func TestThermalAccumulationMatchesCurve(t *testing.T) {
+	// Integrating the thermal model at a constant load should trip at the
+	// analytic inverse-time point.
+	b := mustBreaker(t, 1000)
+	load := power.Watts(1600)
+	var elapsed time.Duration
+	step := 100 * time.Millisecond
+	for !b.Apply(load, step) {
+		elapsed += step
+		if elapsed > time.Minute {
+			t.Fatal("breaker did not trip within a minute at 160%")
+		}
+	}
+	elapsed += step
+	if elapsed < 30*time.Second || elapsed > 31*time.Second {
+		t.Errorf("tripped after %v, want ~30s", elapsed)
+	}
+}
+
+func TestCappingWindow(t *testing.T) {
+	// CapMaestro's end-to-end capping latency is at most 14 s. A breaker
+	// overloaded to 160% for 14 s and then relieved must not trip.
+	b := mustBreaker(t, 1000)
+	for i := 0; i < 14; i++ {
+		if b.Apply(1600, time.Second) {
+			t.Fatalf("tripped after %ds at 160%%, before the 30 s window", i+1)
+		}
+	}
+	// Capping brings the load back to 80%.
+	for i := 0; i < 600; i++ {
+		if b.Apply(800, time.Second) {
+			t.Fatal("tripped after load was shed")
+		}
+	}
+	if b.Heat() > 0.01 {
+		t.Errorf("heat should decay to near zero, still %v", b.Heat())
+	}
+}
+
+func TestCoolingDecaysHeat(t *testing.T) {
+	b := mustBreaker(t, 1000)
+	b.Apply(1600, 10*time.Second)
+	h1 := b.Heat()
+	if h1 <= 0 {
+		t.Fatal("expected accumulated heat")
+	}
+	b.Apply(500, 30*time.Second)
+	if b.Heat() >= h1 {
+		t.Error("heat should decay under light load")
+	}
+}
+
+func TestTrippedLatches(t *testing.T) {
+	b := mustBreaker(t, 100)
+	b.Apply(1000, time.Second)
+	if !b.Tripped() {
+		t.Fatal("expected trip")
+	}
+	if !b.Apply(0, time.Second) {
+		t.Error("tripped breaker must stay tripped under zero load")
+	}
+	b.Reset()
+	if b.Tripped() || b.Heat() != 0 {
+		t.Error("Reset should close the breaker and clear heat")
+	}
+}
+
+func TestApplyZeroDuration(t *testing.T) {
+	b := mustBreaker(t, 100)
+	if b.Apply(1000, 0) {
+		t.Error("zero-duration apply must not trip")
+	}
+}
+
+func TestTimeToTripMonotone(t *testing.T) {
+	// Higher overloads trip no slower than lower overloads.
+	b := mustBreaker(t, 1000)
+	f := func(a, c float64) bool {
+		la := 1.05 + math.Abs(math.Mod(a, 6))
+		lc := 1.05 + math.Abs(math.Mod(c, 6))
+		if la > lc {
+			la, lc = lc, la
+		}
+		da, ta := b.TimeToTrip(power.Watts(la * 1000))
+		dc, tc := b.TimeToTrip(power.Watts(lc * 1000))
+		if !ta || !tc {
+			return false
+		}
+		return dc <= da
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCustomCurveConstant(t *testing.T) {
+	b, err := New(1000, Config{CurveConstant: 93.6}) // doubles trip times
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := b.TimeToTrip(1600)
+	if math.Abs(d.Seconds()-60) > 1e-9 {
+		t.Errorf("custom curve: got %v, want 60s", d)
+	}
+}

@@ -1,0 +1,48 @@
+package capping
+
+import (
+	"testing"
+	"time"
+
+	"capmaestro/internal/power"
+	"capmaestro/internal/server"
+)
+
+// TestAblationAverageErrorOvershootsTightSupply demonstrates why the
+// paper's controller selects the *minimum* per-supply error (Figure 4): an
+// averaging controller lets the tightly budgeted supply blow through its
+// budget whenever the other supply has slack, which would overload the
+// constrained feed.
+func TestAblationAverageErrorOvershootsTightSupply(t *testing.T) {
+	run := func(mode ErrorMode) power.Watts {
+		srv := server.MustNew(server.Config{
+			ID:    "s1",
+			Model: power.DefaultServerModel(),
+			Supplies: []server.Supply{
+				{ID: "psA", Split: 0.5},
+				{ID: "psB", Split: 0.5},
+			},
+		})
+		srv.SetUtilization(1)
+		c := MustNew(srv, Config{Errors: mode})
+		c.SetBudget("psA", 400) // generous
+		c.SetBudget("psB", 180) // tight
+		for p := 0; p < 10; p++ {
+			for s := 0; s < 8; s++ {
+				srv.Step(time.Second)
+				c.Sense()
+			}
+			c.Iterate()
+		}
+		b, _ := srv.SupplyACPower("psB")
+		return b
+	}
+	minPower := run(ErrorModeMin)
+	avgPower := run(ErrorModeAverage)
+	if minPower > 182 {
+		t.Errorf("min-error controller: psB %v exceeds its 180 W budget", minPower)
+	}
+	if avgPower < 200 {
+		t.Errorf("average-error ablation should overshoot the 180 W budget, got %v", avgPower)
+	}
+}

@@ -1,0 +1,240 @@
+// Package capping implements CapMaestro's per-server capping controller
+// (Section 4.2, Figure 4 of the paper): a proportional-integral feedback
+// loop that enforces an individual AC power budget on each power supply of
+// a server, using a node manager that can only cap the server's total DC
+// power.
+//
+// Each control iteration:
+//
+//  1. computes, for every active supply, the error between its assigned AC
+//     budget and its measured AC power;
+//  2. selects the minimum error across supplies (the most conservative
+//     correction, protecting the most constrained feed);
+//  3. scales the error by the supply efficiency k (AC→DC) and by the number
+//     of working supplies M (a correction on one supply implies an M-times
+//     larger total-server correction, since load is shared);
+//  4. adds the scaled error to the integrator, which stores the previously
+//     desired DC cap; and
+//  5. clips the desired cap to the node manager's controllable range and
+//     applies it.
+//
+// Storing the clipped value back into the integrator provides anti-windup.
+// The controller also runs the Section 5 regression-based demand estimator
+// over its per-second sensor readings.
+package capping
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"capmaestro/internal/power"
+	"capmaestro/internal/server"
+)
+
+// Node is the slice of a server the capping controller interacts with:
+// IPMI-style sensors plus the node manager's DC cap. *server.Server
+// implements it; a real deployment would back it with IPMI transport.
+type Node interface {
+	ReadSensors() server.Reading
+	SetDCCap(power.Watts)
+	DCCapRange() (lo, hi power.Watts)
+	ActiveSupplyIDs() []string
+}
+
+// ErrorMode selects how the controller combines per-supply errors.
+type ErrorMode int
+
+// Error combination modes.
+const (
+	// ErrorModeMin selects the minimum (most conservative) error across
+	// supplies, as the paper's controller does (Figure 4): the most
+	// constrained supply governs, so no supply ever exceeds its budget.
+	ErrorModeMin ErrorMode = iota
+	// ErrorModeAverage averages errors across supplies. It exists as an
+	// ablation: with unequal budgets it overshoots the tighter supply,
+	// demonstrating why the paper's min-error design is required.
+	ErrorModeAverage
+)
+
+// Config tunes a capping controller.
+type Config struct {
+	// K is the supply efficiency coefficient used to transform AC-domain
+	// errors into the DC domain (DC = K × AC). Zero selects a typical 0.92.
+	K float64
+	// Errors selects the per-supply error combination; the zero value is
+	// the paper's min-error rule.
+	Errors ErrorMode
+	// Gain scales the integral action; 1.0 applies the full scaled error
+	// each iteration as the paper's controller does. Values in (0,1] trade
+	// convergence speed for smoothness. Zero selects 1.0.
+	Gain float64
+	// DemandWindow is the number of per-second samples the demand
+	// estimator keeps; zero selects the paper's 16.
+	DemandWindow int
+}
+
+// DefaultK is a typical AC→DC efficiency for a platinum supply.
+const DefaultK = 0.92
+
+// Unbudgeted marks a supply with no assigned budget; it does not constrain
+// the controller.
+var Unbudgeted = power.Watts(math.Inf(1))
+
+// Controller enforces per-supply AC budgets on one server.
+type Controller struct {
+	node    Node
+	k       float64
+	gain    float64
+	mode    ErrorMode
+	budgets map[string]power.Watts
+	est     *power.DemandEstimator
+
+	integrator  power.Watts
+	initialized bool
+	lastReading server.Reading
+	haveReading bool
+}
+
+// New creates a controller for the given node.
+func New(node Node, cfg Config) (*Controller, error) {
+	if node == nil {
+		return nil, errors.New("capping: nil node")
+	}
+	k := cfg.K
+	if k == 0 {
+		k = DefaultK
+	}
+	if k <= 0 || k > 1 {
+		return nil, errors.New("capping: efficiency K must be in (0,1]")
+	}
+	gain := cfg.Gain
+	if gain == 0 {
+		gain = 1
+	}
+	if gain < 0 || gain > 1 {
+		return nil, errors.New("capping: gain must be in (0,1]")
+	}
+	window := cfg.DemandWindow
+	if window == 0 {
+		window = power.DefaultDemandWindow
+	}
+	return &Controller{
+		node:    node,
+		k:       k,
+		gain:    gain,
+		mode:    cfg.Errors,
+		budgets: make(map[string]power.Watts),
+		est:     power.NewDemandEstimator(window),
+	}, nil
+}
+
+// MustNew is New but panics on error; for static fixtures.
+func MustNew(node Node, cfg Config) *Controller {
+	c, err := New(node, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SetBudget assigns an AC power budget to one supply. Pass Unbudgeted to
+// remove the constraint.
+func (c *Controller) SetBudget(supplyID string, budget power.Watts) {
+	if math.IsInf(float64(budget), 1) {
+		delete(c.budgets, supplyID)
+		return
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	c.budgets[supplyID] = budget
+}
+
+// Budget returns the AC budget assigned to a supply (Unbudgeted if none).
+func (c *Controller) Budget(supplyID string) power.Watts {
+	if b, ok := c.budgets[supplyID]; ok {
+		return b
+	}
+	return Unbudgeted
+}
+
+// BudgetedSupplies lists the supplies with assigned budgets, sorted.
+func (c *Controller) BudgetedSupplies() []string {
+	ids := make([]string, 0, len(c.budgets))
+	for id := range c.budgets {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Sense takes one per-second sensor sample, feeding the demand estimator.
+// The paper's prototype reads sensors every second and runs the control
+// iteration every 8-second control period.
+func (c *Controller) Sense() server.Reading {
+	r := c.node.ReadSensors()
+	c.est.Observe(r.TotalAC, r.Throttle)
+	c.lastReading = r
+	c.haveReading = true
+	return r
+}
+
+// Demand reports the regression-estimated full-performance AC power demand
+// of the server (Section 5). ok is false until enough samples exist.
+func (c *Controller) Demand() (power.Watts, bool) { return c.est.Demand() }
+
+// Iterate runs one PI control iteration using the most recent sensor
+// sample (taking a fresh one if Sense has not been called) and applies the
+// resulting DC cap to the node manager. It returns the applied cap.
+func (c *Controller) Iterate() power.Watts {
+	if !c.haveReading {
+		c.Sense()
+	}
+	r := c.lastReading
+	c.haveReading = false // force a fresh reading next iteration
+
+	lo, hi := c.node.DCCapRange()
+	if !c.initialized {
+		// Start the integrator at the top of the controllable range so an
+		// unbudgeted server runs uncapped.
+		c.integrator = hi
+		c.initialized = true
+	}
+
+	active := c.node.ActiveSupplyIDs()
+	m := len(active)
+	minErr := power.Watts(math.Inf(1))
+	var errSum power.Watts
+	var budgeted int
+	for _, id := range active {
+		budget, ok := c.budgets[id]
+		if !ok {
+			continue // unbudgeted supply does not constrain
+		}
+		errW := budget - r.SupplyAC[id]
+		errSum += errW
+		budgeted++
+		if errW < minErr {
+			minErr = errW
+		}
+	}
+	if c.mode == ErrorModeAverage && budgeted > 0 {
+		minErr = errSum / power.Watts(budgeted)
+	}
+
+	if math.IsInf(float64(minErr), 1) || m == 0 {
+		// No budgeted active supplies: release the cap entirely.
+		c.integrator = hi
+	} else {
+		// AC error on one supply ⇒ k×M times larger DC-domain correction
+		// for the whole server (Figure 4, steps 2–3).
+		c.integrator += power.Watts(c.gain) * minErr * power.Watts(c.k) * power.Watts(m)
+		c.integrator = c.integrator.Clamp(lo, hi) // step 4 + anti-windup
+	}
+	c.node.SetDCCap(c.integrator)
+	return c.integrator
+}
+
+// DesiredDCCap exposes the integrator state (the cap last applied).
+func (c *Controller) DesiredDCCap() power.Watts { return c.integrator }

@@ -1,0 +1,134 @@
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+)
+
+// Aggregator is a mid-level worker, enabling the "arbitrary arrangement of
+// a multi-level worker hierarchy" the paper's implementation supports
+// (Section 5): toward its parent it behaves like a rack worker (gather a
+// summary, accept a budget); toward its children it behaves like a room
+// worker (collect summaries, distribute budgets). A large data center can
+// stack aggregators — e.g. room → row → rack — without any level seeing
+// more than its direct children's summaries.
+type Aggregator struct {
+	mu      sync.Mutex
+	tree    *core.Node
+	policy  core.Policy
+	clients map[string]RackClient
+	proxies map[string]*core.Node
+
+	lastBudget power.Watts
+	lastAlloc  *core.Allocation
+}
+
+// NewAggregator creates a mid-level worker over the given subtree, whose
+// proxy nodes stand for the downstream workers in clients.
+func NewAggregator(tree *core.Node, policy core.Policy, clients map[string]RackClient) (*Aggregator, error) {
+	if tree == nil {
+		return nil, errors.New("controlplane: nil aggregator tree")
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("controlplane: aggregator tree: %w", err)
+	}
+	proxies := make(map[string]*core.Node)
+	tree.Walk(func(n *core.Node) {
+		if n.Proxy != nil {
+			proxies[n.ID] = n
+		}
+	})
+	if len(proxies) == 0 {
+		return nil, errors.New("controlplane: aggregator tree has no proxies")
+	}
+	for id := range clients {
+		if _, ok := proxies[id]; !ok {
+			return nil, fmt.Errorf("controlplane: client %q has no proxy node", id)
+		}
+	}
+	for id := range proxies {
+		if _, ok := clients[id]; !ok {
+			return nil, fmt.Errorf("controlplane: proxy node %q has no client", id)
+		}
+	}
+	return &Aggregator{
+		tree:    tree,
+		policy:  policy,
+		clients: clients,
+		proxies: proxies,
+	}, nil
+}
+
+// Gather implements RackClient: it collects fresh summaries from the
+// downstream workers in parallel, installs them into the proxies, and
+// reports the combined subtree summary upstream. Downstream workers that
+// fail keep their previous summaries.
+func (a *Aggregator) Gather(ctx context.Context) (core.Summary, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	type result struct {
+		id      string
+		summary core.Summary
+		err     error
+	}
+	results := make(chan result, len(a.clients))
+	for id, c := range a.clients {
+		go func(id string, c RackClient) {
+			s, err := c.Gather(ctx)
+			results <- result{id: id, summary: s, err: err}
+		}(id, c)
+	}
+	for range a.clients {
+		r := <-results
+		if r.err != nil || r.summary.Validate() != nil {
+			continue
+		}
+		*a.proxies[r.id].Proxy = r.summary
+	}
+	return core.Summarize(a.tree, a.policy)
+}
+
+// ApplyBudget implements RackClient: it allocates the received budget over
+// its subtree and pushes each downstream worker its share in parallel.
+func (a *Aggregator) ApplyBudget(ctx context.Context, b power.Watts) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	alloc, err := core.Allocate(a.tree, b, a.policy)
+	if err != nil {
+		return fmt.Errorf("controlplane: aggregator: %w", err)
+	}
+	a.lastBudget = b
+	a.lastAlloc = alloc
+	errs := make(chan error, len(a.clients))
+	for id, c := range a.clients {
+		go func(id string, c RackClient) {
+			errs <- c.ApplyBudget(ctx, alloc.NodeBudgets[id])
+		}(id, c)
+	}
+	var firstErr error
+	for range a.clients {
+		if e := <-errs; e != nil && firstErr == nil {
+			firstErr = e
+		}
+	}
+	return firstErr
+}
+
+// LastBudget returns the budget most recently received from upstream.
+func (a *Aggregator) LastBudget() power.Watts {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastBudget
+}
+
+// LastAllocation returns the most recent subtree allocation.
+func (a *Aggregator) LastAllocation() *core.Allocation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastAlloc
+}

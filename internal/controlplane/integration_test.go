@@ -1,0 +1,148 @@
+package controlplane
+
+import (
+	"context"
+
+	"sync"
+	"testing"
+	"time"
+
+	"capmaestro/internal/capping"
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"capmaestro/internal/server"
+)
+
+// TestFullStackDistributedCapping wires the complete production shape
+// together: simulated servers with node managers, per-server capping
+// controllers, rack workers serving summaries over real TCP sockets, and a
+// room worker budgeting the hierarchy every control period. Demand
+// estimates come from the controllers' sensor regressions, budgets flow
+// back through the sink into the PI loops, and the physical powers settle
+// onto the paper's Table 1 pattern.
+func TestFullStackDistributedCapping(t *testing.T) {
+	// Four servers, SA high priority, all demanding ~430 W.
+	demands := map[string]power.Watts{"SA": 430, "SB": 430, "SC": 430, "SD": 430}
+	servers := make(map[string]*server.Server)
+	controllers := make(map[string]*capping.Controller)
+	var mu sync.Mutex
+	for id, demand := range demands {
+		srv := server.MustNew(server.Config{
+			ID:    id,
+			Model: power.DefaultServerModel(),
+			Supplies: []server.Supply{
+				{ID: id + "-ps", Split: 1},
+			},
+		})
+		srv.SetUtilization(srv.Model().UtilizationFor(demand))
+		servers[id] = srv
+		controllers[id] = capping.MustNew(srv, capping.Config{})
+	}
+	sink := func(supplyID string, b power.Watts) {
+		mu.Lock()
+		defer mu.Unlock()
+		serverID := supplyID[:2]
+		controllers[serverID].SetBudget(supplyID, b)
+	}
+
+	// rackTree builds a rack worker subtree with live demand estimates.
+	rackTree := func(cb string, members []string) *core.Node {
+		var leaves []*core.Node
+		mu.Lock()
+		defer mu.Unlock()
+		for _, id := range members {
+			prio := core.Priority(0)
+			if id == "SA" {
+				prio = 1
+			}
+			demand, ok := controllers[id].Demand()
+			if !ok {
+				demand = servers[id].ACPower()
+			}
+			leaves = append(leaves, core.NewLeaf(id+"-ps", core.SupplyLeaf{
+				SupplyID: id + "-ps", ServerID: id, Priority: prio, Share: 1,
+				CapMin: 270, CapMax: 490, Demand: demand,
+			}))
+		}
+		return core.NewShifting(cb, 750, leaves...)
+	}
+
+	rackMembers := map[string][]string{
+		"rack-left":  {"SA", "SB"},
+		"rack-right": {"SC", "SD"},
+	}
+	workers := make(map[string]*RackWorker)
+	clients := make(map[string]RackClient)
+	var srvs []*RackServer
+	for rack, members := range rackMembers {
+		w, err := NewRackWorker(rack, rackTree(rack, members), core.GlobalPriority, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[rack] = w
+		rs, err := ServeRack(w, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs = append(srvs, rs)
+		c := DialRack(rs.Addr(), time.Second)
+		defer c.Close()
+		clients[rack] = c
+	}
+	defer func() {
+		for _, rs := range srvs {
+			rs.Close()
+		}
+	}()
+
+	roomTree := core.NewShifting("top-cb", 1400,
+		core.NewProxy("rack-left", core.NewSummary()),
+		core.NewProxy("rack-right", core.NewSummary()),
+	)
+	room, err := NewRoomWorker(roomTree, 1240, core.GlobalPriority, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 15 control periods of 8 s: sense every second, refresh rack trees,
+	// run the distributed period, iterate the PI loops, actuate.
+	for period := 0; period < 15; period++ {
+		for sec := 0; sec < 8; sec++ {
+			for _, id := range []string{"SA", "SB", "SC", "SD"} {
+				servers[id].Step(time.Second)
+				mu.Lock()
+				controllers[id].Sense()
+				mu.Unlock()
+			}
+		}
+		for rack, members := range rackMembers {
+			if err := workers[rack].SetTree(rackTree(rack, members)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, stats, err := room.RunPeriod(context.Background()); err != nil {
+			t.Fatal(err)
+		} else if stats.GatherErrors+stats.ApplyErrors > 0 {
+			t.Fatalf("period %d transport errors: %+v", period, stats)
+		}
+		mu.Lock()
+		for _, ctl := range controllers {
+			ctl.Iterate()
+		}
+		mu.Unlock()
+	}
+
+	// Steady state: Table 1 pattern within controller tolerance.
+	want := map[string]power.Watts{"SA": 430, "SB": 270, "SC": 270, "SD": 270}
+	var total power.Watts
+	for id, w := range want {
+		got := servers[id].ACPower()
+		total += got
+		if diff := float64(got - w); diff > 12 || diff < -12 {
+			t.Errorf("%s power = %v, want ~%v", id, got, w)
+		}
+	}
+	if total > 1240+5 {
+		t.Errorf("total power %v exceeds the 1240 W contractual budget", total)
+	}
+}

@@ -1,0 +1,258 @@
+package controlplane
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+)
+
+// The wire protocol is newline-delimited JSON over TCP: one request line,
+// one response line. It carries only metric summaries and budgets — a few
+// hundred bytes per rack per control period — matching the paper's
+// observation that worker communication is "on the order of milliseconds".
+
+// request ops.
+const (
+	opGather = "gather"
+	opBudget = "budget"
+	opPing   = "ping"
+)
+
+type wireRequest struct {
+	Op     string      `json:"op"`
+	Budget power.Watts `json:"budget,omitempty"`
+}
+
+type wireResponse struct {
+	OK      bool          `json:"ok"`
+	Error   string        `json:"error,omitempty"`
+	Summary *core.Summary `json:"summary,omitempty"`
+}
+
+// RackServer exposes a RackWorker over TCP.
+type RackServer struct {
+	worker   *RackWorker
+	listener net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ServeRack starts serving the worker on the given address (e.g.
+// "127.0.0.1:0"). It returns once the listener is bound; connections are
+// handled on background goroutines until Close.
+func ServeRack(worker *RackWorker, addr string) (*RackServer, error) {
+	if worker == nil {
+		return nil, errors.New("controlplane: nil worker")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: listen: %w", err)
+	}
+	s := &RackServer{
+		worker:   worker,
+		listener: ln,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *RackServer) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the listener and all connections.
+func (s *RackServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	err := s.listener.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *RackServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *RackServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or garbage
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *RackServer) handle(req wireRequest) wireResponse {
+	ctx := context.Background()
+	switch req.Op {
+	case opPing:
+		return wireResponse{OK: true}
+	case opGather:
+		summary, err := s.worker.Gather(ctx)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true, Summary: &summary}
+	case opBudget:
+		if err := s.worker.ApplyBudget(ctx, req.Budget); err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true}
+	default:
+		return wireResponse{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// TCPClient is a RackClient that talks to a RackServer. It maintains one
+// connection, re-dialing on failure, and serializes requests (the room
+// worker issues one request at a time per rack).
+type TCPClient struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// DialRack creates a client for the rack server at addr. timeout bounds
+// each request round-trip; zero selects 2 s (comfortably inside the paper's
+// 8 s control period).
+func DialRack(addr string, timeout time.Duration) *TCPClient {
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	return &TCPClient{addr: addr, timeout: timeout}
+}
+
+// Close tears down the connection.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (c *TCPClient) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	c.enc = json.NewEncoder(conn)
+	return nil
+}
+
+func (c *TCPClient) roundTrip(ctx context.Context, req wireRequest) (wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return wireResponse{}, err
+	}
+	if err := c.ensureConn(); err != nil {
+		return wireResponse{}, err
+	}
+	deadline := time.Now().Add(c.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	c.conn.SetDeadline(deadline)
+	if err := c.enc.Encode(req); err != nil {
+		c.resetLocked()
+		return wireResponse{}, err
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		c.resetLocked()
+		return wireResponse{}, err
+	}
+	if !resp.OK {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+func (c *TCPClient) resetLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Gather implements RackClient.
+func (c *TCPClient) Gather(ctx context.Context) (core.Summary, error) {
+	resp, err := c.roundTrip(ctx, wireRequest{Op: opGather})
+	if err != nil {
+		return core.Summary{}, err
+	}
+	if resp.Summary == nil {
+		return core.Summary{}, errors.New("controlplane: gather response missing summary")
+	}
+	return *resp.Summary, nil
+}
+
+// ApplyBudget implements RackClient.
+func (c *TCPClient) ApplyBudget(ctx context.Context, b power.Watts) error {
+	_, err := c.roundTrip(ctx, wireRequest{Op: opBudget, Budget: b})
+	return err
+}
+
+// Ping checks liveness of the rack server.
+func (c *TCPClient) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, wireRequest{Op: opPing})
+	return err
+}

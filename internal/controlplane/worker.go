@@ -1,0 +1,291 @@
+// Package controlplane implements CapMaestro as a control-plane service
+// (Section 5 of the paper): the shifting and capping controllers are
+// grouped into workers — rack-level workers that protect their rack's CDUs
+// and manage the rack's capping controllers, and a room-level worker that
+// protects RPPs, transformers, and the contractual budget.
+//
+// Every control period the room worker gathers priority-grouped metric
+// summaries from the rack workers, runs the budgeting phase over its upper
+// tree (where each rack appears as a proxy node carrying only its
+// summary), and pushes each rack its budget; rack workers then distribute
+// their budget down to individual power supplies. Workers communicate
+// through a RackClient transport: in-process for single-binary
+// deployments, or JSON-over-TCP (see transport.go) matching the paper's
+// worker-VM deployment.
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+)
+
+// BudgetSink receives the final per-supply budgets a rack worker computes;
+// implementations forward them to the servers' capping controllers.
+type BudgetSink func(supplyID string, budget power.Watts)
+
+// RackWorker owns the control subtree for one rack (typically the CDU-level
+// shifting controllers and the rack's capping-controller endpoints).
+type RackWorker struct {
+	id     string
+	policy core.Policy
+
+	mu   sync.Mutex
+	tree *core.Node
+	sink BudgetSink
+
+	lastBudget power.Watts
+	lastAlloc  *core.Allocation
+}
+
+// NewRackWorker creates a rack worker for the given local subtree.
+func NewRackWorker(id string, tree *core.Node, policy core.Policy, sink BudgetSink) (*RackWorker, error) {
+	if id == "" {
+		return nil, errors.New("controlplane: empty rack worker ID")
+	}
+	if tree == nil {
+		return nil, errors.New("controlplane: nil rack subtree")
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("controlplane: rack %s: %w", id, err)
+	}
+	return &RackWorker{id: id, policy: policy, tree: tree, sink: sink}, nil
+}
+
+// ID returns the worker's identifier.
+func (w *RackWorker) ID() string { return w.id }
+
+// SetTree atomically replaces the worker's subtree; callers refresh leaf
+// demand estimates and shares every control period before gathering.
+func (w *RackWorker) SetTree(tree *core.Node) error {
+	if tree == nil {
+		return errors.New("controlplane: nil rack subtree")
+	}
+	if err := tree.Validate(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tree = tree
+	return nil
+}
+
+// Gather computes the metric summary this rack reports upstream.
+func (w *RackWorker) Gather(ctx context.Context) (core.Summary, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Summary{}, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return core.Summarize(w.tree, w.policy)
+}
+
+// ApplyBudget distributes the budget assigned by the room worker down the
+// rack's subtree and forwards the per-supply budgets to the sink.
+func (w *RackWorker) ApplyBudget(ctx context.Context, b power.Watts) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	alloc, err := core.Allocate(w.tree, b, w.policy)
+	if err != nil {
+		return fmt.Errorf("controlplane: rack %s: %w", w.id, err)
+	}
+	w.lastBudget = b
+	w.lastAlloc = alloc
+	if w.sink != nil {
+		for supplyID, budget := range alloc.SupplyBudgets {
+			w.sink(supplyID, budget)
+		}
+	}
+	return nil
+}
+
+// LastBudget returns the most recent budget received from upstream.
+func (w *RackWorker) LastBudget() power.Watts {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastBudget
+}
+
+// LastAllocation returns the most recent local allocation (nil before the
+// first period).
+func (w *RackWorker) LastAllocation() *core.Allocation {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastAlloc
+}
+
+// RackClient is the transport-facing interface of a rack worker. The room
+// worker only ever exchanges summaries and budgets — never per-server
+// state — which is what keeps the design scalable (Section 4.1).
+type RackClient interface {
+	Gather(ctx context.Context) (core.Summary, error)
+	ApplyBudget(ctx context.Context, b power.Watts) error
+}
+
+// LocalClient adapts an in-process RackWorker to the RackClient interface.
+type LocalClient struct{ Worker *RackWorker }
+
+// Gather implements RackClient.
+func (c LocalClient) Gather(ctx context.Context) (core.Summary, error) {
+	return c.Worker.Gather(ctx)
+}
+
+// ApplyBudget implements RackClient.
+func (c LocalClient) ApplyBudget(ctx context.Context, b power.Watts) error {
+	return c.Worker.ApplyBudget(ctx, b)
+}
+
+// PeriodStats summarizes one room-worker control period.
+type PeriodStats struct {
+	GatherErrors int
+	ApplyErrors  int
+	RacksServed  int
+	Elapsed      time.Duration
+}
+
+// RoomWorker protects the upper levels of the power hierarchy. Its tree's
+// proxy nodes stand in for rack workers; the map connects proxy node IDs to
+// their transports.
+type RoomWorker struct {
+	mu     sync.Mutex
+	tree   *core.Node
+	budget power.Watts
+	policy core.Policy
+	racks  map[string]RackClient
+
+	proxies   map[string]*core.Node
+	lastAlloc *core.Allocation
+	lastStats PeriodStats
+}
+
+// NewRoomWorker creates a room worker. tree is the upper control tree
+// (contractual root, transformers, RPPs) whose proxy nodes' IDs appear as
+// keys in racks. budget is the contractual budget for this tree; zero uses
+// the tree constraint.
+func NewRoomWorker(tree *core.Node, budget power.Watts, policy core.Policy, racks map[string]RackClient) (*RoomWorker, error) {
+	if tree == nil {
+		return nil, errors.New("controlplane: nil room tree")
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("controlplane: room tree: %w", err)
+	}
+	proxies := make(map[string]*core.Node)
+	tree.Walk(func(n *core.Node) {
+		if n.Proxy != nil {
+			proxies[n.ID] = n
+		}
+	})
+	if len(proxies) == 0 {
+		return nil, errors.New("controlplane: room tree has no rack proxies")
+	}
+	for id := range racks {
+		if _, ok := proxies[id]; !ok {
+			return nil, fmt.Errorf("controlplane: rack client %q has no proxy node", id)
+		}
+	}
+	for id := range proxies {
+		if _, ok := racks[id]; !ok {
+			return nil, fmt.Errorf("controlplane: proxy node %q has no rack client", id)
+		}
+	}
+	return &RoomWorker{
+		tree:    tree,
+		budget:  budget,
+		policy:  policy,
+		racks:   racks,
+		proxies: proxies,
+	}, nil
+}
+
+// RunPeriod executes one full control period: gather summaries from all
+// racks in parallel, allocate over the upper tree, and push budgets back in
+// parallel. Racks that fail to respond keep their previous budgets; their
+// proxies keep the last summary so the room still protects its own limits.
+func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodStats, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	start := time.Now()
+	stats := PeriodStats{RacksServed: len(w.racks)}
+
+	// Metrics gathering phase, in parallel across racks.
+	type gatherResult struct {
+		id      string
+		summary core.Summary
+		err     error
+	}
+	results := make(chan gatherResult, len(w.racks))
+	for id, client := range w.racks {
+		go func(id string, client RackClient) {
+			s, err := client.Gather(ctx)
+			results <- gatherResult{id: id, summary: s, err: err}
+		}(id, client)
+	}
+	for range w.racks {
+		r := <-results
+		if r.err != nil {
+			stats.GatherErrors++
+			continue // proxy keeps its previous summary
+		}
+		if err := r.summary.Validate(); err != nil {
+			stats.GatherErrors++
+			continue
+		}
+		*w.proxies[r.id].Proxy = r.summary
+	}
+
+	// Budgeting phase over the upper tree.
+	alloc, err := core.Allocate(w.tree, w.budget, w.policy)
+	if err != nil {
+		return nil, stats, err
+	}
+	w.lastAlloc = alloc
+
+	// Push budgets down, in parallel.
+	errs := make(chan error, len(w.racks))
+	for id, client := range w.racks {
+		go func(id string, client RackClient) {
+			errs <- client.ApplyBudget(ctx, alloc.NodeBudgets[id])
+		}(id, client)
+	}
+	for range w.racks {
+		if e := <-errs; e != nil {
+			stats.ApplyErrors++
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	w.lastStats = stats
+	return alloc, stats, nil
+}
+
+// Run executes control periods on the given cadence until the context is
+// cancelled, reporting each period's stats to onPeriod (may be nil).
+func (w *RoomWorker) Run(ctx context.Context, period time.Duration, onPeriod func(PeriodStats, error)) {
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		_, stats, err := w.RunPeriod(ctx)
+		if onPeriod != nil {
+			onPeriod(stats, err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// LastAllocation returns the room's most recent upper-tree allocation.
+func (w *RoomWorker) LastAllocation() *core.Allocation {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastAlloc
+}

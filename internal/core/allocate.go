@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+)
+
+import (
+	"capmaestro/internal/power"
+)
+
+// Policy selects how priorities influence budget allocation (Section 6.2).
+type Policy int
+
+// Policies evaluated in the paper.
+const (
+	// NoPriority guarantees Pcap_min to every server and distributes the
+	// remaining budget proportionally to Pdemand − Pcap_min, ignoring
+	// priorities entirely.
+	NoPriority Policy = iota
+	// LocalPriority models Facebook's Dynamo extended to redundant feeds:
+	// priorities are honored only by the lowest-level shifting controllers
+	// (those whose children are capping controllers); all higher levels
+	// allocate with the No Priority rule.
+	LocalPriority
+	// GlobalPriority is CapMaestro's policy: every shifting controller in
+	// the tree is priority-aware, so high-priority servers anywhere in the
+	// data center are capped only after all lower-priority servers have
+	// been throttled to their minimum, as far as power limits allow.
+	GlobalPriority
+)
+
+// String names the policy as the paper does.
+func (p Policy) String() string {
+	switch p {
+	case NoPriority:
+		return "No Priority"
+	case LocalPriority:
+		return "Local Priority"
+	case GlobalPriority:
+		return "Global Priority"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a command-line name ("none", "local", "global") to a
+// Policy.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "none", "no", "nopriority":
+		return NoPriority, nil
+	case "local", "localpriority", "dynamo":
+		return LocalPriority, nil
+	case "global", "globalpriority", "capmaestro":
+		return GlobalPriority, nil
+	default:
+		return 0, fmt.Errorf("core: unknown policy %q (want none, local, or global)", name)
+	}
+}
+
+// epsilon absorbs floating-point noise in watt arithmetic.
+const epsilon = 1e-6
+
+// Allocation is the result of one run of the budgeting algorithm over a
+// control tree.
+type Allocation struct {
+	// SupplyBudgets maps supply ID to its assigned AC budget.
+	SupplyBudgets map[string]power.Watts
+	// NodeBudgets maps every tree-node ID to the budget assigned to it,
+	// useful for verifying limits and plotting per-breaker loads. Proxy
+	// nodes appear here with the budget their remote worker should
+	// distribute.
+	NodeBudgets map[string]power.Watts
+	// Infeasible is true when some budget could not even cover the
+	// aggregate Pcap_min beneath it; minimum budgets were scaled down
+	// proportionally there and no server is guaranteed its floor.
+	Infeasible bool
+}
+
+// Budget returns the allocated budget for a supply ID (0 if absent).
+func (a *Allocation) Budget(supplyID string) power.Watts { return a.SupplyBudgets[supplyID] }
+
+// allocator carries the per-run state of one allocation pass.
+type allocator struct {
+	policy  Policy
+	metrics map[*Node]Summary // reported summaries, as seen by each parent
+	result  *Allocation
+}
+
+// Allocate runs the two-phase algorithm of Section 4.3 over the tree: a
+// bottom-up metrics gathering phase followed by a top-down budgeting
+// phase. budget is the power available at the root (the feed's contractual
+// budget); the root's own limit further constrains it. A non-positive
+// budget means "no explicit budget" and uses the root constraint.
+func Allocate(root *Node, budget power.Watts, policy Policy) (*Allocation, error) {
+	if root == nil {
+		return nil, fmt.Errorf("core: nil tree")
+	}
+	if err := root.Validate(); err != nil {
+		return nil, err
+	}
+	a := &allocator{
+		policy:  policy,
+		metrics: make(map[*Node]Summary),
+		result: &Allocation{
+			SupplyBudgets: make(map[string]power.Watts),
+			NodeBudgets:   make(map[string]power.Watts),
+		},
+	}
+	rootSummary := a.gather(root)
+	if budget <= 0 {
+		budget = rootSummary.Constraint
+	}
+	budget = power.Min(budget, rootSummary.Constraint)
+	if budget+epsilon < rootSummary.TotalCapMin() {
+		a.result.Infeasible = true
+	}
+	a.budget(root, budget)
+	return a.result, nil
+}
+
+// MustAllocate is Allocate but panics on error; for static fixtures.
+func MustAllocate(root *Node, budget power.Watts, policy Policy) *Allocation {
+	alloc, err := Allocate(root, budget, policy)
+	if err != nil {
+		panic(err)
+	}
+	return alloc
+}
+
+// leafMetrics computes the level-1 (capping controller) summary of
+// Section 4.3.1 for one supply leaf:
+//
+//	Pcap_min(1,j) = r × Pcap_min(0)
+//	Pdemand(1,j)  = r × max(Pdemand(0), Pcap_min(0))
+//	Prequest(1,j) = Pdemand(1,j)
+//	Pconstraint   = r × Pcap_max(0)
+//
+// where j is the server's priority. Demand is clamped to CapMax since any
+// budget beyond CapMax is wasted. A supply with an SPO BudgetCap is pinned
+// at exactly that value — floor and ceiling — so the second pass hands the
+// stranded supply precisely what it can use and moves only the truly freed
+// power; merely capping the demand would shrink the supply's proportional
+// weight in step 3 and let the re-run take usable watts away from the
+// donor.
+func leafMetrics(l *SupplyLeaf) Summary {
+	m := NewSummary()
+	r := power.Watts(l.Share)
+	capMin := r * l.CapMin
+	demand := power.Min(power.Max(l.Demand, l.CapMin), l.CapMax) * r
+	constraint := r * l.CapMax
+	if l.BudgetCap > 0 {
+		bc := power.Max(l.BudgetCap, capMin)
+		capMin = bc
+		demand = bc
+		constraint = bc
+	}
+	m.CapMin[l.Priority] = capMin
+	m.Demand[l.Priority] = demand
+	m.Request[l.Priority] = demand
+	m.Constraint = constraint
+	return m
+}
+
+// gather runs the metrics gathering phase bottom-up and records, for every
+// node, the summary its parent sees (possibly priority-collapsed, depending
+// on the policy).
+func (a *allocator) gather(n *Node) Summary {
+	if n.Proxy != nil {
+		// Externally summarized subtree (a remote worker's report).
+		m := *n.Proxy
+		if a.policy == NoPriority {
+			m = m.Collapse()
+		}
+		a.metrics[n] = m
+		return m
+	}
+	if n.IsLeaf() {
+		m := leafMetrics(n.Leaf)
+		if a.policy == NoPriority {
+			m = m.Collapse()
+		}
+		a.metrics[n] = m
+		return m
+	}
+
+	children := make([]Summary, len(n.Children))
+	for i, c := range n.Children {
+		children[i] = a.gather(c)
+	}
+	agg := CombineSummaries(children, n.limitOrInf())
+
+	// A Dynamo-style local policy reports priority-collapsed metrics above
+	// the lowest shifting level; a No Priority policy sees a single level
+	// everywhere (leaves already collapsed).
+	if a.policy == LocalPriority && a.isLeafParent(n) {
+		agg = agg.Collapse()
+	}
+	a.metrics[n] = agg
+	return agg
+}
+
+// isLeafParent reports whether the node is a lowest-level shifting
+// controller (direct parent of capping-controller endpoints).
+func (a *allocator) isLeafParent(n *Node) bool {
+	for _, c := range n.Children {
+		if c.IsLeaf() {
+			return true
+		}
+	}
+	return false
+}
+
+// budget runs the budgeting phase (Section 4.3.2) top-down, assigning the
+// given budget to node n and distributing it among n's children.
+func (a *allocator) budget(n *Node, b power.Watts) {
+	m := a.metrics[n]
+	b = power.Min(b, m.Constraint)
+	if b < 0 {
+		b = 0
+	}
+	a.result.NodeBudgets[n.ID] = b
+	if n.Proxy != nil {
+		return // the remote worker distributes this budget locally
+	}
+	if n.IsLeaf() {
+		a.result.SupplyBudgets[n.Leaf.SupplyID] = b
+		return
+	}
+
+	children := make([]Summary, len(n.Children))
+	for i, c := range n.Children {
+		children[i] = a.metrics[c]
+	}
+	alloc, infeasible := DistributeBudget(b, children)
+	if infeasible {
+		a.result.Infeasible = true
+	}
+	for i, c := range n.Children {
+		a.budget(c, alloc[i])
+	}
+}
+
+// waterfill distributes amount across recipients proportionally to weights,
+// capping each recipient at caps[i] and re-distributing overflow among the
+// unsaturated recipients until the amount is exhausted or everyone is
+// saturated. It returns the per-recipient shares.
+func waterfill(amount power.Watts, weights []float64, caps []power.Watts) []power.Watts {
+	n := len(weights)
+	shares := make([]power.Watts, n)
+	if amount <= 0 {
+		return shares
+	}
+	saturated := make([]bool, n)
+	for iter := 0; iter < n+1 && amount > epsilon; iter++ {
+		var wsum float64
+		for i := 0; i < n; i++ {
+			if !saturated[i] && caps[i]-shares[i] > epsilon {
+				wsum += weights[i]
+			}
+		}
+		if wsum <= 0 {
+			// No weighted recipients remain; fall back to equal split
+			// among whoever still has cap headroom.
+			var open int
+			for i := 0; i < n; i++ {
+				if caps[i]-shares[i] > epsilon {
+					open++
+				}
+			}
+			if open == 0 {
+				break
+			}
+			per := amount / power.Watts(open)
+			var leftover power.Watts
+			for i := 0; i < n; i++ {
+				room := caps[i] - shares[i]
+				if room <= epsilon {
+					continue
+				}
+				give := power.Min(per, room)
+				shares[i] += give
+				leftover += per - give
+			}
+			amount = leftover
+			continue
+		}
+		var overflow power.Watts
+		for i := 0; i < n; i++ {
+			if saturated[i] || caps[i]-shares[i] <= epsilon {
+				continue
+			}
+			give := amount * power.Watts(weights[i]/wsum)
+			room := caps[i] - shares[i]
+			if give >= room {
+				shares[i] = caps[i]
+				overflow += give - room
+				saturated[i] = true
+			} else {
+				shares[i] += give
+			}
+		}
+		amount = overflow
+	}
+	return shares
+}
+
+// CheckInvariants verifies, for tests and the simulator's safety monitor,
+// that an allocation respects every node limit and covers every leaf's
+// scaled minimum when feasible. It returns the first violation found.
+func (a *Allocation) CheckInvariants(root *Node) error {
+	var err error
+	var walk func(n *Node) power.Watts
+	walk = func(n *Node) power.Watts {
+		b := a.NodeBudgets[n.ID]
+		limit := n.limitOrInf()
+		if b > limit+epsilon {
+			err = fmt.Errorf("core: node %q budget %v exceeds limit %v", n.ID, b, limit)
+		}
+		if n.IsLeaf() {
+			if !a.Infeasible {
+				minNeeded := power.Watts(n.Leaf.Share) * n.Leaf.CapMin
+				if b+epsilon < minNeeded {
+					err = fmt.Errorf("core: leaf %q budget %v below scaled minimum %v", n.ID, b, minNeeded)
+				}
+			}
+			return b
+		}
+		if n.Proxy != nil {
+			return b
+		}
+		var sum power.Watts
+		for _, c := range n.Children {
+			sum += walk(c)
+		}
+		if sum > b+epsilon {
+			err = fmt.Errorf("core: node %q children sum %v exceeds budget %v", n.ID, sum, b)
+		}
+		return b
+	}
+	walk(root)
+	return err
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"capmaestro/internal/power"
+)
+
+// randomDualFeedTrees builds two feed trees over a random population of
+// dual-corded servers with random split mismatches — the environment where
+// SPO matters. Each feed gets a random budget that forces some capping.
+func randomDualFeedTrees(rng *rand.Rand) (trees []*Node, budgets []power.Watts) {
+	n := 3 + rng.Intn(6)
+	var xLeaves, yLeaves []*Node
+	for i := 0; i < n; i++ {
+		id := string(rune('a' + i))
+		prio := Priority(rng.Intn(2))
+		demand := power.Watts(300 + rng.Float64()*190)
+		xShare := 0.35 + 0.3*rng.Float64()
+		switch rng.Intn(5) {
+		case 0: // X-only server
+			xLeaves = append(xLeaves, NewLeaf(id+"-x", SupplyLeaf{
+				SupplyID: id + "-x", ServerID: id, Priority: prio, Share: 1,
+				CapMin: 270, CapMax: 490, Demand: demand}))
+		case 1: // Y-only server
+			yLeaves = append(yLeaves, NewLeaf(id+"-y", SupplyLeaf{
+				SupplyID: id + "-y", ServerID: id, Priority: prio, Share: 1,
+				CapMin: 270, CapMax: 490, Demand: demand}))
+		default: // dual-corded with mismatch
+			xLeaves = append(xLeaves, NewLeaf(id+"-x", SupplyLeaf{
+				SupplyID: id + "-x", ServerID: id, Priority: prio, Share: xShare,
+				CapMin: 270, CapMax: 490, Demand: demand}))
+			yLeaves = append(yLeaves, NewLeaf(id+"-y", SupplyLeaf{
+				SupplyID: id + "-y", ServerID: id, Priority: prio, Share: 1 - xShare,
+				CapMin: 270, CapMax: 490, Demand: demand}))
+		}
+	}
+	if len(xLeaves) == 0 || len(yLeaves) == 0 {
+		// Ensure both feeds have at least one leaf so trees validate.
+		extra := NewLeaf("z-x", SupplyLeaf{SupplyID: "z-x", ServerID: "z", Share: 1,
+			CapMin: 270, CapMax: 490, Demand: 400})
+		if len(xLeaves) == 0 {
+			xLeaves = append(xLeaves, extra)
+		} else {
+			extra = NewLeaf("z-y", SupplyLeaf{SupplyID: "z-y", ServerID: "z", Share: 1,
+				CapMin: 270, CapMax: 490, Demand: 400})
+			yLeaves = append(yLeaves, extra)
+		}
+	}
+	x := NewShifting("x", 0, xLeaves...)
+	y := NewShifting("y", 0, yLeaves...)
+	budX := sumCapMin(xLeaves) + power.Watts(rng.Float64()*300)
+	budY := sumCapMin(yLeaves) + power.Watts(rng.Float64()*300)
+	return []*Node{x, y}, []power.Watts{budX, budY}
+}
+
+func sumCapMin(leaves []*Node) power.Watts {
+	var t power.Watts
+	for _, l := range leaves {
+		t += power.Watts(l.Leaf.Share) * l.Leaf.CapMin
+	}
+	return t
+}
+
+// TestPropertySPONeverHurts: across random dual-feed populations, the
+// stranded power optimization never reduces any server's achievable
+// consumption, nor the total. This holds because the second pass *pins*
+// each stranded supply at exactly its usable power; a naive implementation
+// that merely caps the supply's demand shrinks its proportional weight in
+// step 3 and lets the re-run take usable watts away from the donor (a bug
+// this property caught).
+func TestPropertySPONeverHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 200; i++ {
+		trees, budgets := randomDualFeedTrees(rng)
+		before, err := AllocateAll(trees, budgets, GlobalPriority)
+		if err != nil {
+			t.Fatal(err)
+		}
+		consBefore := PredictConsumption(trees, before)
+		after, report, err := AllocateWithSPO(trees, budgets, GlobalPriority)
+		if err != nil {
+			t.Fatal(err)
+		}
+		consAfter := PredictConsumption(trees, after)
+		for srv, b := range consBefore {
+			if consAfter[srv] < b-0.5 {
+				t.Fatalf("iter %d: SPO reduced %s consumption %v -> %v (stranded %v)",
+					i, srv, b, consAfter[srv], report.TotalStranded)
+			}
+		}
+		// Total consumption must not decrease (beyond float noise).
+		var totB, totA power.Watts
+		for srv := range consBefore {
+			totB += consBefore[srv]
+			totA += consAfter[srv]
+		}
+		if totA < totB-0.5 {
+			t.Fatalf("iter %d: SPO reduced total consumption %v -> %v", i, totB, totA)
+		}
+	}
+}
+
+// TestPropertySPOReportConsistent: every reported stranded watt is
+// positive, attributed to a real supply, and bounded by the first-pass
+// budget.
+func TestPropertySPOReportConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for i := 0; i < 200; i++ {
+		trees, budgets := randomDualFeedTrees(rng)
+		first, err := AllocateAll(trees, budgets, GlobalPriority)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, report, err := AllocateWithSPO(trees, budgets, GlobalPriority)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum power.Watts
+		for _, s := range report.Stranded {
+			if s.Stranded <= 0 {
+				t.Fatalf("iter %d: non-positive stranded entry %+v", i, s)
+			}
+			if s.Usable < 0 || s.Usable > s.Budget+0.001 {
+				t.Fatalf("iter %d: usable out of range %+v", i, s)
+			}
+			budget := first[0].Budget(s.SupplyID)
+			if b, ok := first[1].SupplyBudgets[s.SupplyID]; ok {
+				budget = b
+			}
+			if math.Abs(float64(s.Budget-budget)) > 0.001 {
+				t.Fatalf("iter %d: reported budget %v != allocated %v", i, s.Budget, budget)
+			}
+			sum += s.Stranded
+		}
+		if math.Abs(float64(sum-report.TotalStranded)) > 0.01 {
+			t.Fatalf("iter %d: stranded sum %v != total %v", i, sum, report.TotalStranded)
+		}
+	}
+}
+
+// TestPropertyAllocationDeterministic: identical trees and budgets produce
+// identical allocations — required for the distributed control plane,
+// where racks re-derive budgets every period.
+func TestPropertyAllocationDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for i := 0; i < 100; i++ {
+		trees, budgets := randomDualFeedTrees(rng)
+		for _, policy := range []Policy{NoPriority, LocalPriority, GlobalPriority} {
+			a1, err := AllocateAll(trees, budgets, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, err := AllocateAll(trees, budgets, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ti := range a1 {
+				for id, b := range a1[ti].SupplyBudgets {
+					if a2[ti].SupplyBudgets[id] != b {
+						t.Fatalf("iter %d policy %v: nondeterministic budget for %s: %v vs %v",
+							i, policy, id, b, a2[ti].SupplyBudgets[id])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyBudgetConservation: the sum of leaf budgets never exceeds
+// the root budget, and with ample budget every leaf reaches at least its
+// effective demand.
+func TestPropertyBudgetConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for i := 0; i < 200; i++ {
+		tree := randomTree(rng, false)
+		leaves := tree.Leaves()
+		budget := power.Watts(float64(len(leaves)) * (270 + rng.Float64()*250))
+		a, err := Allocate(tree, budget, GlobalPriority)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum power.Watts
+		for _, l := range leaves {
+			sum += a.Budget(l.Leaf.SupplyID)
+		}
+		if sum > budget+0.001 {
+			t.Fatalf("iter %d: leaf budgets %v exceed root budget %v", i, sum, budget)
+		}
+	}
+}

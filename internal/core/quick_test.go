@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"capmaestro/internal/power"
+)
+
+// normalize turns arbitrary generated floats into safe watt magnitudes.
+func normWatt(v float64, max float64) power.Watts {
+	return power.Watts(math.Abs(math.Mod(v, max)))
+}
+
+// TestQuickWaterfillConservation: waterfill never assigns more than the
+// amount offered, never exceeds any cap, and leaves nothing behind while
+// any cap headroom remains.
+func TestQuickWaterfillConservation(t *testing.T) {
+	f := func(amountRaw float64, weightsRaw [4]float64, capsRaw [4]float64) bool {
+		amount := normWatt(amountRaw, 2000)
+		weights := make([]float64, 4)
+		caps := make([]power.Watts, 4)
+		var capTotal power.Watts
+		for i := 0; i < 4; i++ {
+			weights[i] = math.Abs(math.Mod(weightsRaw[i], 100))
+			caps[i] = normWatt(capsRaw[i], 800)
+			capTotal += caps[i]
+		}
+		shares := waterfill(amount, weights, caps)
+		var total power.Watts
+		for i, s := range shares {
+			if s < -epsilon || s > caps[i]+epsilon {
+				return false
+			}
+			total += s
+		}
+		if total > amount+0.001 {
+			return false
+		}
+		// Fully distributed unless saturated everywhere.
+		want := power.Min(amount, capTotal)
+		return math.Abs(float64(total-want)) < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCollapsePreservesTotals: collapsing priority levels preserves
+// aggregate CapMin and Demand, and the collapsed Request never exceeds
+// the constraint or the original total.
+func TestQuickCollapsePreservesTotals(t *testing.T) {
+	f := func(capMins [3]float64, demands [3]float64, constraintRaw float64) bool {
+		s := NewSummary()
+		for i := 0; i < 3; i++ {
+			p := Priority(i)
+			s.CapMin[p] = normWatt(capMins[i], 1000)
+			s.Demand[p] = s.CapMin[p] + normWatt(demands[i], 500)
+			s.Request[p] = s.Demand[p]
+		}
+		s.Constraint = normWatt(constraintRaw, 5000)
+		c := s.Collapse()
+		if !power.ApproxEqual(c.TotalCapMin(), s.TotalCapMin(), 1e-6) {
+			return false
+		}
+		if !power.ApproxEqual(c.TotalDemand(), s.TotalDemand(), 1e-6) {
+			return false
+		}
+		if c.Request[0] > s.Constraint+epsilon {
+			return false
+		}
+		if c.Request[0] > s.TotalRequest()+epsilon {
+			return false
+		}
+		return c.Constraint == s.Constraint && len(c.Levels()) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCombineRespectsLimit: a combined summary's constraint and
+// per-level requests never exceed the node limit, and total capmin is the
+// sum of children's.
+func TestQuickCombineRespectsLimit(t *testing.T) {
+	f := func(d1, d2, d3 float64, limitRaw float64) bool {
+		mk := func(p Priority, demandRaw float64) Summary {
+			s := NewSummary()
+			s.CapMin[p] = 270
+			s.Demand[p] = 270 + normWatt(demandRaw, 250)
+			s.Request[p] = s.Demand[p]
+			s.Constraint = 490
+			return s
+		}
+		children := []Summary{mk(0, d1), mk(1, d2), mk(2, d3)}
+		limit := 400 + normWatt(limitRaw, 1400)
+		agg := CombineSummaries(children, limit)
+		if agg.Constraint > limit+epsilon {
+			return false
+		}
+		if !power.ApproxEqual(agg.TotalCapMin(), 810, 1e-6) {
+			return false
+		}
+		var reqTotal power.Watts
+		for _, p := range agg.Levels() {
+			if agg.Request[p] < agg.CapMin[p]-epsilon {
+				return false // requests never below the owed minimum
+			}
+			reqTotal += agg.Request[p]
+		}
+		// When the limit can cover the minimums, total requests fit within
+		// the constraint.
+		if agg.Constraint >= 810 && reqTotal > agg.Constraint+epsilon {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDistributeBudgetSafety: DistributeBudget never hands out more
+// than the budget (when feasible), never exceeds a child's constraint,
+// and covers every child's minimum when the budget allows.
+func TestQuickDistributeBudgetSafety(t *testing.T) {
+	f := func(demands [3]float64, budgetRaw float64) bool {
+		children := make([]Summary, 3)
+		var minTotal power.Watts
+		for i := range children {
+			s := NewSummary()
+			p := Priority(i % 2)
+			s.CapMin[p] = 270
+			s.Demand[p] = 270 + normWatt(demands[i], 220)
+			s.Request[p] = s.Demand[p]
+			s.Constraint = 490
+			children[i] = s
+			minTotal += 270
+		}
+		budget := normWatt(budgetRaw, 2000)
+		allocs, infeasible := DistributeBudget(budget, children)
+		var total power.Watts
+		for i, a := range allocs {
+			if a < -epsilon || a > children[i].Constraint+epsilon {
+				return false
+			}
+			if !infeasible && a < 270-epsilon {
+				return false
+			}
+			total += a
+		}
+		if total > budget+0.001 {
+			return false
+		}
+		if infeasible != (budget+epsilon < minTotal) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"capmaestro/internal/power"
+)
+
+// serverView aggregates, across all control trees (feeds), the leaves that
+// belong to one server.
+type serverView struct {
+	leaves []*SupplyLeaf
+}
+
+// effectiveDemand is the server's demand clamped to the controllable
+// envelope: budgets below Pcap_min are unenforceable and budgets above
+// Pcap_max are wasted.
+func (v *serverView) effectiveDemand() power.Watts {
+	l := v.leaves[0]
+	return power.Min(power.Max(l.Demand, l.CapMin), l.CapMax)
+}
+
+// consumption predicts the server's achievable AC power under the given
+// per-supply budgets: the server load is split intrinsically by each
+// supply's share r, so the whole server can draw only
+//
+//	min(effective demand, min over supplies of budget_s / r_s)
+//
+// — the most constrained supply governs (this is exactly what the capping
+// controller of Section 4.2 enforces).
+func (v *serverView) consumption(budgetOf func(supplyID string) power.Watts) power.Watts {
+	limit := power.Watts(math.Inf(1))
+	for _, l := range v.leaves {
+		if l.Share <= 0 {
+			continue
+		}
+		implied := budgetOf(l.SupplyID) / power.Watts(l.Share)
+		if implied < limit {
+			limit = implied
+		}
+	}
+	return power.Min(v.effectiveDemand(), limit)
+}
+
+// collectServers indexes the supply leaves of the given trees by server ID.
+func collectServers(trees []*Node) map[string]*serverView {
+	servers := make(map[string]*serverView)
+	for _, t := range trees {
+		for _, leafNode := range t.Leaves() {
+			l := leafNode.Leaf
+			v := servers[l.ServerID]
+			if v == nil {
+				v = &serverView{}
+				servers[l.ServerID] = v
+			}
+			v.leaves = append(v.leaves, l)
+		}
+	}
+	return servers
+}
+
+// PredictConsumption returns each server's achievable AC power under the
+// given per-tree allocations (trees[i] budgeted by allocs[i]).
+func PredictConsumption(trees []*Node, allocs []*Allocation) map[string]power.Watts {
+	budgetOf := combinedBudgets(allocs)
+	out := make(map[string]power.Watts)
+	for id, v := range collectServers(trees) {
+		out[id] = v.consumption(budgetOf)
+	}
+	return out
+}
+
+func combinedBudgets(allocs []*Allocation) func(string) power.Watts {
+	return func(supplyID string) power.Watts {
+		for _, a := range allocs {
+			if b, ok := a.SupplyBudgets[supplyID]; ok {
+				return b
+			}
+		}
+		return 0
+	}
+}
+
+// StrandedSupply records stranded power detected on one supply.
+type StrandedSupply struct {
+	SupplyID string
+	ServerID string
+	Budget   power.Watts // budget assigned by the first pass
+	Usable   power.Watts // what the supply can actually draw
+	Stranded power.Watts // Budget − Usable
+}
+
+// SPOReport summarizes one stranded power optimization run.
+type SPOReport struct {
+	// Stranded lists the supplies whose first-pass budgets exceeded what
+	// the server's intrinsic load split lets them draw, sorted by supply.
+	Stranded []StrandedSupply
+	// TotalStranded is the power freed for re-budgeting, summed over
+	// supplies.
+	TotalStranded power.Watts
+}
+
+// AllocateAll runs the budgeting algorithm independently over each control
+// tree (the paper runs one tree per feed and phase). budgets[i] is the
+// root budget for trees[i]; a nil budgets slice uses each root's
+// constraint.
+func AllocateAll(trees []*Node, budgets []power.Watts, policy Policy) ([]*Allocation, error) {
+	if budgets != nil && len(budgets) != len(trees) {
+		return nil, fmt.Errorf("core: %d budgets for %d trees", len(budgets), len(trees))
+	}
+	allocs := make([]*Allocation, len(trees))
+	for i, t := range trees {
+		var b power.Watts
+		if budgets != nil {
+			b = budgets[i]
+		}
+		a, err := Allocate(t, b, policy)
+		if err != nil {
+			return nil, fmt.Errorf("core: tree %d: %w", i, err)
+		}
+		allocs[i] = a
+	}
+	return allocs, nil
+}
+
+// AllocateWithSPO performs the stranded power optimization of Section 4.4:
+// it runs the capping algorithm once, identifies supplies whose budgets
+// cannot be consumed because the server's intrinsic load split binds on a
+// different feed, shrinks those budgets to the usable amount, and runs the
+// algorithm a second time so the freed power reaches servers that were
+// capped by the first pass. The trees are left unmodified.
+func AllocateWithSPO(trees []*Node, budgets []power.Watts, policy Policy) ([]*Allocation, *SPOReport, error) {
+	first, err := AllocateAll(trees, budgets, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &SPOReport{}
+	budgetOf := combinedBudgets(first)
+	servers := collectServers(trees)
+
+	// Record and apply BudgetCaps on stranded supplies.
+	type savedCap struct {
+		leaf *SupplyLeaf
+		old  power.Watts
+	}
+	var saved []savedCap
+	restore := func() {
+		for _, s := range saved {
+			s.leaf.BudgetCap = s.old
+		}
+	}
+	ids := make([]string, 0, len(servers))
+	for id := range servers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		v := servers[id]
+		consumption := v.consumption(budgetOf)
+		for _, l := range v.leaves {
+			budget := budgetOf(l.SupplyID)
+			usable := power.Watts(l.Share) * consumption
+			stranded := budget - usable
+			if stranded <= epsilon {
+				continue
+			}
+			report.Stranded = append(report.Stranded, StrandedSupply{
+				SupplyID: l.SupplyID,
+				ServerID: l.ServerID,
+				Budget:   budget,
+				Usable:   usable,
+				Stranded: stranded,
+			})
+			report.TotalStranded += stranded
+			saved = append(saved, savedCap{leaf: l, old: l.BudgetCap})
+			l.BudgetCap = usable
+		}
+	}
+	sort.Slice(report.Stranded, func(i, j int) bool {
+		return report.Stranded[i].SupplyID < report.Stranded[j].SupplyID
+	})
+
+	if len(report.Stranded) == 0 {
+		return first, report, nil
+	}
+	defer restore()
+	second, err := AllocateAll(trees, budgets, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	return second, report, nil
+}

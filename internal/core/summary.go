@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"capmaestro/internal/power"
+)
+
+// Summary is the priority-grouped metrics summary a node reports upstream
+// in the metrics gathering phase (Section 4.3.1). Summaries are the only
+// state exchanged between distributed workers: a sub-tree of thousands of
+// servers compresses to a few numbers per priority level, which is what
+// makes the root's global view scalable.
+type Summary struct {
+	// CapMin maps priority level to the minimum total budget that must be
+	// allocated to servers at that level under the node.
+	CapMin map[Priority]power.Watts `json:"cap_min"`
+	// Demand maps priority level to the total power demand at that level.
+	Demand map[Priority]power.Watts `json:"demand"`
+	// Request maps priority level to the budget actually requested, after
+	// accounting for limits and higher-priority requests.
+	Request map[Priority]power.Watts `json:"request"`
+	// Constraint is the maximum budget the node can safely absorb.
+	Constraint power.Watts `json:"constraint"`
+}
+
+// NewSummary returns an empty summary with allocated maps.
+func NewSummary() Summary {
+	return Summary{
+		CapMin:  make(map[Priority]power.Watts),
+		Demand:  make(map[Priority]power.Watts),
+		Request: make(map[Priority]power.Watts),
+	}
+}
+
+// TotalCapMin sums the minimum budgets across priority levels.
+func (s Summary) TotalCapMin() power.Watts {
+	var t power.Watts
+	for _, v := range s.CapMin {
+		t += v
+	}
+	return t
+}
+
+// TotalRequest sums requests across priority levels.
+func (s Summary) TotalRequest() power.Watts {
+	var t power.Watts
+	for _, v := range s.Request {
+		t += v
+	}
+	return t
+}
+
+// TotalDemand sums demands across priority levels.
+func (s Summary) TotalDemand() power.Watts {
+	var t power.Watts
+	for _, v := range s.Demand {
+		t += v
+	}
+	return t
+}
+
+// Levels returns the priorities present in the summary, descending.
+func (s Summary) Levels() []Priority {
+	set := make(map[Priority]struct{})
+	for p := range s.CapMin {
+		set[p] = struct{}{}
+	}
+	for p := range s.Demand {
+		set[p] = struct{}{}
+	}
+	for p := range s.Request {
+		set[p] = struct{}{}
+	}
+	out := make([]Priority, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// Collapse folds all priority levels into a single level 0, used when a
+// policy hides priorities from (part of) the hierarchy. The collapsed
+// request is re-limited by the constraint, since per-level requests were
+// computed against priority-ordered headroom.
+func (s Summary) Collapse() Summary {
+	c := NewSummary()
+	c.Constraint = s.Constraint
+	c.CapMin[0] = s.TotalCapMin()
+	c.Demand[0] = s.TotalDemand()
+	c.Request[0] = power.Min(s.TotalRequest(), s.Constraint)
+	return c
+}
+
+// Clone deep-copies the summary.
+func (s Summary) Clone() Summary {
+	c := NewSummary()
+	c.Constraint = s.Constraint
+	for p, v := range s.CapMin {
+		c.CapMin[p] = v
+	}
+	for p, v := range s.Demand {
+		c.Demand[p] = v
+	}
+	for p, v := range s.Request {
+		c.Request[p] = v
+	}
+	return c
+}
+
+// Validate checks internal consistency of a summary received from a remote
+// worker: non-negative values and requests within the constraint envelope.
+func (s Summary) Validate() error {
+	if s.Constraint < 0 {
+		return fmt.Errorf("core: summary constraint %v negative", s.Constraint)
+	}
+	for p, v := range s.CapMin {
+		if v < 0 {
+			return fmt.Errorf("core: summary capmin[%d] negative", p)
+		}
+	}
+	for p, v := range s.Demand {
+		if v < 0 {
+			return fmt.Errorf("core: summary demand[%d] negative", p)
+		}
+	}
+	for p, v := range s.Request {
+		if v < 0 {
+			return fmt.Errorf("core: summary request[%d] negative", p)
+		}
+	}
+	return nil
+}
+
+// CombineSummaries implements a shifting controller's aggregation
+// (Section 4.3.1): child summaries are summed per priority, the node's
+// constraint becomes min(limit, Σ child constraints), and requests are
+// recomputed in descending priority order against the node's headroom:
+//
+//	Prequest(i,j) = min(Pconstraint − Σ_{h>j} Prequest(i,h)
+//	                    − Σ_{l<j} Pcap_min(i,l),  Σ_k Prequest(i−1,j))
+//
+// with each level's request floored at its Pcap_min.
+func CombineSummaries(children []Summary, limit power.Watts) Summary {
+	agg := NewSummary()
+	var childConstraints power.Watts
+	for _, cm := range children {
+		for p, v := range cm.CapMin {
+			agg.CapMin[p] += v
+		}
+		for p, v := range cm.Demand {
+			agg.Demand[p] += v
+		}
+		for p, v := range cm.Request {
+			agg.Request[p] += v
+		}
+		childConstraints += cm.Constraint
+	}
+	if limit <= 0 {
+		agg.Constraint = childConstraints
+	} else {
+		agg.Constraint = power.Min(limit, childConstraints)
+	}
+
+	levels := agg.Levels()
+	var capMinBelow power.Watts
+	for _, p := range levels {
+		capMinBelow += agg.CapMin[p]
+	}
+	var requestAbove power.Watts
+	for _, j := range levels {
+		capMinBelow -= agg.CapMin[j]
+		allowable := agg.Constraint - requestAbove - capMinBelow
+		req := power.Min(allowable, agg.Request[j])
+		req = power.Max(req, agg.CapMin[j])
+		agg.Request[j] = req
+		requestAbove += req
+	}
+	return agg
+}
+
+// DistributeBudget implements a shifting controller's budgeting phase
+// (Section 4.3.2) among children described by their summaries:
+//
+//  1. allocate each child its Pcap_min;
+//  2. fulfill requests level by level, highest priority first;
+//  3. split the first level that cannot be fully met proportionally to
+//     Pdemand − Pcap_min, capped at each child's allowable request;
+//  4. assign any remaining power up to each child's Pconstraint.
+//
+// It returns the per-child allocations and whether the budget failed to
+// cover the children's minimums (in which case minimums are scaled
+// proportionally).
+func DistributeBudget(b power.Watts, children []Summary) (allocs []power.Watts, infeasible bool) {
+	alloc := make([]power.Watts, len(children))
+	var capMinTotal power.Watts
+	for i, cm := range children {
+		alloc[i] = cm.TotalCapMin()
+		capMinTotal += alloc[i]
+	}
+	if b < 0 {
+		b = 0
+	}
+
+	if b+epsilon < capMinTotal {
+		scale := float64(0)
+		if capMinTotal > 0 {
+			scale = float64(b / capMinTotal)
+		}
+		for i := range alloc {
+			alloc[i] *= power.Watts(scale)
+		}
+		return alloc, true
+	}
+
+	remaining := b - capMinTotal
+
+	levelSet := make(map[Priority]struct{})
+	for _, cm := range children {
+		for _, p := range cm.Levels() {
+			levelSet[p] = struct{}{}
+		}
+	}
+	levels := make([]Priority, 0, len(levelSet))
+	for p := range levelSet {
+		levels = append(levels, p)
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
+
+	exhausted := false
+	for _, j := range levels {
+		wants := make([]power.Watts, len(children))
+		var need power.Watts
+		for i, cm := range children {
+			w := cm.Request[j] - cm.CapMin[j]
+			if w < 0 {
+				w = 0
+			}
+			wants[i] = w
+			need += w
+		}
+		if need <= remaining+epsilon {
+			for i := range alloc {
+				alloc[i] += wants[i]
+			}
+			remaining -= need
+			if remaining < 0 {
+				remaining = 0
+			}
+			continue
+		}
+		weights := make([]float64, len(children))
+		for i, cm := range children {
+			w := float64(cm.Demand[j] - cm.CapMin[j])
+			if w < 0 {
+				w = 0
+			}
+			weights[i] = w
+		}
+		shares := waterfill(remaining, weights, wants)
+		for i := range alloc {
+			alloc[i] += shares[i]
+		}
+		remaining = 0
+		exhausted = true
+		break
+	}
+
+	if !exhausted && remaining > epsilon {
+		headroom := make([]power.Watts, len(children))
+		weights := make([]float64, len(children))
+		for i, cm := range children {
+			h := cm.Constraint - alloc[i]
+			if h < 0 {
+				h = 0
+			}
+			headroom[i] = h
+			weights[i] = float64(h)
+		}
+		shares := waterfill(remaining, weights, headroom)
+		for i := range alloc {
+			alloc[i] += shares[i]
+		}
+	}
+	return alloc, false
+}
+
+// LeafSummary computes the level-1 (capping controller) summary of a
+// supply leaf; exported for distributed workers that summarize their local
+// servers before reporting upstream.
+func LeafSummary(l *SupplyLeaf) Summary { return leafMetrics(l) }
+
+// Summarize runs the metrics gathering phase over a subtree and returns
+// the summary its root would report upstream under the given policy.
+func Summarize(root *Node, policy Policy) (Summary, error) {
+	if root == nil {
+		return Summary{}, fmt.Errorf("core: nil tree")
+	}
+	if err := root.Validate(); err != nil {
+		return Summary{}, err
+	}
+	a := &allocator{policy: policy, metrics: make(map[*Node]Summary)}
+	return a.gather(root), nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"capmaestro/internal/power"
+	"capmaestro/internal/topology"
+)
+
+func leaf(id, serverID string, prio Priority, share float64, demand power.Watts) *Node {
+	return NewLeaf(id, SupplyLeaf{
+		SupplyID: id,
+		ServerID: serverID,
+		Priority: prio,
+		Share:    share,
+		CapMin:   270,
+		CapMax:   490,
+		Demand:   demand,
+	})
+}
+
+func TestValidateOK(t *testing.T) {
+	root := NewShifting("root", 1400,
+		NewShifting("left", 750, leaf("a", "SA", 1, 1, 430)),
+		NewShifting("right", 750, leaf("b", "SB", 0, 1, 430)),
+	)
+	if err := root.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		node *Node
+		want string
+	}{
+		{"empty id", NewShifting("", 100, leaf("a", "s", 0, 1, 400)), "empty ID"},
+		{"duplicate", NewShifting("x", 100, leaf("x", "s", 0, 1, 400)), "duplicate"},
+		{"leaf with children", func() *Node {
+			n := leaf("a", "s", 0, 1, 400)
+			n.Children = []*Node{leaf("b", "s2", 0, 1, 400)}
+			return NewShifting("r", 100, n)
+		}(), "has children"},
+		{"empty supply", NewShifting("r", 100, NewLeaf("a", SupplyLeaf{ServerID: "s", Share: 1, CapMin: 270, CapMax: 490})), "empty supply"},
+		{"empty server", NewShifting("r", 100, NewLeaf("a", SupplyLeaf{SupplyID: "a", Share: 1, CapMin: 270, CapMax: 490})), "empty server"},
+		{"bad share", NewShifting("r", 100, NewLeaf("a", SupplyLeaf{SupplyID: "a", ServerID: "s", Share: 2, CapMin: 270, CapMax: 490})), "share"},
+		{"bad envelope", NewShifting("r", 100, NewLeaf("a", SupplyLeaf{SupplyID: "a", ServerID: "s", Share: 1, CapMin: 500, CapMax: 490})), "envelope"},
+		{"negative demand", NewShifting("r", 100, NewLeaf("a", SupplyLeaf{SupplyID: "a", ServerID: "s", Share: 1, CapMin: 270, CapMax: 490, Demand: -1})), "negative demand"},
+		{"childless shifting", NewShifting("r", 100), "no children"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.node.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestWalkAndLeaves(t *testing.T) {
+	root := NewShifting("root", 0,
+		NewShifting("left", 750, leaf("a", "SA", 1, 1, 430), leaf("b", "SB", 0, 1, 430)),
+		leaf("c", "SC", 0, 1, 430),
+	)
+	var order []string
+	root.Walk(func(n *Node) { order = append(order, n.ID) })
+	want := []string{"root", "left", "a", "b", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("walk order %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", order, want)
+		}
+	}
+	leaves := root.Leaves()
+	if len(leaves) != 3 || !leaves[0].IsLeaf() {
+		t.Errorf("leaves = %d", len(leaves))
+	}
+}
+
+func TestPrioritiesInDescending(t *testing.T) {
+	root := NewShifting("root", 0,
+		leaf("a", "SA", 2, 1, 430),
+		leaf("b", "SB", 0, 1, 430),
+		leaf("c", "SC", 7, 1, 430),
+		leaf("d", "SD", 2, 1, 430),
+	)
+	got := prioritiesIn(root)
+	if len(got) != 3 || got[0] != 7 || got[1] != 2 || got[2] != 0 {
+		t.Errorf("priorities = %v, want [7 2 0]", got)
+	}
+}
+
+func TestBuildTreeFromTopology(t *testing.T) {
+	feed := topology.NewNode("X-root", topology.KindUtility, 0)
+	feed.Feed = "X"
+	cdu := feed.AddChild(topology.NewNode("X-cdu", topology.KindCDU, 6900))
+	cdu.AddChild(topology.NewSupply("s1-psX", "s1", 0.5))
+	cdu.AddChild(topology.NewSupply("s2-psX", "s2", 0.65))
+	topo := topology.MustNew(feed)
+
+	src := func(supplyID, serverID string) (LeafInfo, bool) {
+		if serverID == "s2" {
+			// Override the share at runtime (e.g. the redundant cord
+			// failed, so this supply now carries the full load).
+			return LeafInfo{Priority: 1, CapMin: 270, CapMax: 490, Demand: 400, Share: 1.0}, true
+		}
+		return LeafInfo{Priority: 0, CapMin: 270, CapMax: 490, Demand: 350}, true
+	}
+	tree, err := BuildTree(topo.Root("X"), topology.DefaultDerating(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 2 {
+		t.Fatalf("leaves = %d, want 2", len(leaves))
+	}
+	// The CDU node must carry the derated limit (80% of 6900).
+	var cduNode *Node
+	tree.Walk(func(n *Node) {
+		if n.ID == "X-cdu" {
+			cduNode = n
+		}
+	})
+	if cduNode == nil || cduNode.Limit != 5520 {
+		t.Fatalf("CDU control node limit = %+v, want 5520", cduNode)
+	}
+	for _, l := range leaves {
+		switch l.Leaf.ServerID {
+		case "s1":
+			if l.Leaf.Share != 0.5 {
+				t.Errorf("s1 share = %v, want topology split 0.5", l.Leaf.Share)
+			}
+		case "s2":
+			if l.Leaf.Share != 1.0 {
+				t.Errorf("s2 share = %v, want overridden 1.0", l.Leaf.Share)
+			}
+			if l.Leaf.Priority != 1 {
+				t.Errorf("s2 priority = %v, want 1", l.Leaf.Priority)
+			}
+		}
+	}
+}
+
+func TestBuildTreePrunesMissingSupplies(t *testing.T) {
+	feed := topology.NewNode("X-root", topology.KindUtility, 0)
+	feed.Feed = "X"
+	cdu1 := feed.AddChild(topology.NewNode("cdu1", topology.KindCDU, 6900))
+	cdu1.AddChild(topology.NewSupply("s1-psX", "s1", 1))
+	cdu2 := feed.AddChild(topology.NewNode("cdu2", topology.KindCDU, 6900))
+	cdu2.AddChild(topology.NewSupply("s2-psX", "s2", 1))
+	topo := topology.MustNew(feed)
+
+	src := func(supplyID, serverID string) (LeafInfo, bool) {
+		if serverID == "s2" {
+			return LeafInfo{}, false // failed supply: omit
+		}
+		return LeafInfo{CapMin: 270, CapMax: 490, Demand: 350}, true
+	}
+	tree, err := BuildTree(topo.Root("X"), topology.DefaultDerating(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Leaves()) != 1 {
+		t.Errorf("leaves = %d, want 1 (s2 pruned)", len(tree.Leaves()))
+	}
+	// cdu2 subtree should be pruned entirely.
+	tree.Walk(func(n *Node) {
+		if n.ID == "cdu2" {
+			t.Error("empty cdu2 should be pruned")
+		}
+	})
+}
+
+func TestBuildTreeAllPruned(t *testing.T) {
+	feed := topology.NewNode("X-root", topology.KindUtility, 0)
+	feed.Feed = "X"
+	feed.AddChild(topology.NewSupply("s1-psX", "s1", 1))
+	topo := topology.MustNew(feed)
+	src := func(string, string) (LeafInfo, bool) { return LeafInfo{}, false }
+	if _, err := BuildTree(topo.Root("X"), topology.DefaultDerating(), src); err == nil {
+		t.Error("expected error when no supplies remain")
+	}
+	if _, err := BuildTree(nil, topology.DefaultDerating(), src); err == nil {
+		t.Error("expected error for nil root")
+	}
+}

@@ -1,0 +1,85 @@
+package dc
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+)
+
+// BindingReport counts, for one simulation run, how many nodes at each
+// level of the distribution hierarchy are budget-saturated (allocated
+// right up to their limit). It explains *which* constraint caps a
+// configuration: the contractual budget, the transformers, the RPPs, or
+// the CDUs — the kind of analysis the paper uses to reason about where
+// Global Priority's advantage comes from.
+type BindingReport struct {
+	// Binding maps level name ("contractual", "transformer", "rpp",
+	// "cdu") to the number of saturated nodes at that level.
+	Binding map[string]int
+	// Total maps level name to the number of nodes at that level.
+	Total map[string]int
+}
+
+// Levels lists the level names present, in hierarchy order.
+func (r *BindingReport) Levels() []string {
+	order := map[string]int{"contractual": 0, "feed": 1, "transformer": 2, "rpp": 3, "cdu": 4}
+	var out []string
+	for l := range r.Total {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return order[out[i]] < order[out[j]] })
+	return out
+}
+
+// levelOf classifies a tree-node ID produced by Build.
+func levelOf(id string) string {
+	switch {
+	case strings.Contains(id, ":contract"):
+		return "contractual"
+	case strings.Contains(id, ":feed"):
+		return "feed"
+	case strings.Contains(id, ":tx"):
+		return "transformer"
+	case strings.Contains(id, ":rpp"):
+		return "rpp"
+	case strings.Contains(id, ":cdu"):
+		return "cdu"
+	default:
+		return ""
+	}
+}
+
+// AnalyzeBinding runs one simulation at the given average utilization and
+// reports which levels of the hierarchy are saturated under the policy.
+func (dc *DataCenter) AnalyzeBinding(rng *rand.Rand, policy core.Policy, avgUtil float64) *BindingReport {
+	report := &BindingReport{
+		Binding: make(map[string]int),
+		Total:   make(map[string]int),
+	}
+	// Re-run the allocation, keeping per-node budgets for comparison.
+	dc.Run(rng, policy, avgUtil)
+	for _, root := range dc.phases {
+		alloc, err := core.Allocate(root, 0, policy)
+		if err != nil {
+			panic(err) // trees validated at build
+		}
+		root.Walk(func(n *core.Node) {
+			level := levelOf(n.ID)
+			if level == "" || n.IsLeaf() {
+				return
+			}
+			limit := n.Limit
+			if limit <= 0 {
+				return
+			}
+			report.Total[level]++
+			if alloc.NodeBudgets[n.ID] >= limit-power.Watts(0.01) {
+				report.Binding[level]++
+			}
+		})
+	}
+	return report
+}

@@ -1,0 +1,87 @@
+package dc
+
+import (
+	"math/rand"
+	"testing"
+
+	"capmaestro/internal/core"
+)
+
+func TestAnalyzeBindingAtCapacity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServersPerRack = 36 // Global Priority's worst-case capacity
+	d, err := Build(cfg, WorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	r := d.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+
+	// At 36/rack in the worst case, the contractual budget is the
+	// bottleneck: all three phase roots saturate, and nothing below them
+	// fills to its own limit (each CDU gets ~4.1 kW of the 5.5 kW it
+	// could take).
+	if r.Binding["contractual"] != 3 {
+		t.Errorf("contractual binding = %d, want all 3 phases: %+v", r.Binding["contractual"], r.Binding)
+	}
+	if r.Binding["cdu"] != 0 {
+		t.Errorf("CDUs should not bind while the contract is the bottleneck: %+v", r.Binding)
+	}
+	if r.Total["cdu"] != 3*162 {
+		t.Errorf("CDU total = %d, want 486 (162 per phase)", r.Total["cdu"])
+	}
+	levels := r.Levels()
+	if len(levels) == 0 || levels[0] != "contractual" {
+		t.Errorf("levels = %v, want hierarchy order starting at contractual", levels)
+	}
+
+	// Relaxing each bottleneck moves the binding down the hierarchy:
+	// contract → transformers (2 × 3 phases) → RPPs (18 × 3) → CDUs.
+	cfg.ContractualPerPhase = 2e6
+	d2, err := Build(cfg, WorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := d2.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	if r2.Binding["transformer"] != 6 || r2.Binding["contractual"] != 0 {
+		t.Errorf("after raising the contract, transformers should bind: %+v", r2.Binding)
+	}
+
+	cfg.TransformerRating = 1e6
+	d3, err := Build(cfg, WorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := d3.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	if r3.Binding["rpp"] != 18*3 || r3.Binding["transformer"] != 0 {
+		t.Errorf("after raising transformers, RPPs should bind: %+v", r3.Binding)
+	}
+
+	cfg.RPPRating = 2e5
+	d4, err := Build(cfg, WorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4 := d4.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	if r4.Binding["cdu"] != 162*3 || r4.Binding["rpp"] != 0 {
+		t.Errorf("after raising RPPs, every CDU should bind: %+v", r4.Binding)
+	}
+}
+
+func TestAnalyzeBindingLightlyLoaded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServersPerRack = 6
+	d, err := Build(cfg, WorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	r := d.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	// 6/rack even at full demand fits every level with room to spare:
+	// nothing binds.
+	for level, n := range r.Binding {
+		if n != 0 {
+			t.Errorf("unexpected binding at %s: %d nodes", level, n)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package dc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/workload"
+)
+
+// CapRatioThreshold is the paper's acceptance criterion: below a 1% average
+// cap ratio the performance impact is considered negligible.
+const CapRatioThreshold = 0.01
+
+// StudyOptions tunes the Monte Carlo study. The paper runs 20 000 typical
+// and 1 000 worst-case simulations per server count; because worst-case
+// demand is deterministic (only the random priority placement varies),
+// results converge with far fewer runs, so the defaults are sized for
+// interactive use and can be raised to paper scale with the fields below.
+type StudyOptions struct {
+	TypicalRuns   int // per server count; default 200
+	WorstCaseRuns int // per server count; default 60
+	Seed          int64
+	Distribution  *workload.UtilizationDistribution // default Figure 8
+	MinPerRack    int                               // default 6
+	MaxPerRack    int                               // default 45
+	StepPerRack   int                               // default 3
+	Threshold     float64                           // default CapRatioThreshold
+	// MonteCarloTypical forces pure Monte Carlo sampling of the average
+	// utilization for the typical scenario, as the paper's 20 000-run
+	// methodology does. By default the study stratifies over the
+	// distribution's buckets (running TypicalRuns split evenly across
+	// buckets and weighting by bucket probability), which estimates the
+	// same expectation with far lower variance.
+	MonteCarloTypical bool
+}
+
+func (o StudyOptions) withDefaults() StudyOptions {
+	if o.TypicalRuns == 0 {
+		o.TypicalRuns = 200
+	}
+	if o.WorstCaseRuns == 0 {
+		o.WorstCaseRuns = 60
+	}
+	if o.Distribution == nil {
+		o.Distribution = workload.Figure8Distribution()
+	}
+	if o.MinPerRack == 0 {
+		o.MinPerRack = 6
+	}
+	if o.MaxPerRack == 0 {
+		o.MaxPerRack = 45
+	}
+	if o.StepPerRack == 0 {
+		o.StepPerRack = 3
+	}
+	if o.Threshold == 0 {
+		o.Threshold = CapRatioThreshold
+	}
+	return o
+}
+
+// MeanCapRatios evaluates the average cap ratios for one configuration,
+// scenario, and policy across the configured number of runs.
+func MeanCapRatios(cfg Config, scenario Scenario, policy core.Policy, opts StudyOptions) (all, high float64, err error) {
+	opts = opts.withDefaults()
+	d, err := Build(cfg, scenario)
+	if err != nil {
+		return 0, 0, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + int64(cfg.ServersPerRack)*101 + int64(policy)*7 + int64(scenario)*3))
+
+	if scenario == Typical && !opts.MonteCarloTypical {
+		// Stratified estimate: visit each utilization bucket and weight by
+		// its probability. Residual randomness (per-server spread and
+		// priority placement) stays Monte Carlo.
+		buckets := opts.Distribution.Buckets()
+		per := opts.TypicalRuns / len(buckets)
+		if per < 1 {
+			per = 1
+		}
+		var sumAll, sumHigh float64
+		for _, b := range buckets {
+			var bAll, bHigh float64
+			for i := 0; i < per; i++ {
+				r := d.Run(rng, policy, b[0])
+				bAll += r.MeanCapRatioAll
+				bHigh += r.MeanCapRatioHigh
+			}
+			sumAll += b[1] * bAll / float64(per)
+			sumHigh += b[1] * bHigh / float64(per)
+		}
+		return sumAll, sumHigh, nil
+	}
+
+	runs := opts.WorstCaseRuns
+	if scenario == Typical {
+		runs = opts.TypicalRuns
+	}
+	var sumAll, sumHigh float64
+	for i := 0; i < runs; i++ {
+		avgUtil := 1.0
+		if scenario == Typical {
+			avgUtil = opts.Distribution.Sample(rng)
+		}
+		r := d.Run(rng, policy, avgUtil)
+		sumAll += r.MeanCapRatioAll
+		sumHigh += r.MeanCapRatioHigh
+	}
+	return sumAll / float64(runs), sumHigh / float64(runs), nil
+}
+
+// CurvePoint is one point of the Figure 10 cap-ratio curves.
+type CurvePoint struct {
+	ServersPerRack int
+	TotalServers   int
+	CapRatioAll    float64
+	CapRatioHigh   float64
+}
+
+// CapRatioCurve sweeps servers-per-rack and reports the worst-case average
+// cap ratios for all servers (Fig. 10a) and for high-priority servers
+// (Fig. 10b) under the given policy.
+func CapRatioCurve(cfg Config, scenario Scenario, policy core.Policy, opts StudyOptions) ([]CurvePoint, error) {
+	opts = opts.withDefaults()
+	var out []CurvePoint
+	for per := opts.MinPerRack; per <= opts.MaxPerRack; per += opts.StepPerRack {
+		c := cfg
+		c.ServersPerRack = per
+		all, high, err := MeanCapRatios(c, scenario, policy, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CurvePoint{
+			ServersPerRack: per,
+			TotalServers:   c.TotalServers(),
+			CapRatioAll:    all,
+			CapRatioHigh:   high,
+		})
+	}
+	return out, nil
+}
+
+// CapacityResult reports the outcome of a capacity search.
+type CapacityResult struct {
+	Policy         core.Policy
+	Scenario       Scenario
+	ServersPerRack int
+	TotalServers   int
+	// Ratio is the criterion value at the supported count (all-server mean
+	// in the typical scenario, high-priority mean in the worst case).
+	Ratio float64
+}
+
+// FindCapacity determines the largest server count (sweeping
+// servers-per-rack) whose criterion cap ratio stays below the threshold:
+// the Figure 9 experiment. The criterion is the all-server mean in the
+// typical scenario and the high-priority mean in the worst case.
+func FindCapacity(cfg Config, scenario Scenario, policy core.Policy, opts StudyOptions) (CapacityResult, error) {
+	opts = opts.withDefaults()
+	best := CapacityResult{Policy: policy, Scenario: scenario}
+	found := false
+	for per := opts.MinPerRack; per <= opts.MaxPerRack; per += opts.StepPerRack {
+		c := cfg
+		c.ServersPerRack = per
+		all, high, err := MeanCapRatios(c, scenario, policy, opts)
+		if err != nil {
+			return CapacityResult{}, err
+		}
+		criterion := all
+		if scenario == WorstCase {
+			criterion = high
+		}
+		if criterion < opts.Threshold {
+			best.ServersPerRack = per
+			best.TotalServers = c.TotalServers()
+			best.Ratio = criterion
+			found = true
+		} else if found {
+			// Cap ratios grow monotonically with server count; once the
+			// criterion is exceeded after a passing count, stop.
+			break
+		}
+	}
+	if !found {
+		return best, fmt.Errorf("dc: no server count in [%d,%d] meets the %.1f%% criterion",
+			opts.MinPerRack, opts.MaxPerRack, opts.Threshold*100)
+	}
+	return best, nil
+}

@@ -1,0 +1,122 @@
+package dc
+
+import (
+	"testing"
+
+	"capmaestro/internal/core"
+)
+
+// fastOpts keeps CI time reasonable; worst-case results are deterministic
+// in demand so few runs suffice, and the typical case converges quickly at
+// data-center scale.
+func fastOpts() StudyOptions {
+	return StudyOptions{TypicalRuns: 40, WorstCaseRuns: 8, Seed: 42}
+}
+
+// TestFigure9WorstCaseCapacities reproduces the paper's headline bars:
+// No Priority 3 888, Local Priority 4 860, Global Priority 5 832 deployable
+// servers under a worst-case power emergency.
+func TestFigure9WorstCaseCapacities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity sweep is expensive")
+	}
+	cfg := DefaultConfig()
+	want := map[core.Policy]int{
+		core.NoPriority:     3888,
+		core.LocalPriority:  4860,
+		core.GlobalPriority: 5832,
+	}
+	for policy, wantServers := range want {
+		res, err := FindCapacity(cfg, WorstCase, policy, fastOpts())
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if res.TotalServers != wantServers {
+			t.Errorf("%v worst-case capacity = %d servers (%d/rack), want %d",
+				policy, res.TotalServers, res.ServersPerRack, wantServers)
+		}
+	}
+}
+
+// TestFigure9TypicalCapacity reproduces the typical-case bar: all policies
+// support 6 318 servers (39/rack).
+func TestFigure9TypicalCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity sweep is expensive")
+	}
+	cfg := DefaultConfig()
+	res, err := FindCapacity(cfg, Typical, core.GlobalPriority, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalServers != 6318 {
+		t.Errorf("typical capacity = %d servers (%d/rack), want 6318 (39/rack)",
+			res.TotalServers, res.ServersPerRack)
+	}
+}
+
+func TestCapRatioCurveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("curve sweep is expensive")
+	}
+	cfg := DefaultConfig()
+	opts := fastOpts()
+	opts.MinPerRack = 24
+	opts.MaxPerRack = 42
+	opts.StepPerRack = 6
+	curveG, err := CapRatioCurve(cfg, WorstCase, core.GlobalPriority, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curveN, err := CapRatioCurve(cfg, WorstCase, core.NoPriority, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap ratios grow with server count (Fig. 10).
+	for i := 1; i < len(curveG); i++ {
+		if curveG[i].CapRatioAll+1e-9 < curveG[i-1].CapRatioAll {
+			t.Errorf("all-server cap ratio not monotone at %d/rack", curveG[i].ServersPerRack)
+		}
+	}
+	// High-priority servers fare better under Global than No Priority at
+	// every count where capping occurs (Fig. 10b).
+	for i := range curveG {
+		if curveN[i].CapRatioAll > 0.01 &&
+			curveG[i].CapRatioHigh > curveN[i].CapRatioHigh+1e-9 {
+			t.Errorf("at %d/rack global high ratio %v exceeds no-priority %v",
+				curveG[i].ServersPerRack, curveG[i].CapRatioHigh, curveN[i].CapRatioHigh)
+		}
+	}
+	// All-server ratios are similar across policies at the same count (the
+	// total shortfall is fixed by physics; policies only move it around).
+	for i := range curveG {
+		diff := curveG[i].CapRatioAll - curveN[i].CapRatioAll
+		if diff > 0.05 || diff < -0.05 {
+			t.Errorf("at %d/rack all-server ratios diverge: global %v vs none %v",
+				curveG[i].ServersPerRack, curveG[i].CapRatioAll, curveN[i].CapRatioAll)
+		}
+	}
+}
+
+func TestMeanCapRatiosInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServersPerRack = 0
+	if _, _, err := MeanCapRatios(cfg, WorstCase, core.GlobalPriority, StudyOptions{}); err == nil {
+		t.Error("invalid config should fail")
+	}
+	if _, err := FindCapacity(cfg, WorstCase, core.GlobalPriority, StudyOptions{MinPerRack: -3, MaxPerRack: -1, StepPerRack: 1}); err == nil {
+		t.Error("invalid sweep should fail")
+	}
+}
+
+func TestFindCapacityNoFeasibleCount(t *testing.T) {
+	cfg := DefaultConfig()
+	// Shrink the contractual budget so even 6/rack fails the criterion in
+	// the worst case.
+	cfg.ContractualPerPhase = 100000
+	opts := fastOpts()
+	opts.MaxPerRack = 12
+	if _, err := FindCapacity(cfg, WorstCase, core.GlobalPriority, opts); err == nil {
+		t.Error("expected no-capacity error")
+	}
+}

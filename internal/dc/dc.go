@@ -1,0 +1,340 @@
+// Package dc builds the paper's simulated production data center (Table 4)
+// and runs the large-scale Monte Carlo capacity study of Section 6.4:
+// how many servers a fixed power infrastructure supports under each
+// allocation policy, in typical conditions (Google-profile load, both feeds
+// up) and in the worst case (every server at 100% utilization with one
+// entire feed failed).
+//
+// The acceptance criterion follows the paper: a server count is supportable
+// when the average cap ratio — (demand − budget) / (demand − idle) — stays
+// below 1%, measured across all servers in the typical case and across
+// high-priority servers in the worst case.
+package dc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"capmaestro/internal/workload"
+)
+
+// Config mirrors Table 4 of the paper.
+type Config struct {
+	ContractualPerPhase  power.Watts // total across feeds, per phase
+	ContractualMargin    float64     // usable fraction (reserve for errors)
+	TransformersPerFeed  int
+	TransformerRating    power.Watts
+	RPPsPerTransformer   int
+	RPPRating            power.Watts
+	CDUsPerRPP           int
+	CDURatingPerPhase    power.Watts
+	ServersPerRack       int
+	HighPriorityFraction float64
+	Model                power.ServerModel
+	DeratingFraction     float64 // sustained loading limit for CBs/transformers
+	PerServerSigma       float64 // per-server utilization spread (typical case)
+	SplitSpread          float64 // per-server feed-split mismatch: X share ∈ 0.5±spread
+}
+
+// DefaultConfig returns the Table 4 parameters: 700 kW per phase contractual
+// (95% usable), 2 feeds × 2 transformers (420 kW) × 9 RPPs (52 kW) × 9 CDUs
+// (6.9 kW per phase), 162 racks, 30% high-priority servers, the 160/270/490
+// server model, and the conventional 80% loading rule.
+func DefaultConfig() Config {
+	return Config{
+		ContractualPerPhase:  power.Kilowatts(700),
+		ContractualMargin:    0.95,
+		TransformersPerFeed:  2,
+		TransformerRating:    power.Kilowatts(420),
+		RPPsPerTransformer:   9,
+		RPPRating:            power.Kilowatts(52),
+		CDUsPerRPP:           9,
+		CDURatingPerPhase:    power.Kilowatts(6.9),
+		ServersPerRack:       24,
+		HighPriorityFraction: 0.30,
+		Model:                power.DefaultServerModel(),
+		DeratingFraction:     0.80,
+		PerServerSigma:       workload.PerServerSigma,
+		SplitSpread:          0,
+	}
+}
+
+// Racks returns the rack count implied by the distribution hierarchy: one
+// rack per CDU position per feed.
+func (c Config) Racks() int {
+	return c.TransformersPerFeed * c.RPPsPerTransformer * c.CDUsPerRPP
+}
+
+// TotalServers returns Racks × ServersPerRack.
+func (c Config) TotalServers() int { return c.Racks() * c.ServersPerRack }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.ContractualPerPhase <= 0, c.TransformerRating <= 0,
+		c.RPPRating <= 0, c.CDURatingPerPhase <= 0:
+		return errors.New("dc: ratings must be positive")
+	case c.ContractualMargin <= 0 || c.ContractualMargin > 1:
+		return errors.New("dc: contractual margin out of (0,1]")
+	case c.TransformersPerFeed <= 0, c.RPPsPerTransformer <= 0, c.CDUsPerRPP <= 0:
+		return errors.New("dc: hierarchy counts must be positive")
+	case c.ServersPerRack <= 0:
+		return errors.New("dc: servers per rack must be positive")
+	case c.HighPriorityFraction < 0 || c.HighPriorityFraction > 1:
+		return errors.New("dc: high-priority fraction out of [0,1]")
+	case c.DeratingFraction <= 0 || c.DeratingFraction > 1:
+		return errors.New("dc: derating fraction out of (0,1]")
+	case c.SplitSpread < 0 || c.SplitSpread >= 0.5:
+		return errors.New("dc: split spread out of [0,0.5)")
+	}
+	return c.Model.Validate()
+}
+
+// Scenario selects the operating condition of the study.
+type Scenario int
+
+// Scenarios from Section 6.4.
+const (
+	// Typical: both feeds operational, utilization drawn from the Figure 8
+	// profile.
+	Typical Scenario = iota
+	// WorstCase: an entire feed has failed and every server demands
+	// maximum power.
+	WorstCase
+)
+
+// String names the scenario as the paper does.
+func (s Scenario) String() string {
+	switch s {
+	case Typical:
+		return "Typical Case"
+	case WorstCase:
+		return "Worst Case"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// serverRef tracks one server's leaves across the per-phase trees so runs
+// can mutate demand and priority in place.
+type serverRef struct {
+	id     string
+	phase  int
+	leaves []*core.SupplyLeaf // one per operating feed
+	demand power.Watts
+	high   bool
+}
+
+// DataCenter is a built instance of the study: three per-phase control
+// trees plus an index of every server.
+type DataCenter struct {
+	cfg      Config
+	scenario Scenario
+	phases   []*core.Node
+	servers  []*serverRef
+}
+
+// priority levels used by the study.
+const (
+	prioLow  core.Priority = 0
+	prioHigh core.Priority = 1
+)
+
+// Build constructs the per-phase control trees for the given scenario. In
+// the typical scenario each server appears in a phase tree twice (one
+// supply per feed); in the worst case only the surviving feed (X) exists
+// and each supply carries the whole server.
+func Build(cfg Config, scenario Scenario) (*DataCenter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dc := &DataCenter{cfg: cfg, scenario: scenario}
+
+	feeds := []string{"X", "Y"}
+	if scenario == WorstCase {
+		feeds = []string{"X"}
+	}
+	racks := cfg.Racks()
+	derate := power.Watts(cfg.DeratingFraction)
+
+	// Pre-compute per-server placement: rack, phase, and feed split.
+	type placement struct {
+		rack, phase int
+		xShare      float64
+	}
+	var placements []placement
+	// Deterministic split assignment: alternate the mismatch sign so feeds
+	// stay balanced in aggregate.
+	splitRng := rand.New(rand.NewSource(1009))
+	for r := 0; r < racks; r++ {
+		for i := 0; i < cfg.ServersPerRack; i++ {
+			x := 0.5
+			if cfg.SplitSpread > 0 {
+				x = 0.5 - cfg.SplitSpread + 2*cfg.SplitSpread*splitRng.Float64()
+			}
+			placements = append(placements, placement{rack: r, phase: i % 3, xShare: x})
+		}
+	}
+
+	// Group servers by (phase, rack).
+	byPhaseRack := make(map[[2]int][]int)
+	for idx, p := range placements {
+		key := [2]int{p.phase, p.rack}
+		byPhaseRack[key] = append(byPhaseRack[key], idx)
+	}
+
+	refs := make([]*serverRef, len(placements))
+	for idx, p := range placements {
+		refs[idx] = &serverRef{
+			id:    fmt.Sprintf("r%03d-s%03d", p.rack, idx%cfg.ServersPerRack),
+			phase: p.phase,
+		}
+	}
+
+	for ph := 0; ph < 3; ph++ {
+		var feedNodes []*core.Node
+		for _, feed := range feeds {
+			var txNodes []*core.Node
+			rack := 0
+			for tx := 0; tx < cfg.TransformersPerFeed; tx++ {
+				var rppNodes []*core.Node
+				for rpp := 0; rpp < cfg.RPPsPerTransformer; rpp++ {
+					var cduNodes []*core.Node
+					for cdu := 0; cdu < cfg.CDUsPerRPP; cdu++ {
+						var leaves []*core.Node
+						for _, idx := range byPhaseRack[[2]int{ph, rack}] {
+							p := placements[idx]
+							share := p.xShare
+							if feed == "Y" {
+								share = 1 - p.xShare
+							}
+							if scenario == WorstCase {
+								share = 1.0
+							}
+							supplyID := fmt.Sprintf("%s-%s", refs[idx].id, feed)
+							ln := core.NewLeaf(fmt.Sprintf("ph%d:%s", ph, supplyID), core.SupplyLeaf{
+								SupplyID: supplyID,
+								ServerID: refs[idx].id,
+								Priority: prioLow,
+								Share:    share,
+								CapMin:   cfg.Model.CapMin,
+								CapMax:   cfg.Model.CapMax,
+								Demand:   cfg.Model.CapMax,
+							})
+							refs[idx].leaves = append(refs[idx].leaves, ln.Leaf)
+							leaves = append(leaves, ln)
+						}
+						if len(leaves) > 0 {
+							cduNodes = append(cduNodes, core.NewShifting(
+								fmt.Sprintf("ph%d:%s:cdu%03d", ph, feed, rack),
+								cfg.CDURatingPerPhase*derate, leaves...))
+						}
+						rack++
+					}
+					if len(cduNodes) > 0 {
+						rppNodes = append(rppNodes, core.NewShifting(
+							fmt.Sprintf("ph%d:%s:rpp%d-%d", ph, feed, tx, rpp),
+							cfg.RPPRating*derate, cduNodes...))
+					}
+				}
+				if len(rppNodes) > 0 {
+					txNodes = append(txNodes, core.NewShifting(
+						fmt.Sprintf("ph%d:%s:tx%d", ph, feed, tx),
+						cfg.TransformerRating*derate, rppNodes...))
+				}
+			}
+			if len(txNodes) > 0 {
+				feedNodes = append(feedNodes, core.NewShifting(
+					fmt.Sprintf("ph%d:%s:feed", ph, feed), 0, txNodes...))
+			}
+		}
+		root := core.NewShifting(fmt.Sprintf("ph%d:contract", ph),
+			cfg.ContractualPerPhase*power.Watts(cfg.ContractualMargin), feedNodes...)
+		if err := root.Validate(); err != nil {
+			return nil, fmt.Errorf("dc: phase %d: %w", ph, err)
+		}
+		dc.phases = append(dc.phases, root)
+	}
+	dc.servers = refs
+	return dc, nil
+}
+
+// RunResult aggregates one Monte Carlo run.
+type RunResult struct {
+	MeanCapRatioAll  float64 // over all servers
+	MeanCapRatioHigh float64 // over high-priority servers (0 if none)
+	CappedServers    int     // servers with cap ratio > 0
+	TotalServers     int
+	HighServers      int
+	Infeasible       bool
+}
+
+// Run performs one simulation: priorities are re-drawn at random (as the
+// paper does per simulation), demands are set from avgUtil (with per-server
+// spread in the typical scenario; exactly 100% in the worst case), budgets
+// are allocated per phase under the policy, and cap ratios are aggregated.
+func (dc *DataCenter) Run(rng *rand.Rand, policy core.Policy, avgUtil float64) RunResult {
+	cfg := dc.cfg
+	res := RunResult{TotalServers: len(dc.servers)}
+
+	for _, ref := range dc.servers {
+		ref.high = rng.Float64() < cfg.HighPriorityFraction
+		util := avgUtil
+		if dc.scenario == Typical {
+			util = workload.SampleServerUtil(rng, avgUtil, cfg.PerServerSigma)
+		}
+		ref.demand = cfg.Model.PowerAt(util)
+		prio := prioLow
+		if ref.high {
+			prio = prioHigh
+			res.HighServers++
+		}
+		for _, l := range ref.leaves {
+			l.Demand = ref.demand
+			l.Priority = prio
+		}
+	}
+
+	budgetOf := make(map[string]power.Watts)
+	for _, root := range dc.phases {
+		alloc, err := core.Allocate(root, 0, policy)
+		if err != nil {
+			panic(fmt.Sprintf("dc: allocation failed: %v", err)) // trees validated at build
+		}
+		if alloc.Infeasible {
+			res.Infeasible = true
+		}
+		for id, b := range alloc.SupplyBudgets {
+			budgetOf[id] = b
+		}
+	}
+
+	var sumAll, sumHigh float64
+	for _, ref := range dc.servers {
+		eff := power.Watts(0)
+		first := true
+		for _, l := range ref.leaves {
+			implied := budgetOf[l.SupplyID] / power.Watts(l.Share)
+			if first || implied < eff {
+				eff = implied
+				first = false
+			}
+		}
+		ratio := cfg.Model.CapRatio(ref.demand, eff)
+		if ratio > 0 {
+			res.CappedServers++
+		}
+		sumAll += ratio
+		if ref.high {
+			sumHigh += ratio
+		}
+	}
+	res.MeanCapRatioAll = sumAll / float64(res.TotalServers)
+	if res.HighServers > 0 {
+		res.MeanCapRatioHigh = sumHigh / float64(res.HighServers)
+	}
+	return res
+}

@@ -1,0 +1,244 @@
+package dc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"capmaestro/internal/core"
+)
+
+func TestDefaultConfigMatchesTable4(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Racks() != 162 {
+		t.Errorf("racks = %d, want 162", cfg.Racks())
+	}
+	if cfg.ContractualPerPhase != 700000 || cfg.TransformerRating != 420000 ||
+		cfg.RPPRating != 52000 || cfg.CDURatingPerPhase != 6900 {
+		t.Error("Table 4 ratings wrong")
+	}
+	cfg.ServersPerRack = 24
+	if cfg.TotalServers() != 3888 {
+		t.Errorf("24/rack total = %d, want 3888", cfg.TotalServers())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig()
+	mutations := []func(*Config){
+		func(c *Config) { c.ContractualPerPhase = 0 },
+		func(c *Config) { c.ContractualMargin = 1.5 },
+		func(c *Config) { c.TransformersPerFeed = 0 },
+		func(c *Config) { c.ServersPerRack = 0 },
+		func(c *Config) { c.HighPriorityFraction = 2 },
+		func(c *Config) { c.DeratingFraction = 0 },
+		func(c *Config) { c.SplitSpread = 0.6 },
+		func(c *Config) { c.Model.CapMin = 100 },
+	}
+	for i, mut := range mutations {
+		cfg := base
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServersPerRack = 6
+	d, err := Build(cfg, Typical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.phases) != 3 {
+		t.Fatalf("phases = %d", len(d.phases))
+	}
+	if len(d.servers) != cfg.TotalServers() {
+		t.Fatalf("servers = %d, want %d", len(d.servers), cfg.TotalServers())
+	}
+	// Typical: every server has two leaves (one per feed) in its phase tree.
+	for _, ref := range d.servers[:20] {
+		if len(ref.leaves) != 2 {
+			t.Fatalf("server %s has %d leaves, want 2", ref.id, len(ref.leaves))
+		}
+	}
+	// Leaf count per phase: 2 supplies × servers in that phase.
+	var total int
+	for _, ph := range d.phases {
+		total += len(ph.Leaves())
+	}
+	if total != 2*cfg.TotalServers() {
+		t.Errorf("total leaves = %d, want %d", total, 2*cfg.TotalServers())
+	}
+
+	worst, err := Build(cfg, WorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range worst.servers[:20] {
+		if len(ref.leaves) != 1 {
+			t.Fatalf("worst-case server %s has %d leaves, want 1", ref.id, len(ref.leaves))
+		}
+		if ref.leaves[0].Share != 1.0 {
+			t.Fatalf("worst-case share = %v, want 1", ref.leaves[0].Share)
+		}
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if Typical.String() != "Typical Case" || WorstCase.String() != "Worst Case" {
+		t.Error("scenario names wrong")
+	}
+	if !strings.Contains(Scenario(9).String(), "9") {
+		t.Error("unknown scenario formatting wrong")
+	}
+}
+
+func TestWorstCaseNoCappingAt24PerRack(t *testing.T) {
+	// The paper's baseline: 3888 servers (24/rack) fit with no capping at
+	// all even in the worst case — this is what a data center without
+	// power management deploys.
+	cfg := DefaultConfig()
+	cfg.ServersPerRack = 24
+	d, err := Build(cfg, WorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	r := d.Run(rng, core.NoPriority, 1.0)
+	if r.MeanCapRatioAll > 0.001 {
+		t.Errorf("cap ratio at 24/rack = %v, want ~0", r.MeanCapRatioAll)
+	}
+	if r.Infeasible {
+		t.Error("24/rack must be feasible")
+	}
+}
+
+func TestWorstCaseNoPriorityCapsEveryoneAt27(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServersPerRack = 27
+	d, err := Build(cfg, WorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	r := d.Run(rng, core.NoPriority, 1.0)
+	// 27/rack demands ~714 kW/phase against 665 kW: ~7% of dynamic power
+	// capped, shared by everyone including high-priority servers.
+	if r.MeanCapRatioAll < 0.05 {
+		t.Errorf("all-server cap ratio = %v, want >5%%", r.MeanCapRatioAll)
+	}
+	if r.MeanCapRatioHigh < 0.05 {
+		t.Errorf("high-priority cap ratio = %v, want >5%% under No Priority", r.MeanCapRatioHigh)
+	}
+}
+
+func TestWorstCaseGlobalProtectsHighPriorityAt36(t *testing.T) {
+	// The headline result: at 36/rack (5832 servers) Global Priority keeps
+	// high-priority servers essentially uncapped in the worst case, while
+	// Local Priority cannot.
+	cfg := DefaultConfig()
+	cfg.ServersPerRack = 36
+	d, err := Build(cfg, WorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var sumG, sumL float64
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		sumG += d.Run(rng, core.GlobalPriority, 1.0).MeanCapRatioHigh
+		sumL += d.Run(rng, core.LocalPriority, 1.0).MeanCapRatioHigh
+	}
+	if g := sumG / runs; g > 0.01 {
+		t.Errorf("Global Priority high cap ratio at 36/rack = %v, want <1%%", g)
+	}
+	if l := sumL / runs; l < 0.01 {
+		t.Errorf("Local Priority high cap ratio at 36/rack = %v, want >1%%", l)
+	}
+}
+
+func TestWorstCaseGlobalFailsAt39(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServersPerRack = 39
+	d, err := Build(cfg, WorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	r := d.Run(rng, core.GlobalPriority, 1.0)
+	if r.MeanCapRatioHigh < 0.01 {
+		t.Errorf("Global at 39/rack high cap ratio = %v, want >1%% (contractual bound)", r.MeanCapRatioHigh)
+	}
+}
+
+func TestTypicalCaseLowUtilUncapped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServersPerRack = 39
+	d, err := Build(cfg, Typical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	r := d.Run(rng, core.GlobalPriority, 0.30)
+	if r.MeanCapRatioAll > 0.0001 {
+		t.Errorf("typical 30%% util cap ratio = %v, want ~0", r.MeanCapRatioAll)
+	}
+}
+
+func TestTypicalCaseHighUtilCapped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServersPerRack = 45
+	d, err := Build(cfg, Typical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	r := d.Run(rng, core.GlobalPriority, 0.60)
+	if r.MeanCapRatioAll <= 0.01 {
+		t.Errorf("typical 60%% util at 45/rack cap ratio = %v, want >1%%", r.MeanCapRatioAll)
+	}
+	if r.CappedServers == 0 {
+		t.Error("expected capped servers")
+	}
+}
+
+func TestHighPriorityOrderingHoldsInFullHierarchy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServersPerRack = 33
+	d, err := Build(cfg, WorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	g := d.Run(rng, core.GlobalPriority, 1.0)
+	l := d.Run(rng, core.LocalPriority, 1.0)
+	n := d.Run(rng, core.NoPriority, 1.0)
+	if !(g.MeanCapRatioHigh <= l.MeanCapRatioHigh+1e-9 && l.MeanCapRatioHigh <= n.MeanCapRatioHigh+1e-9) {
+		t.Errorf("high cap ratios should order global ≤ local ≤ none: %v %v %v",
+			g.MeanCapRatioHigh, l.MeanCapRatioHigh, n.MeanCapRatioHigh)
+	}
+}
+
+func TestSplitSpreadBuild(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServersPerRack = 6
+	cfg.SplitSpread = 0.15
+	d, err := Build(cfg, Typical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asymmetric := 0
+	for _, ref := range d.servers {
+		if ref.leaves[0].Share != 0.5 {
+			asymmetric++
+		}
+	}
+	if asymmetric == 0 {
+		t.Error("split spread should produce asymmetric shares")
+	}
+}

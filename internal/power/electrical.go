@@ -1,0 +1,52 @@
+package power
+
+import "math"
+
+// Circuit breakers are rated in amperes; the paper converts them to their
+// equivalent power values (Section 2.1). These helpers perform the
+// conversions for the voltages in Figure 1's distribution chain (230 V
+// phase voltage, 400 V line-to-line).
+
+// Amps is an electrical current.
+type Amps float64
+
+// Volts is an electrical potential.
+type Volts float64
+
+// Voltages used by the paper's distribution infrastructure (Figure 1).
+const (
+	// PhaseVoltage is the line (phase-to-neutral) voltage at which server
+	// supplies receive power from CDU outlets.
+	PhaseVoltage Volts = 230
+	// LineToLineVoltage is the 3-phase line-to-line voltage after the
+	// second transformer stage.
+	LineToLineVoltage Volts = 400
+)
+
+// SinglePhaseRating converts a single-phase breaker's current rating to
+// watts at the given phase voltage: P = V × I. The paper's 30 A CDU
+// breaker at 230 V is exactly the 6.9 kW per-phase CDU rating of Table 4.
+func SinglePhaseRating(current Amps, phase Volts) Watts {
+	if current <= 0 || phase <= 0 {
+		return 0
+	}
+	return Watts(float64(current) * float64(phase))
+}
+
+// ThreePhaseRating converts a 3-phase breaker's per-phase current rating
+// to total watts at the given line-to-line voltage: P = √3 × V_LL × I.
+func ThreePhaseRating(current Amps, lineToLine Volts) Watts {
+	if current <= 0 || lineToLine <= 0 {
+		return 0
+	}
+	return Watts(math.Sqrt(3) * float64(lineToLine) * float64(current))
+}
+
+// CurrentAt inverts SinglePhaseRating: the per-phase current drawn by a
+// load at the given phase voltage.
+func CurrentAt(load Watts, phase Volts) Amps {
+	if phase <= 0 {
+		return 0
+	}
+	return Amps(float64(load) / float64(phase))
+}

@@ -1,0 +1,49 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSinglePhaseRatingMatchesTable4CDU(t *testing.T) {
+	// The paper's 30 A breaker at 230 V phase voltage is the 6.9 kW
+	// per-phase CDU rating in Table 4.
+	if got := SinglePhaseRating(30, PhaseVoltage); got != 6900 {
+		t.Errorf("30A at 230V = %v, want 6900", got)
+	}
+	if SinglePhaseRating(0, 230) != 0 || SinglePhaseRating(30, 0) != 0 {
+		t.Error("non-positive inputs should give 0")
+	}
+}
+
+func TestDeratedBreakerExample(t *testing.T) {
+	// Section 2.1's redundant-feed example: a 30 A breaker may carry 24 A
+	// sustained (80%), so each of two redundant feeds is loaded to 12 A
+	// (40%) in normal operation.
+	full := SinglePhaseRating(30, PhaseVoltage)
+	sustained := full * 0.8
+	perFeed := full * 0.4
+	if CurrentAt(sustained, PhaseVoltage) != 24 {
+		t.Errorf("80%% current = %v A, want 24", CurrentAt(sustained, PhaseVoltage))
+	}
+	if CurrentAt(perFeed, PhaseVoltage) != 12 {
+		t.Errorf("40%% current = %v A, want 12", CurrentAt(perFeed, PhaseVoltage))
+	}
+}
+
+func TestThreePhaseRating(t *testing.T) {
+	got := ThreePhaseRating(10, LineToLineVoltage)
+	want := math.Sqrt(3) * 400 * 10
+	if math.Abs(float64(got)-want) > 1e-9 {
+		t.Errorf("3-phase 10A at 400V = %v, want %v", got, want)
+	}
+	if ThreePhaseRating(-1, 400) != 0 {
+		t.Error("negative current should give 0")
+	}
+}
+
+func TestCurrentAtZeroVoltage(t *testing.T) {
+	if CurrentAt(100, 0) != 0 {
+		t.Error("zero voltage should give 0 current")
+	}
+}

@@ -1,0 +1,140 @@
+package power
+
+import (
+	"math"
+)
+
+// DemandEstimator implements the regression method of Section 5: each
+// capping controller keeps the last window of per-second (power, throttle
+// level) readings and fits a line correlating server power to the throttling
+// level. Extrapolating the line to 0% throttling estimates the power the
+// workload would consume at full performance — the server's Pdemand. When a
+// reading arrives with 0% throttling, the measured power is used directly
+// (the paper does the same).
+//
+// The zero value is not usable; construct with NewDemandEstimator.
+type DemandEstimator struct {
+	window   int
+	powers   []float64 // ring buffer of power samples (W)
+	throttle []float64 // parallel ring buffer of throttle levels in [0,1]
+	next     int
+	filled   bool
+
+	lastUnthrottled Watts
+	haveUnthrottled bool
+}
+
+// NewDemandEstimator creates an estimator over a sliding window of the given
+// number of samples. The paper uses 16 one-second samples.
+func NewDemandEstimator(window int) *DemandEstimator {
+	if window < 2 {
+		window = 2
+	}
+	return &DemandEstimator{
+		window:   window,
+		powers:   make([]float64, window),
+		throttle: make([]float64, window),
+	}
+}
+
+// DefaultDemandWindow is the sample window used by the paper's prototype.
+const DefaultDemandWindow = 16
+
+// Observe records one (power, throttleLevel) reading. throttleLevel is the
+// node manager's power-cap throttling metric in [0, 1], where 0 means the
+// server is running at full performance.
+func (e *DemandEstimator) Observe(p Watts, throttleLevel float64) {
+	if throttleLevel < 0 {
+		throttleLevel = 0
+	}
+	if throttleLevel > 1 {
+		throttleLevel = 1
+	}
+	e.powers[e.next] = float64(p)
+	e.throttle[e.next] = throttleLevel
+	e.next++
+	if e.next == e.window {
+		e.next = 0
+		e.filled = true
+	}
+	if throttleLevel == 0 {
+		e.lastUnthrottled = p
+		e.haveUnthrottled = true
+	}
+}
+
+// samples returns the number of valid readings currently stored.
+func (e *DemandEstimator) samples() int {
+	if e.filled {
+		return e.window
+	}
+	return e.next
+}
+
+// Demand estimates the server's current full-performance power demand. It
+// returns false until at least two samples have been observed.
+func (e *DemandEstimator) Demand() (Watts, bool) {
+	n := e.samples()
+	if n == 0 {
+		return 0, false
+	}
+	// Prefer direct measurement when the newest samples include an
+	// unthrottled interval: "If power is measured during an interval when
+	// the power cap throttling is set to 0%, then the controller uses the
+	// actual measured power" (Section 5).
+	allUnthrottled := true
+	for i := 0; i < n; i++ {
+		if e.throttle[i] != 0 {
+			allUnthrottled = false
+			break
+		}
+	}
+	if allUnthrottled {
+		// Average of the window gives a stable reading.
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += e.powers[i]
+		}
+		return Watts(sum / float64(n)), true
+	}
+	if n < 2 {
+		return 0, false
+	}
+
+	// Ordinary least squares of power against throttle level; the
+	// intercept is the estimated power at 0% throttle.
+	var sumX, sumY, sumXX, sumXY float64
+	for i := 0; i < n; i++ {
+		x, y := e.throttle[i], e.powers[i]
+		sumX += x
+		sumY += y
+		sumXX += x * x
+		sumXY += x * y
+	}
+	fn := float64(n)
+	denom := fn*sumXX - sumX*sumX
+	if math.Abs(denom) < 1e-9 {
+		// All samples at the same throttle level: the regression is
+		// degenerate. Fall back to the last unthrottled measurement if we
+		// ever saw one, otherwise report the mean power as a conservative
+		// lower bound on demand.
+		if e.haveUnthrottled {
+			return e.lastUnthrottled, true
+		}
+		return Watts(sumY / fn), true
+	}
+	slope := (fn*sumXY - sumX*sumY) / denom
+	intercept := (sumY - slope*sumX) / fn
+	if intercept < 0 {
+		intercept = 0
+	}
+	return Watts(intercept), true
+}
+
+// Reset discards all recorded samples.
+func (e *DemandEstimator) Reset() {
+	e.next = 0
+	e.filled = false
+	e.haveUnthrottled = false
+	e.lastUnthrottled = 0
+}

@@ -1,0 +1,156 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEstimatorEmpty(t *testing.T) {
+	e := NewDemandEstimator(DefaultDemandWindow)
+	if _, ok := e.Demand(); ok {
+		t.Error("empty estimator should not report a demand")
+	}
+}
+
+func TestEstimatorUnthrottledUsesMeasurement(t *testing.T) {
+	e := NewDemandEstimator(8)
+	for i := 0; i < 8; i++ {
+		e.Observe(Watts(400+float64(i%2)), 0)
+	}
+	d, ok := e.Demand()
+	if !ok {
+		t.Fatal("expected a demand estimate")
+	}
+	if !ApproxEqual(d, 400.5, 1e-9) {
+		t.Errorf("demand = %v, want mean 400.5", d)
+	}
+}
+
+func TestEstimatorRegressionRecoversLine(t *testing.T) {
+	// Server power follows P = 430 - 200*throttle. The estimator should
+	// recover the intercept (the 0%-throttle power) from throttled samples.
+	e := NewDemandEstimator(DefaultDemandWindow)
+	for i := 0; i < DefaultDemandWindow; i++ {
+		th := 0.1 + 0.05*float64(i%6)
+		e.Observe(Watts(430-200*th), th)
+	}
+	d, ok := e.Demand()
+	if !ok {
+		t.Fatal("expected a demand estimate")
+	}
+	if !ApproxEqual(d, 430, 0.5) {
+		t.Errorf("demand = %v, want ~430", d)
+	}
+}
+
+func TestEstimatorRegressionWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := NewDemandEstimator(64)
+	for i := 0; i < 64; i++ {
+		th := 0.05 + 0.4*rng.Float64()
+		noise := rng.NormFloat64() * 2
+		e.Observe(Watts(410-150*th+noise), th)
+	}
+	d, ok := e.Demand()
+	if !ok {
+		t.Fatal("expected a demand estimate")
+	}
+	if math.Abs(float64(d)-410) > 8 {
+		t.Errorf("noisy regression demand = %v, want within 8 W of 410", d)
+	}
+}
+
+func TestEstimatorDegenerateConstantThrottle(t *testing.T) {
+	e := NewDemandEstimator(8)
+	// One unthrottled reading then constant throttle: the regression line
+	// passes through (0, 425) and (0.4, 300), so the intercept recovers the
+	// unthrottled power.
+	e.Observe(425, 0)
+	for i := 0; i < 7; i++ {
+		e.Observe(300, 0.4)
+	}
+	d, ok := e.Demand()
+	if !ok {
+		t.Fatal("expected a demand estimate")
+	}
+	if !ApproxEqual(d, 425, 1e-6) {
+		t.Errorf("demand = %v, want intercept 425", d)
+	}
+}
+
+func TestEstimatorDegenerateNoUnthrottled(t *testing.T) {
+	e := NewDemandEstimator(8)
+	for i := 0; i < 8; i++ {
+		e.Observe(310, 0.3)
+	}
+	d, ok := e.Demand()
+	if !ok {
+		t.Fatal("expected a demand estimate")
+	}
+	if d != 310 {
+		t.Errorf("demand = %v, want conservative mean 310", d)
+	}
+}
+
+func TestEstimatorWindowSlides(t *testing.T) {
+	e := NewDemandEstimator(4)
+	// Fill with old readings at one demand level...
+	for i := 0; i < 4; i++ {
+		e.Observe(300, 0)
+	}
+	// ...then overwrite the whole window with a new level.
+	for i := 0; i < 4; i++ {
+		e.Observe(480, 0)
+	}
+	d, _ := e.Demand()
+	if d != 480 {
+		t.Errorf("demand = %v, want 480 after window slides", d)
+	}
+}
+
+func TestEstimatorThrottleClamped(t *testing.T) {
+	e := NewDemandEstimator(4)
+	e.Observe(400, -0.5) // clamps to 0: counts as unthrottled
+	d, ok := e.Demand()
+	if !ok || d != 400 {
+		t.Errorf("demand = %v ok=%v, want 400 from clamped-unthrottled sample", d, ok)
+	}
+}
+
+func TestEstimatorReset(t *testing.T) {
+	e := NewDemandEstimator(4)
+	e.Observe(400, 0)
+	e.Reset()
+	if _, ok := e.Demand(); ok {
+		t.Error("estimator should be empty after Reset")
+	}
+}
+
+func TestEstimatorMinimumWindow(t *testing.T) {
+	e := NewDemandEstimator(0) // clamps to 2
+	e.Observe(350, 0.1)
+	if _, ok := e.Demand(); ok {
+		t.Error("single throttled sample should not yield an estimate")
+	}
+	e.Observe(330, 0.2)
+	if _, ok := e.Demand(); !ok {
+		t.Error("two samples should yield an estimate")
+	}
+}
+
+func TestEstimatorNegativeInterceptClamps(t *testing.T) {
+	e := NewDemandEstimator(4)
+	// Construct samples whose regression intercept is negative.
+	e.Observe(10, 0.9)
+	e.Observe(100, 0.1)
+	e.Observe(5, 0.95)
+	e.Observe(105, 0.05)
+	d, ok := e.Demand()
+	if !ok {
+		t.Fatal("expected estimate")
+	}
+	if d < 0 {
+		t.Errorf("demand %v must not be negative", d)
+	}
+}

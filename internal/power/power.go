@@ -1,0 +1,73 @@
+// Package power provides the basic electrical units and server power models
+// that the rest of CapMaestro builds on: watt arithmetic, power-supply
+// efficiency curves, the linear utilization→power server model used by the
+// capacity study, and the regression-based power-demand estimator described
+// in Section 5 of the paper.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Watts is an amount of electrical power. All budgets, limits, demands, and
+// measurements in CapMaestro are expressed in watts. Using a named float64
+// keeps arithmetic natural while making signatures self-describing.
+type Watts float64
+
+// Kilowatts constructs a Watts value from kilowatts.
+func Kilowatts(kw float64) Watts { return Watts(kw * 1000) }
+
+// KW reports the value in kilowatts.
+func (w Watts) KW() float64 { return float64(w) / 1000 }
+
+// String formats the power with a fixed single-decimal precision, switching
+// to kW above 10 kW for readability in traces and experiment output.
+func (w Watts) String() string {
+	if math.Abs(float64(w)) >= 10000 {
+		return fmt.Sprintf("%.2fkW", w.KW())
+	}
+	return fmt.Sprintf("%.1fW", float64(w))
+}
+
+// Clamp limits w to the inclusive range [lo, hi].
+func (w Watts) Clamp(lo, hi Watts) Watts {
+	if w < lo {
+		return lo
+	}
+	if w > hi {
+		return hi
+	}
+	return w
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Watts) Watts {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Watts) Watts {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Sum adds a slice of watt values.
+func Sum(ws []Watts) Watts {
+	var total Watts
+	for _, w := range ws {
+		total += w
+	}
+	return total
+}
+
+// ApproxEqual reports whether a and b differ by at most eps watts. The
+// allocation algorithms and tests use it to absorb floating-point noise.
+func ApproxEqual(a, b, eps Watts) bool {
+	return math.Abs(float64(a-b)) <= float64(eps)
+}

@@ -1,0 +1,262 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWattsString(t *testing.T) {
+	cases := []struct {
+		in   Watts
+		want string
+	}{
+		{0, "0.0W"},
+		{490, "490.0W"},
+		{-35.21, "-35.2W"},
+		{9999.94, "9999.9W"},
+		{10000, "10.00kW"},
+		{700000, "700.00kW"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Watts(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestKilowattsRoundTrip(t *testing.T) {
+	w := Kilowatts(6.9)
+	if w != 6900 {
+		t.Fatalf("Kilowatts(6.9) = %v, want 6900", float64(w))
+	}
+	if kw := w.KW(); kw != 6.9 {
+		t.Fatalf("KW() = %v, want 6.9", kw)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Watts(500).Clamp(270, 490); got != 490 {
+		t.Errorf("clamp above: got %v", got)
+	}
+	if got := Watts(100).Clamp(270, 490); got != 270 {
+		t.Errorf("clamp below: got %v", got)
+	}
+	if got := Watts(300).Clamp(270, 490); got != 300 {
+		t.Errorf("clamp inside: got %v", got)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	if Max(3, 7) != 7 || Max(7, 3) != 7 {
+		t.Error("Max wrong")
+	}
+	if Min(3, 7) != 3 || Min(7, 3) != 3 {
+		t.Error("Min wrong")
+	}
+	if Sum([]Watts{1, 2, 3.5}) != 6.5 {
+		t.Error("Sum wrong")
+	}
+	if Sum(nil) != 0 {
+		t.Error("Sum(nil) should be 0")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(100, 100.4, 0.5) {
+		t.Error("expected approx equal within eps")
+	}
+	if ApproxEqual(100, 101, 0.5) {
+		t.Error("expected not approx equal beyond eps")
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(w, a, b float64) bool {
+		lo, hi := Watts(math.Min(a, b)), Watts(math.Max(a, b))
+		got := Watts(w).Clamp(lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultServerModel(t *testing.T) {
+	m := DefaultServerModel()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	if m.Idle != 160 || m.CapMin != 270 || m.CapMax != 490 {
+		t.Fatalf("default model = %+v, want Table 4 values", m)
+	}
+}
+
+func TestServerModelValidate(t *testing.T) {
+	bad := []ServerModel{
+		{Idle: -1, CapMin: 270, CapMax: 490},
+		{Idle: 300, CapMin: 270, CapMax: 490},
+		{Idle: 160, CapMin: 500, CapMax: 490},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, m)
+		}
+	}
+}
+
+func TestPowerAtEndpoints(t *testing.T) {
+	m := DefaultServerModel()
+	if got := m.PowerAt(0); got != 160 {
+		t.Errorf("PowerAt(0) = %v, want idle 160", got)
+	}
+	if got := m.PowerAt(1); got != 490 {
+		t.Errorf("PowerAt(1) = %v, want max 490", got)
+	}
+	if got := m.PowerAt(0.5); got != 325 {
+		t.Errorf("PowerAt(0.5) = %v, want 325", got)
+	}
+	// Out-of-range utilization clamps.
+	if got := m.PowerAt(-2); got != 160 {
+		t.Errorf("PowerAt(-2) = %v, want 160", got)
+	}
+	if got := m.PowerAt(3); got != 490 {
+		t.Errorf("PowerAt(3) = %v, want 490", got)
+	}
+}
+
+func TestUtilizationForInvertsPowerAt(t *testing.T) {
+	m := DefaultServerModel()
+	f := func(u float64) bool {
+		u = math.Abs(math.Mod(u, 1))
+		p := m.PowerAt(u)
+		got := m.UtilizationFor(p)
+		return math.Abs(got-u) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationForDegenerate(t *testing.T) {
+	m := ServerModel{Idle: 200, CapMin: 200, CapMax: 200}
+	if got := m.UtilizationFor(200); got != 0 {
+		t.Errorf("degenerate model utilization = %v, want 0", got)
+	}
+}
+
+func TestCapRatio(t *testing.T) {
+	m := DefaultServerModel()
+	cases := []struct {
+		demand, budget Watts
+		want           float64
+	}{
+		{490, 490, 0},           // uncapped
+		{490, 600, 0},           // budget above demand
+		{490, 160, 1},           // capped to idle: all dynamic power removed
+		{490, 325, 0.5},         // halfway
+		{160, 100, 0},           // demand at idle cannot be capped
+		{100, 50, 0},            // demand below idle
+		{490, 100, 1},           // below idle clamps to 1
+		{420, 344, 76.0 / 260},  // Table 2 local-priority SA
+		{420, 314, 106.0 / 260}, // Table 2 no-priority SA
+	}
+	for i, c := range cases {
+		if got := m.CapRatio(c.demand, c.budget); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: CapRatio(%v, %v) = %v, want %v", i, c.demand, c.budget, got, c.want)
+		}
+	}
+}
+
+func TestCapRatioBounds(t *testing.T) {
+	m := DefaultServerModel()
+	f := func(d, b float64) bool {
+		demand := Watts(math.Abs(math.Mod(d, 600)))
+		budget := Watts(math.Abs(math.Mod(b, 600)))
+		r := m.CapRatio(demand, budget)
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEfficiencyCurveValidation(t *testing.T) {
+	if _, err := NewEfficiencyCurve(nil); err == nil {
+		t.Error("empty curve should fail")
+	}
+	if _, err := NewEfficiencyCurve([][2]float64{{0, 0.9}}); err == nil {
+		t.Error("zero load fraction should fail")
+	}
+	if _, err := NewEfficiencyCurve([][2]float64{{0.5, 1.5}}); err == nil {
+		t.Error("efficiency above 1 should fail")
+	}
+	if _, err := NewEfficiencyCurve([][2]float64{{0.5, 0.9}, {0.5, 0.91}}); err == nil {
+		t.Error("non-increasing loads should fail")
+	}
+	if _, err := NewEfficiencyCurve([][2]float64{{0.2, 0.9}, {0.8, 0.93}}); err != nil {
+		t.Errorf("valid curve rejected: %v", err)
+	}
+}
+
+func TestEfficiencyCurveInterpolation(t *testing.T) {
+	c, err := NewEfficiencyCurve([][2]float64{{0.2, 0.90}, {0.8, 0.96}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(0.1); got != 0.90 {
+		t.Errorf("below range: got %v, want clamp to 0.90", got)
+	}
+	if got := c.At(0.9); got != 0.96 {
+		t.Errorf("above range: got %v, want clamp to 0.96", got)
+	}
+	if got := c.At(0.5); math.Abs(got-0.93) > 1e-12 {
+		t.Errorf("midpoint: got %v, want 0.93", got)
+	}
+}
+
+func TestFlatEfficiency(t *testing.T) {
+	c := FlatEfficiency(0.92)
+	for _, f := range []float64{0.01, 0.5, 1.0} {
+		if got := c.At(f); got != 0.92 {
+			t.Errorf("At(%v) = %v, want 0.92", f, got)
+		}
+	}
+}
+
+func TestACDCConversionRoundTrip(t *testing.T) {
+	c := DefaultEfficiencyCurve()
+	rated := Watts(500)
+	for _, dc := range []Watts{50, 150, 250, 400, 500} {
+		ac := c.DCToAC(dc, rated)
+		if ac <= dc {
+			t.Errorf("AC input %v should exceed DC output %v", ac, dc)
+		}
+		back := c.ACToDC(ac, rated)
+		if !ApproxEqual(back, dc, 1.0) {
+			t.Errorf("round trip: DC %v -> AC %v -> DC %v", dc, ac, back)
+		}
+	}
+}
+
+func TestACDCConversionZeroAndNegative(t *testing.T) {
+	c := FlatEfficiency(0.9)
+	if c.DCToAC(0, 500) != 0 || c.DCToAC(-5, 500) != 0 {
+		t.Error("non-positive DC should convert to 0 AC")
+	}
+	if c.ACToDC(0, 500) != 0 || c.ACToDC(-5, 500) != 0 {
+		t.Error("non-positive AC should convert to 0 DC")
+	}
+}
+
+func TestFlatEfficiencyConversionExact(t *testing.T) {
+	c := FlatEfficiency(0.9)
+	ac := c.DCToAC(90, 0) // zero rated capacity: operating point pegged at 1
+	if !ApproxEqual(ac, 100, 1e-9) {
+		t.Errorf("DCToAC(90) with k=0.9 = %v, want 100", ac)
+	}
+	dc := c.ACToDC(100, 0)
+	if !ApproxEqual(dc, 90, 1e-9) {
+		t.Errorf("ACToDC(100) with k=0.9 = %v, want 90", dc)
+	}
+}

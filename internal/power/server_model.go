@@ -1,0 +1,220 @@
+package power
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ServerModel describes the controllable power envelope of a server class,
+// matching the parameters in Table 4 of the paper. Idle is the power drawn
+// at 0% CPU utilization with no throttling; CapMin is the power at the
+// lowest performance state (the floor a power cap can enforce); CapMax is
+// the power at the highest performance state running the most
+// power-demanding workload (budget above CapMax is wasted).
+type ServerModel struct {
+	Idle   Watts
+	CapMin Watts
+	CapMax Watts
+}
+
+// DefaultServerModel reproduces the server class used throughout the paper's
+// evaluation: idle 160 W, Pcap_min 270 W, Pcap_max 490 W.
+func DefaultServerModel() ServerModel {
+	return ServerModel{Idle: 160, CapMin: 270, CapMax: 490}
+}
+
+// Validate checks the envelope ordering invariants.
+func (m ServerModel) Validate() error {
+	switch {
+	case m.Idle < 0:
+		return fmt.Errorf("power: idle %v is negative", m.Idle)
+	case m.CapMin < m.Idle:
+		return fmt.Errorf("power: cap min %v below idle %v", m.CapMin, m.Idle)
+	case m.CapMax < m.CapMin:
+		return fmt.Errorf("power: cap max %v below cap min %v", m.CapMax, m.CapMin)
+	}
+	return nil
+}
+
+// PowerAt returns the full-performance (uncapped) power demand of a server
+// running at the given CPU utilization in [0, 1]. The relationship is the
+// linear model of Fan et al. [2], which the paper uses for its capacity
+// study: P(u) = idle + u * (max - idle).
+func (m ServerModel) PowerAt(utilization float64) Watts {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	return m.Idle + Watts(utilization)*(m.CapMax-m.Idle)
+}
+
+// UtilizationFor inverts PowerAt: the utilization at which the uncapped
+// demand equals p. Values outside the envelope clamp to [0, 1].
+func (m ServerModel) UtilizationFor(p Watts) float64 {
+	if m.CapMax == m.Idle {
+		return 0
+	}
+	u := float64((p - m.Idle) / (m.CapMax - m.Idle))
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// DynamicRange is the controllable span CapMax - CapMin.
+func (m ServerModel) DynamicRange() Watts { return m.CapMax - m.CapMin }
+
+// CapRatio computes the paper's capping-impact metric (Section 6.4):
+//
+//	CapRatio = (Demand - Budget) / (Demand - Idle)
+//
+// the fraction of the server's dynamic (non-idle) power demand removed by
+// the assigned budget. A ratio of 0 means uncapped; 1 means the budget
+// removes all dynamic power. Budgets above demand yield 0. A demand at or
+// below idle power cannot be capped, so the ratio is 0 there as well.
+func (m ServerModel) CapRatio(demand, budget Watts) float64 {
+	if demand <= m.Idle || budget >= demand {
+		return 0
+	}
+	ratio := float64((demand - budget) / (demand - m.Idle))
+	if ratio < 0 {
+		return 0
+	}
+	if ratio > 1 {
+		return 1
+	}
+	return ratio
+}
+
+// ErrUnknownEfficiency reports an efficiency curve evaluated outside its
+// defined domain.
+var ErrUnknownEfficiency = errors.New("power: efficiency undefined for load")
+
+// EfficiencyCurve maps a power supply's output (DC) load fraction to its
+// conversion efficiency (DC out / AC in). Real supplies publish these as
+// 80 PLUS-style load/efficiency tables; CapMaestro uses the curve to convert
+// between the AC domain (what breakers and budgets see) and the DC domain
+// (what the node manager caps).
+type EfficiencyCurve struct {
+	// loadPoints and effPoints are parallel arrays of (load fraction,
+	// efficiency) samples sorted by load fraction; evaluation linearly
+	// interpolates between them.
+	loadPoints []float64
+	effPoints  []float64
+}
+
+// NewEfficiencyCurve builds a curve from (loadFraction, efficiency) pairs.
+// Points must be sorted by load fraction, with fractions in (0, 1] and
+// efficiencies in (0, 1].
+func NewEfficiencyCurve(points [][2]float64) (*EfficiencyCurve, error) {
+	if len(points) == 0 {
+		return nil, errors.New("power: efficiency curve needs at least one point")
+	}
+	c := &EfficiencyCurve{}
+	prev := -1.0
+	for _, p := range points {
+		load, eff := p[0], p[1]
+		if load <= 0 || load > 1 {
+			return nil, fmt.Errorf("power: load fraction %v out of (0,1]", load)
+		}
+		if eff <= 0 || eff > 1 {
+			return nil, fmt.Errorf("power: efficiency %v out of (0,1]", eff)
+		}
+		if load <= prev {
+			return nil, fmt.Errorf("power: load fractions not strictly increasing at %v", load)
+		}
+		prev = load
+		c.loadPoints = append(c.loadPoints, load)
+		c.effPoints = append(c.effPoints, eff)
+	}
+	return c, nil
+}
+
+// FlatEfficiency returns a curve with constant efficiency k, the
+// single-coefficient model the paper's controller uses ("k can be determined
+// from the power supply specification", Section 4.2).
+func FlatEfficiency(k float64) *EfficiencyCurve {
+	c, err := NewEfficiencyCurve([][2]float64{{1, k}})
+	if err != nil {
+		panic(err) // only reachable for k outside (0,1], a programming error
+	}
+	return c
+}
+
+// DefaultEfficiencyCurve models a contemporary 80 PLUS Platinum server
+// supply: ~89% efficient at 10% load rising to ~94% at half load and easing
+// to ~91% at full load.
+func DefaultEfficiencyCurve() *EfficiencyCurve {
+	c, err := NewEfficiencyCurve([][2]float64{
+		{0.10, 0.89},
+		{0.20, 0.92},
+		{0.50, 0.94},
+		{0.75, 0.93},
+		{1.00, 0.91},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// At returns the efficiency at the given load fraction, linearly
+// interpolating between samples and clamping outside the sampled range.
+func (c *EfficiencyCurve) At(loadFraction float64) float64 {
+	pts := c.loadPoints
+	if loadFraction <= pts[0] {
+		return c.effPoints[0]
+	}
+	last := len(pts) - 1
+	if loadFraction >= pts[last] {
+		return c.effPoints[last]
+	}
+	for i := 1; i <= last; i++ {
+		if loadFraction <= pts[i] {
+			span := pts[i] - pts[i-1]
+			t := (loadFraction - pts[i-1]) / span
+			return c.effPoints[i-1] + t*(c.effPoints[i]-c.effPoints[i-1])
+		}
+	}
+	return c.effPoints[last]
+}
+
+// DCToAC converts a DC output power to the AC input power drawn from the
+// feed, given the supply's rated DC capacity (used to locate the operating
+// point on the curve).
+func (c *EfficiencyCurve) DCToAC(dc, ratedDC Watts) Watts {
+	if dc <= 0 {
+		return 0
+	}
+	frac := 1.0
+	if ratedDC > 0 {
+		frac = float64(dc / ratedDC)
+	}
+	eff := c.At(frac)
+	return dc / Watts(eff)
+}
+
+// ACToDC converts an AC input power to the DC output delivered, given the
+// supply's rated DC capacity.
+func (c *EfficiencyCurve) ACToDC(ac, ratedDC Watts) Watts {
+	if ac <= 0 {
+		return 0
+	}
+	// The operating point depends on DC output, which is what we are
+	// solving for; a couple of fixed-point iterations converge because the
+	// curve is nearly flat.
+	dc := ac * Watts(c.At(1))
+	for i := 0; i < 4; i++ {
+		frac := 1.0
+		if ratedDC > 0 {
+			frac = float64(dc / ratedDC)
+		}
+		dc = ac * Watts(c.At(frac))
+	}
+	return dc
+}

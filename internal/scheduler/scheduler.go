@@ -1,0 +1,379 @@
+// Package scheduler implements the job-scheduler coordination the paper
+// calls for in its discussion of open challenges (Section 7): because
+// CapMaestro caps power *per server*, the scheduler should co-locate jobs
+// of similar priority on physical servers, derive each server's priority
+// from the jobs it hosts, and push priority changes to the power manager
+// proactively so budgets adjust before the next emergency rather than
+// after it.
+//
+// The scheduler models servers as core-counted bins and jobs as
+// (cores, priority) requests. Placement prefers, in order:
+//
+//  1. servers already running jobs of exactly the job's priority (keeps
+//     servers priority-pure, so per-server capping maps cleanly onto job
+//     priorities);
+//  2. empty servers (starts a new pure server);
+//  3. any server with room (priority mixing, reported as pollution).
+//
+// Within a class, best-fit (least leftover cores) reduces fragmentation.
+// A server's effective priority is the maximum priority of its jobs — the
+// conservative choice the paper suggests — and every change is reported
+// through the PriorityChange callback.
+//
+// The scheduler also provides per-job budget division (DivideBudget): the
+// paper notes that capping "virtual partitions" of a server requires
+// splitting the server budget across jobs; the same four-step budgeting
+// primitive that shifts power between servers divides a server's budget
+// among its jobs by priority.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"time"
+)
+
+// JobID identifies a job (VM or container).
+type JobID string
+
+// Job is a placement request.
+type Job struct {
+	ID       JobID
+	Cores    int
+	Priority core.Priority
+}
+
+// ServerInfo describes a schedulable server.
+type ServerInfo struct {
+	ID    string
+	Cores int
+}
+
+// PriorityChange is invoked whenever a server's effective priority
+// changes; wire it to the power manager (e.g. Simulator.SetPriority).
+type PriorityChange func(serverID string, old, new core.Priority)
+
+// ErrNoCapacity is returned when no server can host a job.
+var ErrNoCapacity = errors.New("scheduler: no server has enough free cores")
+
+type serverState struct {
+	info     ServerInfo
+	free     int
+	jobs     map[JobID]Job
+	priority core.Priority
+	hasJobs  bool
+}
+
+// Scheduler places jobs onto servers and tracks per-server priorities.
+type Scheduler struct {
+	mu       sync.Mutex
+	servers  map[string]*serverState
+	placed   map[JobID]string
+	onChange PriorityChange
+	energyWh map[JobID]float64
+
+	// IdlePriority is the priority of a server hosting no jobs; such
+	// servers are safe to throttle to the floor. Defaults to the lowest
+	// used priority (0).
+	IdlePriority core.Priority
+}
+
+// New creates a scheduler over the given servers. onChange may be nil.
+func New(servers []ServerInfo, onChange PriorityChange) (*Scheduler, error) {
+	if len(servers) == 0 {
+		return nil, errors.New("scheduler: no servers")
+	}
+	s := &Scheduler{
+		servers:  make(map[string]*serverState, len(servers)),
+		placed:   make(map[JobID]string),
+		onChange: onChange,
+		energyWh: make(map[JobID]float64),
+	}
+	for _, info := range servers {
+		if info.ID == "" {
+			return nil, errors.New("scheduler: server with empty ID")
+		}
+		if info.Cores <= 0 {
+			return nil, fmt.Errorf("scheduler: server %q has no cores", info.ID)
+		}
+		if _, dup := s.servers[info.ID]; dup {
+			return nil, fmt.Errorf("scheduler: duplicate server %q", info.ID)
+		}
+		s.servers[info.ID] = &serverState{
+			info: info,
+			free: info.Cores,
+			jobs: make(map[JobID]Job),
+		}
+	}
+	return s, nil
+}
+
+// Submit places a job and returns the chosen server.
+func (s *Scheduler) Submit(job Job) (string, error) {
+	if job.ID == "" {
+		return "", errors.New("scheduler: job with empty ID")
+	}
+	if job.Cores <= 0 {
+		return "", fmt.Errorf("scheduler: job %q requests no cores", job.ID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.placed[job.ID]; dup {
+		return "", fmt.Errorf("scheduler: job %q already placed", job.ID)
+	}
+
+	best := s.pickServer(job)
+	if best == nil {
+		return "", fmt.Errorf("%w: job %q wants %d cores", ErrNoCapacity, job.ID, job.Cores)
+	}
+	best.jobs[job.ID] = job
+	best.free -= job.Cores
+	s.placed[job.ID] = best.info.ID
+	s.refreshPriority(best)
+	return best.info.ID, nil
+}
+
+// pickServer scores candidates: class (pure-match > empty > mixed), then
+// best fit, then ID for determinism.
+func (s *Scheduler) pickServer(job Job) *serverState {
+	type candidate struct {
+		st    *serverState
+		class int // 0 pure match, 1 empty, 2 mixed
+	}
+	var cands []candidate
+	for _, st := range s.servers {
+		if st.free < job.Cores {
+			continue
+		}
+		class := 2
+		switch {
+		case !st.hasJobs:
+			class = 1
+		case s.isPure(st, job.Priority):
+			class = 0
+		}
+		cands = append(cands, candidate{st: st, class: class})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.class != b.class {
+			return a.class < b.class
+		}
+		leftA := a.st.free - job.Cores
+		leftB := b.st.free - job.Cores
+		if leftA != leftB {
+			return leftA < leftB // best fit
+		}
+		return a.st.info.ID < b.st.info.ID
+	})
+	return cands[0].st
+}
+
+func (s *Scheduler) isPure(st *serverState, p core.Priority) bool {
+	for _, j := range st.jobs {
+		if j.Priority != p {
+			return false
+		}
+	}
+	return true
+}
+
+// Remove evicts a job (completion or migration).
+func (s *Scheduler) Remove(jobID JobID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	serverID, ok := s.placed[jobID]
+	if !ok {
+		return fmt.Errorf("scheduler: job %q not placed", jobID)
+	}
+	st := s.servers[serverID]
+	job := st.jobs[jobID]
+	delete(st.jobs, jobID)
+	st.free += job.Cores
+	delete(s.placed, jobID)
+	s.refreshPriority(st)
+	return nil
+}
+
+// refreshPriority recomputes a server's effective priority (max over jobs,
+// IdlePriority when empty) and fires the callback on change.
+func (s *Scheduler) refreshPriority(st *serverState) {
+	old, oldHas := st.priority, st.hasJobs
+	st.hasJobs = len(st.jobs) > 0
+	prio := s.IdlePriority
+	first := true
+	for _, j := range st.jobs {
+		if first || j.Priority > prio {
+			prio = j.Priority
+			first = false
+		}
+	}
+	st.priority = prio
+	if s.onChange != nil && (prio != old || oldHas != st.hasJobs) {
+		s.onChange(st.info.ID, old, prio)
+	}
+}
+
+// ServerPriority returns a server's effective priority.
+func (s *Scheduler) ServerPriority(serverID string) (core.Priority, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.servers[serverID]
+	if !ok {
+		return 0, false
+	}
+	return st.priority, true
+}
+
+// Placement returns the server hosting a job.
+func (s *Scheduler) Placement(jobID JobID) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.placed[jobID]
+	return id, ok
+}
+
+// Utilization returns the fraction of a server's cores in use.
+func (s *Scheduler) Utilization(serverID string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.servers[serverID]
+	if !ok {
+		return 0, false
+	}
+	return float64(st.info.Cores-st.free) / float64(st.info.Cores), true
+}
+
+// Jobs lists the jobs on a server, sorted by ID.
+func (s *Scheduler) Jobs(serverID string) []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.servers[serverID]
+	if !ok {
+		return nil
+	}
+	out := make([]Job, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MixedServers lists servers hosting more than one priority level —
+// placements where per-server capping cannot distinguish job priorities.
+// An empty list means the fleet is priority-pure.
+func (s *Scheduler) MixedServers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for id, st := range s.servers {
+		seen := make(map[core.Priority]struct{})
+		for _, j := range st.jobs {
+			seen[j.Priority] = struct{}{}
+		}
+		if len(seen) > 1 {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MeterEnergy attributes dt of a server's measured power draw to the jobs
+// it hosts, accumulating per-job energy. The paper notes (Section 7) that
+// per-user power metering on shared servers "does not currently exist" and
+// blocks providers from passing energy savings through to users; this is
+// the accounting half of that gap. Idle power is split by core share of
+// the whole machine (an idle machine's cost belongs to its tenants pro
+// rata); dynamic power is split by core share of the *used* cores.
+func (s *Scheduler) MeterEnergy(serverID string, draw power.Watts, idle power.Watts, dt time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.servers[serverID]
+	if !ok {
+		return fmt.Errorf("scheduler: unknown server %q", serverID)
+	}
+	if len(st.jobs) == 0 || dt <= 0 {
+		return nil
+	}
+	if draw < 0 {
+		draw = 0
+	}
+	dynamic := draw - idle
+	if dynamic < 0 {
+		idle = draw
+		dynamic = 0
+	}
+	usedCores := st.info.Cores - st.free
+	hours := dt.Hours()
+	for id, j := range st.jobs {
+		idleShare := float64(j.Cores) / float64(st.info.Cores)
+		dynShare := 0.0
+		if usedCores > 0 {
+			dynShare = float64(j.Cores) / float64(usedCores)
+		}
+		s.energyWh[id] += (float64(idle)*idleShare + float64(dynamic)*dynShare) * hours
+	}
+	return nil
+}
+
+// EnergyWh reports the energy attributed to a job so far (watt-hours).
+// Completed jobs keep their accumulated total.
+func (s *Scheduler) EnergyWh(jobID JobID) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.energyWh[jobID]
+}
+
+// DivideBudget splits a server's power budget among its jobs: each job is
+// treated as a virtual partition whose floor and ceiling are its core
+// share of the server's envelope, and the same priority-aware budgeting
+// step that shifts power between servers divides the dynamic power among
+// jobs. Idle headroom (unused cores) is budgeted to no job.
+func (s *Scheduler) DivideBudget(serverID string, budget power.Watts, model power.ServerModel) (map[JobID]power.Watts, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.servers[serverID]
+	if !ok {
+		return nil, fmt.Errorf("scheduler: unknown server %q", serverID)
+	}
+	out := make(map[JobID]power.Watts, len(st.jobs))
+	if len(st.jobs) == 0 {
+		return out, nil
+	}
+	ids := make([]JobID, 0, len(st.jobs))
+	for id := range st.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	summaries := make([]core.Summary, 0, len(ids))
+	totalCores := float64(st.info.Cores)
+	for _, id := range ids {
+		j := st.jobs[id]
+		share := float64(j.Cores) / totalCores
+		sum := core.NewSummary()
+		sum.CapMin[j.Priority] = power.Watts(share) * model.CapMin
+		sum.Demand[j.Priority] = power.Watts(share) * model.CapMax
+		sum.Request[j.Priority] = power.Watts(share) * model.CapMax
+		sum.Constraint = power.Watts(share) * model.CapMax
+		summaries = append(summaries, sum)
+	}
+	// Only the jobs' core share of the budget is divisible; idle cores'
+	// share of the envelope stays unassigned.
+	usedShare := power.Watts(float64(st.info.Cores-st.free) / totalCores)
+	allocs, _ := core.DistributeBudget(power.Min(budget, usedShare*model.CapMax), summaries)
+	for i, id := range ids {
+		out[id] = allocs[i]
+	}
+	return out, nil
+}

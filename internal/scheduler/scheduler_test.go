@@ -1,0 +1,335 @@
+package scheduler
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"capmaestro/internal/sim"
+	"capmaestro/internal/topology"
+)
+
+func newTestScheduler(t *testing.T, onChange PriorityChange) *Scheduler {
+	t.Helper()
+	s, err := New([]ServerInfo{
+		{ID: "s1", Cores: 28},
+		{ID: "s2", Cores: 28},
+		{ID: "s3", Cores: 28},
+	}, onChange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("no servers should fail")
+	}
+	if _, err := New([]ServerInfo{{ID: "", Cores: 4}}, nil); err == nil {
+		t.Error("empty ID should fail")
+	}
+	if _, err := New([]ServerInfo{{ID: "a", Cores: 0}}, nil); err == nil {
+		t.Error("zero cores should fail")
+	}
+	if _, err := New([]ServerInfo{{ID: "a", Cores: 4}, {ID: "a", Cores: 4}}, nil); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newTestScheduler(t, nil)
+	if _, err := s.Submit(Job{ID: "", Cores: 4}); err == nil {
+		t.Error("empty job ID should fail")
+	}
+	if _, err := s.Submit(Job{ID: "j", Cores: 0}); err == nil {
+		t.Error("zero cores should fail")
+	}
+	if _, err := s.Submit(Job{ID: "j", Cores: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Job{ID: "j", Cores: 4}); err == nil {
+		t.Error("duplicate job should fail")
+	}
+	if _, err := s.Submit(Job{ID: "huge", Cores: 64}); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("oversized job: %v", err)
+	}
+}
+
+func TestCoLocationByPriority(t *testing.T) {
+	s := newTestScheduler(t, nil)
+	// First high-priority job starts a server; subsequent ones join it.
+	srvA, _ := s.Submit(Job{ID: "h1", Cores: 8, Priority: 1})
+	srvB, _ := s.Submit(Job{ID: "h2", Cores: 8, Priority: 1})
+	if srvA != srvB {
+		t.Errorf("same-priority jobs split: %s vs %s", srvA, srvB)
+	}
+	// A low-priority job avoids the high-priority server while empty
+	// servers exist.
+	srvC, _ := s.Submit(Job{ID: "l1", Cores: 8, Priority: 0})
+	if srvC == srvA {
+		t.Error("low-priority job polluted the high-priority server")
+	}
+	if mixed := s.MixedServers(); len(mixed) != 0 {
+		t.Errorf("fleet should be pure, mixed = %v", mixed)
+	}
+}
+
+func TestMixingOnlyWhenForced(t *testing.T) {
+	s := newTestScheduler(t, nil)
+	// Fill all three servers with low-priority work, leaving room on one.
+	s.Submit(Job{ID: "l1", Cores: 28, Priority: 0})
+	s.Submit(Job{ID: "l2", Cores: 28, Priority: 0})
+	s.Submit(Job{ID: "l3", Cores: 20, Priority: 0})
+	srv, err := s.Submit(Job{ID: "h1", Cores: 8, Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := s.MixedServers()
+	if len(mixed) != 1 || mixed[0] != srv {
+		t.Errorf("expected forced mixing on %s, got %v", srv, mixed)
+	}
+	// The mixed server's priority rises to the max of its jobs.
+	if p, _ := s.ServerPriority(srv); p != 1 {
+		t.Errorf("mixed server priority = %v, want 1", p)
+	}
+}
+
+func TestBestFitReducesFragmentation(t *testing.T) {
+	s, err := New([]ServerInfo{
+		{ID: "big", Cores: 28},
+		{ID: "small", Cores: 8},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An 8-core job fits exactly into the small server; best-fit should
+	// keep the big server whole.
+	srv, _ := s.Submit(Job{ID: "j", Cores: 8, Priority: 0})
+	if srv != "small" {
+		t.Errorf("placed on %s, want small (best fit)", srv)
+	}
+}
+
+func TestPriorityCallbackAndRemove(t *testing.T) {
+	type change struct {
+		server   string
+		old, new core.Priority
+	}
+	var changes []change
+	s := newTestScheduler(t, func(id string, old, new core.Priority) {
+		changes = append(changes, change{id, old, new})
+	})
+	srv, _ := s.Submit(Job{ID: "h1", Cores: 4, Priority: 2})
+	if len(changes) != 1 || changes[0].new != 2 {
+		t.Fatalf("changes = %+v", changes)
+	}
+	if u, _ := s.Utilization(srv); u != 4.0/28 {
+		t.Errorf("utilization = %v", u)
+	}
+	if err := s.Remove("h1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 2 || changes[1].new != 0 {
+		t.Fatalf("removal change missing: %+v", changes)
+	}
+	if err := s.Remove("h1"); err == nil {
+		t.Error("double remove should fail")
+	}
+	if _, ok := s.Placement("h1"); ok {
+		t.Error("placement should be cleared")
+	}
+}
+
+func TestAccessorsUnknownServer(t *testing.T) {
+	s := newTestScheduler(t, nil)
+	if _, ok := s.ServerPriority("nope"); ok {
+		t.Error("unknown server priority should be !ok")
+	}
+	if _, ok := s.Utilization("nope"); ok {
+		t.Error("unknown server utilization should be !ok")
+	}
+	if s.Jobs("nope") != nil {
+		t.Error("unknown server jobs should be nil")
+	}
+}
+
+func TestJobsSorted(t *testing.T) {
+	s := newTestScheduler(t, nil)
+	s.Submit(Job{ID: "b", Cores: 2, Priority: 1})
+	s.Submit(Job{ID: "a", Cores: 2, Priority: 1})
+	srv, _ := s.Placement("a")
+	jobs := s.Jobs(srv)
+	if len(jobs) != 2 || jobs[0].ID != "a" || jobs[1].ID != "b" {
+		t.Errorf("jobs = %+v", jobs)
+	}
+}
+
+func TestDivideBudgetPriorityAware(t *testing.T) {
+	s, err := New([]ServerInfo{{ID: "s1", Cores: 28}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Submit(Job{ID: "hi", Cores: 14, Priority: 1})
+	s.Submit(Job{ID: "lo", Cores: 14, Priority: 0})
+	model := power.DefaultServerModel()
+	// A tight budget: the high-priority job gets its full half-envelope
+	// (245 W), the low-priority job the remainder above its floor.
+	budgets, err := s.DivideBudget("s1", 400, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgets["hi"] < 240 {
+		t.Errorf("high-priority partition = %v, want ~245", budgets["hi"])
+	}
+	if budgets["lo"] < 135-1 || budgets["lo"] > budgets["hi"] {
+		t.Errorf("low-priority partition = %v (floor 135)", budgets["lo"])
+	}
+	total := budgets["hi"] + budgets["lo"]
+	if total > 400+0.001 {
+		t.Errorf("partitions %v exceed the server budget", total)
+	}
+	if _, err := s.DivideBudget("nope", 400, model); err == nil {
+		t.Error("unknown server should fail")
+	}
+	// Empty server: empty division.
+	s2, _ := New([]ServerInfo{{ID: "e", Cores: 4}}, nil)
+	if out, err := s2.DivideBudget("e", 300, model); err != nil || len(out) != 0 {
+		t.Errorf("empty server division = %v, %v", out, err)
+	}
+}
+
+// TestSchedulerDrivesSimulatorPriorities is the Section 7 integration: job
+// placements update simulated server priorities, and the next control
+// period re-budgets power toward the server that just received
+// high-priority work.
+func TestSchedulerDrivesSimulatorPriorities(t *testing.T) {
+	root := topology.NewNode("X", topology.KindUtility, 0)
+	root.Feed = "X"
+	cdu := root.AddChild(topology.NewNode("cdu", topology.KindCDU, 900))
+	cdu.AddChild(topology.NewSupply("s1-ps", "s1", 1))
+	cdu.AddChild(topology.NewSupply("s2-ps", "s2", 1))
+	topo, err := topology.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derating := topology.FullRating()
+	simulator, err := sim.New(sim.Config{
+		Topology: topo,
+		Servers: map[string]sim.ServerSpec{
+			"s1": {Utilization: 1},
+			"s2": {Utilization: 1},
+		},
+		Policy:      core.GlobalPriority,
+		RootBudgets: map[topology.FeedID]power.Watts{"X": 760},
+		Derating:    &derating,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := New([]ServerInfo{{ID: "s1", Cores: 28}, {ID: "s2", Cores: 28}},
+		func(serverID string, _, new core.Priority) {
+			if err := simulator.SetPriority(serverID, new); err != nil {
+				t.Error(err)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Equal priorities: the 760 W budget splits evenly (~380/380).
+	simulator.Run(time.Minute)
+	p1, p2 := simulator.Server("s1").ACPower(), simulator.Server("s2").ACPower()
+	if d := float64(p1 - p2); d > 15 || d < -15 {
+		t.Fatalf("equal-priority split uneven: %v vs %v", p1, p2)
+	}
+
+	// A high-priority job lands (deterministically on s1: best-fit tie
+	// broken by ID); power shifts toward it within a few control periods.
+	srv, err := sched.Submit(Job{ID: "critical", Cores: 8, Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv != "s1" {
+		t.Fatalf("job placed on %s, want s1", srv)
+	}
+	simulator.Run(time.Minute)
+	p1, p2 = simulator.Server("s1").ACPower(), simulator.Server("s2").ACPower()
+	if p1 < 480 {
+		t.Errorf("high-priority server power = %v, want ~490", p1)
+	}
+	if p2 > 285 {
+		t.Errorf("low-priority server power = %v, want ~270", p2)
+	}
+
+	// Job completes; the fleet returns to an even split.
+	if err := sched.Remove("critical"); err != nil {
+		t.Fatal(err)
+	}
+	simulator.Run(time.Minute)
+	p1, p2 = simulator.Server("s1").ACPower(), simulator.Server("s2").ACPower()
+	if d := float64(p1 - p2); d > 15 || d < -15 {
+		t.Errorf("post-completion split uneven: %v vs %v", p1, p2)
+	}
+}
+
+func TestMeterEnergyAttribution(t *testing.T) {
+	s, err := New([]ServerInfo{{ID: "s1", Cores: 28}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Submit(Job{ID: "big", Cores: 21, Priority: 0})  // 3/4 of used cores
+	s.Submit(Job{ID: "small", Cores: 7, Priority: 0}) // 1/4 of used cores
+	// One hour at 440 W with a 160 W idle floor: 280 W dynamic.
+	if err := s.MeterEnergy("s1", 440, 160, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// big: idle 160×(21/28)=120, dynamic 280×(3/4)=210 → 330 Wh.
+	if got := s.EnergyWh("big"); math.Abs(got-330) > 0.01 {
+		t.Errorf("big energy = %v Wh, want 330", got)
+	}
+	// small: idle 40 + dynamic 70 = 110 Wh.
+	if got := s.EnergyWh("small"); math.Abs(got-110) > 0.01 {
+		t.Errorf("small energy = %v Wh, want 110", got)
+	}
+	// Attribution is conservative: totals match the measured draw.
+	if total := s.EnergyWh("big") + s.EnergyWh("small"); math.Abs(total-440) > 0.01 {
+		t.Errorf("attributed total %v Wh, want 440", total)
+	}
+}
+
+func TestMeterEnergyEdgeCases(t *testing.T) {
+	s, err := New([]ServerInfo{{ID: "s1", Cores: 28}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MeterEnergy("nope", 400, 160, time.Hour); err == nil {
+		t.Error("unknown server should fail")
+	}
+	// No jobs: nothing attributed, no error.
+	if err := s.MeterEnergy("s1", 400, 160, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s.Submit(Job{ID: "j", Cores: 14, Priority: 0})
+	// Draw below idle: everything counts as idle share, nothing negative.
+	if err := s.MeterEnergy("s1", 100, 160, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EnergyWh("j"); math.Abs(got-50) > 0.01 {
+		t.Errorf("below-idle attribution = %v Wh, want 50 (half of 100)", got)
+	}
+	// Zero duration: no change.
+	before := s.EnergyWh("j")
+	s.MeterEnergy("s1", 400, 160, 0)
+	if s.EnergyWh("j") != before {
+		t.Error("zero-duration metering changed energy")
+	}
+	// Energy survives job completion.
+	s.Remove("j")
+	if s.EnergyWh("j") != before {
+		t.Error("completed job lost its energy record")
+	}
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"capmaestro/internal/power"
+)
+
+func hotSpareServer(t *testing.T) *Server {
+	t.Helper()
+	s := MustNew(Config{
+		ID:    "s1",
+		Model: power.DefaultServerModel(),
+		Supplies: []Supply{
+			{ID: "primary", Split: 0.5},
+			{ID: "spare", Split: 0.5},
+		},
+	})
+	if err := s.ConfigureHotSpare("spare", 250, 300); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHotSpareValidation(t *testing.T) {
+	s := hotSpareServer(t)
+	if err := s.ConfigureHotSpare("nope", 100, 200); err == nil {
+		t.Error("unknown supply should fail")
+	}
+	if err := s.ConfigureHotSpare("spare", 300, 300); err == nil {
+		t.Error("non-positive hysteresis should fail")
+	}
+	// Reconfiguring an existing policy replaces it.
+	if err := s.ConfigureHotSpare("spare", 200, 260); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotSpareEntersStandbyAtLightLoad(t *testing.T) {
+	s := hotSpareServer(t)
+	s.SetUtilization(0.1) // ~193 W < 250
+	s.Step(time.Second)
+	sp, _ := s.SupplyACPower("spare")
+	if sp != 0 {
+		t.Errorf("spare carries %v at light load, want 0 (standby)", sp)
+	}
+	pr, _ := s.SupplyACPower("primary")
+	if !power.ApproxEqual(pr, s.ACPower(), 1e-6) {
+		t.Errorf("primary carries %v, want full load %v", pr, s.ACPower())
+	}
+	if s.WorkingSupplies() != 1 {
+		t.Errorf("working supplies = %d, want 1", s.WorkingSupplies())
+	}
+}
+
+func TestHotSpareReactivatesAtHighLoad(t *testing.T) {
+	s := hotSpareServer(t)
+	s.SetUtilization(0.1)
+	s.Step(time.Second)
+	if s.WorkingSupplies() != 1 {
+		t.Fatal("setup: spare should be in standby")
+	}
+	s.SetUtilization(0.9) // ~457 W > 300
+	s.Step(time.Second)
+	if s.WorkingSupplies() != 2 {
+		t.Errorf("spare should reactivate at high load")
+	}
+	sp, _ := s.SupplyACPower("spare")
+	if sp <= 0 {
+		t.Errorf("reactivated spare carries %v", sp)
+	}
+}
+
+func TestHotSpareHysteresis(t *testing.T) {
+	s := hotSpareServer(t)
+	// In the hysteresis band (250-300 W), state is sticky.
+	s.SetUtilization(s.Model().UtilizationFor(280))
+	s.Step(time.Second)
+	if s.WorkingSupplies() != 2 {
+		t.Error("inside band from above: spare should stay active")
+	}
+	s.SetUtilization(0.1)
+	s.Step(time.Second)
+	s.SetUtilization(s.Model().UtilizationFor(280))
+	s.Step(time.Second)
+	if s.WorkingSupplies() != 1 {
+		t.Error("inside band from below: spare should stay in standby")
+	}
+}
+
+func TestHotSpareNeverStandsDownLastSupply(t *testing.T) {
+	s := hotSpareServer(t)
+	if err := s.SetSupplyState("primary", SupplyFailed); err != nil {
+		t.Fatal(err)
+	}
+	s.SetUtilization(0.05)
+	s.Step(time.Second)
+	if s.WorkingSupplies() != 1 {
+		t.Error("the sole working supply must not enter standby")
+	}
+	sp, _ := s.SupplyACPower("spare")
+	if sp <= 0 {
+		t.Error("surviving spare must carry the load")
+	}
+}
+
+func TestHotSpareIgnoresFailedSupply(t *testing.T) {
+	s := hotSpareServer(t)
+	if err := s.SetSupplyState("spare", SupplyFailed); err != nil {
+		t.Fatal(err)
+	}
+	s.SetUtilization(0.9)
+	s.Step(time.Second)
+	for _, sup := range s.Supplies() {
+		if sup.ID == "spare" && sup.State != SupplyFailed {
+			t.Error("hot-spare policy must not resurrect a failed supply")
+		}
+	}
+}

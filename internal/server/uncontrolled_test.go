@@ -1,0 +1,72 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"capmaestro/internal/power"
+)
+
+// gpuServer has 200 W of GPU power the node manager cannot throttle.
+func gpuServer(t *testing.T) *Server {
+	t.Helper()
+	return MustNew(Config{
+		ID:    "gpu1",
+		Model: power.DefaultServerModel(),
+		Supplies: []Supply{
+			{ID: "psA", Split: 0.5},
+			{ID: "psB", Split: 0.5},
+		},
+		UncontrolledPower: 200,
+	})
+}
+
+func TestUncontrolledValidation(t *testing.T) {
+	cfg := Config{
+		ID: "s", Model: power.DefaultServerModel(),
+		Supplies:          []Supply{{ID: "a", Split: 1}},
+		UncontrolledPower: -5,
+	}
+	if _, err := New(cfg); err == nil {
+		t.Error("negative uncontrolled power should fail")
+	}
+}
+
+func TestUncontrolledShiftsEnvelope(t *testing.T) {
+	s := gpuServer(t)
+	lo, hi := s.Envelope()
+	if lo != 470 || hi != 690 {
+		t.Errorf("envelope = [%v, %v], want [470, 690]", lo, hi)
+	}
+	if s.UncontrolledPower() != 200 {
+		t.Error("accessor wrong")
+	}
+	s.SetUtilization(1)
+	if got := s.ACDemand(); got != 690 {
+		t.Errorf("full demand = %v, want 490 + 200", got)
+	}
+}
+
+func TestUncontrolledFloorUnbreakable(t *testing.T) {
+	s := gpuServer(t)
+	s.SetUtilization(1)
+	s.SetDCCap(0) // clip to the (shifted) floor
+	for i := 0; i < 40; i++ {
+		s.Step(time.Second)
+	}
+	// Fully throttled: CPU at CapMin (270) but the GPU's 200 W remains.
+	if got := s.ACPower(); !power.ApproxEqual(got, 470, 2) {
+		t.Errorf("fully throttled power = %v, want 470", got)
+	}
+	if th := s.ThrottleLevel(); th < 0.99 {
+		t.Errorf("throttle = %v, want ~1", th)
+	}
+}
+
+func TestUncontrolledIdleDraw(t *testing.T) {
+	s := gpuServer(t)
+	s.SetUtilization(0)
+	if got := s.ACPower(); !power.ApproxEqual(got, 360, 1) {
+		t.Errorf("idle power = %v, want 160 + 200", got)
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"capmaestro/internal/topology"
+)
+
+// TestPerPhaseProtection models 3-phase delivery (Section 4.1: "we also
+// replicate the power control tree for each phase of power delivery to
+// protect each phase independently, since loading on each phase is not
+// always uniform"): a CDU with three phase branches, where only phase L1
+// is overloaded. Capping must throttle the L1 servers and leave the other
+// phases untouched.
+func TestPerPhaseProtection(t *testing.T) {
+	root := topology.NewNode("X", topology.KindUtility, 0)
+	root.Feed = "X"
+	cdu := root.AddChild(topology.NewNode("cdu", topology.KindCDU, 0))
+	phases := map[topology.Phase]*topology.Node{}
+	for i, ph := range topology.Phases() {
+		n := topology.NewNode(ph.String(), topology.KindPhaseBranch, 800)
+		n.Phase = ph
+		cdu.AddChild(n)
+		phases[ph] = n
+		_ = i
+	}
+	// Two servers per phase; phase L1 is the only one that will overload
+	// its 800 W branch (2 × 490 = 980 W).
+	servers := map[string]ServerSpec{}
+	for _, ph := range topology.Phases() {
+		for j := 0; j < 2; j++ {
+			id := ph.String() + "-srv" + string(rune('A'+j))
+			phases[ph].AddChild(topology.NewSupply(id+"-ps", id, 1))
+			util := 0.4 // ~292 W each: 584 W per phase, under the limit
+			if ph == topology.Phase1 {
+				util = 1.0
+			}
+			servers[id] = ServerSpec{Utilization: util}
+		}
+	}
+	topo, err := topology.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derating := topology.FullRating()
+	s, err := New(Config{
+		Topology: topo,
+		Servers:  servers,
+		Policy:   core.GlobalPriority,
+		Derating: &derating,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(time.Minute)
+
+	// L1 servers capped to ~400 W each; L2/L3 servers uncapped.
+	for _, ph := range topology.Phases() {
+		load := s.NodeLoad(ph.String())
+		if load > 800+2 {
+			t.Errorf("phase %v load %v exceeds its 800 W branch limit", ph, load)
+		}
+		for j := 0; j < 2; j++ {
+			id := ph.String() + "-srv" + string(rune('A'+j))
+			p := s.Server(id).ACPower()
+			if ph == topology.Phase1 {
+				if !power.ApproxEqual(p, 400, 6) {
+					t.Errorf("overloaded-phase server %s power = %v, want ~400", id, p)
+				}
+			} else if p < 285 {
+				t.Errorf("healthy-phase server %s power = %v, want uncapped ~292", id, p)
+			}
+		}
+	}
+	if tripped := s.TrippedBreakers(); len(tripped) != 0 {
+		t.Errorf("tripped breakers: %v", tripped)
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"capmaestro/internal/topology"
+	"capmaestro/internal/workload"
+)
+
+// buildRackScaleDC wires 3 racks × 30 dual-corded servers (90 servers)
+// across two feeds: feed -> RPP -> per-rack CDUs -> supplies.
+func buildRackScaleDC(t *testing.T) (*topology.Topology, map[string]ServerSpec) {
+	t.Helper()
+	const (
+		racks          = 3
+		serversPerRack = 30
+	)
+	servers := make(map[string]ServerSpec)
+	mkFeed := func(feed topology.FeedID) *topology.Node {
+		root := topology.NewNode(string(feed), topology.KindUtility, 0)
+		root.Feed = feed
+		rpp := root.AddChild(topology.NewNode(string(feed)+"-rpp", topology.KindRPP, 52000))
+		for r := 0; r < racks; r++ {
+			cdu := rpp.AddChild(topology.NewNode(
+				fmt.Sprintf("%s-cdu%d", feed, r), topology.KindCDU, 9000))
+			for i := 0; i < serversPerRack; i++ {
+				id := fmt.Sprintf("r%d-s%02d", r, i)
+				cdu.AddChild(topology.NewSupply(id+"-"+string(feed), id, 0.5))
+			}
+		}
+		return root
+	}
+	a, b := mkFeed("A"), mkFeed("B")
+	topo, err := topology.New(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < racks; r++ {
+		for i := 0; i < serversPerRack; i++ {
+			id := fmt.Sprintf("r%d-s%02d", r, i)
+			prio := core.Priority(0)
+			if i%5 == 0 { // 20% high priority
+				prio = 1
+			}
+			servers[id] = ServerSpec{Priority: prio, Utilization: 0.3}
+		}
+	}
+	return topo, servers
+}
+
+// TestRackScaleFeedFailureUnderDiurnalLoad drives 90 servers through a
+// compressed day (diurnal swing), fails a feed at peak load, and verifies
+// the safety and priority properties hold at scale: no breaker trips,
+// every CDU stays within rating, and high-priority servers are throttled
+// less than low-priority ones.
+func TestRackScaleFeedFailureUnderDiurnalLoad(t *testing.T) {
+	topo, servers := buildRackScaleDC(t)
+	derating := topology.FullRating()
+	s, err := New(Config{
+		Topology: topo,
+		Servers:  servers,
+		Policy:   core.GlobalPriority,
+		// 3 CDUs × 9000 W per feed; the RPP carries up to 27 kW.
+		RootBudgets: map[topology.FeedID]power.Watts{"A": 27000, "B": 27000},
+		Derating:    &derating,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compressed diurnal ramp: steps from the 4 AM trough to the 4 PM
+	// peak; at the peak, feed B fails.
+	profile := workload.DefaultDiurnalProfile()
+	profile.Peak = 1.0 // stress: full utilization at peak
+	var hiAvg, loAvg float64
+	for step := 0; step <= 6; step++ {
+		tod := time.Duration(4+step*2) * time.Hour // 4:00 → 16:00
+		u := profile.At(tod)
+		for id := range servers {
+			if err := s.SetUtilization(id, u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if step == 6 {
+			s.FailFeed("B")
+			s.Run(2 * time.Minute) // settle under the emergency at peak
+			var hiSum, hiN, loSum, loN float64
+			for id, spec := range servers {
+				p := float64(s.Server(id).ACPower())
+				if spec.Priority == 1 {
+					hiSum += p
+					hiN++
+				} else {
+					loSum += p
+					loN++
+				}
+			}
+			hiAvg, loAvg = hiSum/hiN, loSum/loN
+		}
+		s.Run(40 * time.Second)
+	}
+
+	if tripped := s.TrippedBreakers(); len(tripped) != 0 {
+		t.Fatalf("breakers tripped at scale: %v", tripped)
+	}
+	if v := s.InvariantViolations(); len(v) != 0 {
+		t.Fatalf("allocation invariant violations: %v", v)
+	}
+	for r := 0; r < 3; r++ {
+		id := fmt.Sprintf("A-cdu%d", r)
+		if load := s.NodeLoad(id); load > 9000+5 {
+			t.Errorf("%s load %v exceeds rating", id, load)
+		}
+	}
+
+	// At the peak with one feed down, 30 servers/CDU × 490 W ≈ 14.7 kW of
+	// demand rides a 9 kW CDU: heavy capping. Per CDU, the 24 low-priority
+	// servers' minimums (6 480 W) leave 2 520 W for the 6 high-priority
+	// servers — 420 W each, far above the low-priority floor.
+	if hiAvg <= loAvg+100 {
+		t.Errorf("high-priority avg %v should exceed low-priority avg %v by a wide margin", hiAvg, loAvg)
+	}
+	if loAvg > 285 {
+		t.Errorf("low-priority peak average %v, want near Pcap_min 270", loAvg)
+	}
+	if hiAvg < 400 {
+		t.Errorf("high-priority peak average %v, want ~420 (CDU-bounded)", hiAvg)
+	}
+
+	// Restore the feed and drop to overnight load: everyone runs uncapped.
+	s.RestoreFeed("B")
+	for id := range servers {
+		s.SetUtilization(id, 0.2)
+	}
+	s.Run(time.Minute)
+	for id := range servers {
+		if th := s.Server(id).ThrottleLevel(); th > 0.01 {
+			t.Fatalf("server %s still throttled (%v) after recovery", id, th)
+		}
+	}
+}

@@ -1,0 +1,597 @@
+// Package sim ties the substrates together into a tick-based data-center
+// simulation: servers with node managers, per-server capping controllers,
+// the hierarchical allocation run every control period, breaker thermal
+// models with trip-and-cascade behaviour, and event injection (feed
+// failures, budget changes, load changes). The paper's real-system
+// experiments (Sections 6.1–6.3) are reproduced by driving this simulator.
+//
+// Time advances in one-second ticks, matching the paper's sensor cadence:
+// every second each capping controller samples its server's sensors; every
+// control period (8 s by default) the control hierarchy gathers metrics,
+// allocates budgets, and each capping controller runs one PI iteration.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"capmaestro/internal/breaker"
+	"capmaestro/internal/capping"
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"capmaestro/internal/server"
+	"capmaestro/internal/topology"
+	"capmaestro/internal/trace"
+)
+
+// DefaultControlPeriod is the paper's 8-second control period.
+const DefaultControlPeriod = 8 * time.Second
+
+// ServerSpec describes one simulated server. Supplies and their feed
+// placement come from the topology; the spec adds workload and class data.
+type ServerSpec struct {
+	Priority    core.Priority
+	Model       power.ServerModel // zero value selects the default model
+	Utilization float64
+
+	ActuationTau time.Duration
+	NoiseSigma   float64
+	NoiseSeed    int64
+
+	// UncontrolledPower is a constant draw from components the node
+	// manager cannot throttle (GPUs, storage, NICs).
+	UncontrolledPower power.Watts
+}
+
+// Config assembles a simulation.
+type Config struct {
+	Topology *topology.Topology
+	// Servers maps server ID (as referenced by topology supplies) to spec.
+	Servers map[string]ServerSpec
+	// Policy selects the allocation policy; SPO additionally enables the
+	// stranded power optimization pass.
+	Policy core.Policy
+	SPO    bool
+	// RootBudgets assigns a contractual budget to each feed's tree. Feeds
+	// without an entry allocate up to their physical constraint.
+	RootBudgets map[topology.FeedID]power.Watts
+	// Derating converts ratings to enforceable limits; zero value selects
+	// the conventional 80% rule.
+	Derating *topology.Derating
+	// ControlPeriod overrides the 8 s control period.
+	ControlPeriod time.Duration
+	// Capping tunes the per-server PI controllers.
+	Capping capping.Config
+
+	// TraceNodes, TraceSupplies, and TraceServers select which entities
+	// record time series (power per node; power+budget per supply;
+	// throttle level per server).
+	TraceNodes    []string
+	TraceSupplies []string
+	TraceServers  []string
+}
+
+// Simulator is a running simulation.
+type Simulator struct {
+	topo        *topology.Topology
+	derating    topology.Derating
+	policy      core.Policy
+	spo         bool
+	rootBudgets map[topology.FeedID]power.Watts
+	period      time.Duration
+	capCfg      capping.Config
+
+	servers     map[string]*server.Server
+	controllers map[string]*capping.Controller
+	supplyFeed  map[string]topology.FeedID
+	supplyNode  map[string]*topology.Node
+	breakers    map[string]*breaker.Breaker
+	feedFailed  map[topology.FeedID]bool
+
+	lastReadings map[string]server.Reading
+	lastAllocs   map[topology.FeedID]*core.Allocation
+	lastSPO      *core.SPOReport
+
+	// safety monitor counters
+	invariantViolations []string
+	infeasiblePeriods   int
+
+	events []event
+	now    time.Duration
+	rec    *trace.Recorder
+
+	traceNodes    map[string]bool
+	traceSupplies map[string]bool
+	traceServers  map[string]bool
+
+	trippedOrder []string
+}
+
+type event struct {
+	at   time.Duration
+	name string
+	fn   func(*Simulator)
+}
+
+// New validates the configuration and builds a simulator at t=0.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("sim: nil topology")
+	}
+	derating := topology.DefaultDerating()
+	if cfg.Derating != nil {
+		derating = *cfg.Derating
+	}
+	period := cfg.ControlPeriod
+	if period == 0 {
+		period = DefaultControlPeriod
+	}
+	if period < time.Second {
+		return nil, fmt.Errorf("sim: control period %v below 1s tick", period)
+	}
+	s := &Simulator{
+		topo:          cfg.Topology,
+		derating:      derating,
+		policy:        cfg.Policy,
+		spo:           cfg.SPO,
+		rootBudgets:   cfg.RootBudgets,
+		period:        period,
+		capCfg:        cfg.Capping,
+		servers:       make(map[string]*server.Server),
+		controllers:   make(map[string]*capping.Controller),
+		supplyFeed:    make(map[string]topology.FeedID),
+		supplyNode:    make(map[string]*topology.Node),
+		breakers:      make(map[string]*breaker.Breaker),
+		feedFailed:    make(map[topology.FeedID]bool),
+		lastReadings:  make(map[string]server.Reading),
+		lastAllocs:    make(map[topology.FeedID]*core.Allocation),
+		rec:           trace.NewRecorder(),
+		traceNodes:    toSet(cfg.TraceNodes),
+		traceSupplies: toSet(cfg.TraceSupplies),
+		traceServers:  toSet(cfg.TraceServers),
+	}
+
+	// Build servers from topology supplies + specs.
+	byServer := cfg.Topology.SuppliesByServer()
+	for serverID, supplyNodes := range byServer {
+		spec, ok := cfg.Servers[serverID]
+		if !ok {
+			return nil, fmt.Errorf("sim: topology references server %q with no spec", serverID)
+		}
+		model := spec.Model
+		if model == (power.ServerModel{}) {
+			model = power.DefaultServerModel()
+		}
+		var supplies []server.Supply
+		for _, sn := range supplyNodes {
+			supplies = append(supplies, server.Supply{ID: sn.ID, Split: sn.Split})
+			s.supplyFeed[sn.ID] = sn.Feed
+			s.supplyNode[sn.ID] = sn
+		}
+		srv, err := server.New(server.Config{
+			ID:                serverID,
+			Model:             model,
+			Priority:          server.Priority(spec.Priority),
+			Supplies:          supplies,
+			ActuationTau:      spec.ActuationTau,
+			NoiseSigma:        spec.NoiseSigma,
+			NoiseSeed:         spec.NoiseSeed,
+			UncontrolledPower: spec.UncontrolledPower,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		srv.SetUtilization(spec.Utilization)
+		s.servers[serverID] = srv
+		ctl, err := capping.New(srv, cfg.Capping)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		s.controllers[serverID] = ctl
+	}
+	for id := range cfg.Servers {
+		if _, ok := byServer[id]; !ok {
+			return nil, fmt.Errorf("sim: spec for server %q has no supplies in topology", id)
+		}
+	}
+
+	// One breaker per rated distribution node.
+	for _, root := range cfg.Topology.Roots() {
+		root.Walk(func(n *topology.Node) bool {
+			if n.Kind != topology.KindSupply && n.Rating > 0 {
+				s.breakers[n.ID] = breaker.MustNew(n.Rating, breaker.Config{})
+			}
+			return true
+		})
+	}
+	return s, nil
+}
+
+func toSet(items []string) map[string]bool {
+	m := make(map[string]bool, len(items))
+	for _, it := range items {
+		m[it] = true
+	}
+	return m
+}
+
+// Now returns the simulation clock.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Topology exposes the simulated physical topology.
+func (s *Simulator) Topology() *topology.Topology { return s.topo }
+
+// ServerIDs lists simulated server IDs in sorted order.
+func (s *Simulator) ServerIDs() []string { return s.serverIDs() }
+
+// Recorder exposes the collected time series.
+func (s *Simulator) Recorder() *trace.Recorder { return s.rec }
+
+// Server returns a simulated server by ID (nil if absent).
+func (s *Simulator) Server(id string) *server.Server { return s.servers[id] }
+
+// Controller returns a server's capping controller (nil if absent).
+func (s *Simulator) Controller(serverID string) *capping.Controller {
+	return s.controllers[serverID]
+}
+
+// LastAllocation returns the most recent allocation for a feed.
+func (s *Simulator) LastAllocation(feed topology.FeedID) *core.Allocation {
+	return s.lastAllocs[feed]
+}
+
+// LastSPOReport returns the stranded-power report from the most recent
+// control period (nil when SPO is disabled or no period has run).
+func (s *Simulator) LastSPOReport() *core.SPOReport { return s.lastSPO }
+
+// InvariantViolations lists allocation-invariant failures detected by the
+// safety monitor (budget exceeding a limit, a feasible minimum not
+// covered). A non-empty list indicates a control-plane bug.
+func (s *Simulator) InvariantViolations() []string {
+	return append([]string(nil), s.invariantViolations...)
+}
+
+// InfeasiblePeriods counts control periods in which some budget could not
+// cover the minimum power of the servers beneath it — a data center that
+// cannot be protected by capping alone.
+func (s *Simulator) InfeasiblePeriods() int { return s.infeasiblePeriods }
+
+// Schedule registers fn to run at simulation time at (relative to t=0).
+func (s *Simulator) Schedule(at time.Duration, name string, fn func(*Simulator)) {
+	s.events = append(s.events, event{at: at, name: name, fn: fn})
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].at < s.events[j].at })
+}
+
+// SetUtilization changes a server's workload utilization immediately.
+func (s *Simulator) SetUtilization(serverID string, u float64) error {
+	srv, ok := s.servers[serverID]
+	if !ok {
+		return fmt.Errorf("sim: unknown server %q", serverID)
+	}
+	srv.SetUtilization(u)
+	return nil
+}
+
+// SetRootBudget changes a feed's contractual budget at runtime (e.g. a
+// demand-response event or renegotiated utility contract); the next
+// control period allocates against it.
+func (s *Simulator) SetRootBudget(feed topology.FeedID, budget power.Watts) {
+	if s.rootBudgets == nil {
+		s.rootBudgets = make(map[topology.FeedID]power.Watts)
+	}
+	s.rootBudgets[feed] = budget
+}
+
+// SetPriority changes a server's priority; the next control period
+// re-budgets with it (proactive priority propagation from a scheduler).
+func (s *Simulator) SetPriority(serverID string, p core.Priority) error {
+	srv, ok := s.servers[serverID]
+	if !ok {
+		return fmt.Errorf("sim: unknown server %q", serverID)
+	}
+	srv.SetPriority(server.Priority(p))
+	return nil
+}
+
+// FailFeed takes an entire power feed down: every supply on the feed fails
+// and its load shifts to the surviving cords, emulating the paper's
+// worst-case power emergency.
+func (s *Simulator) FailFeed(feed topology.FeedID) {
+	s.feedFailed[feed] = true
+	s.setFeedSupplies(feed, server.SupplyFailed)
+}
+
+// RestoreFeed brings a failed feed back.
+func (s *Simulator) RestoreFeed(feed topology.FeedID) {
+	s.feedFailed[feed] = false
+	s.setFeedSupplies(feed, server.SupplyActive)
+}
+
+func (s *Simulator) setFeedSupplies(feed topology.FeedID, state server.SupplyState) {
+	for supplyID, f := range s.supplyFeed {
+		if f != feed {
+			continue
+		}
+		sn := s.supplyNode[supplyID]
+		if err := s.servers[sn.ServerID].SetSupplyState(supplyID, state); err != nil {
+			panic(err) // supply/server wiring is validated at construction
+		}
+	}
+}
+
+// FeedFailed reports whether a feed is currently down.
+func (s *Simulator) FeedFailed(feed topology.FeedID) bool { return s.feedFailed[feed] }
+
+// SetSupplyState fails, restores, or stands by a single power supply
+// (e.g. one pulled cord or a dead PSU, as opposed to a whole-feed outage).
+func (s *Simulator) SetSupplyState(supplyID string, state server.SupplyState) error {
+	sn, ok := s.supplyNode[supplyID]
+	if !ok {
+		return fmt.Errorf("sim: unknown supply %q", supplyID)
+	}
+	return s.servers[sn.ServerID].SetSupplyState(supplyID, state)
+}
+
+// TrippedBreakers lists distribution nodes whose breakers have tripped, in
+// trip order. An empty list after a run is the safety property the paper's
+// capping architecture exists to guarantee.
+func (s *Simulator) TrippedBreakers() []string {
+	return append([]string(nil), s.trippedOrder...)
+}
+
+// NodeLoad computes the electrical load currently flowing through a
+// topology node: the sum of supply AC draws beneath it.
+func (s *Simulator) NodeLoad(nodeID string) power.Watts {
+	n := s.topo.Node(nodeID)
+	if n == nil {
+		return 0
+	}
+	var load power.Watts
+	n.Walk(func(m *topology.Node) bool {
+		if m.Kind == topology.KindSupply {
+			if p, ok := s.servers[m.ServerID].SupplyACPower(m.ID); ok {
+				load += p
+			}
+		}
+		return true
+	})
+	return load
+}
+
+// Run advances the simulation by d in one-second ticks.
+func (s *Simulator) Run(d time.Duration) {
+	end := s.now + d
+	for s.now < end {
+		s.tick()
+	}
+}
+
+// tick advances one second of simulated time.
+func (s *Simulator) tick() {
+	// Fire due events.
+	for len(s.events) > 0 && s.events[0].at <= s.now {
+		ev := s.events[0]
+		s.events = s.events[1:]
+		ev.fn(s)
+	}
+
+	// Actuation + per-second sensing.
+	ids := s.serverIDs()
+	for _, id := range ids {
+		s.servers[id].Step(time.Second)
+		s.lastReadings[id] = s.controllers[id].Sense()
+	}
+
+	// Control period boundary: gather, allocate, budget, iterate.
+	if s.now%s.period == 0 {
+		s.controlPeriod()
+	}
+
+	// Breaker thermal state and trip cascade.
+	s.updateBreakers()
+
+	// Traces.
+	s.recordTraces()
+
+	s.now += time.Second
+}
+
+// controlPeriod runs one metrics-gathering + budgeting round over every
+// live feed tree, then applies the resulting per-supply budgets to the
+// capping controllers and runs their PI iterations.
+func (s *Simulator) controlPeriod() {
+	src := func(supplyID, serverID string) (core.LeafInfo, bool) {
+		srv := s.servers[serverID]
+		share, ok := srv.SupplyShare(supplyID)
+		if !ok || share <= 0 {
+			return core.LeafInfo{}, false
+		}
+		// Prefer the measured split ("we adjust it in practice based on
+		// how the load is actually split", Section 4.3.1).
+		if r, ok := s.measuredShare(serverID, supplyID); ok {
+			share = r
+		}
+		demand, ok := s.controllers[serverID].Demand()
+		if !ok {
+			demand = s.lastReadings[serverID].TotalAC
+		}
+		capMin, capMax := srv.Envelope()
+		return core.LeafInfo{
+			Priority: core.Priority(srv.Priority()),
+			CapMin:   capMin,
+			CapMax:   capMax,
+			Demand:   demand,
+			Share:    share,
+		}, true
+	}
+
+	var (
+		trees   []*core.Node
+		budgets []power.Watts
+		feeds   []topology.FeedID
+	)
+	for _, root := range s.topo.Roots() {
+		if s.feedFailed[root.Feed] {
+			s.lastAllocs[root.Feed] = nil
+			continue
+		}
+		tree, err := core.BuildTree(root, s.derating, src)
+		if err != nil {
+			// A feed with no working supplies has nothing to budget.
+			s.lastAllocs[root.Feed] = nil
+			continue
+		}
+		trees = append(trees, tree)
+		b := power.Watts(0)
+		if s.rootBudgets != nil {
+			b = s.rootBudgets[root.Feed]
+		}
+		budgets = append(budgets, b)
+		feeds = append(feeds, root.Feed)
+	}
+	if len(trees) == 0 {
+		return
+	}
+
+	var (
+		allocs []*core.Allocation
+		report *core.SPOReport
+		err    error
+	)
+	if s.spo {
+		allocs, report, err = core.AllocateWithSPO(trees, budgets, s.policy)
+	} else {
+		allocs, err = core.AllocateAll(trees, budgets, s.policy)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("sim: allocation failed: %v", err)) // trees are built validated
+	}
+	s.lastSPO = report
+
+	// Safety monitor: every allocation must respect its tree's invariants;
+	// violations indicate a control-plane bug and are recorded for
+	// inspection rather than silently applied.
+	for i, a := range allocs {
+		if err := a.CheckInvariants(trees[i]); err != nil {
+			s.invariantViolations = append(s.invariantViolations,
+				fmt.Sprintf("t=%s feed=%s: %v", s.now, feeds[i], err))
+		}
+		if a.Infeasible {
+			s.infeasiblePeriods++
+		}
+	}
+
+	// Apply budgets: supplies present in a tree get their allocation;
+	// supplies on failed feeds lose their budgets.
+	budgeted := make(map[string]bool)
+	for i, a := range allocs {
+		s.lastAllocs[feeds[i]] = a
+		for supplyID, b := range a.SupplyBudgets {
+			serverID := s.supplyNode[supplyID].ServerID
+			s.controllers[serverID].SetBudget(supplyID, b)
+			budgeted[supplyID] = true
+		}
+	}
+	for supplyID, sn := range s.supplyNode {
+		if !budgeted[supplyID] {
+			s.controllers[sn.ServerID].SetBudget(supplyID, capping.Unbudgeted)
+		}
+	}
+
+	for _, id := range s.serverIDs() {
+		s.controllers[id].Iterate()
+	}
+}
+
+// measuredShare derives a supply's live share of its server's load from the
+// last sensor reading.
+func (s *Simulator) measuredShare(serverID, supplyID string) (float64, bool) {
+	r, ok := s.lastReadings[serverID]
+	if !ok || r.TotalAC <= 0 {
+		return 0, false
+	}
+	p, ok := r.SupplyAC[supplyID]
+	if !ok {
+		return 0, false
+	}
+	share := float64(p / r.TotalAC)
+	if share <= 0 {
+		return 0, false
+	}
+	return share, true
+}
+
+// updateBreakers advances breaker thermal models under the current loads
+// and cascades trips: a tripped breaker fails every supply beneath it.
+func (s *Simulator) updateBreakers() {
+	ids := make([]string, 0, len(s.breakers))
+	for id := range s.breakers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		b := s.breakers[id]
+		if b.Tripped() {
+			continue
+		}
+		if b.Apply(s.NodeLoad(id), time.Second) {
+			s.trippedOrder = append(s.trippedOrder, id)
+			s.cascadeTrip(id)
+		}
+	}
+}
+
+func (s *Simulator) cascadeTrip(nodeID string) {
+	n := s.topo.Node(nodeID)
+	if n == nil {
+		return
+	}
+	n.Walk(func(m *topology.Node) bool {
+		if m.Kind == topology.KindSupply {
+			if err := s.servers[m.ServerID].SetSupplyState(m.ID, server.SupplyFailed); err != nil {
+				panic(err)
+			}
+		}
+		return true
+	})
+}
+
+// recordTraces appends the configured series for this tick.
+func (s *Simulator) recordTraces() {
+	for id := range s.traceNodes {
+		s.rec.Record("node:"+id, s.now, float64(s.NodeLoad(id)))
+	}
+	for id := range s.traceSupplies {
+		sn := s.supplyNode[id]
+		if sn == nil {
+			continue
+		}
+		if p, ok := s.servers[sn.ServerID].SupplyACPower(id); ok {
+			s.rec.Record("supply:"+id+":power", s.now, float64(p))
+		}
+		b := s.controllers[sn.ServerID].Budget(id)
+		if b != capping.Unbudgeted {
+			s.rec.Record("supply:"+id+":budget", s.now, float64(b))
+		}
+	}
+	for id := range s.traceServers {
+		srv := s.servers[id]
+		if srv == nil {
+			continue
+		}
+		s.rec.Record("server:"+id+":throttle", s.now, srv.ThrottleLevel()*100)
+		s.rec.Record("server:"+id+":power", s.now, float64(srv.ACPower()))
+		s.rec.Record("server:"+id+":dccap", s.now, float64(srv.EffectiveDCCap()))
+	}
+}
+
+func (s *Simulator) serverIDs() []string {
+	ids := make([]string, 0, len(s.servers))
+	for id := range s.servers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

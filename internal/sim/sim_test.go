@@ -1,0 +1,548 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"capmaestro/internal/topology"
+)
+
+// fig2Topology builds the single-feed testbed of Figure 2: a top CB over
+// left/right CBs with two single-corded servers under each.
+func fig2Topology(t *testing.T) *topology.Topology {
+	t.Helper()
+	root := topology.NewNode("X", topology.KindUtility, 0)
+	root.Feed = "X"
+	top := root.AddChild(topology.NewNode("top-cb", topology.KindRPP, 1400))
+	left := top.AddChild(topology.NewNode("left-cb", topology.KindCDU, 750))
+	right := top.AddChild(topology.NewNode("right-cb", topology.KindCDU, 750))
+	left.AddChild(topology.NewSupply("SA-ps", "SA", 1))
+	left.AddChild(topology.NewSupply("SB-ps", "SB", 1))
+	right.AddChild(topology.NewSupply("SC-ps", "SC", 1))
+	right.AddChild(topology.NewSupply("SD-ps", "SD", 1))
+	topo, err := topology.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// utilFor computes the utilization at which the default server model
+// demands the given AC power.
+func utilFor(demand power.Watts) float64 {
+	return power.DefaultServerModel().UtilizationFor(demand)
+}
+
+func fig2Servers(priA core.Priority) map[string]ServerSpec {
+	return map[string]ServerSpec{
+		"SA": {Priority: priA, Utilization: utilFor(420)},
+		"SB": {Priority: 0, Utilization: utilFor(413)},
+		"SC": {Priority: 0, Utilization: utilFor(417)},
+		"SD": {Priority: 0, Utilization: utilFor(423)},
+	}
+}
+
+func fullRating() *topology.Derating {
+	d := topology.FullRating()
+	return &d
+}
+
+func TestNewValidation(t *testing.T) {
+	topo := fig2Topology(t)
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil topology should fail")
+	}
+	if _, err := New(Config{Topology: topo}); err == nil {
+		t.Error("missing server specs should fail")
+	}
+	specs := fig2Servers(1)
+	specs["ghost"] = ServerSpec{}
+	if _, err := New(Config{Topology: topo, Servers: specs}); err == nil {
+		t.Error("spec without topology supplies should fail")
+	}
+	if _, err := New(Config{Topology: topo, Servers: fig2Servers(1),
+		ControlPeriod: 100 * time.Millisecond}); err == nil {
+		t.Error("sub-second control period should fail")
+	}
+}
+
+// TestTable2EndToEnd drives the full stack — sensors, demand estimation,
+// hierarchy allocation, PI capping, node-manager actuation — and checks
+// that steady-state powers land on the paper's Table 2 shape.
+func TestTable2EndToEnd(t *testing.T) {
+	topo := fig2Topology(t)
+	s, err := New(Config{
+		Topology:    topo,
+		Servers:     fig2Servers(1),
+		Policy:      core.GlobalPriority,
+		RootBudgets: map[topology.FeedID]power.Watts{"X": 1240},
+		Derating:    fullRating(),
+		TraceNodes:  []string{"top-cb", "left-cb", "right-cb"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2 * time.Minute)
+
+	wantPower := map[string]power.Watts{"SA": 420, "SB": 273, "SC": 273, "SD": 273}
+	for id, want := range wantPower {
+		got := s.Server(id).ACPower()
+		if math.Abs(float64(got-want)) > 10 {
+			t.Errorf("server %s power = %v, want ~%v", id, got, want)
+		}
+	}
+	// Figure 6b: actual CB loads respect the limits.
+	if got := s.NodeLoad("top-cb"); got > 1240+5 {
+		t.Errorf("top CB load %v exceeds the 1240 W budget", got)
+	}
+	for _, cb := range []string{"left-cb", "right-cb"} {
+		if got := s.NodeLoad(cb); got > 750 {
+			t.Errorf("%s load %v exceeds 750 W", cb, got)
+		}
+	}
+	if tripped := s.TrippedBreakers(); len(tripped) != 0 {
+		t.Errorf("breakers tripped: %v", tripped)
+	}
+	// Traces recorded.
+	if s.Recorder().Series("node:top-cb") == nil {
+		t.Error("top CB trace missing")
+	}
+	if s.LastAllocation("X") == nil {
+		t.Error("allocation missing")
+	}
+}
+
+func TestPolicyOrderingEndToEnd(t *testing.T) {
+	run := func(policy core.Policy) power.Watts {
+		topo := fig2Topology(t)
+		s, err := New(Config{
+			Topology:    topo,
+			Servers:     fig2Servers(1),
+			Policy:      policy,
+			RootBudgets: map[topology.FeedID]power.Watts{"X": 1240},
+			Derating:    fullRating(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(2 * time.Minute)
+		return s.Server("SA").ACPower()
+	}
+	np := run(core.NoPriority)
+	lp := run(core.LocalPriority)
+	gp := run(core.GlobalPriority)
+	if !(gp > lp+20 && lp > np+20) {
+		t.Errorf("SA power ordering: global %v > local %v > none %v expected", gp, lp, np)
+	}
+}
+
+// dualFeedTopology builds the Figure 7a scenario: X and Y feeds, SA on X
+// only (high priority), SB on Y only, SC/SD dual-corded with mismatched
+// splits.
+func dualFeedTopology(t *testing.T) *topology.Topology {
+	t.Helper()
+	mkFeed := func(feed topology.FeedID) (*topology.Node, *topology.Node, *topology.Node) {
+		root := topology.NewNode(string(feed), topology.KindUtility, 0)
+		root.Feed = feed
+		top := root.AddChild(topology.NewNode(string(feed)+"-top", topology.KindRPP, 1400))
+		left := top.AddChild(topology.NewNode(string(feed)+"-left", topology.KindCDU, 750))
+		right := top.AddChild(topology.NewNode(string(feed)+"-right", topology.KindCDU, 750))
+		return root, left, right
+	}
+	xRoot, xLeft, xRight := mkFeed("X")
+	yRoot, yLeft, yRight := mkFeed("Y")
+	xLeft.AddChild(topology.NewSupply("SA-x", "SA", 1))
+	yLeft.AddChild(topology.NewSupply("SB-y", "SB", 1))
+	xRight.AddChild(topology.NewSupply("SC-x", "SC", 0.533))
+	yRight.AddChild(topology.NewSupply("SC-y", "SC", 0.467))
+	xRight.AddChild(topology.NewSupply("SD-x", "SD", 0.461))
+	yRight.AddChild(topology.NewSupply("SD-y", "SD", 0.539))
+	topo, err := topology.New(xRoot, yRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func dualFeedServers() map[string]ServerSpec {
+	return map[string]ServerSpec{
+		"SA": {Priority: 1, Utilization: utilFor(414)},
+		"SB": {Priority: 0, Utilization: utilFor(415)},
+		"SC": {Priority: 0, Utilization: utilFor(433)},
+		"SD": {Priority: 0, Utilization: utilFor(439)},
+	}
+}
+
+// TestSPOEndToEnd reproduces the Section 6.3 experiment: without SPO, SB is
+// capped well below demand; with SPO, the Y feed's stranded power flows to
+// SB.
+func TestSPOEndToEnd(t *testing.T) {
+	run := func(spo bool) (sb power.Watts, sc power.Watts, report *core.SPOReport) {
+		s, err := New(Config{
+			Topology: dualFeedTopology(t),
+			Servers:  dualFeedServers(),
+			Policy:   core.GlobalPriority,
+			SPO:      spo,
+			RootBudgets: map[topology.FeedID]power.Watts{
+				"X": 700, "Y": 700,
+			},
+			Derating: fullRating(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(3 * time.Minute)
+		return s.Server("SB").ACPower(), s.Server("SC").ACPower(), s.LastSPOReport()
+	}
+	sbWithout, scWithout, _ := run(false)
+	sbWith, scWith, report := run(true)
+
+	if sbWithout > 370 {
+		t.Errorf("without SPO, SB power = %v, want capped near ~345", sbWithout)
+	}
+	if sbWith < sbWithout+40 {
+		t.Errorf("SPO should boost SB: %v -> %v", sbWithout, sbWith)
+	}
+	if sbWith < 395 {
+		t.Errorf("with SPO, SB power = %v, want near its 415 W demand", sbWith)
+	}
+	// Donors' consumption unchanged (Fig. 7b).
+	if math.Abs(float64(scWith-scWithout)) > 10 {
+		t.Errorf("SC consumption changed %v -> %v", scWithout, scWith)
+	}
+	if report == nil || report.TotalStranded <= 0 {
+		t.Errorf("expected a stranded-power report, got %+v", report)
+	}
+}
+
+// TestFeedFailureSafety verifies the core safety claim: when a feed fails
+// and the surviving feed's breaker overloads, capping brings the load back
+// under the limit well inside the breaker's trip window, so no breaker
+// trips and no server loses power.
+func TestFeedFailureSafety(t *testing.T) {
+	mkFeed := func(feed topology.FeedID) *topology.Node {
+		root := topology.NewNode(string(feed), topology.KindUtility, 0)
+		root.Feed = feed
+		cdu := root.AddChild(topology.NewNode(string(feed)+"-cdu", topology.KindCDU, 800))
+		cdu.AddChild(topology.NewSupply("s1-"+string(feed), "s1", 0.5))
+		cdu.AddChild(topology.NewSupply("s2-"+string(feed), "s2", 0.5))
+		return root
+	}
+	topo, err := topology.New(mkFeed("X"), mkFeed("Y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Topology: topo,
+		Servers: map[string]ServerSpec{
+			"s1": {Utilization: 1},
+			"s2": {Utilization: 1},
+		},
+		Policy: core.GlobalPriority,
+		RootBudgets: map[topology.FeedID]power.Watts{
+			"X": 800, "Y": 800,
+		},
+		Derating: fullRating(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule(30*time.Second, "fail feed Y", func(s *Simulator) { s.FailFeed("Y") })
+	s.Run(2 * time.Minute)
+
+	if !s.FeedFailed("Y") {
+		t.Fatal("feed Y should be failed")
+	}
+	if tripped := s.TrippedBreakers(); len(tripped) != 0 {
+		t.Fatalf("breakers tripped despite capping: %v", tripped)
+	}
+	if load := s.NodeLoad("X-cdu"); load > 800+2 {
+		t.Errorf("X CDU load %v still above its 800 W rating", load)
+	}
+	// Both servers remain powered, throttled to ~400 W each.
+	for _, id := range []string{"s1", "s2"} {
+		p := s.Server(id).ACPower()
+		if p < 300 || p > 420 {
+			t.Errorf("server %s power = %v, want ~400 (capped)", id, p)
+		}
+	}
+
+	// Restore the feed: servers climb back toward full demand.
+	s.RestoreFeed("Y")
+	s.Run(time.Minute)
+	for _, id := range []string{"s1", "s2"} {
+		if p := s.Server(id).ACPower(); p < 460 {
+			t.Errorf("server %s power = %v after restore, want ~490", id, p)
+		}
+	}
+}
+
+// TestBreakerTripsWithoutCapping is the negative control: with capping
+// effectively disabled (huge budgets), the same failure trips the breaker
+// and the downstream servers lose power.
+func TestBreakerTripsWithoutCapping(t *testing.T) {
+	mkFeed := func(feed topology.FeedID) *topology.Node {
+		root := topology.NewNode(string(feed), topology.KindUtility, 0)
+		root.Feed = feed
+		cdu := root.AddChild(topology.NewNode(string(feed)+"-cdu", topology.KindCDU, 600))
+		cdu.AddChild(topology.NewSupply("s1-"+string(feed), "s1", 0.5))
+		cdu.AddChild(topology.NewSupply("s2-"+string(feed), "s2", 0.5))
+		return root
+	}
+	topo, err := topology.New(mkFeed("X"), mkFeed("Y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No budgets and full-rating derating: trees allow up to the CDU's
+	// 600 W, but we also disable enforcement by giving the CDU's breaker a
+	// load far beyond it: two 490 W servers on one 600 W-rated breaker is
+	// a 163% overload, tripping in under ~30 s per the UL 489 curve.
+	s, err := New(Config{
+		Topology: topo,
+		Servers: map[string]ServerSpec{
+			"s1": {Utilization: 1},
+			"s2": {Utilization: 1},
+		},
+		Policy:        core.NoPriority,
+		Derating:      fullRating(),
+		ControlPeriod: time.Hour, // effectively no control action
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule(5*time.Second, "fail feed Y", func(s *Simulator) { s.FailFeed("Y") })
+	s.Run(2 * time.Minute)
+	tripped := s.TrippedBreakers()
+	if len(tripped) == 0 {
+		t.Fatal("expected X CDU breaker to trip without capping")
+	}
+	if tripped[0] != "X-cdu" {
+		t.Errorf("tripped = %v, want X-cdu first", tripped)
+	}
+	// Cascade: both servers lost their X cords too; they draw nothing.
+	for _, id := range []string{"s1", "s2"} {
+		if p := s.Server(id).ACPower(); s.Server(id).WorkingSupplies() != 0 && p != 0 {
+			t.Errorf("server %s still powered after trip cascade", id)
+		}
+	}
+}
+
+func TestScheduleAndSetUtilization(t *testing.T) {
+	topo := fig2Topology(t)
+	s, err := New(Config{
+		Topology:    topo,
+		Servers:     fig2Servers(0),
+		Policy:      core.NoPriority,
+		Derating:    fullRating(),
+		RootBudgets: map[topology.FeedID]power.Watts{"X": 2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	s.Schedule(10*time.Second, "bump load", func(s *Simulator) {
+		fired = true
+		if err := s.SetUtilization("SA", 0.1); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := s.SetUtilization("nope", 0.5); err == nil {
+		t.Error("unknown server should error")
+	}
+	s.Run(30 * time.Second)
+	if !fired {
+		t.Error("scheduled event did not fire")
+	}
+	if got := s.Server("SA").Utilization(); got != 0.1 {
+		t.Errorf("SA utilization = %v, want 0.1", got)
+	}
+	if s.Now() != 30*time.Second {
+		t.Errorf("clock = %v, want 30s", s.Now())
+	}
+}
+
+func TestSupplyTraceRecorded(t *testing.T) {
+	topo := fig2Topology(t)
+	s, err := New(Config{
+		Topology:      topo,
+		Servers:       fig2Servers(1),
+		Policy:        core.GlobalPriority,
+		RootBudgets:   map[topology.FeedID]power.Watts{"X": 1240},
+		Derating:      fullRating(),
+		TraceSupplies: []string{"SA-ps"},
+		TraceServers:  []string{"SA"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(30 * time.Second)
+	for _, name := range []string{"supply:SA-ps:power", "supply:SA-ps:budget",
+		"server:SA:throttle", "server:SA:power", "server:SA:dccap"} {
+		if s.Recorder().Series(name) == nil {
+			t.Errorf("series %s missing", name)
+		}
+	}
+}
+
+func TestControllerAndNodeLoadAccessors(t *testing.T) {
+	topo := fig2Topology(t)
+	s, err := New(Config{
+		Topology:    topo,
+		Servers:     fig2Servers(1),
+		Policy:      core.GlobalPriority,
+		Derating:    fullRating(),
+		RootBudgets: map[topology.FeedID]power.Watts{"X": 1240},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Controller("SA") == nil {
+		t.Error("controller accessor nil")
+	}
+	if s.Controller("nope") != nil {
+		t.Error("unknown controller should be nil")
+	}
+	if s.NodeLoad("nope") != 0 {
+		t.Error("unknown node load should be 0")
+	}
+	s.Run(10 * time.Second)
+	// Top CB load equals the sum of left and right.
+	top := s.NodeLoad("top-cb")
+	lr := s.NodeLoad("left-cb") + s.NodeLoad("right-cb")
+	if math.Abs(float64(top-lr)) > 0.01 {
+		t.Errorf("top load %v != left+right %v", top, lr)
+	}
+}
+
+func TestSafetyMonitorClean(t *testing.T) {
+	topo := fig2Topology(t)
+	s, err := New(Config{
+		Topology:    topo,
+		Servers:     fig2Servers(1),
+		Policy:      core.GlobalPriority,
+		RootBudgets: map[topology.FeedID]power.Watts{"X": 1240},
+		Derating:    fullRating(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(time.Minute)
+	if v := s.InvariantViolations(); len(v) != 0 {
+		t.Errorf("invariant violations: %v", v)
+	}
+	if s.InfeasiblePeriods() != 0 {
+		t.Errorf("infeasible periods: %d", s.InfeasiblePeriods())
+	}
+}
+
+func TestSafetyMonitorFlagsInfeasibleBudget(t *testing.T) {
+	topo := fig2Topology(t)
+	s, err := New(Config{
+		Topology: topo,
+		Servers:  fig2Servers(1),
+		Policy:   core.GlobalPriority,
+		// 900 W cannot cover 4 × 270 W minimums.
+		RootBudgets: map[topology.FeedID]power.Watts{"X": 900},
+		Derating:    fullRating(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(30 * time.Second)
+	if s.InfeasiblePeriods() == 0 {
+		t.Error("expected infeasible periods to be flagged")
+	}
+}
+
+// TestDemandResponseBudgetChange: a runtime contractual-budget reduction
+// (demand-response event) takes effect at the next control period and the
+// fleet sheds load accordingly; restoring the budget restores performance.
+func TestDemandResponseBudgetChange(t *testing.T) {
+	topo := fig2Topology(t)
+	s, err := New(Config{
+		Topology:    topo,
+		Servers:     fig2Servers(1),
+		Policy:      core.GlobalPriority,
+		RootBudgets: map[topology.FeedID]power.Watts{"X": 1700},
+		Derating:    fullRating(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(time.Minute)
+	// The 1400 W top CB is the binding constraint before the event.
+	if got := s.NodeLoad("top-cb"); got < 1380 {
+		t.Fatalf("pre-event load %v, want near the 1400 W CB limit", got)
+	}
+
+	// Demand response: shed to 1240 W.
+	s.Schedule(s.Now()+time.Second, "demand response", func(s *Simulator) {
+		s.SetRootBudget("X", 1240)
+	})
+	s.Run(time.Minute)
+	if got := s.NodeLoad("top-cb"); got > 1240+5 {
+		t.Errorf("post-event load %v exceeds the reduced 1240 W budget", got)
+	}
+	// Priority preserved during the shed.
+	if p := s.Server("SA").ACPower(); p < 410 {
+		t.Errorf("high-priority power %v during demand response", p)
+	}
+
+	// Event over: budget restored.
+	s.SetRootBudget("X", 1700)
+	s.Run(time.Minute)
+	if got := s.NodeLoad("top-cb"); got < 1380 {
+		t.Errorf("post-restore load %v, want recovery to the CB limit", got)
+	}
+}
+
+// TestUncontrolledPowerRespectedInAllocation: a GPU server's raised floor
+// (CapMin + uncontrolled) must flow into the allocation, or its budget
+// would be unenforceable and its breaker unprotected.
+func TestUncontrolledPowerRespectedInAllocation(t *testing.T) {
+	root := topology.NewNode("X", topology.KindUtility, 0)
+	root.Feed = "X"
+	cdu := root.AddChild(topology.NewNode("cdu", topology.KindCDU, 1100))
+	cdu.AddChild(topology.NewSupply("gpu-ps", "gpu", 1))
+	cdu.AddChild(topology.NewSupply("cpu-ps", "cpu", 1))
+	topo, err := topology.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derating := topology.FullRating()
+	s, err := New(Config{
+		Topology: topo,
+		Servers: map[string]ServerSpec{
+			"gpu": {Utilization: 1, UncontrolledPower: 200},
+			"cpu": {Utilization: 1, Priority: 1},
+		},
+		Policy:      core.GlobalPriority,
+		RootBudgets: map[topology.FeedID]power.Watts{"X": 1100},
+		Derating:    &derating,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2 * time.Minute)
+
+	// Demand: gpu 690 + cpu 490 = 1180 > 1100. The gpu server's floor is
+	// 470; the high-priority cpu server gets its full 490, leaving the gpu
+	// server 610.
+	alloc := s.LastAllocation("X")
+	if got := alloc.Budget("gpu-ps"); got < 470-0.01 {
+		t.Errorf("gpu budget %v below its unbreakable 470 W floor", got)
+	}
+	if got := alloc.Budget("cpu-ps"); !power.ApproxEqual(got, 490, 0.01) {
+		t.Errorf("cpu budget = %v, want full 490", got)
+	}
+	// Physics: the CDU stays within its rating despite the GPU.
+	if load := s.NodeLoad("cdu"); load > 1100+2 {
+		t.Errorf("CDU load %v exceeds 1100", load)
+	}
+	if v := s.InvariantViolations(); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}

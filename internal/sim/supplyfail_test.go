@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"capmaestro/internal/server"
+	"capmaestro/internal/topology"
+)
+
+// TestSingleSupplyFailure: when one PSU of one dual-corded server dies
+// (not the whole feed), that server's full load shifts onto its surviving
+// cord, the allocation adjusts to the new measured shares, and the other
+// server is unaffected.
+func TestSingleSupplyFailure(t *testing.T) {
+	mkFeed := func(feed topology.FeedID) *topology.Node {
+		root := topology.NewNode(string(feed), topology.KindUtility, 0)
+		root.Feed = feed
+		cdu := root.AddChild(topology.NewNode(string(feed)+"-cdu", topology.KindCDU, 1200))
+		cdu.AddChild(topology.NewSupply("s1-"+string(feed), "s1", 0.5))
+		cdu.AddChild(topology.NewSupply("s2-"+string(feed), "s2", 0.5))
+		return root
+	}
+	topo, err := topology.New(mkFeed("X"), mkFeed("Y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	derating := topology.FullRating()
+	s, err := New(Config{
+		Topology: topo,
+		Servers: map[string]ServerSpec{
+			"s1": {Utilization: 1},
+			"s2": {Utilization: 1},
+		},
+		Policy:      core.GlobalPriority,
+		RootBudgets: map[topology.FeedID]power.Watts{"X": 1200, "Y": 1200},
+		Derating:    &derating,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSupplyState("nope", server.SupplyFailed); err == nil {
+		t.Error("unknown supply should error")
+	}
+	s.Run(30 * time.Second)
+
+	// s1 loses its X cord.
+	if err := s.SetSupplyState("s1-X", server.SupplyFailed); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(time.Minute)
+
+	// s1's load rides entirely on Y now.
+	x1, _ := s.Server("s1").SupplyACPower("s1-X")
+	y1, _ := s.Server("s1").SupplyACPower("s1-Y")
+	if x1 != 0 {
+		t.Errorf("failed cord carries %v", x1)
+	}
+	if !power.ApproxEqual(y1, s.Server("s1").ACPower(), 1e-6) {
+		t.Errorf("surviving cord carries %v of %v", y1, s.Server("s1").ACPower())
+	}
+	// Budgets remain safe: the Y CDU sees s1's full load plus s2's half,
+	// within its 1200 W rating, and nothing trips.
+	if load := s.NodeLoad("Y-cdu"); load > 1200+2 {
+		t.Errorf("Y CDU load %v exceeds rating", load)
+	}
+	if tripped := s.TrippedBreakers(); len(tripped) != 0 {
+		t.Errorf("tripped: %v", tripped)
+	}
+	// s2 keeps (nearly) full performance: only ~735 W of demand sits on
+	// the Y CDU's 1200 W, so s1+s2 fit after modest capping.
+	if p := s.Server("s2").ACPower(); p < 440 {
+		t.Errorf("s2 power = %v, want near-uncapped", p)
+	}
+
+	// The cord comes back: the load re-balances.
+	if err := s.SetSupplyState("s1-X", server.SupplyActive); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(time.Minute)
+	x1, _ = s.Server("s1").SupplyACPower("s1-X")
+	if x1 < 200 {
+		t.Errorf("restored cord carries %v, want ~half the load", x1)
+	}
+}

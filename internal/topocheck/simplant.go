@@ -1,0 +1,70 @@
+package topocheck
+
+import (
+	"fmt"
+	"time"
+
+	"capmaestro/internal/power"
+	"capmaestro/internal/sim"
+	"capmaestro/internal/topology"
+)
+
+// SimPlant adapts a running simulation to the Plant interface.
+// Perturbation drops the server's utilization to idle — a change the node
+// manager cannot mask — and restores it afterwards.
+type SimPlant struct {
+	Sim *sim.Simulator
+	// SettleTime is how long the plant runs between perturbation and
+	// measurement; zero selects 2 s (utilization changes propagate to the
+	// feeds immediately; the margin absorbs control-period activity).
+	SettleTime time.Duration
+}
+
+// ServerIDs implements Plant.
+func (p *SimPlant) ServerIDs() []string { return p.Sim.ServerIDs() }
+
+// Meters implements Plant: every rated distribution node in the simulated
+// (actual) topology is measurable.
+func (p *SimPlant) Meters() []string {
+	var out []string
+	for _, root := range p.Sim.Topology().Roots() {
+		root.Walk(func(n *topology.Node) bool {
+			if n.Kind != topology.KindSupply && n.Rating > 0 {
+				out = append(out, n.ID)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// Read implements Plant.
+func (p *SimPlant) Read(meterID string) power.Watts { return p.Sim.NodeLoad(meterID) }
+
+// Settle implements Plant.
+func (p *SimPlant) Settle() {
+	d := p.SettleTime
+	if d == 0 {
+		d = 2 * time.Second
+	}
+	p.Sim.Run(d)
+}
+
+// Perturb implements Plant.
+func (p *SimPlant) Perturb(serverID string) (func(), error) {
+	srv := p.Sim.Server(serverID)
+	if srv == nil {
+		return nil, fmt.Errorf("topocheck: unknown server %q", serverID)
+	}
+	prev := srv.Utilization()
+	if err := p.Sim.SetUtilization(serverID, 0); err != nil {
+		return nil, err
+	}
+	return func() {
+		// Restoring through the simulator keeps the API uniform; the
+		// server is known to exist.
+		if err := p.Sim.SetUtilization(serverID, prev); err != nil {
+			panic(err)
+		}
+	}, nil
+}

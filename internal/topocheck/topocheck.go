@@ -1,0 +1,172 @@
+// Package topocheck validates a declared power topology against the live
+// electrical system, addressing an open challenge the paper calls out in
+// Section 7: "wiring mistakes are possible when we connect servers to the
+// power infrastructure (e.g., a wire is not plugged into the correct
+// outlet). There is a need to develop a cost-effective approach to finding
+// such errors in the topology (other than manual cable tracing)."
+//
+// The approach is active perturbation: throttle one server at a time and
+// watch which branch-circuit meters respond. The meters that see the power
+// drop are the server's true electrical ancestors; comparing them with the
+// ancestors the declared topology predicts exposes miswired servers — both
+// the branch they were supposed to be on (silent during the perturbation)
+// and the branch they are actually on (responding unexpectedly).
+//
+// CapMaestro depends on topology correctness for safety: budgets computed
+// against a wrong tree can overload a real breaker. Running Verify during
+// commissioning (or periodically during quiet hours) closes that gap.
+package topocheck
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"capmaestro/internal/power"
+	"capmaestro/internal/topology"
+)
+
+// Plant is the live system under test. The simulator satisfies it via
+// SimPlant; a real deployment would back it with utilization/cap controls
+// and branch-circuit meters.
+type Plant interface {
+	// ServerIDs lists the servers that can be perturbed.
+	ServerIDs() []string
+	// Perturb reduces the named server's power draw by a detectable
+	// amount and returns a function restoring the previous state.
+	Perturb(serverID string) (restore func(), err error)
+	// Meters lists the measurable branch points.
+	Meters() []string
+	// Read returns the power currently flowing through a meter.
+	Read(meterID string) power.Watts
+	// Settle advances the plant until a perturbation is observable.
+	Settle()
+}
+
+// Options tunes verification.
+type Options struct {
+	// MinDelta is the smallest meter change attributed to a perturbation;
+	// smaller changes are treated as noise. Zero selects 30 W.
+	MinDelta power.Watts
+}
+
+// Mismatch describes one miswired server.
+type Mismatch struct {
+	ServerID string
+	// Expected are the declared ancestors (meters) that did not respond.
+	MissingAt []string
+	// UnexpectedAt are meters that responded but are not declared
+	// ancestors.
+	UnexpectedAt []string
+}
+
+// Report summarizes a verification run.
+type Report struct {
+	Checked    int
+	Mismatches []Mismatch
+}
+
+// OK reports whether the declared topology matched the plant everywhere.
+func (r *Report) OK() bool { return len(r.Mismatches) == 0 }
+
+// String renders the report for operators.
+func (r *Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("topology verified: %d servers checked, no wiring mismatches", r.Checked)
+	}
+	s := fmt.Sprintf("topology MISMATCH: %d of %d servers miswired\n", len(r.Mismatches), r.Checked)
+	for _, m := range r.Mismatches {
+		s += fmt.Sprintf("  %s: declared on %v (silent), actually on %v\n",
+			m.ServerID, m.MissingAt, m.UnexpectedAt)
+	}
+	return s
+}
+
+// Verify perturbs every server in the plant and checks the responding
+// meters against the declared topology's ancestry.
+func Verify(declared *topology.Topology, plant Plant, opts Options) (*Report, error) {
+	if declared == nil {
+		return nil, errors.New("topocheck: nil declared topology")
+	}
+	if plant == nil {
+		return nil, errors.New("topocheck: nil plant")
+	}
+	minDelta := opts.MinDelta
+	if minDelta == 0 {
+		minDelta = 30
+	}
+
+	meters := plant.Meters()
+	if len(meters) == 0 {
+		return nil, errors.New("topocheck: plant has no meters")
+	}
+	expected := declaredAncestors(declared)
+
+	report := &Report{}
+	for _, serverID := range plant.ServerIDs() {
+		plant.Settle()
+		baseline := make(map[string]power.Watts, len(meters))
+		for _, m := range meters {
+			baseline[m] = plant.Read(m)
+		}
+		restore, err := plant.Perturb(serverID)
+		if err != nil {
+			return nil, fmt.Errorf("topocheck: perturb %s: %w", serverID, err)
+		}
+		plant.Settle()
+		responding := make(map[string]bool, len(meters))
+		for _, m := range meters {
+			if baseline[m]-plant.Read(m) >= minDelta {
+				responding[m] = true
+			}
+		}
+		restore()
+		report.Checked++
+
+		want := expected[serverID]
+		var missing, unexpected []string
+		for m := range want {
+			if !responding[m] {
+				missing = append(missing, m)
+			}
+		}
+		for m := range responding {
+			if _, ok := want[m]; !ok {
+				unexpected = append(unexpected, m)
+			}
+		}
+		if len(missing) > 0 || len(unexpected) > 0 {
+			sort.Strings(missing)
+			sort.Strings(unexpected)
+			report.Mismatches = append(report.Mismatches, Mismatch{
+				ServerID:     serverID,
+				MissingAt:    missing,
+				UnexpectedAt: unexpected,
+			})
+		}
+	}
+	plant.Settle()
+	sort.Slice(report.Mismatches, func(i, j int) bool {
+		return report.Mismatches[i].ServerID < report.Mismatches[j].ServerID
+	})
+	return report, nil
+}
+
+// declaredAncestors maps each server to the set of rated (metered)
+// distribution nodes above any of its supplies in the declared topology.
+func declaredAncestors(t *topology.Topology) map[string]map[string]struct{} {
+	out := make(map[string]map[string]struct{})
+	for _, supply := range t.Supplies() {
+		set := out[supply.ServerID]
+		if set == nil {
+			set = make(map[string]struct{})
+			out[supply.ServerID] = set
+		}
+		for _, anc := range supply.Path() {
+			if anc.Kind != topology.KindSupply && anc.Rating > 0 {
+				set[anc.ID] = struct{}{}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package topocheck
+
+import (
+	"strings"
+	"testing"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"capmaestro/internal/sim"
+	"capmaestro/internal/topology"
+)
+
+// buildTopo wires servers to CDUs per the given assignment
+// (serverID → CDU index 1 or 2).
+func buildTopo(t *testing.T, wiring map[string]int) *topology.Topology {
+	t.Helper()
+	root := topology.NewNode("X", topology.KindUtility, 0)
+	root.Feed = "X"
+	rpp := root.AddChild(topology.NewNode("rpp", topology.KindRPP, 4000))
+	cdu1 := rpp.AddChild(topology.NewNode("cdu1", topology.KindCDU, 2000))
+	cdu2 := rpp.AddChild(topology.NewNode("cdu2", topology.KindCDU, 2000))
+	for srv, cdu := range wiring {
+		parent := cdu1
+		if cdu == 2 {
+			parent = cdu2
+		}
+		parent.AddChild(topology.NewSupply(srv+"-ps", srv, 1))
+	}
+	topo, err := topology.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func buildSim(t *testing.T, wiring map[string]int) *sim.Simulator {
+	t.Helper()
+	servers := make(map[string]sim.ServerSpec)
+	for srv := range wiring {
+		servers[srv] = sim.ServerSpec{Utilization: 1}
+	}
+	derating := topology.FullRating()
+	s, err := sim.New(sim.Config{
+		Topology: buildTopo(t, wiring),
+		Servers:  servers,
+		Policy:   core.GlobalPriority,
+		Derating: &derating,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var actualWiring = map[string]int{"alpha": 1, "bravo": 1, "charlie": 2}
+
+func TestVerifyCorrectTopology(t *testing.T) {
+	s := buildSim(t, actualWiring)
+	declared := buildTopo(t, actualWiring)
+	report, err := Verify(declared, &SimPlant{Sim: s}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("correct topology flagged: %s", report)
+	}
+	if report.Checked != 3 {
+		t.Errorf("checked = %d, want 3", report.Checked)
+	}
+	if !strings.Contains(report.String(), "no wiring mismatches") {
+		t.Errorf("report text: %s", report)
+	}
+}
+
+func TestVerifyDetectsMiswiredServer(t *testing.T) {
+	s := buildSim(t, actualWiring)
+	// The declared topology believes charlie is on cdu1 — a classic
+	// plugged-into-the-wrong-outlet mistake.
+	declaredWiring := map[string]int{"alpha": 1, "bravo": 1, "charlie": 1}
+	declared := buildTopo(t, declaredWiring)
+
+	report, err := Verify(declared, &SimPlant{Sim: s}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() {
+		t.Fatal("miswired charlie not detected")
+	}
+	if len(report.Mismatches) != 1 {
+		t.Fatalf("mismatches = %+v", report.Mismatches)
+	}
+	m := report.Mismatches[0]
+	if m.ServerID != "charlie" {
+		t.Errorf("flagged %s, want charlie", m.ServerID)
+	}
+	if len(m.MissingAt) != 1 || m.MissingAt[0] != "cdu1" {
+		t.Errorf("missing = %v, want [cdu1]", m.MissingAt)
+	}
+	if len(m.UnexpectedAt) != 1 || m.UnexpectedAt[0] != "cdu2" {
+		t.Errorf("unexpected = %v, want [cdu2]", m.UnexpectedAt)
+	}
+	if !strings.Contains(report.String(), "charlie") {
+		t.Errorf("report text: %s", report)
+	}
+}
+
+func TestVerifySwappedServers(t *testing.T) {
+	s := buildSim(t, map[string]int{"alpha": 1, "bravo": 2})
+	// Declared has alpha and bravo swapped.
+	declared := buildTopo(t, map[string]int{"alpha": 2, "bravo": 1})
+	report, err := Verify(declared, &SimPlant{Sim: s}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Mismatches) != 2 {
+		t.Fatalf("swap should flag both servers: %s", report)
+	}
+}
+
+func TestVerifyRestoresLoad(t *testing.T) {
+	s := buildSim(t, actualWiring)
+	declared := buildTopo(t, actualWiring)
+	if _, err := Verify(declared, &SimPlant{Sim: s}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for srv := range actualWiring {
+		if u := s.Server(srv).Utilization(); u != 1 {
+			t.Errorf("server %s utilization %v not restored", srv, u)
+		}
+	}
+}
+
+func TestVerifyValidation(t *testing.T) {
+	s := buildSim(t, actualWiring)
+	declared := buildTopo(t, actualWiring)
+	if _, err := Verify(nil, &SimPlant{Sim: s}, Options{}); err == nil {
+		t.Error("nil declared should fail")
+	}
+	if _, err := Verify(declared, nil, Options{}); err == nil {
+		t.Error("nil plant should fail")
+	}
+}
+
+// noMeterPlant has servers but no measurable branch points.
+type noMeterPlant struct{}
+
+func (noMeterPlant) ServerIDs() []string            { return []string{"s"} }
+func (noMeterPlant) Perturb(string) (func(), error) { return func() {}, nil }
+func (noMeterPlant) Meters() []string               { return nil }
+func (noMeterPlant) Read(string) power.Watts        { return 0 }
+func (noMeterPlant) Settle()                        {}
+
+func TestVerifyNoMeters(t *testing.T) {
+	declared := buildTopo(t, actualWiring)
+	if _, err := Verify(declared, noMeterPlant{}, Options{}); err == nil {
+		t.Error("plant without meters should fail")
+	}
+}
+
+func TestSimPlantUnknownServer(t *testing.T) {
+	s := buildSim(t, actualWiring)
+	p := &SimPlant{Sim: s}
+	if _, err := p.Perturb("nope"); err == nil {
+		t.Error("unknown server should fail")
+	}
+	if len(p.Meters()) != 3 { // rpp + 2 CDUs
+		t.Errorf("meters = %v", p.Meters())
+	}
+}

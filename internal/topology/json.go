@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"capmaestro/internal/power"
+)
+
+// The JSON format lets operators define a data center's wiring
+// declaratively — the DCIM-style record that CapMaestro's control tree is
+// built from and that topocheck validates against the live plant:
+//
+//	{
+//	  "feeds": [
+//	    {
+//	      "id": "A", "feed": "A", "kind": "utility",
+//	      "children": [
+//	        {"id": "A-cdu1", "kind": "cdu", "rating_watts": 6900,
+//	         "children": [
+//	           {"id": "web1-psA", "kind": "supply", "server": "web1", "split": 0.5}
+//	         ]}
+//	      ]
+//	    }
+//	  ]
+//	}
+
+// nodeJSON is the serialized form of one node.
+type nodeJSON struct {
+	ID          string     `json:"id"`
+	Kind        string     `json:"kind"`
+	RatingWatts float64    `json:"rating_watts,omitempty"`
+	Feed        string     `json:"feed,omitempty"`
+	Phase       int        `json:"phase,omitempty"`
+	Server      string     `json:"server,omitempty"`
+	Split       float64    `json:"split,omitempty"`
+	Children    []nodeJSON `json:"children,omitempty"`
+}
+
+// topologyJSON is the file-level document.
+type topologyJSON struct {
+	Feeds []nodeJSON `json:"feeds"`
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, name := range kindNames {
+		m[name] = k
+	}
+	return m
+}()
+
+// ParseKind resolves a kind name ("cdu", "rpp", ...) used in topology
+// files.
+func ParseKind(name string) (Kind, error) {
+	k, ok := kindByName[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		var known []string
+		for _, n := range kindNames {
+			known = append(known, n)
+		}
+		return 0, fmt.Errorf("topology: unknown kind %q (known: %s)", name, strings.Join(known, ", "))
+	}
+	return k, nil
+}
+
+// WriteJSON serializes the topology.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	doc := topologyJSON{}
+	for _, root := range t.roots {
+		doc.Feeds = append(doc.Feeds, toNodeJSON(root))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func toNodeJSON(n *Node) nodeJSON {
+	out := nodeJSON{
+		ID:          n.ID,
+		Kind:        n.Kind.String(),
+		RatingWatts: float64(n.Rating),
+		Feed:        string(n.Feed),
+		Phase:       int(n.Phase),
+		Server:      n.ServerID,
+		Split:       n.Split,
+	}
+	// Children inherit the feed; omit it below the root for brevity.
+	for _, c := range n.Children() {
+		cj := toNodeJSON(c)
+		cj.Feed = ""
+		out.Children = append(out.Children, cj)
+	}
+	return out
+}
+
+// ReadJSON parses and validates a topology document.
+func ReadJSON(r io.Reader) (*Topology, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc topologyJSON
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("topology: parse: %w", err)
+	}
+	if len(doc.Feeds) == 0 {
+		return nil, fmt.Errorf("topology: document has no feeds")
+	}
+	var roots []*Node
+	for _, f := range doc.Feeds {
+		if f.Feed == "" {
+			// A root without an explicit feed names the feed after itself;
+			// children inherit it during construction.
+			f.Feed = f.ID
+		}
+		root, err := fromNodeJSON(f)
+		if err != nil {
+			return nil, err
+		}
+		// The tree is constructed bottom-up, so AddChild's feed/phase
+		// inheritance ran before parents had theirs set; propagate both in
+		// a preorder pass (parents are visited before their children).
+		root.Walk(func(n *Node) bool {
+			if p := n.Parent(); p != nil {
+				if n.Feed == "" {
+					n.Feed = p.Feed
+				}
+				if n.Phase == PhaseAll && p.Phase != PhaseAll {
+					n.Phase = p.Phase
+				}
+			}
+			return true
+		})
+		roots = append(roots, root)
+	}
+	return New(roots...)
+}
+
+func fromNodeJSON(j nodeJSON) (*Node, error) {
+	kind, err := ParseKind(j.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("node %q: %w", j.ID, err)
+	}
+	if j.Phase < 0 || j.Phase > 3 {
+		return nil, fmt.Errorf("topology: node %q phase %d out of range", j.ID, j.Phase)
+	}
+	var n *Node
+	if kind == KindSupply {
+		if len(j.Children) > 0 {
+			return nil, fmt.Errorf("topology: supply %q must not have children", j.ID)
+		}
+		split := j.Split
+		if split == 0 {
+			split = 1 // single-corded default
+		}
+		n = NewSupply(j.ID, j.Server, split)
+	} else {
+		n = NewNode(j.ID, kind, power.Watts(j.RatingWatts))
+	}
+	n.Feed = FeedID(j.Feed)
+	n.Phase = Phase(j.Phase)
+	for _, cj := range j.Children {
+		c, err := fromNodeJSON(cj)
+		if err != nil {
+			return nil, err
+		}
+		n.AddChild(c)
+	}
+	return n, nil
+}

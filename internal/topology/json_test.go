@@ -1,0 +1,157 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDoc = `{
+  "feeds": [
+    {
+      "id": "A", "kind": "utility",
+      "children": [
+        {"id": "A-ups", "kind": "ups",
+         "children": [
+           {"id": "A-cdu1", "kind": "cdu", "rating_watts": 6900,
+            "children": [
+              {"id": "web1-psA", "kind": "supply", "server": "web1", "split": 0.5},
+              {"id": "db1-psA", "kind": "supply", "server": "db1", "split": 0.65}
+            ]}
+         ]}
+      ]
+    },
+    {
+      "id": "B", "kind": "utility",
+      "children": [
+        {"id": "B-cdu1", "kind": "cdu", "rating_watts": 6900,
+         "children": [
+           {"id": "web1-psB", "kind": "supply", "server": "web1", "split": 0.5},
+           {"id": "db1-psB", "kind": "supply", "server": "db1", "split": 0.35}
+         ]}
+      ]
+    }
+  ]
+}`
+
+func TestReadJSON(t *testing.T) {
+	topo, err := ReadJSON(strings.NewReader(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Feeds(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("feeds = %v", got)
+	}
+	if topo.Node("A-cdu1").Rating != 6900 {
+		t.Errorf("CDU rating = %v", topo.Node("A-cdu1").Rating)
+	}
+	sup := topo.Node("db1-psA")
+	if sup == nil || sup.Kind != KindSupply || sup.Split != 0.65 || sup.ServerID != "db1" {
+		t.Errorf("supply = %+v", sup)
+	}
+	if sup.Feed != "A" {
+		t.Errorf("supply feed = %q, want inherited A", sup.Feed)
+	}
+	// The parsed topology passes full validation, including split sums.
+	if len(topo.SuppliesByServer()["db1"]) != 2 {
+		t.Error("db1 supplies missing")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	topo, err := ReadJSON(strings.NewReader(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := topo.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	topo2, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, buf.String())
+	}
+	if topo2.NodeCount() != topo.NodeCount() {
+		t.Errorf("node count %d -> %d", topo.NodeCount(), topo2.NodeCount())
+	}
+	for _, s := range topo.Supplies() {
+		s2 := topo2.Node(s.ID)
+		if s2 == nil || s2.Split != s.Split || s2.ServerID != s.ServerID {
+			t.Errorf("supply %s mismatch after round trip", s.ID)
+		}
+	}
+	for _, id := range []string{"A-cdu1", "B-cdu1"} {
+		if topo2.Node(id).Rating != topo.Node(id).Rating {
+			t.Errorf("rating mismatch for %s", id)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"garbage", "{", "parse"},
+		{"no feeds", `{"feeds": []}`, "no feeds"},
+		{"unknown field", `{"feeds": [{"id":"A","kind":"utility","bogus":1}]}`, "parse"},
+		{"unknown kind", `{"feeds": [{"id":"A","kind":"flux-capacitor"}]}`, "unknown kind"},
+		{"supply with children", `{"feeds": [{"id":"A","kind":"utility","children":[
+			{"id":"s","kind":"supply","server":"x","children":[{"id":"c","kind":"outlet"}]}]}]}`,
+			"must not have children"},
+		{"bad phase", `{"feeds": [{"id":"A","kind":"utility","phase":7}]}`, "phase"},
+		{"invalid topology", `{"feeds": [{"id":"A","kind":"utility","children":[
+			{"id":"s","kind":"supply","server":""}]}]}`, "server"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadJSON(strings.NewReader(c.doc))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestReadJSONSupplyDefaultSplit(t *testing.T) {
+	doc := `{"feeds": [{"id":"X","kind":"utility","children":[
+		{"id":"s1","kind":"supply","server":"solo"}]}]}`
+	topo, err := ReadJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Node("s1").Split; got != 1 {
+		t.Errorf("default split = %v, want 1", got)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	k, err := ParseKind(" CDU ")
+	if err != nil || k != KindCDU {
+		t.Errorf("ParseKind(CDU) = %v, %v", k, err)
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	for _, name := range []string{"utility", "ats", "ups", "transformer", "rpp", "cdu", "phase", "outlet", "supply", "virtual"} {
+		if _, err := ParseKind(name); err != nil {
+			t.Errorf("ParseKind(%s): %v", name, err)
+		}
+	}
+}
+
+func TestReadJSONPhases(t *testing.T) {
+	doc := `{"feeds": [{"id":"X","kind":"utility","children":[
+		{"id":"ph1","kind":"phase","phase":1,"rating_watts":5520,"children":[
+			{"id":"s1","kind":"supply","server":"a"}]}]}]}`
+	topo, err := ReadJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Node("ph1").Phase != Phase1 {
+		t.Errorf("phase = %v", topo.Node("ph1").Phase)
+	}
+	if topo.Node("s1").Phase != Phase1 {
+		t.Errorf("supply phase not inherited: %v", topo.Node("s1").Phase)
+	}
+}

@@ -1,0 +1,383 @@
+// Package topology models the physical power-distribution infrastructure of
+// a data center (Section 2.1, Figure 1 of the paper): utility feeds, ATSes,
+// UPSes, transformers, remote power panels (RPPs), cabinet distribution
+// units (CDUs), phase branches, and server power supplies, arranged as one
+// tree per power feed. CapMaestro's control trees mirror this topology
+// exactly, so the same structure drives both electrical simulation and
+// budget allocation.
+//
+// Each node carries a power rating (the 100% point of its breaker or
+// transformer). Conventional practice loads breakers to at most 80% of
+// rating (NFPA 70); the package exposes that derating as an explicit
+// Derating policy rather than baking it into ratings, so experiments can
+// reason about normal-operation limits and failure-window limits
+// separately.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"capmaestro/internal/power"
+)
+
+// FeedID identifies an independent power feed (side) of an N+N redundant
+// infrastructure, e.g. "A"/"B" or the paper's "X"/"Y".
+type FeedID string
+
+// Phase identifies one phase of 3-phase power delivery. PhaseAll marks
+// nodes that carry all phases (e.g. a transformer); specific phases are
+// Phase1..Phase3.
+type Phase int
+
+// Phase values.
+const (
+	PhaseAll Phase = iota
+	Phase1
+	Phase2
+	Phase3
+)
+
+// String returns a short label for the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseAll:
+		return "all"
+	case Phase1:
+		return "L1"
+	case Phase2:
+		return "L2"
+	case Phase3:
+		return "L3"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Phases lists the three specific phases.
+func Phases() []Phase { return []Phase{Phase1, Phase2, Phase3} }
+
+// Kind classifies a node in the power distribution hierarchy.
+type Kind int
+
+// Node kinds, ordered roughly from the utility down to the server.
+const (
+	KindVirtual Kind = iota // grouping/contractual node with no physical device
+	KindUtility
+	KindATS
+	KindUPS
+	KindTransformer
+	KindRPP
+	KindCDU
+	KindPhaseBranch
+	KindOutlet
+	KindSupply // leaf: a server power supply
+)
+
+var kindNames = map[Kind]string{
+	KindVirtual:     "virtual",
+	KindUtility:     "utility",
+	KindATS:         "ats",
+	KindUPS:         "ups",
+	KindTransformer: "transformer",
+	KindRPP:         "rpp",
+	KindCDU:         "cdu",
+	KindPhaseBranch: "phase",
+	KindOutlet:      "outlet",
+	KindSupply:      "supply",
+}
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Node is one element of the power distribution tree. Build nodes with
+// NewNode and link them with AddChild so parent pointers stay consistent.
+type Node struct {
+	ID     string
+	Kind   Kind
+	Rating power.Watts // 100% rating; 0 means no limit enforced here
+	Feed   FeedID
+	Phase  Phase
+
+	// ServerID and Split are set only on KindSupply leaves: the server the
+	// supply belongs to and the fraction r of that server's load this
+	// supply carries (Section 4.3 uses r to scale per-supply metrics).
+	ServerID string
+	Split    float64
+
+	children []*Node
+	parent   *Node
+}
+
+// NewNode creates an unlinked node.
+func NewNode(id string, kind Kind, rating power.Watts) *Node {
+	return &Node{ID: id, Kind: kind, Rating: rating}
+}
+
+// NewSupply creates a power-supply leaf for the given server carrying the
+// split fraction r of the server's load.
+func NewSupply(id, serverID string, split float64) *Node {
+	return &Node{ID: id, Kind: KindSupply, ServerID: serverID, Split: split}
+}
+
+// AddChild links child under n, inheriting n's feed (and phase, if the
+// child has none) unless the child sets its own. It returns child to allow
+// chaining during construction.
+func (n *Node) AddChild(child *Node) *Node {
+	if child.Feed == "" {
+		child.Feed = n.Feed
+	}
+	if child.Phase == PhaseAll && n.Phase != PhaseAll {
+		child.Phase = n.Phase
+	}
+	child.parent = n
+	n.children = append(n.children, child)
+	return child
+}
+
+// Children returns the node's children. The returned slice must not be
+// mutated.
+func (n *Node) Children() []*Node { return n.children }
+
+// Parent returns the node's parent, or nil for a root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.children) == 0 }
+
+// Walk visits n and all descendants in depth-first preorder. Returning
+// false from fn prunes the subtree below the visited node.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.children {
+		c.Walk(fn)
+	}
+}
+
+// Path returns the nodes from the root down to n, inclusive.
+func (n *Node) Path() []*Node {
+	var rev []*Node
+	for cur := n; cur != nil; cur = cur.parent {
+		rev = append(rev, cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Derating maps a node to its enforceable power limit. The allocation
+// algorithms treat the derated value as Plimit.
+type Derating struct {
+	// Fraction of rating usable during sustained operation; conventional
+	// practice is 0.8 (Section 2.1).
+	Fraction float64
+	// Overrides supplies per-kind fractions, e.g. to exempt virtual
+	// contractual nodes (fraction 1.0) from breaker derating.
+	Overrides map[Kind]float64
+}
+
+// DefaultDerating is the conventional 80% loading rule for breakers and
+// transformers; virtual (contractual) nodes already express enforceable
+// budgets, so they are not derated further.
+func DefaultDerating() Derating {
+	return Derating{
+		Fraction:  0.8,
+		Overrides: map[Kind]float64{KindVirtual: 1.0},
+	}
+}
+
+// FullRating uses 100% of each rating, for modelling the failure window in
+// which breakers may legally be loaded beyond the sustained limit.
+func FullRating() Derating { return Derating{Fraction: 1.0} }
+
+// Limit returns the enforceable power limit for the node, or +Inf when the
+// node has no rating.
+func (d Derating) Limit(n *Node) power.Watts {
+	if n.Rating <= 0 {
+		return power.Watts(math.Inf(1))
+	}
+	frac := d.Fraction
+	if f, ok := d.Overrides[n.Kind]; ok {
+		frac = f
+	}
+	if frac <= 0 {
+		frac = 1.0
+	}
+	return n.Rating * power.Watts(frac)
+}
+
+// Topology is a set of per-feed power distribution trees with an index of
+// every node.
+type Topology struct {
+	roots []*Node
+	byID  map[string]*Node
+}
+
+// New assembles and validates a topology from its per-feed root nodes.
+func New(roots ...*Node) (*Topology, error) {
+	t := &Topology{byID: make(map[string]*Node)}
+	for _, r := range roots {
+		if r == nil {
+			return nil, fmt.Errorf("topology: nil root")
+		}
+		if r.parent != nil {
+			return nil, fmt.Errorf("topology: root %q has a parent", r.ID)
+		}
+		t.roots = append(t.roots, r)
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; for static test fixtures.
+func MustNew(roots ...*Node) *Topology {
+	t, err := New(roots...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Topology) validate() error {
+	splitByServer := make(map[string]float64)
+	suppliesByServer := make(map[string]int)
+	for _, r := range t.roots {
+		if r.Feed == "" {
+			return fmt.Errorf("topology: root %q has no feed", r.ID)
+		}
+		var err error
+		r.Walk(func(n *Node) bool {
+			if err != nil {
+				return false
+			}
+			if n.ID == "" {
+				err = fmt.Errorf("topology: node with empty ID under root %q", r.ID)
+				return false
+			}
+			if _, dup := t.byID[n.ID]; dup {
+				err = fmt.Errorf("topology: duplicate node ID %q", n.ID)
+				return false
+			}
+			t.byID[n.ID] = n
+			if n.Rating < 0 {
+				err = fmt.Errorf("topology: node %q has negative rating", n.ID)
+				return false
+			}
+			if n.Feed != r.Feed {
+				err = fmt.Errorf("topology: node %q feed %q differs from root feed %q", n.ID, n.Feed, r.Feed)
+				return false
+			}
+			if p := n.parent; p != nil && p.Phase != PhaseAll && n.Phase != p.Phase {
+				err = fmt.Errorf("topology: node %q phase %v conflicts with parent phase %v", n.ID, n.Phase, p.Phase)
+				return false
+			}
+			if n.Kind == KindSupply {
+				if !n.IsLeaf() {
+					err = fmt.Errorf("topology: supply %q must be a leaf", n.ID)
+					return false
+				}
+				if n.ServerID == "" {
+					err = fmt.Errorf("topology: supply %q has no server ID", n.ID)
+					return false
+				}
+				if n.Split <= 0 || n.Split > 1 {
+					err = fmt.Errorf("topology: supply %q split %v out of (0,1]", n.ID, n.Split)
+					return false
+				}
+				splitByServer[n.ServerID] += n.Split
+				suppliesByServer[n.ServerID]++
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for server, sum := range splitByServer {
+		if sum > 1+1e-9 {
+			return fmt.Errorf("topology: server %q supply splits sum to %v > 1", server, sum)
+		}
+		if suppliesByServer[server] > 1 && math.Abs(sum-1) > 0.05 {
+			return fmt.Errorf("topology: server %q splits sum to %v, want ~1 across working supplies", server, sum)
+		}
+	}
+	return nil
+}
+
+// Roots returns the per-feed root nodes.
+func (t *Topology) Roots() []*Node { return t.roots }
+
+// Root returns the root for the given feed, or nil if absent.
+func (t *Topology) Root(feed FeedID) *Node {
+	for _, r := range t.roots {
+		if r.Feed == feed {
+			return r
+		}
+	}
+	return nil
+}
+
+// Feeds lists the feed IDs in root order.
+func (t *Topology) Feeds() []FeedID {
+	feeds := make([]FeedID, 0, len(t.roots))
+	for _, r := range t.roots {
+		feeds = append(feeds, r.Feed)
+	}
+	return feeds
+}
+
+// Node returns the node with the given ID, or nil if absent.
+func (t *Topology) Node(id string) *Node { return t.byID[id] }
+
+// NodeCount reports the total number of nodes across all feeds.
+func (t *Topology) NodeCount() int { return len(t.byID) }
+
+// Supplies returns all power-supply leaves, sorted by node ID for
+// determinism.
+func (t *Topology) Supplies() []*Node {
+	var out []*Node
+	for _, r := range t.roots {
+		r.Walk(func(n *Node) bool {
+			if n.Kind == KindSupply {
+				out = append(out, n)
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SuppliesByServer groups supply leaves by their server ID.
+func (t *Topology) SuppliesByServer() map[string][]*Node {
+	m := make(map[string][]*Node)
+	for _, s := range t.Supplies() {
+		m[s.ServerID] = append(m[s.ServerID], s)
+	}
+	return m
+}
+
+// ServerIDs returns the distinct server IDs in sorted order.
+func (t *Topology) ServerIDs() []string {
+	set := make(map[string]struct{})
+	for _, s := range t.Supplies() {
+		set[s.ServerID] = struct{}{}
+	}
+	ids := make([]string, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

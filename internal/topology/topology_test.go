@@ -1,0 +1,257 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"capmaestro/internal/power"
+)
+
+// smallFeed builds feed -> CDU -> two supplies, one per server.
+func smallFeed(feed FeedID) *Node {
+	root := NewNode(string(feed)+"-root", KindUtility, 0)
+	root.Feed = feed
+	cdu := root.AddChild(NewNode(string(feed)+"-cdu", KindCDU, 6900))
+	cdu.AddChild(NewSupply(string(feed)+"-s1", "server-1", 0.5))
+	cdu.AddChild(NewSupply(string(feed)+"-s2", "server-2", 0.5))
+	return root
+}
+
+func TestNewAndIndex(t *testing.T) {
+	topo, err := New(smallFeed("A"), smallFeed("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NodeCount() != 8 {
+		t.Errorf("node count = %d, want 8", topo.NodeCount())
+	}
+	if topo.Node("A-cdu") == nil || topo.Node("B-s2") == nil {
+		t.Error("index missing nodes")
+	}
+	if topo.Node("nope") != nil {
+		t.Error("unknown ID should return nil")
+	}
+	if got := topo.Feeds(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("feeds = %v", got)
+	}
+	if topo.Root("B") == nil || topo.Root("C") != nil {
+		t.Error("Root lookup wrong")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() []*Node
+		want  string
+	}{
+		{"nil root", func() []*Node { return []*Node{nil} }, "nil root"},
+		{"no feed", func() []*Node {
+			return []*Node{NewNode("r", KindUtility, 0)}
+		}, "no feed"},
+		{"duplicate ID", func() []*Node {
+			r := smallFeed("A")
+			r.AddChild(NewNode("A-cdu", KindCDU, 100))
+			return []*Node{r}
+		}, "duplicate"},
+		{"empty ID", func() []*Node {
+			r := smallFeed("A")
+			r.AddChild(NewNode("", KindCDU, 100))
+			return []*Node{r}
+		}, "empty ID"},
+		{"negative rating", func() []*Node {
+			r := smallFeed("A")
+			r.AddChild(NewNode("bad", KindCDU, -5))
+			return []*Node{r}
+		}, "negative rating"},
+		{"supply with children", func() []*Node {
+			r := smallFeed("A")
+			s := r.Children()[0].Children()[0]
+			s.AddChild(NewNode("x", KindOutlet, 0))
+			return []*Node{r}
+		}, "must be a leaf"},
+		{"supply without server", func() []*Node {
+			r := smallFeed("A")
+			r.Children()[0].AddChild(NewSupply("s3", "", 0.5))
+			return []*Node{r}
+		}, "no server ID"},
+		{"supply bad split", func() []*Node {
+			r := smallFeed("A")
+			r.Children()[0].AddChild(NewSupply("s3", "server-3", 1.5))
+			return []*Node{r}
+		}, "out of (0,1]"},
+		{"splits exceed one", func() []*Node {
+			r := smallFeed("A")
+			r.Children()[0].AddChild(NewSupply("s3", "server-1", 0.7))
+			return []*Node{r}
+		}, "> 1"},
+		{"splits do not cover server", func() []*Node {
+			r := NewNode("r", KindUtility, 0)
+			r.Feed = "A"
+			r.AddChild(NewSupply("s1", "srv", 0.3))
+			r.AddChild(NewSupply("s2", "srv", 0.3))
+			return []*Node{r}
+		}, "want ~1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(c.build()...)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRootWithParentRejected(t *testing.T) {
+	r := smallFeed("A")
+	child := r.Children()[0]
+	if _, err := New(child); err == nil {
+		t.Error("non-root node should be rejected as root")
+	}
+}
+
+func TestSingleSupplyServerAllowedPartialSplit(t *testing.T) {
+	// A single-corded server with split 1.0, and a server whose redundant
+	// supply is disconnected (split 1.0 on the surviving side only).
+	r := NewNode("r", KindUtility, 0)
+	r.Feed = "X"
+	r.AddChild(NewSupply("s1", "solo", 1.0))
+	if _, err := New(r); err != nil {
+		t.Errorf("single-corded server rejected: %v", err)
+	}
+}
+
+func TestFeedAndPhaseInheritance(t *testing.T) {
+	root := NewNode("r", KindUtility, 0)
+	root.Feed = "A"
+	tx := root.AddChild(NewNode("tx", KindTransformer, 420000))
+	ph := NewNode("ph1", KindPhaseBranch, 0)
+	ph.Phase = Phase1
+	tx.AddChild(ph)
+	out := ph.AddChild(NewNode("o", KindOutlet, 0))
+	if out.Feed != "A" {
+		t.Errorf("feed not inherited: %q", out.Feed)
+	}
+	if out.Phase != Phase1 {
+		t.Errorf("phase not inherited: %v", out.Phase)
+	}
+}
+
+func TestPhaseConflictRejected(t *testing.T) {
+	root := NewNode("r", KindUtility, 0)
+	root.Feed = "A"
+	ph := NewNode("ph1", KindPhaseBranch, 0)
+	ph.Phase = Phase1
+	root.AddChild(ph)
+	bad := NewNode("bad", KindOutlet, 0)
+	bad.Feed = "A"
+	bad.Phase = Phase2
+	ph.children = append(ph.children, bad) // bypass AddChild to force conflict
+	bad.parent = ph
+	if _, err := New(root); err == nil || !strings.Contains(err.Error(), "phase") {
+		t.Errorf("expected phase conflict error, got %v", err)
+	}
+}
+
+func TestWalkAndPrune(t *testing.T) {
+	r := smallFeed("A")
+	var visited []string
+	r.Walk(func(n *Node) bool {
+		visited = append(visited, n.ID)
+		return n.Kind != KindCDU // prune below the CDU
+	})
+	if len(visited) != 2 {
+		t.Errorf("visited %v, want root and cdu only", visited)
+	}
+}
+
+func TestPath(t *testing.T) {
+	topo := MustNew(smallFeed("A"))
+	s := topo.Node("A-s1")
+	path := s.Path()
+	if len(path) != 3 || path[0].ID != "A-root" || path[2].ID != "A-s1" {
+		ids := make([]string, len(path))
+		for i, n := range path {
+			ids[i] = n.ID
+		}
+		t.Errorf("path = %v", ids)
+	}
+}
+
+func TestSuppliesSortedAndGrouped(t *testing.T) {
+	topo := MustNew(smallFeed("B"), smallFeed("A"))
+	sup := topo.Supplies()
+	if len(sup) != 4 {
+		t.Fatalf("supplies = %d, want 4", len(sup))
+	}
+	for i := 1; i < len(sup); i++ {
+		if sup[i-1].ID > sup[i].ID {
+			t.Error("supplies not sorted")
+		}
+	}
+	byServer := topo.SuppliesByServer()
+	if len(byServer["server-1"]) != 2 {
+		t.Errorf("server-1 supplies = %d, want 2 (one per feed)", len(byServer["server-1"]))
+	}
+	ids := topo.ServerIDs()
+	if len(ids) != 2 || ids[0] != "server-1" || ids[1] != "server-2" {
+		t.Errorf("server IDs = %v", ids)
+	}
+}
+
+func TestDeratingLimits(t *testing.T) {
+	d := DefaultDerating()
+	cdu := NewNode("cdu", KindCDU, 6900)
+	if got := d.Limit(cdu); got != 5520 {
+		t.Errorf("derated CDU limit = %v, want 5520 (80%%)", got)
+	}
+	virt := NewNode("budget", KindVirtual, 700000)
+	if got := d.Limit(virt); got != 700000 {
+		t.Errorf("virtual node limit = %v, want full 700000", got)
+	}
+	unlimited := NewNode("ats", KindATS, 0)
+	if got := d.Limit(unlimited); !math.IsInf(float64(got), 1) {
+		t.Errorf("unrated node limit = %v, want +Inf", got)
+	}
+}
+
+func TestFullRating(t *testing.T) {
+	d := FullRating()
+	cdu := NewNode("cdu", KindCDU, 6900)
+	if got := d.Limit(cdu); got != 6900 {
+		t.Errorf("full-rating limit = %v, want 6900", got)
+	}
+}
+
+func TestDeratingZeroFractionDefaultsToFull(t *testing.T) {
+	d := Derating{Fraction: 0.8, Overrides: map[Kind]float64{KindCDU: 0}}
+	cdu := NewNode("cdu", KindCDU, 1000)
+	if got := d.Limit(cdu); got != 1000 {
+		t.Errorf("zero override should mean full rating, got %v", got)
+	}
+}
+
+func TestKindAndPhaseStrings(t *testing.T) {
+	if KindRPP.String() != "rpp" || KindSupply.String() != "supply" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Error("unknown kind formatting wrong")
+	}
+	if Phase1.String() != "L1" || PhaseAll.String() != "all" {
+		t.Error("phase names wrong")
+	}
+	if Phase(9).String() != "phase(9)" {
+		t.Error("unknown phase formatting wrong")
+	}
+	if len(Phases()) != 3 {
+		t.Error("Phases() should list 3 phases")
+	}
+	var zero power.Watts
+	_ = zero // keep the power import for the derating tests above
+}

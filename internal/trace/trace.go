@@ -1,0 +1,211 @@
+// Package trace records time series produced by simulations (per-breaker
+// power, per-supply budgets, throttle levels) and renders them as CSV for
+// plotting or as compact ASCII charts for terminal output. The paper's
+// Figures 5, 6b, and 7c are time-series plots regenerated from these
+// recordings.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one sample of a series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is a named time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds a sample.
+func (s *Series) Append(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Last returns the most recent sample value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// Min and Max return the value range of the series (0,0 when empty).
+func (s *Series) Min() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := math.Inf(1)
+	for _, p := range s.Points {
+		m = math.Min(m, p.V)
+	}
+	return m
+}
+
+// Max returns the largest sample value (0 when empty).
+func (s *Series) Max() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := math.Inf(-1)
+	for _, p := range s.Points {
+		m = math.Max(m, p.V)
+	}
+	return m
+}
+
+// MaxAbove returns the number of samples strictly above the threshold.
+func (s *Series) CountAbove(threshold float64) int {
+	n := 0
+	for _, p := range s.Points {
+		if p.V > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Recorder collects a set of named series with a shared clock.
+type Recorder struct {
+	series map[string]*Series
+	order  []string
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Record appends a sample to the named series, creating it on first use.
+func (r *Recorder) Record(name string, t time.Duration, v float64) {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	s.Append(t, v)
+}
+
+// Series returns the named series, or nil if absent.
+func (r *Recorder) Series(name string) *Series { return r.series[name] }
+
+// Names lists series names in first-recorded order.
+func (r *Recorder) Names() []string { return append([]string(nil), r.order...) }
+
+// WriteCSV emits all series in long form: time_s,series,value.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_s,series,value"); err != nil {
+		return err
+	}
+	type row struct {
+		t    time.Duration
+		name string
+		v    float64
+	}
+	var rows []row
+	for _, name := range r.order {
+		for _, p := range r.series[name].Points {
+			rows = append(rows, row{p.T, name, p.V})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].t < rows[j].t })
+	for _, rw := range rows {
+		if _, err := fmt.Fprintf(w, "%.3f,%s,%.3f\n", rw.t.Seconds(), rw.name, rw.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ASCIIChart renders the named series as a fixed-width ASCII chart with the
+// given number of columns and rows, for terminal experiment output. Series
+// are resampled by bucketing points into columns.
+func (r *Recorder) ASCIIChart(names []string, cols, rows int) string {
+	if cols < 10 {
+		cols = 10
+	}
+	if rows < 4 {
+		rows = 4
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+	var (
+		minT, maxT = time.Duration(math.MaxInt64), time.Duration(math.MinInt64)
+		minV, maxV = math.Inf(1), math.Inf(-1)
+		active     []*Series
+	)
+	for _, name := range names {
+		s := r.series[name]
+		if s == nil || len(s.Points) == 0 {
+			continue
+		}
+		active = append(active, s)
+		for _, p := range s.Points {
+			if p.T < minT {
+				minT = p.T
+			}
+			if p.T > maxT {
+				maxT = p.T
+			}
+			minV = math.Min(minV, p.V)
+			maxV = math.Max(maxV, p.V)
+		}
+	}
+	if len(active) == 0 {
+		return "(no data)\n"
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	span := maxT - minT
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	for si, s := range active {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			c := int(float64(p.T-minT) / float64(span) * float64(cols-1))
+			rowF := (p.V - minV) / (maxV - minV)
+			rrow := rows - 1 - int(rowF*float64(rows-1))
+			grid[rrow][c] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.1f ┤", maxV)
+	b.Write(grid[0])
+	b.WriteByte('\n')
+	for i := 1; i < rows-1; i++ {
+		b.WriteString(strings.Repeat(" ", 11) + "│")
+		b.Write(grid[i])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10.1f ┤", minV)
+	b.Write(grid[rows-1])
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%12s%-8.0fs%s%8.0fs\n", "", minT.Seconds(),
+		strings.Repeat(" ", maxInt(0, cols-16)), maxT.Seconds())
+	for si, s := range active {
+		fmt.Fprintf(&b, "  %c %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty series should report zeros")
+	}
+	s.Append(0, 5)
+	s.Append(time.Second, 3)
+	s.Append(2*time.Second, 9)
+	if s.Last() != 9 || s.Min() != 3 || s.Max() != 9 {
+		t.Errorf("series stats wrong: last %v min %v max %v", s.Last(), s.Min(), s.Max())
+	}
+	if got := s.CountAbove(4); got != 2 {
+		t.Errorf("CountAbove(4) = %d, want 2", got)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 0, 1)
+	r.Record("b", 0, 2)
+	r.Record("a", time.Second, 3)
+	if got := r.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("names = %v", got)
+	}
+	if r.Series("a").Last() != 3 {
+		t.Error("series a last wrong")
+	}
+	if r.Series("nope") != nil {
+		t.Error("unknown series should be nil")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Record("p", 0, 1.5)
+	r.Record("p", 2*time.Second, 2.5)
+	r.Record("q", time.Second, 9)
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), b.String())
+	}
+	if lines[0] != "time_s,series,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Rows sorted by time.
+	if !strings.HasPrefix(lines[1], "0.000,p") ||
+		!strings.HasPrefix(lines[2], "1.000,q") ||
+		!strings.HasPrefix(lines[3], "2.000,p") {
+		t.Errorf("rows out of order: %v", lines[1:])
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i <= 20; i++ {
+		r.Record("ramp", time.Duration(i)*time.Second, float64(i*10))
+	}
+	out := r.ASCIIChart([]string{"ramp"}, 40, 8)
+	if !strings.Contains(out, "ramp") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("marks missing")
+	}
+	if out := r.ASCIIChart([]string{"missing"}, 40, 8); out != "(no data)\n" {
+		t.Errorf("missing series chart = %q", out)
+	}
+	// Constant series must not divide by zero.
+	r2 := NewRecorder()
+	r2.Record("flat", 0, 5)
+	r2.Record("flat", time.Second, 5)
+	if out := r2.ASCIIChart([]string{"flat"}, 20, 4); !strings.Contains(out, "flat") {
+		t.Error("flat series chart failed")
+	}
+	// Tiny dimensions clamp.
+	if out := r.ASCIIChart([]string{"ramp"}, 1, 1); out == "" {
+		t.Error("clamped chart empty")
+	}
+}

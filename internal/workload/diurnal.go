@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// DiurnalProfile generates the day/night utilization swing the paper's
+// introduction motivates ("a data center's total power consumption
+// exhibits wide variations"): a sinusoid between a night trough and an
+// afternoon peak, with optional per-sample jitter. Simulations use it to
+// drive time-varying load through the control plane.
+type DiurnalProfile struct {
+	// Trough and Peak are the utilization extremes in [0,1], reached at
+	// TroughAt and 12 h later respectively.
+	Trough, Peak float64
+	// TroughAt is the time-of-day of minimum load (e.g. 4 h for 4 AM).
+	TroughAt time.Duration
+	// Jitter is the standard deviation of multiplicative noise applied
+	// per sample (0 disables).
+	Jitter float64
+}
+
+// DefaultDiurnalProfile is a typical interactive-service swing: 20% at
+// 4 AM to 60% mid-afternoon.
+func DefaultDiurnalProfile() DiurnalProfile {
+	return DiurnalProfile{Trough: 0.20, Peak: 0.60, TroughAt: 4 * time.Hour}
+}
+
+// At returns the profile's utilization at the given time of day (times
+// beyond 24 h wrap).
+func (p DiurnalProfile) At(timeOfDay time.Duration) float64 {
+	const day = 24 * time.Hour
+	t := timeOfDay % day
+	if t < 0 {
+		t += day
+	}
+	phase := 2 * math.Pi * float64(t-p.TroughAt) / float64(day)
+	mid := (p.Peak + p.Trough) / 2
+	amp := (p.Peak - p.Trough) / 2
+	u := mid - amp*math.Cos(phase)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Sample returns the utilization at the given time of day with jitter
+// applied, clipped to [0,1]. rng may be nil when Jitter is 0.
+func (p DiurnalProfile) Sample(rng *rand.Rand, timeOfDay time.Duration) float64 {
+	u := p.At(timeOfDay)
+	if p.Jitter > 0 && rng != nil {
+		u *= 1 + rng.NormFloat64()*p.Jitter
+	}
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDiurnalExtremes(t *testing.T) {
+	p := DefaultDiurnalProfile()
+	if got := p.At(4 * time.Hour); math.Abs(got-0.20) > 1e-9 {
+		t.Errorf("trough = %v, want 0.20", got)
+	}
+	if got := p.At(16 * time.Hour); math.Abs(got-0.60) > 1e-9 {
+		t.Errorf("peak = %v, want 0.60", got)
+	}
+	// Midpoints between extremes.
+	if got := p.At(10 * time.Hour); math.Abs(got-0.40) > 1e-9 {
+		t.Errorf("midpoint = %v, want 0.40", got)
+	}
+}
+
+func TestDiurnalWrapsAndClamps(t *testing.T) {
+	p := DefaultDiurnalProfile()
+	if p.At(28*time.Hour) != p.At(4*time.Hour) {
+		t.Error("times beyond 24h should wrap")
+	}
+	if p.At(-20*time.Hour) != p.At(4*time.Hour) {
+		t.Error("negative times should wrap")
+	}
+	extreme := DiurnalProfile{Trough: -0.5, Peak: 1.5, TroughAt: 0}
+	for h := 0; h < 24; h++ {
+		u := extreme.At(time.Duration(h) * time.Hour)
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization %v out of [0,1] at hour %d", u, h)
+		}
+	}
+}
+
+func TestDiurnalMonotoneMorningRamp(t *testing.T) {
+	p := DefaultDiurnalProfile()
+	prev := -1.0
+	for h := 4; h <= 16; h++ {
+		u := p.At(time.Duration(h) * time.Hour)
+		if u < prev {
+			t.Fatalf("ramp not monotone at hour %d: %v < %v", h, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestDiurnalSampleJitter(t *testing.T) {
+	p := DefaultDiurnalProfile()
+	p.Jitter = 0.05
+	rng := rand.New(rand.NewSource(3))
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		u := p.Sample(rng, 16*time.Hour)
+		if u < 0 || u > 1 {
+			t.Fatalf("jittered sample %v out of range", u)
+		}
+		sum += u
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.60) > 0.01 {
+		t.Errorf("jittered mean %v, want ~0.60", mean)
+	}
+	// Zero jitter: deterministic even with nil rng.
+	p.Jitter = 0
+	if p.Sample(nil, 4*time.Hour) != p.At(4*time.Hour) {
+		t.Error("zero-jitter sample should equal At")
+	}
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"capmaestro/internal/power"
+
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestThroughputCalibration(t *testing.T) {
+	// The model must reproduce the paper's own measurements.
+	cases := []struct {
+		consumed, demand float64
+		want, tol        float64
+	}{
+		{314, 420, 0.82, 0.01},  // Table 2 / Fig. 6a, No Priority SA
+		{344, 420, 0.87, 0.01},  // Local Priority SA
+		{420, 420, 1.00, 0},     // Global Priority SA: uncapped
+		{348, 415, 0.88, 0.008}, // Fig. 7b, SB without SPO
+		{412, 415, 0.995, 0.01}, // Fig. 7b, SB with SPO (">0.99")
+	}
+	for _, c := range cases {
+		got := NormalizedThroughput(power.Watts(c.consumed), power.Watts(c.demand))
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("throughput(%v/%v) = %.3f, want %.3f ± %.3f",
+				c.consumed, c.demand, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestThroughputEdges(t *testing.T) {
+	if NormalizedThroughput(500, 400) != 1 {
+		t.Error("consumption above demand should be 1")
+	}
+	if NormalizedThroughput(0, 400) != 0 {
+		t.Error("zero consumption should be 0")
+	}
+	if NormalizedThroughput(400, 0) != 1 {
+		t.Error("zero demand should be 1 (nothing to lose)")
+	}
+	if NormalizedThroughput(-5, 400) != 0 {
+		t.Error("negative consumption should be 0")
+	}
+}
+
+func TestLatencyMatchesPaper(t *testing.T) {
+	// 18% throughput loss ↔ 21% latency increase (Section 6.2).
+	l := NormalizedLatency(314, 420)
+	if math.Abs(l-1.21) > 0.02 {
+		t.Errorf("latency(314/420) = %.3f, want ~1.21", l)
+	}
+	if !math.IsInf(NormalizedLatency(0, 400), 1) {
+		t.Error("zero consumption should give infinite latency")
+	}
+	if NormalizedLatency(400, 400) != 1 {
+		t.Error("uncapped latency should be 1")
+	}
+}
+
+func TestThroughputMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		pa := math.Abs(math.Mod(a, 500))
+		pb := math.Abs(math.Mod(b, 500))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return NormalizedThroughput(power.Watts(pa), 500) <= NormalizedThroughput(power.Watts(pb), 500)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewUtilizationDistributionValidation(t *testing.T) {
+	if _, err := NewUtilizationDistribution(nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := NewUtilizationDistribution([][2]float64{{1.5, 1}}); err == nil {
+		t.Error("out-of-range utilization should fail")
+	}
+	if _, err := NewUtilizationDistribution([][2]float64{{0.5, 1}, {0.4, 1}}); err == nil {
+		t.Error("non-ascending should fail")
+	}
+	if _, err := NewUtilizationDistribution([][2]float64{{0.5, -1}}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewUtilizationDistribution([][2]float64{{0.5, 0}}); err == nil {
+		t.Error("zero total weight should fail")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	d := Figure8Distribution()
+	m := d.Mean()
+	if m < 0.28 || m < 0.25 || m > 0.40 {
+		t.Errorf("mean utilization %.3f outside the shared-cluster range", m)
+	}
+	// Negligible mass above 60% — the property that lets the typical case
+	// run uncapped at 39 servers/rack.
+	if tail := 1 - d.CDF(0.55); tail > 0.02 {
+		t.Errorf("tail above 55%% = %.3f, want ~1%%", tail)
+	}
+	// Peak near 30%.
+	buckets := d.Buckets()
+	best, bestP := 0.0, 0.0
+	for _, b := range buckets {
+		if b[1] > bestP {
+			best, bestP = b[0], b[1]
+		}
+	}
+	if best != 0.30 {
+		t.Errorf("mode = %v, want 0.30", best)
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	d := Figure8Distribution()
+	rng := rand.New(rand.NewSource(5))
+	n := 200000
+	var sum float64
+	counts := map[float64]int{}
+	for i := 0; i < n; i++ {
+		u := d.Sample(rng)
+		sum += u
+		counts[u]++
+	}
+	if got := sum / float64(n); math.Abs(got-d.Mean()) > 0.005 {
+		t.Errorf("empirical mean %.4f, want %.4f", got, d.Mean())
+	}
+	// Empirical bucket frequencies match the PMF.
+	for _, b := range d.Buckets() {
+		got := float64(counts[b[0]]) / float64(n)
+		if math.Abs(got-b[1]) > 0.01 {
+			t.Errorf("P(U=%v) = %.4f, want %.4f", b[0], got, b[1])
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	d, err := NewUtilizationDistribution([][2]float64{{0.2, 1}, {0.4, 1}, {0.6, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.CDF(0.1); got != 0 {
+		t.Errorf("CDF(0.1) = %v, want 0", got)
+	}
+	if got := d.CDF(0.2); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("CDF(0.2) = %v, want 0.25", got)
+	}
+	if got := d.CDF(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(0.5) = %v, want 0.5", got)
+	}
+	if got := d.CDF(1); got != 1 {
+		t.Errorf("CDF(1) = %v, want 1", got)
+	}
+}
+
+func TestSampleServerUtilClipped(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		u := SampleServerUtil(rng, 0.5, 0.3)
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization %v out of [0,1]", u)
+		}
+	}
+	// Zero sigma returns the average exactly.
+	if u := SampleServerUtil(rng, 0.42, 0); u != 0.42 {
+		t.Errorf("zero-sigma sample = %v, want 0.42", u)
+	}
+}
+
+func TestSampleServerUtilMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += SampleServerUtil(rng, 0.4, PerServerSigma)
+	}
+	if got := sum / float64(n); math.Abs(got-0.4) > 0.005 {
+		t.Errorf("mean %v, want ~0.4", got)
+	}
+}
