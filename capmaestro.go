@@ -10,6 +10,7 @@ import (
 	"capmaestro/internal/scheduler"
 	"capmaestro/internal/server"
 	"capmaestro/internal/sim"
+	"capmaestro/internal/telemetry"
 	"capmaestro/internal/topocheck"
 	"capmaestro/internal/topology"
 	"capmaestro/internal/workload"
@@ -224,6 +225,30 @@ func FindCapacity(cfg DataCenterConfig, scenario Scenario, policy Policy, opts S
 // calibrated against the paper's Apache measurements.
 func NormalizedThroughput(consumed, demand Watts) float64 {
 	return workload.NormalizedThroughput(consumed, demand)
+}
+
+// Observability.
+type (
+	// TelemetryRegistry collects counters, gauges, and histograms and
+	// renders them in Prometheus text exposition format. Passing a nil
+	// registry anywhere one is accepted disables instrumentation at zero
+	// cost.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryServer exposes a registry over HTTP (/metrics, /healthz,
+	// /debug/vars).
+	TelemetryServer = telemetry.Server
+)
+
+// NewTelemetryRegistry creates an empty metrics registry. Wire it into
+// SimConfig.Telemetry (or the lower-level server/capping/control-plane
+// configs) and serve it with ServeTelemetry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// ServeTelemetry binds addr (for example ":9090") and serves the registry's
+// /metrics, /healthz, and /debug/vars endpoints in the background until the
+// returned server is closed.
+func ServeTelemetry(reg *TelemetryRegistry, addr string) (*TelemetryServer, error) {
+	return telemetry.Serve(reg, addr)
 }
 
 // Job scheduling coordination (the Section 7 extension).

@@ -8,31 +8,60 @@
 //	capmaestro -demo spo          # stranded power optimization (Fig. 7)
 //	capmaestro -demo distributed  # rack/room workers over real TCP sockets
 //	capmaestro -demo scheduler    # job scheduler driving server priorities
+//	capmaestro -demo serve        # full stack running until interrupted
 //
-// Every demo is deterministic and uses only the simulated substrate, so it
-// runs anywhere.
+// With -telemetry-addr HOST:PORT the process serves Prometheus metrics on
+// /metrics, liveness on /healthz, and a JSON snapshot on /debug/vars; the
+// serve demo defaults it to :9090. Every demo is deterministic and uses
+// only the simulated substrate, so it runs anywhere.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
+	"capmaestro/internal/capping"
 	"capmaestro/internal/controlplane"
 	"capmaestro/internal/core"
 	"capmaestro/internal/experiments"
 	"capmaestro/internal/power"
 	"capmaestro/internal/scheduler"
+	"capmaestro/internal/server"
 	"capmaestro/internal/sim"
+	"capmaestro/internal/telemetry"
 	"capmaestro/internal/topology"
 )
 
 func main() {
-	demo := flag.String("demo", "feedfail", "capping | feedfail | spo | distributed | scheduler")
+	demo := flag.String("demo", "feedfail", "capping | feedfail | spo | distributed | scheduler | serve")
+	telAddr := flag.String("telemetry-addr", "",
+		"HOST:PORT for the /metrics, /healthz, and /debug/vars endpoints (empty disables; serve demo defaults to :9090)")
 	flag.Parse()
+
+	addr := *telAddr
+	if addr == "" && *demo == "serve" {
+		addr = ":9090"
+	}
+	var reg *telemetry.Registry
+	var ts *telemetry.Server
+	if addr != "" {
+		reg = telemetry.NewRegistry()
+		var err error
+		ts, err = telemetry.Serve(reg, addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", ts.Addr())
+	}
 
 	var err error
 	switch *demo {
@@ -43,9 +72,11 @@ func main() {
 	case "spo":
 		err = demoSPO()
 	case "distributed":
-		err = demoDistributed()
+		err = demoDistributed(reg)
 	case "scheduler":
 		err = demoScheduler()
+	case "serve":
+		err = demoServe(reg, ts)
 	default:
 		err = fmt.Errorf("unknown demo %q", *demo)
 	}
@@ -196,8 +227,10 @@ func demoScheduler() error {
 }
 
 // demoDistributed wires two rack workers to a room worker over loopback
-// TCP and runs control periods, printing each rack's budget.
-func demoDistributed() error {
+// TCP and runs control periods, printing each rack's budget. With
+// -telemetry-addr set, reg is non-nil and every layer is instrumented.
+func demoDistributed(reg *telemetry.Registry) error {
+	opts := []controlplane.Option{controlplane.WithTelemetry(reg)}
 	var mu sync.Mutex
 	budgets := map[string]power.Watts{}
 	sink := func(supplyID string, b power.Watts) {
@@ -214,33 +247,33 @@ func demoDistributed() error {
 	left, err := controlplane.NewRackWorker("rack-left",
 		core.NewShifting("rack-left", 750,
 			mkLeaf("SA-ps", "SA", 1, 430), mkLeaf("SB-ps", "SB", 0, 430)),
-		core.GlobalPriority, sink)
+		core.GlobalPriority, sink, opts...)
 	if err != nil {
 		return err
 	}
 	right, err := controlplane.NewRackWorker("rack-right",
 		core.NewShifting("rack-right", 750,
 			mkLeaf("SC-ps", "SC", 0, 430), mkLeaf("SD-ps", "SD", 0, 430)),
-		core.GlobalPriority, sink)
+		core.GlobalPriority, sink, opts...)
 	if err != nil {
 		return err
 	}
 
-	leftSrv, err := controlplane.ServeRack(left, "127.0.0.1:0")
+	leftSrv, err := controlplane.ServeRack(left, "127.0.0.1:0", opts...)
 	if err != nil {
 		return err
 	}
 	defer leftSrv.Close()
-	rightSrv, err := controlplane.ServeRack(right, "127.0.0.1:0")
+	rightSrv, err := controlplane.ServeRack(right, "127.0.0.1:0", opts...)
 	if err != nil {
 		return err
 	}
 	defer rightSrv.Close()
 	fmt.Printf("rack workers listening on %s and %s\n\n", leftSrv.Addr(), rightSrv.Addr())
 
-	leftClient := controlplane.DialRack(leftSrv.Addr(), time.Second)
+	leftClient := controlplane.DialRack(leftSrv.Addr(), time.Second, opts...)
 	defer leftClient.Close()
-	rightClient := controlplane.DialRack(rightSrv.Addr(), time.Second)
+	rightClient := controlplane.DialRack(rightSrv.Addr(), time.Second, opts...)
 	defer rightClient.Close()
 
 	roomTree := core.NewShifting("contractual", 1400,
@@ -250,7 +283,7 @@ func demoDistributed() error {
 	room, err := controlplane.NewRoomWorker(roomTree, 1240, core.GlobalPriority,
 		map[string]controlplane.RackClient{
 			"rack-left": leftClient, "rack-right": rightClient,
-		})
+		}, opts...)
 	if err != nil {
 		return err
 	}
@@ -272,4 +305,133 @@ func demoDistributed() error {
 	}
 	fmt.Println("\n(high-priority SA receives its full 430 W; low-priority servers sit at Pcap_min)")
 	return nil
+}
+
+// demoServe runs the whole stack continuously until SIGINT/SIGTERM:
+// simulated servers with per-server capping controllers, rack workers
+// behind real TCP sockets, and a room worker driving 2-second control
+// periods. Every layer reports into the telemetry registry, and /healthz
+// tracks whether the room worker can still reach its racks.
+func demoServe(reg *telemetry.Registry, ts *telemetry.Server) error {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	opts := []controlplane.Option{
+		controlplane.WithTelemetry(reg),
+		controlplane.WithLogger(logger),
+	}
+
+	// Four single-supply servers, two per rack; SA runs a high-priority
+	// workload. Each server gets its own PI capping controller, closing the
+	// loop the paper's production system closes with real node managers.
+	type node struct {
+		srv  *server.Server
+		ctrl *capping.Controller
+	}
+	var mu sync.Mutex // controllers are not concurrency-safe
+	nodes := map[string]*node{}
+	mkNode := func(serverID string, util float64) {
+		s, err := server.New(server.Config{
+			ID:        serverID,
+			Model:     power.DefaultServerModel(),
+			Supplies:  []server.Supply{{ID: serverID + "-ps", Split: 1}},
+			Telemetry: reg,
+		})
+		if err != nil {
+			panic(err)
+		}
+		s.SetUtilization(util)
+		nodes[serverID+"-ps"] = &node{
+			srv:  s,
+			ctrl: capping.MustNew(s, capping.Config{Telemetry: reg, ID: serverID}),
+		}
+	}
+	mkNode("SA", 1)
+	mkNode("SB", 0.9)
+	mkNode("SC", 0.8)
+	mkNode("SD", 0.9)
+
+	sink := func(supplyID string, b power.Watts) {
+		mu.Lock()
+		defer mu.Unlock()
+		if n, ok := nodes[supplyID]; ok {
+			n.ctrl.SetBudget(supplyID, b)
+		}
+	}
+	mkLeaf := func(id, srv string, prio core.Priority, demand power.Watts) *core.Node {
+		return core.NewLeaf(id, core.SupplyLeaf{
+			SupplyID: id, ServerID: srv, Priority: prio, Share: 1,
+			CapMin: 270, CapMax: 490, Demand: demand,
+		})
+	}
+	left, err := controlplane.NewRackWorker("rack-left",
+		core.NewShifting("rack-left", 750,
+			mkLeaf("SA-ps", "SA", 1, 430), mkLeaf("SB-ps", "SB", 0, 430)),
+		core.GlobalPriority, sink, opts...)
+	if err != nil {
+		return err
+	}
+	right, err := controlplane.NewRackWorker("rack-right",
+		core.NewShifting("rack-right", 750,
+			mkLeaf("SC-ps", "SC", 0, 430), mkLeaf("SD-ps", "SD", 0, 430)),
+		core.GlobalPriority, sink, opts...)
+	if err != nil {
+		return err
+	}
+	leftSrv, err := controlplane.ServeRack(left, "127.0.0.1:0", opts...)
+	if err != nil {
+		return err
+	}
+	defer leftSrv.Close()
+	rightSrv, err := controlplane.ServeRack(right, "127.0.0.1:0", opts...)
+	if err != nil {
+		return err
+	}
+	defer rightSrv.Close()
+
+	leftClient := controlplane.DialRack(leftSrv.Addr(), time.Second, opts...)
+	defer leftClient.Close()
+	rightClient := controlplane.DialRack(rightSrv.Addr(), time.Second, opts...)
+	defer rightClient.Close()
+
+	roomTree := core.NewShifting("contractual", 1400,
+		core.NewProxy("rack-left", core.NewSummary()),
+		core.NewProxy("rack-right", core.NewSummary()),
+	)
+	room, err := controlplane.NewRoomWorker(roomTree, 1240, core.GlobalPriority,
+		map[string]controlplane.RackClient{
+			"rack-left": leftClient, "rack-right": rightClient,
+		}, opts...)
+	if err != nil {
+		return err
+	}
+	if ts != nil {
+		ts.AddHealthCheck("room", room.Healthy)
+	}
+
+	fmt.Printf("rack workers on %s and %s; control period every 2s; Ctrl-C to stop\n",
+		leftSrv.Addr(), rightSrv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("\nshutting down")
+			return nil
+		case <-ticker.C:
+			// Per-second sensing compressed into the demo period: sample
+			// sensors and run one PI iteration per server, then the room
+			// worker's gather → allocate → push cycle.
+			mu.Lock()
+			for _, n := range nodes {
+				n.ctrl.Sense()
+				n.ctrl.Iterate()
+			}
+			mu.Unlock()
+			if _, _, err := room.RunPeriod(context.Background()); err != nil {
+				logger.Error("control period failed", "err", err)
+			}
+		}
+	}
 }

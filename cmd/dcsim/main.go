@@ -8,9 +8,10 @@
 //	dcsim -mode once -per-rack 36 -scenario worst -policy global
 //
 // Knobs: -high-frac, -capmin, -contract-kw, -typical-runs, -worst-runs,
-// -seed. The paper's headline numbers (30% high-priority): typical 6318
-// servers for every policy; worst case 3888 / 4860 / 5832 for
-// No/Local/Global Priority.
+// -seed. -metrics-out FILE additionally dumps the study's results as a
+// Prometheus text snapshot next to the tabular output. The paper's headline
+// numbers (30% high-priority): typical 6318 servers for every policy; worst
+// case 3888 / 4860 / 5832 for No/Local/Global Priority.
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"capmaestro/internal/core"
 	"capmaestro/internal/dc"
 	"capmaestro/internal/power"
+	"capmaestro/internal/telemetry"
 )
 
 func main() {
@@ -36,8 +38,11 @@ func main() {
 		typRuns    = flag.Int("typical-runs", 0, "typical-case runs per count (0=default)")
 		worstRuns  = flag.Int("worst-runs", 0, "worst-case runs per count (0=default)")
 		seed       = flag.Int64("seed", 42, "random seed")
+		metricsOut = flag.String("metrics-out", "", "write results as Prometheus text to FILE")
 	)
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
 
 	cfg := dc.DefaultConfig()
 	cfg.HighPriorityFraction = *highFrac
@@ -69,6 +74,11 @@ func main() {
 
 	switch *mode {
 	case "capacity":
+		capacity := reg.GaugeVec("capmaestro_dc_capacity_servers",
+			"Largest deployable server count meeting the 1% cap-ratio criterion.",
+			"policy", "scenario")
+		ratio := reg.GaugeVec("capmaestro_dc_capacity_cap_ratio",
+			"Average cap ratio at the found capacity.", "policy", "scenario")
 		fmt.Printf("%-16s %-13s %10s %8s %12s\n", "Policy", "Scenario", "Per rack", "Servers", "Criterion")
 		for _, p := range policies {
 			res, err := dc.FindCapacity(cfg, scen, p, opts)
@@ -77,6 +87,8 @@ func main() {
 			}
 			fmt.Printf("%-16s %-13s %10d %8d %11.3f%%\n",
 				p, scen, res.ServersPerRack, res.TotalServers, res.Ratio*100)
+			capacity.With(p.String(), scen.String()).Set(float64(res.TotalServers))
+			ratio.With(p.String(), scen.String()).Set(res.Ratio)
 		}
 	case "curve":
 		fmt.Printf("%-8s %-9s", "PerRack", "Servers")
@@ -106,12 +118,18 @@ func main() {
 			fatalf("%v", err)
 		}
 		rng := rand.New(rand.NewSource(*seed))
+		capped := reg.GaugeVec("capmaestro_dc_run_capped_servers",
+			"Servers capped below demand in a single study run.", "policy", "scenario")
+		ratioAll := reg.GaugeVec("capmaestro_dc_run_cap_ratio",
+			"Mean cap ratio over all servers in a single study run.", "policy", "scenario")
 		for _, p := range policies {
 			avgUtil := 1.0
 			r := built.Run(rng, p, avgUtil)
 			fmt.Printf("%-16s servers=%d high=%d capped=%d capRatioAll=%.4f capRatioHigh=%.4f infeasible=%v\n",
 				p, r.TotalServers, r.HighServers, r.CappedServers,
 				r.MeanCapRatioAll, r.MeanCapRatioHigh, r.Infeasible)
+			capped.With(p.String(), scen.String()).Set(float64(r.CappedServers))
+			ratioAll.With(p.String(), scen.String()).Set(r.MeanCapRatioAll)
 		}
 	case "binding":
 		cfg.ServersPerRack = *perRack
@@ -129,6 +147,22 @@ func main() {
 		}
 	default:
 		fatalf("unknown mode %q", *mode)
+	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := reg.WritePrometheus(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fatalf("writing %s: %v", *metricsOut, err)
+		}
+		fmt.Printf("(metrics written to %s)\n", *metricsOut)
 	}
 }
 

@@ -8,7 +8,8 @@
 //
 // Each experiment prints its measured rows/series next to the values the
 // paper reports. -csv writes the time series of figure experiments as CSV
-// files for external plotting.
+// files for external plotting, plus a .prom Prometheus-text snapshot of
+// each series' final/min/max values alongside every CSV.
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"strings"
 
 	"capmaestro/internal/experiments"
+	"capmaestro/internal/telemetry"
+	"capmaestro/internal/trace"
 )
 
 func main() {
@@ -69,7 +72,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 				os.Exit(1)
 			}
-			fmt.Printf("(series written to %s)\n\n", path)
+			promPath := filepath.Join(*csvDir, res.ID+".prom")
+			if err := writeProm(promPath, res); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(series written to %s, metrics to %s)\n\n", path, promPath)
 		}
 	}
 }
@@ -84,4 +92,17 @@ func writeCSV(path string, res *experiments.Result) error {
 	}
 	defer f.Close()
 	return res.Recorder.WriteCSV(f)
+}
+
+// writeProm dumps a Prometheus-text snapshot of the experiment's recorded
+// series through the trace→telemetry bridge.
+func writeProm(path string, res *experiments.Result) error {
+	reg := telemetry.NewRegistry()
+	trace.ExportMetrics(res.Recorder, reg)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WritePrometheus(f)
 }

@@ -5,11 +5,18 @@
 // keeps every breaker safe and every high-priority watt flowing.
 //
 //	go run ./examples/dayinthelife
+//
+// With -telemetry-addr HOST:PORT the run serves live metrics on /metrics
+// (plus /healthz and /debug/vars) and stays up after the day completes so
+// the final state can be scraped; interrupt to exit.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"capmaestro"
@@ -19,6 +26,19 @@ import (
 const serversPerFeedCDU = 4
 
 func main() {
+	telAddr := flag.String("telemetry-addr", "",
+		"HOST:PORT for /metrics, /healthz, and /debug/vars (empty disables)")
+	flag.Parse()
+	var reg *capmaestro.TelemetryRegistry
+	if *telAddr != "" {
+		reg = capmaestro.NewTelemetryRegistry()
+		ts, err := capmaestro.ServeTelemetry(reg, *telAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n\n", ts.Addr())
+	}
 	// Two feeds, one 1.6 kW-rated CDU each, four dual-corded servers.
 	mkFeed := func(feed capmaestro.FeedID) *capmaestro.TopologyNode {
 		root := capmaestro.NewTopologyNode(string(feed), capmaestro.KindUtility, 0)
@@ -46,7 +66,8 @@ func main() {
 		RootBudgets: map[capmaestro.FeedID]capmaestro.Watts{
 			"A": 1600, "B": 1600,
 		},
-		Derating: &derating,
+		Derating:  &derating,
+		Telemetry: reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -135,5 +156,12 @@ func main() {
 	} else {
 		fmt.Printf("PROBLEMS: tripped=%v violations=%v\n",
 			s.TrippedBreakers(), s.InvariantViolations())
+	}
+
+	if *telAddr != "" {
+		fmt.Println("\nday complete; telemetry still serving — Ctrl-C to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
 	}
 }

@@ -30,6 +30,7 @@ import (
 
 	"capmaestro/internal/power"
 	"capmaestro/internal/server"
+	"capmaestro/internal/telemetry"
 )
 
 // Node is the slice of a server the capping controller interacts with:
@@ -72,6 +73,15 @@ type Config struct {
 	// DemandWindow is the number of per-second samples the demand
 	// estimator keeps; zero selects the paper's 16.
 	DemandWindow int
+
+	// Telemetry registers the controller's metrics (per-supply budget and
+	// measured power gauges, throttle and DC-cap gauges, cap-violation
+	// counter, settle-time histogram) on the given registry. Nil disables
+	// instrumentation at zero cost.
+	Telemetry *telemetry.Registry
+	// ID labels this controller's metrics with the server identity; only
+	// used when Telemetry is set. Empty selects "server".
+	ID string
 }
 
 // DefaultK is a typical AC→DC efficiency for a platinum supply.
@@ -94,6 +104,10 @@ type Controller struct {
 	initialized bool
 	lastReading server.Reading
 	haveReading bool
+
+	met         controllerMetrics
+	settling    bool
+	settleIters int
 }
 
 // New creates a controller for the given node.
@@ -126,6 +140,7 @@ func New(node Node, cfg Config) (*Controller, error) {
 		mode:    cfg.Errors,
 		budgets: make(map[string]power.Watts),
 		est:     power.NewDemandEstimator(window),
+		met:     newControllerMetrics(cfg.Telemetry, cfg.ID),
 	}, nil
 }
 
@@ -142,13 +157,25 @@ func MustNew(node Node, cfg Config) *Controller {
 // remove the constraint.
 func (c *Controller) SetBudget(supplyID string, budget power.Watts) {
 	if math.IsInf(float64(budget), 1) {
-		delete(c.budgets, supplyID)
+		if _, had := c.budgets[supplyID]; had {
+			delete(c.budgets, supplyID)
+			c.met.budgetGauge(supplyID).Set(math.Inf(1))
+		}
 		return
 	}
 	if budget < 0 {
 		budget = 0
 	}
+	prev, had := c.budgets[supplyID]
 	c.budgets[supplyID] = budget
+	c.met.budgetGauge(supplyID).Set(float64(budget))
+	// A materially different budget starts a settle-time measurement; the
+	// histogram records how many iterations the loop takes to pull every
+	// supply back under its line.
+	if c.met.enabled && (!had || math.Abs(float64(budget-prev)) > 1) {
+		c.settling = true
+		c.settleIters = 0
+	}
 }
 
 // Budget returns the AC budget assigned to a supply (Unbudgeted if none).
@@ -177,6 +204,12 @@ func (c *Controller) Sense() server.Reading {
 	c.est.Observe(r.TotalAC, r.Throttle)
 	c.lastReading = r
 	c.haveReading = true
+	if c.met.enabled {
+		c.met.throttle.Set(r.Throttle)
+		for id, p := range r.SupplyAC {
+			c.met.powerGauge(id).Set(float64(p))
+		}
+	}
 	return r
 }
 
@@ -206,7 +239,7 @@ func (c *Controller) Iterate() power.Watts {
 	m := len(active)
 	minErr := power.Watts(math.Inf(1))
 	var errSum power.Watts
-	var budgeted int
+	var budgeted, violated int
 	for _, id := range active {
 		budget, ok := c.budgets[id]
 		if !ok {
@@ -217,6 +250,21 @@ func (c *Controller) Iterate() power.Watts {
 		budgeted++
 		if errW < minErr {
 			minErr = errW
+		}
+		if r.SupplyAC[id] > budget+violationTolerance(budget) {
+			violated++
+		}
+	}
+	if c.met.enabled {
+		if violated > 0 {
+			c.met.violations.Inc()
+		}
+		if c.settling {
+			c.settleIters++
+			if violated == 0 {
+				c.met.settle.Observe(float64(c.settleIters))
+				c.settling = false
+			}
 		}
 	}
 	if c.mode == ErrorModeAverage && budgeted > 0 {
@@ -233,6 +281,7 @@ func (c *Controller) Iterate() power.Watts {
 		c.integrator = c.integrator.Clamp(lo, hi) // step 4 + anti-windup
 	}
 	c.node.SetDCCap(c.integrator)
+	c.met.dcCap.Set(float64(c.integrator))
 	return c.integrator
 }
 

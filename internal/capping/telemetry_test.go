@@ -1,0 +1,115 @@
+package capping
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"capmaestro/internal/power"
+	"capmaestro/internal/server"
+	"capmaestro/internal/telemetry"
+)
+
+// TestControllerTelemetry drives a budgeted controller to convergence and
+// checks the budget/power/throttle gauges, the cap-violation counter, and
+// the settle-time histogram.
+func TestControllerTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := server.MustNew(server.Config{
+		ID:    "s1",
+		Model: power.DefaultServerModel(),
+		Supplies: []server.Supply{
+			{ID: "psA", Split: 0.5},
+			{ID: "psB", Split: 0.5},
+		},
+		Telemetry: reg,
+	})
+	srv.SetUtilization(1)
+	c := MustNew(srv, Config{Telemetry: reg, ID: "s1"})
+
+	// Warm up uncapped, then assign a tight budget on one supply: the
+	// server is over the line until the PI loop pulls it down.
+	runLoop(c, srv, 2)
+	c.SetBudget("psA", 180)
+	if got := srv.ThrottleLevel(); got != 0 {
+		t.Fatalf("pre-budget throttle = %v, want 0", got)
+	}
+	runLoop(c, srv, 10)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`capmaestro_capping_budget_watts{server="s1",supply="psA"} 180`,
+		`capmaestro_capping_supply_power_watts{server="s1",supply="psA"} `,
+		`capmaestro_capping_supply_power_watts{server="s1",supply="psB"} `,
+		`capmaestro_capping_throttle_level{server="s1"} `,
+		`capmaestro_capping_settle_iterations_count{server="s1"} 1`,
+		`capmaestro_capping_dc_cap_watts{server="s1"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// The loop starts above the new budget, so violations must have been
+	// counted while it settled.
+	viol := findValue(t, out, `capmaestro_capping_cap_violations_total{server="s1"}`)
+	if viol < 1 {
+		t.Errorf("cap violations = %v, want >= 1 during settling", viol)
+	}
+
+	// Converged: psA at or under budget (within tolerance).
+	if p, _ := srv.SupplyACPower("psA"); p > 180+violationTolerance(180) {
+		t.Errorf("psA power %v did not settle under budget", p)
+	}
+
+	// Removing the budget marks the gauge unbudgeted (+Inf).
+	c.SetBudget("psA", Unbudgeted)
+	sb.Reset()
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `capmaestro_capping_budget_watts{server="s1",supply="psA"} +Inf`) {
+		t.Errorf("unbudgeted supply should read +Inf:\n%s", sb.String())
+	}
+}
+
+// TestServerClampCounter checks the node manager's actuation-clamp
+// counter: a cap request outside the controllable range increments it.
+func TestServerClampCounter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := server.MustNew(server.Config{
+		ID:        "s2",
+		Model:     power.DefaultServerModel(),
+		Supplies:  []server.Supply{{ID: "ps", Split: 1}},
+		Telemetry: reg,
+	})
+	lo, hi := srv.DCCapRange()
+	srv.SetDCCap((lo + hi) / 2) // in range: no clamp
+	srv.SetDCCap(hi + 100)      // above range: clamped
+	srv.SetDCCap(lo - 100)      // below range: clamped
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `capmaestro_server_actuation_clamps_total{server="s2"} 2`) {
+		t.Errorf("want 2 clamps:\n%s", sb.String())
+	}
+}
+
+// findValue extracts the sample value for an exact series name from
+// rendered exposition text.
+func findValue(t *testing.T, out, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, series+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %q not found in:\n%s", series, out)
+	return 0
+}

@@ -1,0 +1,169 @@
+package controlplane
+
+import (
+	"log/slog"
+	"time"
+
+	"capmaestro/internal/power"
+	"capmaestro/internal/telemetry"
+)
+
+// Option configures telemetry and logging on workers and transports. All
+// instrumentation is optional: without options (or with a nil registry /
+// logger) the instrumented paths cost nothing.
+type Option func(*options)
+
+type options struct {
+	reg            *telemetry.Registry
+	log            *slog.Logger
+	budgetLogDelta power.Watts
+}
+
+func buildOptions(opts []Option) options {
+	o := options{budgetLogDelta: DefaultBudgetLogDelta}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithTelemetry registers the worker's or transport's metrics on reg. A
+// nil registry disables metrics (the default).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(o *options) { o.reg = reg }
+}
+
+// WithLogger emits structured control-loop events (period start/end, rack
+// failure and recovery transitions, budget changes) to log. A nil logger
+// disables event logging (the default).
+func WithLogger(log *slog.Logger) Option {
+	return func(o *options) { o.log = log }
+}
+
+// DefaultBudgetLogDelta is the minimum budget change, in watts, that
+// triggers a "budget changed" log event.
+const DefaultBudgetLogDelta = power.Watts(1)
+
+// WithBudgetLogDelta overrides the budget-change logging threshold.
+func WithBudgetLogDelta(d power.Watts) Option {
+	return func(o *options) { o.budgetLogDelta = d }
+}
+
+// phaseBuckets sizes the control-period phase histograms: gather and push
+// round-trip rack RPCs (ms scale), allocation is in-memory (µs scale),
+// and everything must sit far inside the 8 s control period.
+var phaseBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2, 4, 8}
+
+// roomMetrics is the room worker's instrument bundle. With a nil registry
+// every handle is nil and each recording call is a zero-cost no-op.
+type roomMetrics struct {
+	gatherSeconds   *telemetry.Histogram
+	allocateSeconds *telemetry.Histogram
+	pushSeconds     *telemetry.Histogram
+	periods         *telemetry.Counter
+	gatherErrors    *telemetry.Counter
+	applyErrors     *telemetry.Counter
+	racks           *telemetry.Gauge
+	budget          *telemetry.Gauge
+	staleByRack     map[string]*telemetry.Gauge
+	budgetByRack    map[string]*telemetry.Gauge
+}
+
+func newRoomMetrics(reg *telemetry.Registry, rackIDs []string) roomMetrics {
+	phases := reg.HistogramVec("capmaestro_controlplane_phase_seconds",
+		"Latency of each room-worker control-period phase.", phaseBuckets, "phase")
+	stale := reg.GaugeVec("capmaestro_controlplane_rack_stale_periods",
+		"Consecutive periods a rack proxy has served a stale summary (0 = fresh).", "rack")
+	rackBudget := reg.GaugeVec("capmaestro_controlplane_rack_budget_watts",
+		"Budget most recently assigned to each rack by the room worker.", "rack")
+	m := roomMetrics{
+		gatherSeconds:   phases.With("gather"),
+		allocateSeconds: phases.With("allocate"),
+		pushSeconds:     phases.With("push"),
+		periods: reg.Counter("capmaestro_controlplane_periods_total",
+			"Control periods executed by the room worker."),
+		gatherErrors: reg.Counter("capmaestro_controlplane_gather_errors_total",
+			"Rack summary gathers that failed or returned invalid summaries."),
+		applyErrors: reg.Counter("capmaestro_controlplane_apply_errors_total",
+			"Rack budget pushes that failed."),
+		racks: reg.Gauge("capmaestro_controlplane_racks",
+			"Racks served by the room worker."),
+		budget: reg.Gauge("capmaestro_controlplane_budget_watts",
+			"Contractual budget the room worker allocates (0 = tree constraint)."),
+		staleByRack:  make(map[string]*telemetry.Gauge, len(rackIDs)),
+		budgetByRack: make(map[string]*telemetry.Gauge, len(rackIDs)),
+	}
+	for _, id := range rackIDs {
+		m.staleByRack[id] = stale.With(id)
+		m.budgetByRack[id] = rackBudget.With(id)
+	}
+	return m
+}
+
+// rackMetrics instruments a rack worker.
+type rackMetrics struct {
+	budget      *telemetry.Gauge
+	applies     *telemetry.Counter
+	applyErrors *telemetry.Counter
+}
+
+func newRackMetrics(reg *telemetry.Registry, rackID string) rackMetrics {
+	return rackMetrics{
+		budget: reg.GaugeVec("capmaestro_rack_budget_watts",
+			"Budget most recently received from the room worker.", "rack").With(rackID),
+		applies: reg.CounterVec("capmaestro_rack_applies_total",
+			"Budget applications distributed down the rack subtree.", "rack").With(rackID),
+		applyErrors: reg.CounterVec("capmaestro_rack_apply_errors_total",
+			"Budget applications that failed to allocate.", "rack").With(rackID),
+	}
+}
+
+// rpcBuckets size the transport latency histogram: loopback RPCs land in
+// the sub-millisecond buckets, cross-machine ones in the millisecond
+// range, and anything past 2 s indicates a timeout in a default client.
+var rpcBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2}
+
+// rpcMetrics instruments one side (server or client) of the rack
+// transport. enabled short-circuits timing work when telemetry is off.
+type rpcMetrics struct {
+	enabled   bool
+	seconds   map[string]*telemetry.Histogram
+	errors    map[string]*telemetry.Counter
+	bytesIn   *telemetry.Counter
+	bytesOut  *telemetry.Counter
+	openConns *telemetry.Gauge
+}
+
+func newRPCMetrics(reg *telemetry.Registry, role string) rpcMetrics {
+	seconds := reg.HistogramVec("capmaestro_rpc_seconds",
+		"Rack RPC round-trip (client) or handling (server) latency.", rpcBuckets, "role", "op")
+	errs := reg.CounterVec("capmaestro_rpc_errors_total",
+		"Rack RPCs that returned an error.", "role", "op")
+	bytes := reg.CounterVec("capmaestro_rpc_bytes_total",
+		"Bytes moved over rack transport connections.", "role", "direction")
+	m := rpcMetrics{
+		enabled:  reg != nil,
+		seconds:  make(map[string]*telemetry.Histogram, 3),
+		errors:   make(map[string]*telemetry.Counter, 3),
+		bytesIn:  bytes.With(role, "in"),
+		bytesOut: bytes.With(role, "out"),
+		openConns: reg.GaugeVec("capmaestro_rpc_open_connections",
+			"Open rack transport connections.", "role").With(role),
+	}
+	for _, op := range []string{opGather, opBudget, opPing} {
+		m.seconds[op] = seconds.With(role, op)
+		m.errors[op] = errs.With(role, op)
+	}
+	return m
+}
+
+// observe records one RPC of the given op; nil-safe for unknown ops.
+func (m *rpcMetrics) observe(op string, start time.Time, failed bool) {
+	if !m.enabled {
+		return
+	}
+	m.seconds[op].ObserveSince(start)
+	if failed {
+		m.errors[op].Inc()
+	}
+}

@@ -1,0 +1,222 @@
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"capmaestro/internal/telemetry"
+)
+
+// gatherFailClient always fails to gather; budget pushes succeed.
+type gatherFailClient struct{ inner RackClient }
+
+func (c gatherFailClient) Gather(ctx context.Context) (core.Summary, error) {
+	return core.Summary{}, errors.New("injected gather failure")
+}
+
+func (c gatherFailClient) ApplyBudget(ctx context.Context, b power.Watts) error {
+	return c.inner.ApplyBudget(ctx, b)
+}
+
+func telemetryLeaf(id, srv string, demand power.Watts) *core.Node {
+	return core.NewLeaf(id, core.SupplyLeaf{
+		SupplyID: id, ServerID: srv, Priority: 0, Share: 1,
+		CapMin: 270, CapMax: 490, Demand: demand,
+	})
+}
+
+func telemetryRoom(t *testing.T, reg *telemetry.Registry, wrap func(RackClient) RackClient) *RoomWorker {
+	t.Helper()
+	mkRack := func(id, supply, srv string) RackClient {
+		w, err := NewRackWorker(id,
+			core.NewShifting(id, 600, telemetryLeaf(supply, srv, 400)),
+			core.GlobalPriority, nil, WithTelemetry(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return LocalClient{Worker: w}
+	}
+	good := mkRack("rack-good", "g-ps", "g")
+	bad := wrap(mkRack("rack-bad", "b-ps", "b"))
+	tree := core.NewShifting("room", 1200,
+		core.NewProxy("rack-good", core.NewSummary()),
+		core.NewProxy("rack-bad", core.NewSummary()),
+	)
+	room, err := NewRoomWorker(tree, 1000, core.GlobalPriority,
+		map[string]RackClient{"rack-good": good, "rack-bad": bad},
+		WithTelemetry(reg), WithLogger(slog.New(slog.NewTextHandler(discard{}, nil))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return room
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestRoomWorkerTelemetry asserts phase-latency histograms and
+// gather-error counters advance under an injected failing RackClient, and
+// that the staleness gauge tracks consecutive failed periods.
+func TestRoomWorkerTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	room := telemetryRoom(t, reg, func(c RackClient) RackClient { return gatherFailClient{inner: c} })
+
+	for i := 0; i < 2; i++ {
+		if _, _, err := room.RunPeriod(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`capmaestro_controlplane_gather_errors_total 2`,
+		`capmaestro_controlplane_apply_errors_total 0`,
+		`capmaestro_controlplane_periods_total 2`,
+		`capmaestro_controlplane_phase_seconds_count{phase="gather"} 2`,
+		`capmaestro_controlplane_phase_seconds_count{phase="allocate"} 2`,
+		`capmaestro_controlplane_phase_seconds_count{phase="push"} 2`,
+		`capmaestro_controlplane_racks 2`,
+		`capmaestro_controlplane_budget_watts 1000`,
+		`capmaestro_controlplane_rack_stale_periods{rack="rack-bad"} 2`,
+		`capmaestro_controlplane_rack_stale_periods{rack="rack-good"} 0`,
+		`capmaestro_rack_applies_total{rack="rack-good"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	stats := room.LastStats()
+	if stats.GatherErrors != 1 || stats.RacksServed != 2 {
+		t.Errorf("LastStats = %+v, want 1 gather error over 2 racks", stats)
+	}
+	if err := room.Healthy(); err != nil {
+		t.Errorf("room with one live rack should be healthy, got %v", err)
+	}
+}
+
+// TestRoomWorkerHealthFlips verifies /healthz semantics: the room turns
+// unhealthy only when every rack fails to gather.
+func TestRoomWorkerHealthFlips(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	mk := func(id, supply, srv string) *RackWorker {
+		w, err := NewRackWorker(id,
+			core.NewShifting(id, 600, telemetryLeaf(supply, srv, 400)),
+			core.GlobalPriority, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	a, b := mk("ra", "a-ps", "a"), mk("rb", "b-ps", "b")
+	tree := core.NewShifting("room", 1200,
+		core.NewProxy("ra", core.NewSummary()), core.NewProxy("rb", core.NewSummary()))
+	room, err := NewRoomWorker(tree, 1000, core.GlobalPriority, map[string]RackClient{
+		"ra": gatherFailClient{inner: LocalClient{Worker: a}},
+		"rb": gatherFailClient{inner: LocalClient{Worker: b}},
+	}, WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := room.Healthy(); err != nil {
+		t.Errorf("pre-first-period room should report healthy, got %v", err)
+	}
+	if _, _, err := room.RunPeriod(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := room.Healthy(); err == nil {
+		t.Error("room with all racks failing should be unhealthy")
+	}
+}
+
+// TestTransportTelemetry checks RPC latency, byte, connection, and error
+// metrics on both sides of the TCP transport.
+func TestTransportTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	worker, err := NewRackWorker("rack",
+		core.NewShifting("rack", 600, telemetryLeaf("s-ps", "s", 400)),
+		core.GlobalPriority, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeRack(worker, "127.0.0.1:0", WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := DialRack(srv.Addr(), time.Second, WithTelemetry(reg))
+	defer client.Close()
+
+	ctx := context.Background()
+	if _, err := client.Gather(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.ApplyBudget(ctx, 400); err != nil {
+		t.Fatal(err)
+	}
+	// A client pointed at a dead address counts a client-side RPC error.
+	bogus := DialRack("127.0.0.1:1", 50*time.Millisecond, WithTelemetry(reg))
+	defer bogus.Close()
+	if err := bogus.Ping(ctx); err == nil {
+		t.Fatal("expected ping error against dead address")
+	}
+
+	// Let the server finish accounting its side.
+	deadline := time.Now().Add(2 * time.Second)
+	check := func() []string {
+		var sb strings.Builder
+		reg.WritePrometheus(&sb)
+		out := sb.String()
+		var missing []string
+		for _, want := range []string{
+			`capmaestro_rpc_seconds_count{role="client",op="gather"} 1`,
+			`capmaestro_rpc_seconds_count{role="client",op="budget"} 1`,
+			`capmaestro_rpc_seconds_count{role="client",op="ping"} 2`,
+			`capmaestro_rpc_seconds_count{role="server",op="gather"} 1`,
+			`capmaestro_rpc_seconds_count{role="server",op="budget"} 1`,
+			`capmaestro_rpc_errors_total{role="client",op="ping"} 1`,
+			`capmaestro_rpc_open_connections{role="client"} 1`,
+			`capmaestro_rpc_open_connections{role="server"} 1`,
+		} {
+			if !strings.Contains(out, want) {
+				missing = append(missing, want)
+			}
+		}
+		return missing
+	}
+	var missing []string
+	for {
+		if missing = check(); len(missing) == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(missing) > 0 {
+		var sb strings.Builder
+		reg.WritePrometheus(&sb)
+		t.Errorf("exposition missing %v\n%s", missing, sb.String())
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "capmaestro_rpc_bytes_total") &&
+			strings.HasSuffix(line, " 0") {
+			t.Errorf("byte counter did not advance: %s", line)
+		}
+	}
+}

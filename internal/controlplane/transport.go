@@ -12,6 +12,7 @@ import (
 
 	"capmaestro/internal/core"
 	"capmaestro/internal/power"
+	"capmaestro/internal/telemetry"
 )
 
 // The wire protocol is newline-delimited JSON over TCP: one request line,
@@ -41,6 +42,7 @@ type wireResponse struct {
 type RackServer struct {
 	worker   *RackWorker
 	listener net.Listener
+	met      rpcMetrics
 
 	mu     sync.Mutex
 	closed bool
@@ -51,7 +53,7 @@ type RackServer struct {
 // ServeRack starts serving the worker on the given address (e.g.
 // "127.0.0.1:0"). It returns once the listener is bound; connections are
 // handled on background goroutines until Close.
-func ServeRack(worker *RackWorker, addr string) (*RackServer, error) {
+func ServeRack(worker *RackWorker, addr string, opts ...Option) (*RackServer, error) {
 	if worker == nil {
 		return nil, errors.New("controlplane: nil worker")
 	}
@@ -59,9 +61,11 @@ func ServeRack(worker *RackWorker, addr string) (*RackServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("controlplane: listen: %w", err)
 	}
+	o := buildOptions(opts)
 	s := &RackServer{
 		worker:   worker,
 		listener: ln,
+		met:      newRPCMetrics(o.reg, "server"),
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -107,24 +111,55 @@ func (s *RackServer) acceptLoop() {
 
 func (s *RackServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	s.met.openConns.Inc()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.met.openConns.Dec()
 	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+	counted := countConn(conn, s.met.bytesIn, s.met.bytesOut)
+	dec := json.NewDecoder(bufio.NewReader(counted))
+	enc := json.NewEncoder(counted)
 	for {
 		var req wireRequest
 		if err := dec.Decode(&req); err != nil {
 			return // connection closed or garbage
 		}
+		start := time.Now()
 		resp := s.handle(req)
+		s.met.observe(req.Op, start, !resp.OK)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
+}
+
+// countingConn feeds transport byte counters; a nil counter (telemetry
+// off) makes Add a no-op, so the wrapper is always safe to install.
+type countingConn struct {
+	net.Conn
+	in, out *telemetry.Counter
+}
+
+func countConn(c net.Conn, in, out *telemetry.Counter) net.Conn {
+	if in == nil && out == nil {
+		return c
+	}
+	return &countingConn{Conn: c, in: in, out: out}
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(float64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(float64(n))
+	return n, err
 }
 
 func (s *RackServer) handle(req wireRequest) wireResponse {
@@ -154,6 +189,7 @@ func (s *RackServer) handle(req wireRequest) wireResponse {
 type TCPClient struct {
 	addr    string
 	timeout time.Duration
+	met     rpcMetrics
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -164,11 +200,12 @@ type TCPClient struct {
 // DialRack creates a client for the rack server at addr. timeout bounds
 // each request round-trip; zero selects 2 s (comfortably inside the paper's
 // 8 s control period).
-func DialRack(addr string, timeout time.Duration) *TCPClient {
+func DialRack(addr string, timeout time.Duration, opts ...Option) *TCPClient {
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
-	return &TCPClient{addr: addr, timeout: timeout}
+	o := buildOptions(opts)
+	return &TCPClient{addr: addr, timeout: timeout, met: newRPCMetrics(o.reg, "client")}
 }
 
 // Close tears down the connection.
@@ -178,6 +215,7 @@ func (c *TCPClient) Close() error {
 	if c.conn != nil {
 		err := c.conn.Close()
 		c.conn = nil
+		c.met.openConns.Dec()
 		return err
 	}
 	return nil
@@ -192,14 +230,23 @@ func (c *TCPClient) ensureConn() error {
 		return err
 	}
 	c.conn = conn
-	c.dec = json.NewDecoder(bufio.NewReader(conn))
-	c.enc = json.NewEncoder(conn)
+	c.met.openConns.Inc()
+	counted := countConn(conn, c.met.bytesIn, c.met.bytesOut)
+	c.dec = json.NewDecoder(bufio.NewReader(counted))
+	c.enc = json.NewEncoder(counted)
 	return nil
 }
 
 func (c *TCPClient) roundTrip(ctx context.Context, req wireRequest) (wireResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
+	resp, err := c.roundTripLocked(ctx, req)
+	c.met.observe(req.Op, start, err != nil)
+	return resp, err
+}
+
+func (c *TCPClient) roundTripLocked(ctx context.Context, req wireRequest) (wireResponse, error) {
 	if err := ctx.Err(); err != nil {
 		return wireResponse{}, err
 	}
@@ -230,6 +277,7 @@ func (c *TCPClient) resetLocked() {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
+		c.met.openConns.Dec()
 	}
 }
 

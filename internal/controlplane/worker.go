@@ -18,6 +18,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"math"
 	"sync"
 	"time"
 
@@ -41,10 +43,15 @@ type RackWorker struct {
 
 	lastBudget power.Watts
 	lastAlloc  *core.Allocation
+
+	log            *slog.Logger
+	met            rackMetrics
+	budgetLogDelta power.Watts
+	budgetSeen     bool
 }
 
 // NewRackWorker creates a rack worker for the given local subtree.
-func NewRackWorker(id string, tree *core.Node, policy core.Policy, sink BudgetSink) (*RackWorker, error) {
+func NewRackWorker(id string, tree *core.Node, policy core.Policy, sink BudgetSink, opts ...Option) (*RackWorker, error) {
 	if id == "" {
 		return nil, errors.New("controlplane: empty rack worker ID")
 	}
@@ -54,7 +61,13 @@ func NewRackWorker(id string, tree *core.Node, policy core.Policy, sink BudgetSi
 	if err := tree.Validate(); err != nil {
 		return nil, fmt.Errorf("controlplane: rack %s: %w", id, err)
 	}
-	return &RackWorker{id: id, policy: policy, tree: tree, sink: sink}, nil
+	o := buildOptions(opts)
+	return &RackWorker{
+		id: id, policy: policy, tree: tree, sink: sink,
+		log:            o.log,
+		met:            newRackMetrics(o.reg, id),
+		budgetLogDelta: o.budgetLogDelta,
+	}, nil
 }
 
 // ID returns the worker's identifier.
@@ -95,10 +108,22 @@ func (w *RackWorker) ApplyBudget(ctx context.Context, b power.Watts) error {
 	defer w.mu.Unlock()
 	alloc, err := core.Allocate(w.tree, b, w.policy)
 	if err != nil {
+		w.met.applyErrors.Inc()
+		if w.log != nil {
+			w.log.Error("rack budget application failed", "rack", w.id, "budget", float64(b), "err", err)
+		}
 		return fmt.Errorf("controlplane: rack %s: %w", w.id, err)
 	}
+	if w.log != nil && w.budgetSeen &&
+		math.Abs(float64(b-w.lastBudget)) > float64(w.budgetLogDelta) {
+		w.log.Info("rack budget changed", "rack", w.id,
+			"old", float64(w.lastBudget), "new", float64(b))
+	}
+	w.budgetSeen = true
 	w.lastBudget = b
 	w.lastAlloc = alloc
+	w.met.budget.Set(float64(b))
+	w.met.applies.Inc()
 	if w.sink != nil {
 		for supplyID, budget := range alloc.SupplyBudgets {
 			w.sink(supplyID, budget)
@@ -164,13 +189,21 @@ type RoomWorker struct {
 	proxies   map[string]*core.Node
 	lastAlloc *core.Allocation
 	lastStats PeriodStats
+	periods   uint64
+
+	log            *slog.Logger
+	met            roomMetrics
+	budgetLogDelta power.Watts
+	rackDown       map[string]bool        // racks whose last gather failed
+	rackStale      map[string]int         // consecutive stale periods per rack
+	rackBudgets    map[string]power.Watts // last budget pushed per rack
 }
 
 // NewRoomWorker creates a room worker. tree is the upper control tree
 // (contractual root, transformers, RPPs) whose proxy nodes' IDs appear as
 // keys in racks. budget is the contractual budget for this tree; zero uses
 // the tree constraint.
-func NewRoomWorker(tree *core.Node, budget power.Watts, policy core.Policy, racks map[string]RackClient) (*RoomWorker, error) {
+func NewRoomWorker(tree *core.Node, budget power.Watts, policy core.Policy, racks map[string]RackClient, opts ...Option) (*RoomWorker, error) {
 	if tree == nil {
 		return nil, errors.New("controlplane: nil room tree")
 	}
@@ -196,13 +229,27 @@ func NewRoomWorker(tree *core.Node, budget power.Watts, policy core.Policy, rack
 			return nil, fmt.Errorf("controlplane: proxy node %q has no rack client", id)
 		}
 	}
-	return &RoomWorker{
-		tree:    tree,
-		budget:  budget,
-		policy:  policy,
-		racks:   racks,
-		proxies: proxies,
-	}, nil
+	o := buildOptions(opts)
+	rackIDs := make([]string, 0, len(racks))
+	for id := range racks {
+		rackIDs = append(rackIDs, id)
+	}
+	w := &RoomWorker{
+		tree:           tree,
+		budget:         budget,
+		policy:         policy,
+		racks:          racks,
+		proxies:        proxies,
+		log:            o.log,
+		met:            newRoomMetrics(o.reg, rackIDs),
+		budgetLogDelta: o.budgetLogDelta,
+		rackDown:       make(map[string]bool, len(racks)),
+		rackStale:      make(map[string]int, len(racks)),
+		rackBudgets:    make(map[string]power.Watts, len(racks)),
+	}
+	w.met.racks.Set(float64(len(racks)))
+	w.met.budget.Set(float64(budget))
+	return w, nil
 }
 
 // RunPeriod executes one full control period: gather summaries from all
@@ -214,6 +261,9 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 	defer w.mu.Unlock()
 	start := time.Now()
 	stats := PeriodStats{RacksServed: len(w.racks)}
+	if w.log != nil {
+		w.log.Debug("control period start", "racks", len(w.racks))
+	}
 
 	// Metrics gathering phase, in parallel across racks.
 	type gatherResult struct {
@@ -230,25 +280,39 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 	}
 	for range w.racks {
 		r := <-results
+		if r.err == nil {
+			if err := r.summary.Validate(); err != nil {
+				r.err = err
+			}
+		}
 		if r.err != nil {
 			stats.GatherErrors++
-			continue // proxy keeps its previous summary
-		}
-		if err := r.summary.Validate(); err != nil {
-			stats.GatherErrors++
+			w.rackGatherFailed(r.id, r.err) // proxy keeps its previous summary
 			continue
 		}
+		w.rackGatherOK(r.id)
 		*w.proxies[r.id].Proxy = r.summary
 	}
+	w.met.gatherSeconds.ObserveSince(start)
+	w.met.gatherErrors.Add(float64(stats.GatherErrors))
 
 	// Budgeting phase over the upper tree.
+	allocStart := time.Now()
 	alloc, err := core.Allocate(w.tree, w.budget, w.policy)
 	if err != nil {
+		if w.log != nil {
+			w.log.Error("room allocation failed", "err", err)
+		}
+		w.periods++
+		w.lastStats = stats
 		return nil, stats, err
 	}
+	w.met.allocateSeconds.ObserveSince(allocStart)
 	w.lastAlloc = alloc
+	w.noteRackBudgets(alloc)
 
 	// Push budgets down, in parallel.
+	pushStart := time.Now()
 	errs := make(chan error, len(w.racks))
 	for id, client := range w.racks {
 		go func(id string, client RackClient) {
@@ -260,9 +324,66 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 			stats.ApplyErrors++
 		}
 	}
+	w.met.pushSeconds.ObserveSince(pushStart)
+	w.met.applyErrors.Add(float64(stats.ApplyErrors))
+
 	stats.Elapsed = time.Since(start)
 	w.lastStats = stats
+	w.periods++
+	w.met.periods.Inc()
+	w.met.budget.Set(float64(w.budget))
+	if w.log != nil {
+		if stats.GatherErrors > 0 || stats.ApplyErrors > 0 {
+			w.log.Warn("control period end", "elapsed", stats.Elapsed,
+				"gather_errors", stats.GatherErrors, "apply_errors", stats.ApplyErrors)
+		} else {
+			w.log.Debug("control period end", "elapsed", stats.Elapsed)
+		}
+	}
 	return alloc, stats, nil
+}
+
+// rackGatherFailed records a failed summary gather: the staleness gauge
+// climbs and the first failure after a healthy stretch logs a transition.
+func (w *RoomWorker) rackGatherFailed(id string, err error) {
+	w.rackStale[id]++
+	w.met.staleByRack[id].Set(float64(w.rackStale[id]))
+	if !w.rackDown[id] {
+		w.rackDown[id] = true
+		if w.log != nil {
+			w.log.Warn("rack gather failed", "rack", id, "err", err)
+		}
+	}
+}
+
+// rackGatherOK records a fresh summary, logging a recovery transition if
+// the rack had been failing.
+func (w *RoomWorker) rackGatherOK(id string) {
+	if w.rackDown[id] {
+		w.rackDown[id] = false
+		if w.log != nil {
+			w.log.Info("rack recovered", "rack", id, "stale_periods", w.rackStale[id])
+		}
+	}
+	if w.rackStale[id] != 0 {
+		w.rackStale[id] = 0
+		w.met.staleByRack[id].Set(0)
+	}
+}
+
+// noteRackBudgets updates per-rack budget gauges and logs changes larger
+// than the configured delta.
+func (w *RoomWorker) noteRackBudgets(alloc *core.Allocation) {
+	for id := range w.racks {
+		b := alloc.NodeBudgets[id]
+		prev, seen := w.rackBudgets[id]
+		if w.log != nil && seen && math.Abs(float64(b-prev)) > float64(w.budgetLogDelta) {
+			w.log.Info("rack budget changed", "rack", id,
+				"old", float64(prev), "new", float64(b))
+		}
+		w.rackBudgets[id] = b
+		w.met.budgetByRack[id].Set(float64(b))
+	}
 }
 
 // Run executes control periods on the given cadence until the context is
@@ -288,4 +409,29 @@ func (w *RoomWorker) LastAllocation() *core.Allocation {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.lastAlloc
+}
+
+// LastStats returns the statistics of the most recent control period (the
+// zero value before the first period).
+func (w *RoomWorker) LastStats() PeriodStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastStats
+}
+
+// Healthy reports the room worker's health for a /healthz endpoint: nil
+// while the worker can still see at least one rack. It returns an error
+// once a completed control period gathered zero fresh summaries — the
+// room is then flying blind on stale data. Before the first period the
+// worker reports healthy (starting up).
+func (w *RoomWorker) Healthy() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.periods == 0 {
+		return nil
+	}
+	if w.lastStats.RacksServed > 0 && w.lastStats.GatherErrors >= w.lastStats.RacksServed {
+		return fmt.Errorf("all %d rack gathers failed last control period", w.lastStats.RacksServed)
+	}
+	return nil
 }

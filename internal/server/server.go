@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"capmaestro/internal/power"
+	"capmaestro/internal/telemetry"
 )
 
 // Priority is a workload priority level; larger values are more important.
@@ -103,6 +104,10 @@ type Config struct {
 	// effective floor becomes CapMin + UncontrolledPower, and budgets
 	// below it are unenforceable.
 	UncontrolledPower power.Watts
+
+	// Telemetry registers node-manager metrics (the actuation-clamp
+	// counter) on the given registry; nil disables instrumentation.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultActuationTau makes a step to a new cap settle (>95%) within the
@@ -139,6 +144,10 @@ type Server struct {
 
 	noise *rand.Rand
 	sigma float64
+
+	// clamps counts SetDCCap requests outside the controllable range; a
+	// climbing rate means upstream budgets are unenforceable as issued.
+	clamps *telemetry.Counter
 }
 
 // New validates the configuration and constructs a server. The initial DC
@@ -198,6 +207,9 @@ func New(cfg Config) (*Server, error) {
 		sigma:        cfg.NoiseSigma,
 		uncontrolled: cfg.UncontrolledPower,
 	}
+	srv.clamps = cfg.Telemetry.CounterVec("capmaestro_server_actuation_clamps_total",
+		"DC cap requests clipped to the node manager's controllable range.",
+		"server").With(cfg.ID)
 	if cfg.NoiseSigma > 0 {
 		srv.noise = rand.New(rand.NewSource(cfg.NoiseSeed))
 	}
@@ -288,6 +300,9 @@ func (s *Server) Utilization() float64 { return s.util }
 func (s *Server) SetDCCap(cap power.Watts) {
 	lo, hi := s.DCCapRange()
 	s.targetDCCap = cap.Clamp(lo, hi)
+	if s.targetDCCap != cap {
+		s.clamps.Inc()
+	}
 }
 
 // TargetDCCap returns the most recently requested (clipped) DC cap.

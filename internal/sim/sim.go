@@ -14,6 +14,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"capmaestro/internal/core"
 	"capmaestro/internal/power"
 	"capmaestro/internal/server"
+	"capmaestro/internal/telemetry"
 	"capmaestro/internal/topology"
 	"capmaestro/internal/trace"
 )
@@ -71,6 +73,15 @@ type Config struct {
 	TraceNodes    []string
 	TraceSupplies []string
 	TraceServers  []string
+
+	// Telemetry registers live metrics for every simulated layer — the
+	// capping controllers' budget/power/throttle gauges, the node
+	// managers' actuation-clamp counters, and simulator-level breaker and
+	// safety counters — on the given registry. Nil disables it.
+	Telemetry *telemetry.Registry
+	// Logger receives structured events (breaker trips, feed failures,
+	// invariant violations). Nil disables event logging.
+	Logger *slog.Logger
 }
 
 // Simulator is a running simulation.
@@ -101,6 +112,12 @@ type Simulator struct {
 	events []event
 	now    time.Duration
 	rec    *trace.Recorder
+	log    *slog.Logger
+
+	metBreakerTrips *telemetry.Counter
+	metInfeasible   *telemetry.Counter
+	metViolations   *telemetry.Counter
+	metSimTime      *telemetry.Gauge
 
 	traceNodes    map[string]bool
 	traceSupplies map[string]bool
@@ -148,9 +165,18 @@ func New(cfg Config) (*Simulator, error) {
 		lastReadings:  make(map[string]server.Reading),
 		lastAllocs:    make(map[topology.FeedID]*core.Allocation),
 		rec:           trace.NewRecorder(),
+		log:           cfg.Logger,
 		traceNodes:    toSet(cfg.TraceNodes),
 		traceSupplies: toSet(cfg.TraceSupplies),
 		traceServers:  toSet(cfg.TraceServers),
+		metBreakerTrips: cfg.Telemetry.Counter("capmaestro_sim_breaker_trips_total",
+			"Breakers tripped during the simulation."),
+		metInfeasible: cfg.Telemetry.Counter("capmaestro_sim_infeasible_periods_total",
+			"Control periods whose budget could not cover minimum power."),
+		metViolations: cfg.Telemetry.Counter("capmaestro_sim_invariant_violations_total",
+			"Allocation-invariant failures detected by the safety monitor."),
+		metSimTime: cfg.Telemetry.Gauge("capmaestro_sim_time_seconds",
+			"Current simulation clock."),
 	}
 
 	// Build servers from topology supplies + specs.
@@ -179,13 +205,17 @@ func New(cfg Config) (*Simulator, error) {
 			NoiseSigma:        spec.NoiseSigma,
 			NoiseSeed:         spec.NoiseSeed,
 			UncontrolledPower: spec.UncontrolledPower,
+			Telemetry:         cfg.Telemetry,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 		srv.SetUtilization(spec.Utilization)
 		s.servers[serverID] = srv
-		ctl, err := capping.New(srv, cfg.Capping)
+		capCfg := cfg.Capping
+		capCfg.Telemetry = cfg.Telemetry
+		capCfg.ID = serverID
+		ctl, err := capping.New(srv, capCfg)
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
@@ -301,12 +331,18 @@ func (s *Simulator) SetPriority(serverID string, p core.Priority) error {
 func (s *Simulator) FailFeed(feed topology.FeedID) {
 	s.feedFailed[feed] = true
 	s.setFeedSupplies(feed, server.SupplyFailed)
+	if s.log != nil {
+		s.log.Warn("feed failed", "feed", string(feed), "t", s.now)
+	}
 }
 
 // RestoreFeed brings a failed feed back.
 func (s *Simulator) RestoreFeed(feed topology.FeedID) {
 	s.feedFailed[feed] = false
 	s.setFeedSupplies(feed, server.SupplyActive)
+	if s.log != nil {
+		s.log.Info("feed restored", "feed", string(feed), "t", s.now)
+	}
 }
 
 func (s *Simulator) setFeedSupplies(feed topology.FeedID, state server.SupplyState) {
@@ -396,6 +432,7 @@ func (s *Simulator) tick() {
 	s.recordTraces()
 
 	s.now += time.Second
+	s.metSimTime.Set(s.now.Seconds())
 }
 
 // controlPeriod runs one metrics-gathering + budgeting round over every
@@ -477,9 +514,14 @@ func (s *Simulator) controlPeriod() {
 		if err := a.CheckInvariants(trees[i]); err != nil {
 			s.invariantViolations = append(s.invariantViolations,
 				fmt.Sprintf("t=%s feed=%s: %v", s.now, feeds[i], err))
+			s.metViolations.Inc()
+			if s.log != nil {
+				s.log.Error("allocation invariant violated", "feed", string(feeds[i]), "t", s.now, "err", err)
+			}
 		}
 		if a.Infeasible {
 			s.infeasiblePeriods++
+			s.metInfeasible.Inc()
 		}
 	}
 
@@ -538,6 +580,10 @@ func (s *Simulator) updateBreakers() {
 		}
 		if b.Apply(s.NodeLoad(id), time.Second) {
 			s.trippedOrder = append(s.trippedOrder, id)
+			s.metBreakerTrips.Inc()
+			if s.log != nil {
+				s.log.Warn("breaker tripped", "node", id, "t", s.now)
+			}
 			s.cascadeTrip(id)
 		}
 	}

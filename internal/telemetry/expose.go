@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4). Families and labeled children are
+// emitted in sorted order so output is deterministic. A nil registry
+// renders nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		f.render(&b)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) render(b *strings.Builder) {
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]*child, 0, len(keys))
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.RUnlock()
+
+	for _, c := range children {
+		switch f.kind {
+		case KindCounter:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, renderLabels(f.labelNames, c.labelValues), formatValue(c.counter.Value()))
+		case KindGauge:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, renderLabels(f.labelNames, c.labelValues), formatValue(c.gauge.Value()))
+		case KindHistogram:
+			cum, total, sum := c.hist.snapshot()
+			for i, bound := range f.buckets {
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+					renderLabelsLe(f.labelNames, c.labelValues, formatValue(bound)), cum[i])
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+				renderLabelsLe(f.labelNames, c.labelValues, "+Inf"), cum[len(cum)-1])
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, renderLabels(f.labelNames, c.labelValues), formatValue(sum))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, renderLabels(f.labelNames, c.labelValues), total)
+		}
+	}
+}
+
+// renderLabels renders `{a="x",b="y"}`, or "" with no labels.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, escapeLabel(values[i]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// renderLabelsLe renders labels plus the histogram `le` bound.
+func renderLabelsLe(names, values []string, le string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		fmt.Fprintf(&b, "%s=%q,", n, escapeLabel(values[i]))
+	}
+	fmt.Fprintf(&b, "le=%q}", le)
+	return b.String()
+}
+
+// escapeLabel escapes backslash and newline per the exposition format;
+// %q handles the double quote.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value; infinities use the exposition
+// format's +Inf/-Inf spelling.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot returns every metric as a JSON-friendly map for the
+// /debug/vars-style endpoint: scalar metrics map "name" or
+// `name{label="value"}` to their value; histograms map to an object with
+// count, sum, and cumulative buckets. A nil registry returns an empty map.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		f.mu.RLock()
+		children := make([]*child, 0, len(f.children))
+		for _, c := range f.children {
+			children = append(children, c)
+		}
+		f.mu.RUnlock()
+		for _, c := range children {
+			key := f.name + renderLabels(f.labelNames, c.labelValues)
+			switch f.kind {
+			case KindCounter:
+				out[key] = c.counter.Value()
+			case KindGauge:
+				out[key] = c.gauge.Value()
+			case KindHistogram:
+				cum, total, sum := c.hist.snapshot()
+				buckets := make(map[string]uint64, len(cum))
+				for i, bound := range f.buckets {
+					buckets[formatValue(bound)] = cum[i]
+				}
+				buckets["+Inf"] = cum[len(cum)-1]
+				out[key] = map[string]any{"count": total, "sum": sum, "buckets": buckets}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Server exposes a registry over HTTP:
+//
+//	/metrics     Prometheus text exposition format
+//	/healthz     200 "ok" while every registered health check passes,
+//	             503 with the failing checks otherwise
+//	/debug/vars  expvar-style JSON snapshot of every metric
+//
+// Create one with NewServer (handler only, for embedding or tests) or
+// Serve (binds a listener and serves in the background).
+type Server struct {
+	reg *Registry
+
+	mu     sync.Mutex
+	checks map[string]func() error
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// NewServer wraps a registry in an HTTP handler without binding a port.
+func NewServer(reg *Registry) *Server {
+	return &Server{reg: reg, checks: make(map[string]func() error)}
+}
+
+// Serve starts an HTTP server for the registry on addr (e.g.
+// "127.0.0.1:9090"; use port 0 for an ephemeral port). It returns once the
+// listener is bound; requests are handled on a background goroutine until
+// Close.
+func Serve(reg *Registry, addr string) (*Server, error) {
+	s := NewServer(reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address, or "" before Serve.
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight requests.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// AddHealthCheck registers a named health check consulted by /healthz. A
+// check returning a non-nil error marks the process unhealthy. Nil-safe.
+func (s *Server) AddHealthCheck(name string, check func() error) {
+	if s == nil || check == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checks[name] = check
+}
+
+// Health runs every registered check and returns the failures, keyed by
+// check name. An empty map means healthy.
+func (s *Server) Health() map[string]error {
+	failures := make(map[string]error)
+	if s == nil {
+		return failures
+	}
+	s.mu.Lock()
+	checks := make(map[string]func() error, len(s.checks))
+	for name, fn := range s.checks {
+		checks[name] = fn
+	}
+	s.mu.Unlock()
+	for name, fn := range checks {
+		if err := fn(); err != nil {
+			failures[name] = err
+		}
+	}
+	return failures
+}
+
+// Handler returns the HTTP handler serving the three endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	failures := s.Health()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(failures) == 0 {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	names := make([]string, 0, len(failures))
+	for name := range failures {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "unhealthy")
+	for _, name := range names {
+		fmt.Fprintf(w, "%s: %v\n", name, failures[name])
+	}
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.reg.Snapshot())
+}
+
+// ErrUnhealthy is a convenience sentinel for health checks that have no
+// more specific error to report.
+var ErrUnhealthy = errors.New("unhealthy")

@@ -1,0 +1,422 @@
+// Package telemetry is a dependency-free, concurrency-safe metrics
+// registry for the CapMaestro control plane: counters, gauges, and
+// histograms, optionally with labeled children, rendered in the Prometheus
+// text exposition format and served over HTTP (see http.go).
+//
+// The package exists because a long-running power-capping service lives or
+// dies by its monitoring — every control-plane layer (room worker, rack
+// transport, capping controllers, node managers) registers its metrics
+// here so a single scrape shows the whole stack.
+//
+// # Nil-safety contract
+//
+// Every handle method is a no-op on a nil receiver, and a nil *Registry
+// hands out nil handles: code instruments itself unconditionally and pays
+// nothing — no allocations, no lock traffic — when telemetry is disabled.
+//
+//	var reg *telemetry.Registry // nil: telemetry off
+//	c := reg.Counter("x_total", "...") // c == nil
+//	c.Inc()                            // no-op, zero alloc
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the type of a metric family.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// DefBuckets are general-purpose latency buckets in seconds, matching the
+// Prometheus client default.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Registry holds metric families. The zero value is not usable; use
+// NewRegistry. A nil *Registry is valid and disables all instrumentation.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed label schema and kind.
+type family struct {
+	name       string
+	help       string
+	kind       Kind
+	labelNames []string
+	buckets    []float64 // histogram upper bounds, sorted
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// labelKey joins label values into a map key. \xff cannot appear in valid
+// UTF-8 label values, so the key is unambiguous.
+func labelKey(values []string) string {
+	if len(values) == 0 {
+		return ""
+	}
+	return strings.Join(values, "\xff")
+}
+
+// register finds or creates a family, panicking on schema mismatch — a
+// mismatched re-registration is a programming error, as in the Prometheus
+// client.
+func (r *Registry) register(name, help string, kind Kind, labelNames []string, buckets []float64) *family {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %v (was %v)", name, kind, f.kind))
+		}
+		if !equalStrings(f.labelNames, labelNames) {
+			panic(fmt.Sprintf("telemetry: %s re-registered with labels %v (was %v)", name, labelNames, f.labelNames))
+		}
+		return f
+	}
+	f := &family{
+		name:       name,
+		help:       help,
+		kind:       kind,
+		labelNames: append([]string(nil), labelNames...),
+		children:   make(map[string]*child),
+	}
+	if kind == KindHistogram {
+		if len(buckets) == 0 {
+			buckets = DefBuckets
+		}
+		f.buckets = append([]float64(nil), buckets...)
+		sort.Float64s(f.buckets)
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// child finds or creates the labeled child for the given values.
+func (f *family) child(values []string) *child {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: %s expects %d label values, got %d",
+			f.name, len(f.labelNames), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = &child{labelValues: append([]string(nil), values...)}
+	switch f.kind {
+	case KindCounter:
+		c.counter = &Counter{}
+	case KindGauge:
+		c.gauge = &Gauge{}
+	case KindHistogram:
+		c.hist = newHistogram(f.buckets)
+	}
+	f.children[key] = c
+	return c
+}
+
+// Counter returns the unlabeled counter with the given name, creating it on
+// first use. Returns nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, KindCounter, nil, nil).child(nil).counter
+}
+
+// Gauge returns the unlabeled gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, KindGauge, nil, nil).child(nil).gauge
+}
+
+// Histogram returns the unlabeled histogram with the given name. Nil or
+// empty buckets select DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, KindHistogram, nil, buckets).child(nil).hist
+}
+
+// CounterVec declares a counter family with labeled children.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.register(name, help, KindCounter, labelNames, nil)}
+}
+
+// GaugeVec declares a gauge family with labeled children.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.register(name, help, KindGauge, labelNames, nil)}
+}
+
+// HistogramVec declares a histogram family with labeled children.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{fam: r.register(name, help, KindHistogram, labelNames, buckets)}
+}
+
+// CounterVec hands out labeled counters. Nil is a valid no-op vec.
+type CounterVec struct{ fam *family }
+
+// With returns the counter for the given label values (nil on a nil vec).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(labelValues).counter
+}
+
+// GaugeVec hands out labeled gauges. Nil is a valid no-op vec.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the given label values (nil on a nil vec).
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(labelValues).gauge
+}
+
+// HistogramVec hands out labeled histograms. Nil is a valid no-op vec.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the given label values (nil on a nil vec).
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(labelValues).hist
+}
+
+// Counter is a monotonically increasing value. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increases the counter by v; negative deltas are ignored (counters
+// are monotone).
+func (c *Counter) Add(v float64) {
+	if c == nil || v <= 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		cur := math.Float64frombits(old)
+		if c.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a value that can go up and down. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by v (which may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Inc adds one. Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into cumulative le-labeled buckets. All
+// methods are safe for concurrent use and no-ops on a nil receiver.
+type Histogram struct {
+	upper []float64 // sorted upper bounds; the +Inf bucket is implicit
+
+	mu     sync.Mutex
+	counts []uint64 // len(upper)+1; last is the +Inf overflow bucket
+	sum    float64
+	total  uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{upper: buckets, counts: make([]uint64, len(buckets)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v (le is inclusive).
+	idx := sort.SearchFloat64s(h.upper, v)
+	h.mu.Lock()
+	h.counts[idx]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns cumulative bucket counts aligned with upper, plus the
+// total count and sum.
+func (h *Histogram) snapshot() (cum []uint64, total uint64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return cum, h.total, h.sum
+}
+
+// Buckets returns the histogram's upper bounds (excluding +Inf).
+func (h *Histogram) Buckets() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.upper...)
+}
+
+// BucketCount returns the cumulative count of observations <= the i-th
+// upper bound; i == len(Buckets()) addresses the +Inf bucket.
+func (h *Histogram) BucketCount(i int) uint64 {
+	if h == nil {
+		return 0
+	}
+	cum, _, _ := h.snapshot()
+	if i < 0 || i >= len(cum) {
+		return 0
+	}
+	return cum[i]
+}

@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers every metric kind from many goroutines
+// while renders run concurrently; run with -race.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("conc_counter_total", "c")
+	g := reg.Gauge("conc_gauge", "g")
+	h := reg.Histogram("conc_hist", "h", []float64{1, 10})
+	cv := reg.CounterVec("conc_labeled_total", "cl", "worker")
+
+	const workers, iters = 16, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := string(rune('a' + w%4))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 20))
+				cv.With(id).Inc()
+				if i%100 == 0 {
+					var sb strings.Builder
+					reg.WritePrometheus(&sb)
+					reg.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %v, want %v", got, workers*iters)
+	}
+	if got := g.Value(); got != workers*iters {
+		t.Errorf("gauge = %v, want %v", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %v, want %v", got, workers*iters)
+	}
+	var labeled float64
+	for _, id := range []string{"a", "b", "c", "d"} {
+		labeled += cv.With(id).Value()
+	}
+	if labeled != workers*iters {
+		t.Errorf("labeled counters sum = %v, want %v", labeled, workers*iters)
+	}
+}
+
+// TestPrometheusExposition is a golden-output test for the text format.
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("app_requests_total", "Total requests.").Add(42)
+	reg.GaugeVec("app_temperature", "Temp by room.", "room").With("b\"ar").Set(36.5)
+	h := reg.Histogram("app_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 2.55
+app_latency_seconds_count 3
+# HELP app_requests_total Total requests.
+# TYPE app_requests_total counter
+app_requests_total 42
+# HELP app_temperature Temp by room.
+# TYPE app_temperature gauge
+app_temperature{room="b\"ar"} 36.5
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestHistogramBuckets pins the inclusive-upper-bound (le) semantics.
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("hb", "", []float64{1, 2, 5})
+	for _, v := range []float64{0, 1, 1.5, 2, 2.0001, 5, 100} {
+		h.Observe(v)
+	}
+	// Cumulative: le=1 -> {0,1}; le=2 -> +{1.5,2}; le=5 -> +{2.0001,5}; +Inf -> +{100}.
+	wantCum := []uint64{2, 4, 6, 7}
+	for i, want := range wantCum {
+		if got := h.BucketCount(i); got != want {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, got, want)
+		}
+	}
+	if got := h.Count(); got != 7 {
+		t.Errorf("count = %d, want 7", got)
+	}
+	if got, want := h.Sum(), 0+1+1.5+2+2.0001+5+100.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestNilSafety verifies the nil-registry contract: nil registries hand
+// out nil handles and every operation is a zero-allocation no-op.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total", "")
+	g := reg.Gauge("x", "")
+	h := reg.Histogram("x_seconds", "", nil)
+	cv := reg.CounterVec("xv_total", "", "l")
+	gv := reg.GaugeVec("xv", "", "l")
+	hv := reg.HistogramVec("xv_seconds", "", nil, "l")
+	if c != nil || g != nil || h != nil || cv != nil || gv != nil || hv != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Add(-1)
+		h.Observe(0.25)
+		cv.With("a").Inc()
+		gv.With("a").Set(1)
+		hv.With("a").Observe(1)
+		reg.WritePrometheus(nil)
+	})
+	if allocs != 0 {
+		t.Errorf("nil telemetry allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestHTTPEndpoints exercises /metrics, /healthz, and /debug/vars.
+func TestHTTPEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("h_requests_total", "r").Inc()
+	srv := NewServer(reg)
+	healthy := true
+	srv.AddHealthCheck("room", func() error {
+		if healthy {
+			return nil
+		}
+		return ErrUnhealthy
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String(), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != 200 || !strings.Contains(body, "h_requests_total 1") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+
+	if code, body, _ := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz healthy = %d %q", code, body)
+	}
+	healthy = false
+	if code, body, _ := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "room") {
+		t.Errorf("/healthz unhealthy = %d %q", code, body)
+	}
+
+	_, body, ctype = get("/debug/vars")
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("/debug/vars content type = %q", ctype)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
+	}
+	if v, ok := vars["h_requests_total"].(float64); !ok || v != 1 {
+		t.Errorf("/debug/vars h_requests_total = %v", vars["h_requests_total"])
+	}
+}
+
+// TestServe exercises the background listener path.
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("s_up", "").Set(1)
+	srv, err := Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+// TestVecSchemaMismatchPanics pins the re-registration contract.
+func TestVecSchemaMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	reg.Gauge("m_total", "")
+}

@@ -1,0 +1,29 @@
+package trace
+
+import "capmaestro/internal/telemetry"
+
+// ExportMetrics publishes a snapshot of every recorded series onto the
+// registry: the final/min/max values as gauges and the sample count as a
+// counter, all labeled by series name. It lets batch tools (dcsim, the
+// experiments runner) dump the same numbers they plot as CSV in Prometheus
+// text form. Either argument may be nil, in which case nothing happens.
+func ExportMetrics(r *Recorder, reg *telemetry.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	last := reg.GaugeVec("capmaestro_trace_series_value",
+		"Final value of a recorded simulation series.", "series")
+	min := reg.GaugeVec("capmaestro_trace_series_min",
+		"Smallest value of a recorded simulation series.", "series")
+	max := reg.GaugeVec("capmaestro_trace_series_max",
+		"Largest value of a recorded simulation series.", "series")
+	samples := reg.CounterVec("capmaestro_trace_series_samples_total",
+		"Samples recorded per simulation series.", "series")
+	for _, name := range r.Names() {
+		s := r.Series(name)
+		last.With(name).Set(s.Last())
+		min.With(name).Set(s.Min())
+		max.With(name).Set(s.Max())
+		samples.With(name).Add(float64(len(s.Points)))
+	}
+}

@@ -63,7 +63,7 @@ func (s *Series) Max() float64 {
 	return m
 }
 
-// MaxAbove returns the number of samples strictly above the threshold.
+// CountAbove returns the number of samples strictly above the threshold.
 func (s *Series) CountAbove(threshold float64) int {
 	n := 0
 	for _, p := range s.Points {
@@ -177,9 +177,9 @@ func (r *Recorder) ASCIIChart(names []string, cols, rows int) string {
 	for si, s := range active {
 		mark := marks[si%len(marks)]
 		for _, p := range s.Points {
-			c := int(float64(p.T-minT) / float64(span) * float64(cols-1))
+			c := clampInt(int(float64(p.T-minT)/float64(span)*float64(cols-1)), 0, cols-1)
 			rowF := (p.V - minV) / (maxV - minV)
-			rrow := rows - 1 - int(rowF*float64(rows-1))
+			rrow := clampInt(rows-1-int(rowF*float64(rows-1)), 0, rows-1)
 			grid[rrow][c] = mark
 		}
 	}
@@ -208,4 +208,16 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// clampInt bounds v to [lo, hi]; chart indices computed from floating-point
+// resampling can land one cell outside the grid on rounding edge cases.
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
