@@ -43,6 +43,14 @@ func main() {
 	demo := flag.String("demo", "feedfail", "capping | feedfail | spo | distributed | scheduler | serve")
 	telAddr := flag.String("telemetry-addr", "",
 		"HOST:PORT for the /metrics, /healthz, and /debug/vars endpoints (empty disables; serve demo defaults to :9090)")
+	stalePeriods := flag.Int("staleness-periods", controlplane.DefaultStalenessBound,
+		"serve demo: consecutive failed gathers before the room worker holds a rack's budget pushes (<=0 never holds)")
+	failsafe := flag.Float64("failsafe-budget", 0,
+		"serve demo: watts reserved for a rack that has never reported a summary (0 excludes it from allocation)")
+	rpcRetries := flag.Int("rpc-retries", controlplane.DefaultRPCRetries,
+		"serve demo: transport retries per rack RPC after a failure (<=0 disables)")
+	rpcBackoff := flag.Duration("rpc-retry-backoff", controlplane.DefaultRPCRetryBackoff,
+		"serve demo: initial backoff between rack RPC retries (doubles per retry)")
 	flag.Parse()
 
 	addr := *telAddr
@@ -76,7 +84,12 @@ func main() {
 	case "scheduler":
 		err = demoScheduler()
 	case "serve":
-		err = demoServe(reg, ts)
+		err = demoServe(reg, ts, serveConfig{
+			stalenessPeriods: *stalePeriods,
+			failsafeBudget:   power.Watts(*failsafe),
+			rpcRetries:       *rpcRetries,
+			rpcRetryBackoff:  *rpcBackoff,
+		})
 	default:
 		err = fmt.Errorf("unknown demo %q", *demo)
 	}
@@ -307,16 +320,29 @@ func demoDistributed(reg *telemetry.Registry) error {
 	return nil
 }
 
+// serveConfig carries the serve demo's degraded-mode knobs: how long the
+// room worker trusts stale rack summaries, what it reserves for racks that
+// have never reported, and how the transport retries failed RPCs.
+type serveConfig struct {
+	stalenessPeriods int
+	failsafeBudget   power.Watts
+	rpcRetries       int
+	rpcRetryBackoff  time.Duration
+}
+
 // demoServe runs the whole stack continuously until SIGINT/SIGTERM:
 // simulated servers with per-server capping controllers, rack workers
 // behind real TCP sockets, and a room worker driving 2-second control
 // periods. Every layer reports into the telemetry registry, and /healthz
 // tracks whether the room worker can still reach its racks.
-func demoServe(reg *telemetry.Registry, ts *telemetry.Server) error {
+func demoServe(reg *telemetry.Registry, ts *telemetry.Server, cfg serveConfig) error {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
 	opts := []controlplane.Option{
 		controlplane.WithTelemetry(reg),
 		controlplane.WithLogger(logger),
+		controlplane.WithStalenessBound(cfg.stalenessPeriods),
+		controlplane.WithFailsafeBudget(cfg.failsafeBudget),
+		controlplane.WithRPCRetry(cfg.rpcRetries, cfg.rpcRetryBackoff),
 	}
 
 	// Four single-supply servers, two per rack; SA runs a high-priority

@@ -23,6 +23,7 @@ type Aggregator struct {
 	policy  core.Policy
 	clients map[string]RackClient
 	proxies map[string]*core.Node
+	seen    map[string]bool // children with at least one good gather
 
 	lastBudget power.Watts
 	lastAlloc  *core.Allocation
@@ -61,6 +62,7 @@ func NewAggregator(tree *core.Node, policy core.Policy, clients map[string]RackC
 		policy:  policy,
 		clients: clients,
 		proxies: proxies,
+		seen:    make(map[string]bool, len(clients)),
 	}, nil
 }
 
@@ -88,6 +90,7 @@ func (a *Aggregator) Gather(ctx context.Context) (core.Summary, error) {
 		if r.err != nil || r.summary.Validate() != nil {
 			continue
 		}
+		a.seen[r.id] = true
 		*a.proxies[r.id].Proxy = r.summary
 	}
 	return core.Summarize(a.tree, a.policy)
@@ -95,6 +98,10 @@ func (a *Aggregator) Gather(ctx context.Context) (core.Summary, error) {
 
 // ApplyBudget implements RackClient: it allocates the received budget over
 // its subtree and pushes each downstream worker its share in parallel.
+// Children whose gather has never succeeded are held — their proxies carry
+// no real summary, so pushing them the resulting (typically zero) budget
+// would infeasibly throttle live load; they keep whatever budget they
+// already enforce.
 func (a *Aggregator) ApplyBudget(ctx context.Context, b power.Watts) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -105,13 +112,18 @@ func (a *Aggregator) ApplyBudget(ctx context.Context, b power.Watts) error {
 	a.lastBudget = b
 	a.lastAlloc = alloc
 	errs := make(chan error, len(a.clients))
+	pushed := 0
 	for id, c := range a.clients {
+		if !a.seen[id] {
+			continue
+		}
+		pushed++
 		go func(id string, c RackClient) {
 			errs <- c.ApplyBudget(ctx, alloc.NodeBudgets[id])
 		}(id, c)
 	}
 	var firstErr error
-	for range a.clients {
+	for i := 0; i < pushed; i++ {
 		if e := <-errs; e != nil && firstErr == nil {
 			firstErr = e
 		}

@@ -192,15 +192,67 @@ func TestAggregatorToleratesChildFailure(t *testing.T) {
 	if s.TotalCapMin() < 270 {
 		t.Errorf("summary missing healthy child: %+v", s)
 	}
-	// ApplyBudget reports the child failure but still budgets the healthy
-	// child.
-	if err := agg.ApplyBudget(context.Background(), 800); err == nil {
-		t.Error("expected error from dead child")
+	// ApplyBudget budgets the healthy child; the dead child has never been
+	// gathered, so its push is held rather than attempted.
+	if err := agg.ApplyBudget(context.Background(), 800); err != nil {
+		t.Errorf("never-gathered child should be held, not pushed: %v", err)
 	}
 	if agg.LastBudget() != 800 || agg.LastAllocation() == nil {
 		t.Error("aggregator state not updated")
 	}
 	if b := okWorker.LastBudget(); b < 270 {
 		t.Errorf("healthy child budget = %v", b)
+	}
+}
+
+// TestAggregatorHoldsNeverGatheredChild pins the held-child semantics
+// directly: a child whose gather has never succeeded receives no
+// ApplyBudget call, and starts receiving budgets once it recovers.
+func TestAggregatorHoldsNeverGatheredChild(t *testing.T) {
+	okWorker, err := NewRackWorker("ok", core.NewShifting("ok", 0, leaf("a", "A", 0, 400)),
+		core.GlobalPriority, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	darkWorker, err := NewRackWorker("dark", core.NewShifting("dark", 0, leaf("b", "B", 0, 400)),
+		core.GlobalPriority, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dark := &switchableClient{inner: LocalClient{Worker: darkWorker}, gatherFails: true}
+	tree := core.NewShifting("agg", 0,
+		core.NewProxy("ok", core.NewSummary()),
+		core.NewProxy("dark", core.NewSummary()),
+	)
+	agg, err := NewAggregator(tree, core.GlobalPriority, map[string]RackClient{
+		"ok":   LocalClient{Worker: okWorker},
+		"dark": dark,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := agg.Gather(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.ApplyBudget(context.Background(), 900); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := dark.pushCount(); n != 0 {
+		t.Fatalf("never-gathered child received %d pushes", n)
+	}
+	dark.setGatherFails(false)
+	if _, err := agg.Gather(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.ApplyBudget(context.Background(), 900); err != nil {
+		t.Fatal(err)
+	}
+	if n := dark.pushCount(); n != 1 {
+		t.Errorf("recovered child pushes = %d, want 1", n)
+	}
+	if b := darkWorker.LastBudget(); b < 270 {
+		t.Errorf("recovered child budget = %v, want at least its Pcap_min", b)
 	}
 }

@@ -1,0 +1,138 @@
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+)
+
+// ErrInjected is the error a FaultyClient returns for a fault it injected;
+// tests can errors.Is against it to separate injected from real failures.
+var ErrInjected = errors.New("controlplane: injected rack fault")
+
+// FaultyClient wraps a RackClient with deterministic fault injection so
+// degraded-mode control-plane behavior — flaky racks, slow racks,
+// partitioned racks — is testable without real networks. All knobs can be
+// flipped while a control loop is running.
+//
+// Faults are drawn from a seeded source, and each client consumes its
+// stream in call order, so a single-threaded caller (the room worker
+// issues one gather and one push per rack per period) sees a reproducible
+// fault schedule for a given seed.
+type FaultyClient struct {
+	inner RackClient
+
+	mu               sync.Mutex
+	rng              *rand.Rand
+	errRate          float64
+	latency          time.Duration
+	partitioned      bool
+	partitionTimeout time.Duration
+
+	injected atomic.Uint64
+	gathers  atomic.Uint64
+	applies  atomic.Uint64
+}
+
+// NewFaultyClient wraps inner with a fault injector seeded by seed. The
+// zero configuration injects nothing.
+func NewFaultyClient(inner RackClient, seed int64) *FaultyClient {
+	return &FaultyClient{
+		inner:            inner,
+		rng:              rand.New(rand.NewSource(seed)),
+		partitionTimeout: time.Second,
+	}
+}
+
+// SetErrorRate makes each call fail with probability p in [0,1].
+func (f *FaultyClient) SetErrorRate(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.errRate = p
+}
+
+// SetLatency adds d of delay to every call before it reaches the inner
+// client.
+func (f *FaultyClient) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = d
+}
+
+// SetPartitioned blackholes the client: calls hang — as a partitioned TCP
+// peer's would — until the caller's context ends or the partition timeout
+// (SetPartitionTimeout, default 1 s, standing in for the transport's
+// request timeout) fires, then fail. No call reaches the inner client.
+func (f *FaultyClient) SetPartitioned(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitioned = on
+}
+
+// SetPartitionTimeout bounds how long a partitioned call hangs before
+// failing, emulating the transport's per-request timeout.
+func (f *FaultyClient) SetPartitionTimeout(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitionTimeout = d
+}
+
+// InjectedFaults returns how many calls failed by injection.
+func (f *FaultyClient) InjectedFaults() uint64 { return f.injected.Load() }
+
+// InnerGathers returns how many Gather calls reached the inner client.
+func (f *FaultyClient) InnerGathers() uint64 { return f.gathers.Load() }
+
+// InnerApplies returns how many ApplyBudget calls reached the inner client.
+func (f *FaultyClient) InnerApplies() uint64 { return f.applies.Load() }
+
+// before applies the configured faults to one call; a non-nil return means
+// the call fails without reaching the inner client.
+func (f *FaultyClient) before(ctx context.Context, op string) error {
+	f.mu.Lock()
+	partitioned, latency, timeout := f.partitioned, f.latency, f.partitionTimeout
+	drop := f.errRate > 0 && f.rng.Float64() < f.errRate
+	f.mu.Unlock()
+
+	if partitioned {
+		f.injected.Add(1)
+		sleepCtx(ctx, timeout)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("%w: %s blackholed by partition", ErrInjected, op)
+	}
+	if latency > 0 && !sleepCtx(ctx, latency) {
+		return ctx.Err()
+	}
+	if drop {
+		f.injected.Add(1)
+		return fmt.Errorf("%w: %s dropped", ErrInjected, op)
+	}
+	return ctx.Err()
+}
+
+// Gather implements RackClient.
+func (f *FaultyClient) Gather(ctx context.Context) (core.Summary, error) {
+	if err := f.before(ctx, opGather); err != nil {
+		return core.Summary{}, err
+	}
+	f.gathers.Add(1)
+	return f.inner.Gather(ctx)
+}
+
+// ApplyBudget implements RackClient.
+func (f *FaultyClient) ApplyBudget(ctx context.Context, b power.Watts) error {
+	if err := f.before(ctx, opBudget); err != nil {
+		return err
+	}
+	f.applies.Add(1)
+	return f.inner.ApplyBudget(ctx, b)
+}

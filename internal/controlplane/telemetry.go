@@ -14,13 +14,22 @@ import (
 type Option func(*options)
 
 type options struct {
-	reg            *telemetry.Registry
-	log            *slog.Logger
-	budgetLogDelta power.Watts
+	reg             *telemetry.Registry
+	log             *slog.Logger
+	budgetLogDelta  power.Watts
+	stalenessBound  int
+	failsafeBudget  power.Watts
+	rpcRetries      int
+	rpcRetryBackoff time.Duration
 }
 
 func buildOptions(opts []Option) options {
-	o := options{budgetLogDelta: DefaultBudgetLogDelta}
+	o := options{
+		budgetLogDelta:  DefaultBudgetLogDelta,
+		stalenessBound:  DefaultStalenessBound,
+		rpcRetries:      DefaultRPCRetries,
+		rpcRetryBackoff: DefaultRPCRetryBackoff,
+	}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -49,6 +58,47 @@ func WithBudgetLogDelta(d power.Watts) Option {
 	return func(o *options) { o.budgetLogDelta = d }
 }
 
+// DefaultStalenessBound is the number of consecutive failed gathers the
+// room worker tolerates before holding a rack's budget pushes: the rack
+// then keeps its last applied budget instead of being steered from
+// unboundedly stale state.
+const DefaultStalenessBound = 3
+
+// WithStalenessBound overrides the staleness bound, in control periods. A
+// bound n holds budget pushes to a rack once its summary is more than n
+// periods old; n <= 0 disables staleness holds (pushes continue from the
+// last summary indefinitely). Racks that have never reported are always
+// held, regardless of the bound.
+func WithStalenessBound(periods int) Option {
+	return func(o *options) { o.stalenessBound = periods }
+}
+
+// WithFailsafeBudget reserves b watts of the room budget for each rack
+// whose gather has never succeeded, so a rack joining mid-flight (or dark
+// since startup) keeps conservative headroom instead of being allocated
+// zero. The default (0) excludes never-seen racks from allocation
+// entirely; either way they are never pushed a budget.
+func WithFailsafeBudget(b power.Watts) Option {
+	return func(o *options) { o.failsafeBudget = b }
+}
+
+// Default transport retry policy: a failed rack RPC is retried a bounded
+// number of times with doubling backoff, reconnecting on each attempt.
+const (
+	DefaultRPCRetries      = 2
+	DefaultRPCRetryBackoff = 25 * time.Millisecond
+)
+
+// WithRPCRetry overrides the TCP client's retry policy: up to retries
+// additional attempts per RPC after a transport failure, starting at
+// backoff and doubling per attempt. retries <= 0 disables retrying.
+func WithRPCRetry(retries int, backoff time.Duration) Option {
+	return func(o *options) {
+		o.rpcRetries = retries
+		o.rpcRetryBackoff = backoff
+	}
+}
+
 // phaseBuckets sizes the control-period phase histograms: gather and push
 // round-trip rack RPCs (ms scale), allocation is in-memory (µs scale),
 // and everything must sit far inside the 8 s control period.
@@ -63,8 +113,10 @@ type roomMetrics struct {
 	periods         *telemetry.Counter
 	gatherErrors    *telemetry.Counter
 	applyErrors     *telemetry.Counter
+	heldPushes      *telemetry.Counter
 	racks           *telemetry.Gauge
 	budget          *telemetry.Gauge
+	unseenRacks     *telemetry.Gauge
 	staleByRack     map[string]*telemetry.Gauge
 	budgetByRack    map[string]*telemetry.Gauge
 }
@@ -86,10 +138,14 @@ func newRoomMetrics(reg *telemetry.Registry, rackIDs []string) roomMetrics {
 			"Rack summary gathers that failed or returned invalid summaries."),
 		applyErrors: reg.Counter("capmaestro_controlplane_apply_errors_total",
 			"Rack budget pushes that failed."),
+		heldPushes: reg.Counter("capmaestro_controlplane_held_pushes_total",
+			"Rack budget pushes withheld because the rack was never gathered or its summary exceeded the staleness bound."),
 		racks: reg.Gauge("capmaestro_controlplane_racks",
 			"Racks served by the room worker."),
 		budget: reg.Gauge("capmaestro_controlplane_budget_watts",
 			"Contractual budget the room worker allocates (0 = tree constraint)."),
+		unseenRacks: reg.Gauge("capmaestro_controlplane_unseen_racks",
+			"Racks from which no summary has ever been gathered successfully."),
 		staleByRack:  make(map[string]*telemetry.Gauge, len(rackIDs)),
 		budgetByRack: make(map[string]*telemetry.Gauge, len(rackIDs)),
 	}
@@ -129,6 +185,7 @@ type rpcMetrics struct {
 	enabled   bool
 	seconds   map[string]*telemetry.Histogram
 	errors    map[string]*telemetry.Counter
+	retries   *telemetry.Counter
 	bytesIn   *telemetry.Counter
 	bytesOut  *telemetry.Counter
 	openConns *telemetry.Gauge
@@ -142,9 +199,11 @@ func newRPCMetrics(reg *telemetry.Registry, role string) rpcMetrics {
 	bytes := reg.CounterVec("capmaestro_rpc_bytes_total",
 		"Bytes moved over rack transport connections.", "role", "direction")
 	m := rpcMetrics{
-		enabled:  reg != nil,
-		seconds:  make(map[string]*telemetry.Histogram, 3),
-		errors:   make(map[string]*telemetry.Counter, 3),
+		enabled: reg != nil,
+		seconds: make(map[string]*telemetry.Histogram, 3),
+		errors:  make(map[string]*telemetry.Counter, 3),
+		retries: reg.CounterVec("capmaestro_rpc_retries_total",
+			"Rack RPC attempts retried after a transport failure.", "role").With(role),
 		bytesIn:  bytes.With(role, "in"),
 		bytesOut: bytes.With(role, "out"),
 		openConns: reg.GaugeVec("capmaestro_rpc_open_connections",

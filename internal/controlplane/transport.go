@@ -183,35 +183,63 @@ func (s *RackServer) handle(req wireRequest) wireResponse {
 	}
 }
 
+// ErrClientClosed is returned by every TCPClient method after Close: a
+// closed client never re-dials, so shutting one down is terminal.
+var ErrClientClosed = errors.New("controlplane: rack client closed")
+
+// serverError is an application-level failure reported by the rack server
+// (as opposed to a transport failure). It is never retried: the server
+// handled the request and said no.
+type serverError struct{ msg string }
+
+func (e *serverError) Error() string { return e.msg }
+
 // TCPClient is a RackClient that talks to a RackServer. It maintains one
-// connection, re-dialing on failure, and serializes requests (the room
+// connection, re-dialing on failure, retries transport failures a bounded
+// number of times with doubling backoff, and serializes requests (the room
 // worker issues one request at a time per rack).
 type TCPClient struct {
 	addr    string
 	timeout time.Duration
+	retries int
+	backoff time.Duration
 	met     rpcMetrics
 
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
+	mu     sync.Mutex
+	closed bool
+	conn   net.Conn
+	dec    *json.Decoder
+	enc    *json.Encoder
 }
 
 // DialRack creates a client for the rack server at addr. timeout bounds
-// each request round-trip; zero selects 2 s (comfortably inside the paper's
-// 8 s control period).
+// each request attempt; zero selects 2 s (comfortably inside the paper's
+// 8 s control period). Retry behavior follows WithRPCRetry (default: 2
+// retries starting at 25 ms backoff).
 func DialRack(addr string, timeout time.Duration, opts ...Option) *TCPClient {
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
 	o := buildOptions(opts)
-	return &TCPClient{addr: addr, timeout: timeout, met: newRPCMetrics(o.reg, "client")}
+	return &TCPClient{
+		addr:    addr,
+		timeout: timeout,
+		retries: o.rpcRetries,
+		backoff: o.rpcRetryBackoff,
+		met:     newRPCMetrics(o.reg, "client"),
+	}
 }
 
-// Close tears down the connection.
+// Close tears down the connection and marks the client terminally closed:
+// subsequent requests fail with ErrClientClosed instead of re-dialing.
+// Closing an already-closed client is a no-op.
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	if c.conn != nil {
 		err := c.conn.Close()
 		c.conn = nil
@@ -222,6 +250,9 @@ func (c *TCPClient) Close() error {
 }
 
 func (c *TCPClient) ensureConn() error {
+	if c.closed {
+		return ErrClientClosed
+	}
 	if c.conn != nil {
 		return nil
 	}
@@ -238,15 +269,28 @@ func (c *TCPClient) ensureConn() error {
 }
 
 func (c *TCPClient) roundTrip(ctx context.Context, req wireRequest) (wireResponse, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	start := time.Now()
-	resp, err := c.roundTripLocked(ctx, req)
+	var resp wireResponse
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = c.attempt(ctx, req)
+		if err == nil || attempt >= c.retries || !retryable(err) {
+			break
+		}
+		if !sleepCtx(ctx, backoffDelay(c.backoff, attempt)) {
+			break
+		}
+		c.met.retries.Inc()
+	}
 	c.met.observe(req.Op, start, err != nil)
 	return resp, err
 }
 
-func (c *TCPClient) roundTripLocked(ctx context.Context, req wireRequest) (wireResponse, error) {
+// attempt performs one round trip under the lock. The lock is released
+// between attempts so Close (and the backoff sleep) never deadlock.
+func (c *TCPClient) attempt(ctx context.Context, req wireRequest) (wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return wireResponse{}, err
 	}
@@ -268,9 +312,47 @@ func (c *TCPClient) roundTripLocked(ctx context.Context, req wireRequest) (wireR
 		return wireResponse{}, err
 	}
 	if !resp.OK {
-		return resp, errors.New(resp.Error)
+		return resp, &serverError{msg: resp.Error}
 	}
 	return resp, nil
+}
+
+// retryable reports whether a failed attempt is worth repeating: transport
+// failures are (the next attempt re-dials), closed clients, dead contexts,
+// and application-level rejections are not.
+func retryable(err error) bool {
+	if errors.Is(err, ErrClientClosed) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *serverError
+	return !errors.As(err, &se)
+}
+
+// backoffDelay is the pause before retry attempt+1: base doubling per
+// attempt, capped at one second.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	d := base << attempt
+	if d > time.Second || d <= 0 {
+		d = time.Second
+	}
+	return d
+}
+
+// sleepCtx sleeps for d unless the context ends first; it reports whether
+// the full duration elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 func (c *TCPClient) resetLocked() {

@@ -1,0 +1,100 @@
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"capmaestro/internal/core"
+)
+
+func newTCPFixture(t *testing.T) (*RackWorker, *RackServer) {
+	t.Helper()
+	w, err := NewRackWorker("r", core.NewShifting("r", 0, leaf("a", "A", 0, 400)),
+		core.GlobalPriority, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeRack(w, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, srv
+}
+
+// TestTCPClientCloseTerminal: Close is terminal — no request after Close
+// may re-dial, and every one fails with ErrClientClosed. Closing twice is
+// a no-op.
+func TestTCPClientCloseTerminal(t *testing.T) {
+	_, srv := newTCPFixture(t)
+	defer srv.Close()
+	client := DialRack(srv.Addr(), time.Second)
+	if _, err := client.Gather(context.Background()); err != nil {
+		t.Fatalf("gather before close: %v", err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := client.Gather(context.Background()); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("gather after close = %v, want ErrClientClosed", err)
+	}
+	if err := client.ApplyBudget(context.Background(), 400); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("apply after close = %v, want ErrClientClosed", err)
+	}
+	if err := client.Ping(context.Background()); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("ping after close = %v, want ErrClientClosed", err)
+	}
+	if err := client.Close(); err != nil {
+		t.Errorf("second close = %v, want nil", err)
+	}
+}
+
+// TestTCPClientRetryRecovers: a server restart between requests is healed
+// by a single Gather call — the first attempt fails on the stale
+// connection and the retry re-dials the new server.
+func TestTCPClientRetryRecovers(t *testing.T) {
+	w, srv := newTCPFixture(t)
+	client := DialRack(srv.Addr(), 500*time.Millisecond, WithRPCRetry(4, 5*time.Millisecond))
+	defer client.Close()
+	if _, err := client.Gather(context.Background()); err != nil {
+		t.Fatalf("first gather: %v", err)
+	}
+	addr := srv.Addr()
+	srv.Close()
+	srv2, err := ServeRack(w, addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	if _, err := client.Gather(context.Background()); err != nil {
+		t.Errorf("gather across server restart should recover via retry: %v", err)
+	}
+}
+
+// TestRetryHelpers pins the retry policy's edges: application-level
+// rejections and dead contexts are not retried, and the backoff doubles
+// but never exceeds a second.
+func TestRetryHelpers(t *testing.T) {
+	if retryable(&serverError{msg: "no"}) {
+		t.Error("server rejections must not be retried")
+	}
+	if retryable(context.Canceled) || retryable(context.DeadlineExceeded) {
+		t.Error("dead contexts must not be retried")
+	}
+	if retryable(ErrClientClosed) {
+		t.Error("closed clients must not be retried")
+	}
+	if !retryable(errors.New("connection reset by peer")) {
+		t.Error("transport failures must be retried")
+	}
+	if d := backoffDelay(25*time.Millisecond, 0); d != 25*time.Millisecond {
+		t.Errorf("backoff(0) = %v", d)
+	}
+	if d := backoffDelay(25*time.Millisecond, 2); d != 100*time.Millisecond {
+		t.Errorf("backoff(2) = %v", d)
+	}
+	if d := backoffDelay(25*time.Millisecond, 40); d != time.Second {
+		t.Errorf("backoff cap = %v, want 1s", d)
+	}
+}

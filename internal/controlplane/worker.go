@@ -172,31 +172,63 @@ func (c LocalClient) ApplyBudget(ctx context.Context, b power.Watts) error {
 type PeriodStats struct {
 	GatherErrors int
 	ApplyErrors  int
-	RacksServed  int
-	Elapsed      time.Duration
+	// BudgetsHeld counts racks whose budget push was withheld this period:
+	// racks that have never reported a summary, and racks whose last
+	// summary is older than the staleness bound.
+	BudgetsHeld int
+	RacksServed int
+	Elapsed     time.Duration
 }
+
+// holdReason explains why a rack's budget push was withheld.
+type holdReason string
+
+const (
+	holdNeverSeen holdReason = "never-gathered"
+	holdStale     holdReason = "stale-summary"
+)
 
 // RoomWorker protects the upper levels of the power hierarchy. Its tree's
 // proxy nodes stand in for rack workers; the map connects proxy node IDs to
 // their transports.
+//
+// Failure semantics: a rack whose gather has never succeeded is never
+// pushed a budget — the room either excludes it from allocation (default)
+// or reserves a configurable failsafe budget for it (WithFailsafeBudget).
+// A rack that has reported before keeps its last summary when gathers
+// fail, so the room keeps accounting for its load; once its summary is
+// older than the staleness bound (WithStalenessBound) its budget pushes
+// are held too, freezing the rack at its last applied budget instead of
+// steering it from unboundedly stale state.
 type RoomWorker struct {
-	mu     sync.Mutex
-	tree   *core.Node
-	budget power.Watts
 	policy core.Policy
+	budget power.Watts
 	racks  map[string]RackClient
-
-	proxies   map[string]*core.Node
-	lastAlloc *core.Allocation
-	lastStats PeriodStats
-	periods   uint64
 
 	log            *slog.Logger
 	met            roomMetrics
 	budgetLogDelta power.Watts
-	rackDown       map[string]bool        // racks whose last gather failed
-	rackStale      map[string]int         // consecutive stale periods per rack
-	rackBudgets    map[string]power.Watts // last budget pushed per rack
+	stalenessBound int
+	failsafe       power.Watts
+
+	// runMu serializes control periods and guards the tree: only RunPeriod
+	// writes proxy summaries and walks the tree for allocation.
+	runMu   sync.Mutex
+	tree    *core.Node
+	proxies map[string]*core.Node
+
+	// mu guards the observable state below and is never held across rack
+	// RPCs, so Healthy, LastStats, and LastAllocation return immediately
+	// even while a period's network calls are in flight.
+	mu          sync.Mutex
+	lastAlloc   *core.Allocation
+	lastStats   PeriodStats
+	periods     uint64
+	rackDown    map[string]bool        // racks whose last gather failed
+	rackStale   map[string]int         // consecutive stale periods per rack
+	rackSeen    map[string]bool        // racks with at least one good gather
+	rackHeld    map[string]bool        // racks whose pushes are being held
+	rackBudgets map[string]power.Watts // last budget pushed per rack
 }
 
 // NewRoomWorker creates a room worker. tree is the upper control tree
@@ -243,29 +275,59 @@ func NewRoomWorker(tree *core.Node, budget power.Watts, policy core.Policy, rack
 		log:            o.log,
 		met:            newRoomMetrics(o.reg, rackIDs),
 		budgetLogDelta: o.budgetLogDelta,
+		stalenessBound: o.stalenessBound,
+		failsafe:       o.failsafeBudget,
 		rackDown:       make(map[string]bool, len(racks)),
 		rackStale:      make(map[string]int, len(racks)),
+		rackSeen:       make(map[string]bool, len(racks)),
+		rackHeld:       make(map[string]bool, len(racks)),
 		rackBudgets:    make(map[string]power.Watts, len(racks)),
 	}
 	w.met.racks.Set(float64(len(racks)))
 	w.met.budget.Set(float64(budget))
+	w.met.unseenRacks.Set(float64(len(racks)))
 	return w, nil
+}
+
+// failsafeSummary is the conservative stand-in for a rack that has never
+// reported: the room reserves exactly b watts for it — floor (CapMin) and
+// ceiling (Constraint) — without pretending to know anything about its
+// load or priorities.
+func failsafeSummary(b power.Watts) core.Summary {
+	s := core.NewSummary()
+	s.CapMin[0] = b
+	s.Demand[0] = b
+	s.Request[0] = b
+	s.Constraint = b
+	return s
 }
 
 // RunPeriod executes one full control period: gather summaries from all
 // racks in parallel, allocate over the upper tree, and push budgets back in
 // parallel. Racks that fail to respond keep their previous budgets; their
 // proxies keep the last summary so the room still protects its own limits.
+// Racks that have never responded, or whose summaries exceed the staleness
+// bound, have their budget pushes held (see the RoomWorker failure
+// semantics). No lock observable from Healthy, LastStats, or LastAllocation
+// is held while RPCs are in flight; concurrent RunPeriod calls serialize.
+//
+// A context cancelled before or during the gather phase aborts the period
+// with ctx's error without recording rack failures — a shutdown is not a
+// rack outage.
 func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodStats, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, PeriodStats{}, err
+	}
 	start := time.Now()
 	stats := PeriodStats{RacksServed: len(w.racks)}
 	if w.log != nil {
 		w.log.Debug("control period start", "racks", len(w.racks))
 	}
 
-	// Metrics gathering phase, in parallel across racks.
+	// Metrics gathering phase, in parallel across racks, without any lock
+	// held across the RPCs.
 	type gatherResult struct {
 		id      string
 		summary core.Summary
@@ -275,51 +337,79 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 	for id, client := range w.racks {
 		go func(id string, client RackClient) {
 			s, err := client.Gather(ctx)
+			if err == nil {
+				err = s.Validate()
+			}
 			results <- gatherResult{id: id, summary: s, err: err}
 		}(id, client)
 	}
+	fresh := make(map[string]core.Summary, len(w.racks))
+	failed := make(map[string]error)
 	for range w.racks {
 		r := <-results
-		if r.err == nil {
-			if err := r.summary.Validate(); err != nil {
-				r.err = err
-			}
-		}
 		if r.err != nil {
-			stats.GatherErrors++
-			w.rackGatherFailed(r.id, r.err) // proxy keeps its previous summary
+			failed[r.id] = r.err
 			continue
 		}
-		w.rackGatherOK(r.id)
-		*w.proxies[r.id].Proxy = r.summary
+		fresh[r.id] = r.summary
 	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled mid-gather (typically clean shutdown): the per-rack
+		// context errors carry no signal about rack health.
+		return nil, stats, err
+	}
+	stats.GatherErrors = len(failed)
 	w.met.gatherSeconds.ObserveSince(start)
 	w.met.gatherErrors.Add(float64(stats.GatherErrors))
+
+	// Commit gather outcomes and decide which pushes are held this period.
+	hold := w.commitGather(fresh, failed)
+
+	// Install summaries into the proxies (guarded by runMu). Failed racks
+	// keep their previous summary; never-seen racks keep their
+	// construction-time summary or the failsafe reservation.
+	for id, s := range fresh {
+		*w.proxies[id].Proxy = s
+	}
+	if w.failsafe > 0 {
+		for id, reason := range hold {
+			if reason == holdNeverSeen {
+				*w.proxies[id].Proxy = failsafeSummary(w.failsafe)
+			}
+		}
+	}
 
 	// Budgeting phase over the upper tree.
 	allocStart := time.Now()
 	alloc, err := core.Allocate(w.tree, w.budget, w.policy)
 	if err != nil {
+		stats.Elapsed = time.Since(start)
 		if w.log != nil {
 			w.log.Error("room allocation failed", "err", err)
 		}
-		w.periods++
-		w.lastStats = stats
+		w.commitPeriod(nil, stats)
 		return nil, stats, err
 	}
 	w.met.allocateSeconds.ObserveSince(allocStart)
-	w.lastAlloc = alloc
 	w.noteRackBudgets(alloc)
 
-	// Push budgets down, in parallel.
+	// Push budgets down, in parallel, skipping held racks. Like the gather
+	// phase, no lock is held across the RPCs.
 	pushStart := time.Now()
 	errs := make(chan error, len(w.racks))
+	pushed := 0
 	for id, client := range w.racks {
+		if _, held := hold[id]; held {
+			stats.BudgetsHeld++
+			w.met.heldPushes.Inc()
+			continue
+		}
+		pushed++
 		go func(id string, client RackClient) {
 			errs <- client.ApplyBudget(ctx, alloc.NodeBudgets[id])
 		}(id, client)
 	}
-	for range w.racks {
+	for i := 0; i < pushed; i++ {
 		if e := <-errs; e != nil {
 			stats.ApplyErrors++
 		}
@@ -328,14 +418,13 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 	w.met.applyErrors.Add(float64(stats.ApplyErrors))
 
 	stats.Elapsed = time.Since(start)
-	w.lastStats = stats
-	w.periods++
-	w.met.periods.Inc()
+	w.commitPeriod(alloc, stats)
 	w.met.budget.Set(float64(w.budget))
 	if w.log != nil {
-		if stats.GatherErrors > 0 || stats.ApplyErrors > 0 {
+		if stats.GatherErrors > 0 || stats.ApplyErrors > 0 || stats.BudgetsHeld > 0 {
 			w.log.Warn("control period end", "elapsed", stats.Elapsed,
-				"gather_errors", stats.GatherErrors, "apply_errors", stats.ApplyErrors)
+				"gather_errors", stats.GatherErrors, "apply_errors", stats.ApplyErrors,
+				"budgets_held", stats.BudgetsHeld)
 		} else {
 			w.log.Debug("control period end", "elapsed", stats.Elapsed)
 		}
@@ -343,37 +432,84 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 	return alloc, stats, nil
 }
 
-// rackGatherFailed records a failed summary gather: the staleness gauge
-// climbs and the first failure after a healthy stretch logs a transition.
-func (w *RoomWorker) rackGatherFailed(id string, err error) {
-	w.rackStale[id]++
-	w.met.staleByRack[id].Set(float64(w.rackStale[id]))
-	if !w.rackDown[id] {
-		w.rackDown[id] = true
-		if w.log != nil {
-			w.log.Warn("rack gather failed", "rack", id, "err", err)
+// commitGather records the period's gather outcomes under mu — staleness
+// counters, down/recovered and held/resumed transitions — and returns the
+// racks whose budget pushes are held this period, keyed by reason.
+func (w *RoomWorker) commitGather(fresh map[string]core.Summary, failed map[string]error) map[string]holdReason {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for id, err := range failed {
+		w.rackStale[id]++
+		w.met.staleByRack[id].Set(float64(w.rackStale[id]))
+		if !w.rackDown[id] {
+			w.rackDown[id] = true
+			if w.log != nil {
+				w.log.Warn("rack gather failed", "rack", id, "err", err)
+			}
 		}
 	}
+	for id := range fresh {
+		w.rackSeen[id] = true
+		if w.rackDown[id] {
+			w.rackDown[id] = false
+			if w.log != nil {
+				w.log.Info("rack recovered", "rack", id, "stale_periods", w.rackStale[id])
+			}
+		}
+		if w.rackStale[id] != 0 {
+			w.rackStale[id] = 0
+			w.met.staleByRack[id].Set(0)
+		}
+	}
+	hold := make(map[string]holdReason)
+	unseen := 0
+	for id := range w.racks {
+		switch {
+		case !w.rackSeen[id]:
+			hold[id] = holdNeverSeen
+			unseen++
+		case w.stalenessBound > 0 && w.rackStale[id] > w.stalenessBound:
+			hold[id] = holdStale
+		}
+	}
+	w.met.unseenRacks.Set(float64(unseen))
+	for id := range w.racks {
+		_, held := hold[id]
+		switch {
+		case held && !w.rackHeld[id]:
+			w.rackHeld[id] = true
+			if w.log != nil {
+				w.log.Warn("rack budget held", "rack", id, "reason", string(hold[id]))
+			}
+		case !held && w.rackHeld[id]:
+			w.rackHeld[id] = false
+			if w.log != nil {
+				w.log.Info("rack budget pushes resumed", "rack", id)
+			}
+		}
+	}
+	return hold
 }
 
-// rackGatherOK records a fresh summary, logging a recovery transition if
-// the rack had been failing.
-func (w *RoomWorker) rackGatherOK(id string) {
-	if w.rackDown[id] {
-		w.rackDown[id] = false
-		if w.log != nil {
-			w.log.Info("rack recovered", "rack", id, "stale_periods", w.rackStale[id])
-		}
+// commitPeriod publishes the period's results under mu. It runs on every
+// completed period, including allocation failures, so the periods counter
+// and the last-period stats never go stale while things break.
+func (w *RoomWorker) commitPeriod(alloc *core.Allocation, stats PeriodStats) {
+	w.mu.Lock()
+	if alloc != nil {
+		w.lastAlloc = alloc
 	}
-	if w.rackStale[id] != 0 {
-		w.rackStale[id] = 0
-		w.met.staleByRack[id].Set(0)
-	}
+	w.lastStats = stats
+	w.periods++
+	w.mu.Unlock()
+	w.met.periods.Inc()
 }
 
 // noteRackBudgets updates per-rack budget gauges and logs changes larger
 // than the configured delta.
 func (w *RoomWorker) noteRackBudgets(alloc *core.Allocation) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	for id := range w.racks {
 		b := alloc.NodeBudgets[id]
 		prev, seen := w.rackBudgets[id]
@@ -387,12 +523,20 @@ func (w *RoomWorker) noteRackBudgets(alloc *core.Allocation) {
 }
 
 // Run executes control periods on the given cadence until the context is
-// cancelled, reporting each period's stats to onPeriod (may be nil).
+// cancelled, reporting each period's stats to onPeriod (may be nil). A
+// period aborted by cancellation is not reported — shutdown produces no
+// spurious rack-failure stats.
 func (w *RoomWorker) Run(ctx context.Context, period time.Duration, onPeriod func(PeriodStats, error)) {
 	ticker := time.NewTicker(period)
 	defer ticker.Stop()
 	for {
+		if ctx.Err() != nil {
+			return
+		}
 		_, stats, err := w.RunPeriod(ctx)
+		if ctx.Err() != nil {
+			return
+		}
 		if onPeriod != nil {
 			onPeriod(stats, err)
 		}
@@ -423,7 +567,8 @@ func (w *RoomWorker) LastStats() PeriodStats {
 // while the worker can still see at least one rack. It returns an error
 // once a completed control period gathered zero fresh summaries — the
 // room is then flying blind on stale data. Before the first period the
-// worker reports healthy (starting up).
+// worker reports healthy (starting up). It never blocks on in-flight rack
+// RPCs.
 func (w *RoomWorker) Healthy() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"capmaestro/internal/power"
@@ -111,27 +112,55 @@ func (s Summary) Clone() Summary {
 }
 
 // Validate checks internal consistency of a summary received from a remote
-// worker: non-negative values and requests within the constraint envelope.
+// worker: finite, non-negative values and requests within the constraint
+// envelope. A corrupt summary (NaN/Inf from an in-process proxy, or
+// Request far beyond Constraint from a buggy remote) would otherwise
+// poison the room-level allocation.
 func (s Summary) Validate() error {
+	if !isFiniteWatts(s.Constraint) {
+		return fmt.Errorf("core: summary constraint %v not finite", s.Constraint)
+	}
 	if s.Constraint < 0 {
 		return fmt.Errorf("core: summary constraint %v negative", s.Constraint)
 	}
 	for p, v := range s.CapMin {
+		if !isFiniteWatts(v) {
+			return fmt.Errorf("core: summary capmin[%d] = %v not finite", p, v)
+		}
 		if v < 0 {
 			return fmt.Errorf("core: summary capmin[%d] negative", p)
 		}
 	}
 	for p, v := range s.Demand {
+		if !isFiniteWatts(v) {
+			return fmt.Errorf("core: summary demand[%d] = %v not finite", p, v)
+		}
 		if v < 0 {
 			return fmt.Errorf("core: summary demand[%d] negative", p)
 		}
 	}
 	for p, v := range s.Request {
+		if !isFiniteWatts(v) {
+			return fmt.Errorf("core: summary request[%d] = %v not finite", p, v)
+		}
 		if v < 0 {
 			return fmt.Errorf("core: summary request[%d] negative", p)
 		}
 	}
+	// Requests are floored at CapMin during aggregation, so when the
+	// minimums alone exceed the constraint (an infeasible but representable
+	// configuration) the envelope widens to the minimums.
+	envelope := power.Max(s.Constraint, s.TotalCapMin())
+	if total := s.TotalRequest(); total > envelope+epsilon {
+		return fmt.Errorf("core: summary requests %v exceed constraint envelope %v", total, envelope)
+	}
 	return nil
+}
+
+// isFiniteWatts rejects NaN and ±Inf.
+func isFiniteWatts(w power.Watts) bool {
+	f := float64(w)
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
 }
 
 // CombineSummaries implements a shifting controller's aggregation
