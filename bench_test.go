@@ -100,19 +100,43 @@ func BenchmarkSensitivityContractualBudget(b *testing.B) { runExperiment(b, "sen
 
 // BenchmarkAllocation measures one metrics-gathering + budgeting round at
 // data-center scale: the per-control-period cost of the core algorithm.
+// The reusable variant drives the study path (a full Monte Carlo run over
+// the prebuilt per-phase Allocators — the hot loop of the capacity study);
+// the oneshot variant re-runs the map-building core.Allocate convenience
+// API on the same trees, showing what every control period would pay
+// without the reusable engine.
 func BenchmarkAllocation(b *testing.B) {
 	for _, servers := range []int{486, 1944, 5832} {
-		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
-			cfg := dc.DefaultConfig()
-			cfg.ServersPerRack = servers / cfg.Racks()
+		cfg := dc.DefaultConfig()
+		cfg.ServersPerRack = servers / cfg.Racks()
+		b.Run(fmt.Sprintf("servers=%d/reusable", servers), func(b *testing.B) {
 			built, err := dc.Build(cfg, dc.WorstCase)
 			if err != nil {
 				b.Fatal(err)
 			}
 			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				built.Run(rng, core.GlobalPriority, 1.0)
+				if _, err := built.Run(rng, core.GlobalPriority, 1.0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("servers=%d/oneshot", servers), func(b *testing.B) {
+			built, err := dc.Build(cfg, dc.WorstCase)
+			if err != nil {
+				b.Fatal(err)
+			}
+			phases := built.Phases()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, root := range phases {
+					if _, err := core.Allocate(root, 0, core.GlobalPriority); err != nil {
+						b.Fatal(err)
+					}
+				}
 			}
 		})
 	}

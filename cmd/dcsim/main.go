@@ -8,7 +8,9 @@
 //	dcsim -mode once -per-rack 36 -scenario worst -policy global
 //
 // Knobs: -high-frac, -capmin, -contract-kw, -typical-runs, -worst-runs,
-// -seed. -metrics-out FILE additionally dumps the study's results as a
+// -workers, -seed. Monte Carlo runs fan out over -workers goroutines (0 =
+// one per CPU) with bit-identical results for any worker count.
+// -metrics-out FILE additionally dumps the study's results as a
 // Prometheus text snapshot next to the tabular output. The paper's headline
 // numbers (30% high-priority): typical 6318 servers for every policy; worst
 // case 3888 / 4860 / 5832 for No/Local/Global Priority.
@@ -37,6 +39,7 @@ func main() {
 		contractKW = flag.Float64("contract-kw", 700, "contractual budget per phase, kW")
 		typRuns    = flag.Int("typical-runs", 0, "typical-case runs per count (0=default)")
 		worstRuns  = flag.Int("worst-runs", 0, "worst-case runs per count (0=default)")
+		workers    = flag.Int("workers", 0, "Monte Carlo worker goroutines (0 = one per CPU)")
 		seed       = flag.Int64("seed", 42, "random seed")
 		metricsOut = flag.String("metrics-out", "", "write results as Prometheus text to FILE")
 	)
@@ -70,7 +73,10 @@ func main() {
 		policies = []core.Policy{p}
 	}
 
-	opts := dc.StudyOptions{TypicalRuns: *typRuns, WorstCaseRuns: *worstRuns, Seed: *seed}
+	opts := dc.StudyOptions{TypicalRuns: *typRuns, WorstCaseRuns: *worstRuns, Workers: *workers, Seed: *seed}
+	if scen == dc.Typical && (*mode == "capacity" || *mode == "curve") {
+		fmt.Printf("(typical case: %d stratified runs per server count)\n", opts.EffectiveTypicalRuns())
+	}
 
 	switch *mode {
 	case "capacity":
@@ -124,7 +130,10 @@ func main() {
 			"Mean cap ratio over all servers in a single study run.", "policy", "scenario")
 		for _, p := range policies {
 			avgUtil := 1.0
-			r := built.Run(rng, p, avgUtil)
+			r, err := built.Run(rng, p, avgUtil)
+			if err != nil {
+				fatalf("%v: %v", p, err)
+			}
 			fmt.Printf("%-16s servers=%d high=%d capped=%d capRatioAll=%.4f capRatioHigh=%.4f infeasible=%v\n",
 				p, r.TotalServers, r.HighServers, r.CappedServers,
 				r.MeanCapRatioAll, r.MeanCapRatioHigh, r.Infeasible)
@@ -139,7 +148,10 @@ func main() {
 		}
 		rng := rand.New(rand.NewSource(*seed))
 		for _, p := range policies {
-			r := built.AnalyzeBinding(rng, p, 1.0)
+			r, err := built.AnalyzeBinding(rng, p, 1.0)
+			if err != nil {
+				fatalf("%v: %v", p, err)
+			}
 			fmt.Printf("%s — saturated nodes per level at %d/rack (%s):\n", p, *perRack, scen)
 			for _, level := range r.Levels() {
 				fmt.Printf("  %-12s %4d of %4d\n", level, r.Binding[level], r.Total[level])

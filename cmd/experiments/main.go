@@ -26,11 +26,12 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		run    = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		fast   = flag.Bool("fast", false, "reduce Monte Carlo run counts for a quick pass")
-		seed   = flag.Int64("seed", 0, "random seed for reproducibility")
-		csvDir = flag.String("csv", "", "directory to write figure time series as CSV")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		run     = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		fast    = flag.Bool("fast", false, "reduce Monte Carlo run counts for a quick pass")
+		seed    = flag.Int64("seed", 0, "random seed for reproducibility")
+		workers = flag.Int("workers", 0, "Monte Carlo worker goroutines (0 = one per CPU)")
+		csvDir  = flag.String("csv", "", "directory to write figure time series as CSV")
 	)
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Fast: *fast, Seed: *seed}
+	opts := experiments.Options{Fast: *fast, Seed: *seed, Workers: *workers}
 	for _, e := range selected {
 		fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
 		res, err := e.Run(opts)

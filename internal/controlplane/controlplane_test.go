@@ -389,10 +389,8 @@ func ServeRackNilCheck() error {
 
 func TestSummaryJSONRoundTrip(t *testing.T) {
 	s := core.NewSummary()
-	s.CapMin[0] = 270
-	s.CapMin[3] = 540
-	s.Demand[3] = 900
-	s.Request[3] = 880
+	s.SetCapMin(0, 270)
+	s.SetLevel(3, 540, 900, 880)
 	s.Constraint = 1200
 	w, err := NewRackWorker("r", core.NewShifting("r", 0, leaf("a", "A", 3, 450)),
 		core.GlobalPriority, nil)
@@ -411,7 +409,7 @@ func TestSummaryJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Priority 3 metrics survive the integer-keyed map JSON round trip.
-	if got.CapMin[3] != 270 || got.Request[3] != 450 || got.Constraint != 490 {
+	if got.CapMin(3) != 270 || got.Request(3) != 450 || got.Constraint != 490 {
 		t.Errorf("round-tripped summary = %+v", got)
 	}
 }

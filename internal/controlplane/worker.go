@@ -295,9 +295,7 @@ func NewRoomWorker(tree *core.Node, budget power.Watts, policy core.Policy, rack
 // load or priorities.
 func failsafeSummary(b power.Watts) core.Summary {
 	s := core.NewSummary()
-	s.CapMin[0] = b
-	s.Demand[0] = b
-	s.Request[0] = b
+	s.SetLevel(0, b, b, b)
 	s.Constraint = b
 	return s
 }

@@ -80,43 +80,23 @@ type Allocation struct {
 // Budget returns the allocated budget for a supply ID (0 if absent).
 func (a *Allocation) Budget(supplyID string) power.Watts { return a.SupplyBudgets[supplyID] }
 
-// allocator carries the per-run state of one allocation pass.
-type allocator struct {
-	policy  Policy
-	metrics map[*Node]Summary // reported summaries, as seen by each parent
-	result  *Allocation
-}
-
 // Allocate runs the two-phase algorithm of Section 4.3 over the tree: a
 // bottom-up metrics gathering phase followed by a top-down budgeting
 // phase. budget is the power available at the root (the feed's contractual
 // budget); the root's own limit further constrains it. A non-positive
 // budget means "no explicit budget" and uses the root constraint.
+//
+// Allocate builds a fresh Allocator per call; callers re-allocating the
+// same tree every control period (or Monte Carlo run) should construct an
+// Allocator once and reuse it, which skips re-validation and allocates
+// nothing per pass.
 func Allocate(root *Node, budget power.Watts, policy Policy) (*Allocation, error) {
-	if root == nil {
-		return nil, fmt.Errorf("core: nil tree")
-	}
-	if err := root.Validate(); err != nil {
+	a, err := NewAllocator(root)
+	if err != nil {
 		return nil, err
 	}
-	a := &allocator{
-		policy:  policy,
-		metrics: make(map[*Node]Summary),
-		result: &Allocation{
-			SupplyBudgets: make(map[string]power.Watts),
-			NodeBudgets:   make(map[string]power.Watts),
-		},
-	}
-	rootSummary := a.gather(root)
-	if budget <= 0 {
-		budget = rootSummary.Constraint
-	}
-	budget = power.Min(budget, rootSummary.Constraint)
-	if budget+epsilon < rootSummary.TotalCapMin() {
-		a.result.Infeasible = true
-	}
-	a.budget(root, budget)
-	return a.result, nil
+	a.Run(budget, policy)
+	return a.Snapshot(), nil
 }
 
 // MustAllocate is Allocate but panics on error; for static fixtures.
@@ -128,8 +108,8 @@ func MustAllocate(root *Node, budget power.Watts, policy Policy) *Allocation {
 	return alloc
 }
 
-// leafMetrics computes the level-1 (capping controller) summary of
-// Section 4.3.1 for one supply leaf:
+// leafMetricsInto computes the level-1 (capping controller) summary of
+// Section 4.3.1 for one supply leaf, writing into a reusable destination:
 //
 //	Pcap_min(1,j) = r × Pcap_min(0)
 //	Pdemand(1,j)  = r × max(Pdemand(0), Pcap_min(0))
@@ -143,8 +123,7 @@ func MustAllocate(root *Node, budget power.Watts, policy Policy) *Allocation {
 // power; merely capping the demand would shrink the supply's proportional
 // weight in step 3 and let the re-run take usable watts away from the
 // donor.
-func leafMetrics(l *SupplyLeaf) Summary {
-	m := NewSummary()
+func leafMetricsInto(m *Summary, l *SupplyLeaf) {
 	r := power.Watts(l.Share)
 	capMin := r * l.CapMin
 	demand := power.Min(power.Max(l.Demand, l.CapMin), l.CapMax) * r
@@ -155,103 +134,28 @@ func leafMetrics(l *SupplyLeaf) Summary {
 		demand = bc
 		constraint = bc
 	}
-	m.CapMin[l.Priority] = capMin
-	m.Demand[l.Priority] = demand
-	m.Request[l.Priority] = demand
+	m.reset()
 	m.Constraint = constraint
-	return m
+	lv := m.level(l.Priority)
+	lv.CapMin = capMin
+	lv.Demand = demand
+	lv.Request = demand
 }
 
-// gather runs the metrics gathering phase bottom-up and records, for every
-// node, the summary its parent sees (possibly priority-collapsed, depending
-// on the policy).
-func (a *allocator) gather(n *Node) Summary {
-	if n.Proxy != nil {
-		// Externally summarized subtree (a remote worker's report).
-		m := *n.Proxy
-		if a.policy == NoPriority {
-			m = m.Collapse()
-		}
-		a.metrics[n] = m
-		return m
-	}
-	if n.IsLeaf() {
-		m := leafMetrics(n.Leaf)
-		if a.policy == NoPriority {
-			m = m.Collapse()
-		}
-		a.metrics[n] = m
-		return m
-	}
-
-	children := make([]Summary, len(n.Children))
-	for i, c := range n.Children {
-		children[i] = a.gather(c)
-	}
-	agg := CombineSummaries(children, n.limitOrInf())
-
-	// A Dynamo-style local policy reports priority-collapsed metrics above
-	// the lowest shifting level; a No Priority policy sees a single level
-	// everywhere (leaves already collapsed).
-	if a.policy == LocalPriority && a.isLeafParent(n) {
-		agg = agg.Collapse()
-	}
-	a.metrics[n] = agg
-	return agg
-}
-
-// isLeafParent reports whether the node is a lowest-level shifting
-// controller (direct parent of capping-controller endpoints).
-func (a *allocator) isLeafParent(n *Node) bool {
-	for _, c := range n.Children {
-		if c.IsLeaf() {
-			return true
-		}
-	}
-	return false
-}
-
-// budget runs the budgeting phase (Section 4.3.2) top-down, assigning the
-// given budget to node n and distributing it among n's children.
-func (a *allocator) budget(n *Node, b power.Watts) {
-	m := a.metrics[n]
-	b = power.Min(b, m.Constraint)
-	if b < 0 {
-		b = 0
-	}
-	a.result.NodeBudgets[n.ID] = b
-	if n.Proxy != nil {
-		return // the remote worker distributes this budget locally
-	}
-	if n.IsLeaf() {
-		a.result.SupplyBudgets[n.Leaf.SupplyID] = b
-		return
-	}
-
-	children := make([]Summary, len(n.Children))
-	for i, c := range n.Children {
-		children[i] = a.metrics[c]
-	}
-	alloc, infeasible := DistributeBudget(b, children)
-	if infeasible {
-		a.result.Infeasible = true
-	}
-	for i, c := range n.Children {
-		a.budget(c, alloc[i])
-	}
-}
-
-// waterfill distributes amount across recipients proportionally to weights,
-// capping each recipient at caps[i] and re-distributing overflow among the
-// unsaturated recipients until the amount is exhausted or everyone is
-// saturated. It returns the per-recipient shares.
-func waterfill(amount power.Watts, weights []float64, caps []power.Watts) []power.Watts {
+// waterfillInto distributes amount across recipients proportionally to
+// weights, capping each recipient at caps[i] and re-distributing overflow
+// among the unsaturated recipients until the amount is exhausted or
+// everyone is saturated. shares and saturated are caller-provided storage
+// of len(weights); the filled shares slice is returned.
+func waterfillInto(amount power.Watts, weights []float64, caps []power.Watts, shares []power.Watts, saturated []bool) []power.Watts {
 	n := len(weights)
-	shares := make([]power.Watts, n)
+	for i := 0; i < n; i++ {
+		shares[i] = 0
+		saturated[i] = false
+	}
 	if amount <= 0 {
 		return shares
 	}
-	saturated := make([]bool, n)
 	for iter := 0; iter < n+1 && amount > epsilon; iter++ {
 		var wsum float64
 		for i := 0; i < n; i++ {
@@ -303,6 +207,13 @@ func waterfill(amount power.Watts, weights []float64, caps []power.Watts) []powe
 		amount = overflow
 	}
 	return shares
+}
+
+// waterfill is the allocating form of waterfillInto, kept for tests and
+// one-shot callers.
+func waterfill(amount power.Watts, weights []float64, caps []power.Watts) []power.Watts {
+	n := len(weights)
+	return waterfillInto(amount, weights, caps, make([]power.Watts, n), make([]bool, n))
 }
 
 // CheckInvariants verifies, for tests and the simulator's safety monitor,

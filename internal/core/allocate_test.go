@@ -316,14 +316,14 @@ func TestDemandAboveCapMaxClamped(t *testing.T) {
 func TestSupplyShareScalesMetrics(t *testing.T) {
 	// A supply carrying 65% of the server load scales all level-1 metrics
 	// by r = 0.65 (Section 4.3.1).
-	m := leafMetrics(&SupplyLeaf{
+	m := LeafSummary(&SupplyLeaf{
 		SupplyID: "a", ServerID: "A", Share: 0.65,
 		CapMin: 270, CapMax: 490, Demand: 400,
 	})
-	if got := m.CapMin[0]; !power.ApproxEqual(got, 0.65*270, 1e-9) {
+	if got := m.CapMin(0); !power.ApproxEqual(got, 0.65*270, 1e-9) {
 		t.Errorf("capMin = %v, want %v", got, 0.65*270)
 	}
-	if got := m.Request[0]; !power.ApproxEqual(got, 0.65*400, 1e-9) {
+	if got := m.Request(0); !power.ApproxEqual(got, 0.65*400, 1e-9) {
 		t.Errorf("request = %v, want %v", got, 0.65*400)
 	}
 	if got := m.Constraint; !power.ApproxEqual(got, 0.65*490, 1e-9) {
@@ -331,19 +331,19 @@ func TestSupplyShareScalesMetrics(t *testing.T) {
 	}
 	// Demand below CapMin is lifted to CapMin (budget must stay
 	// enforceable).
-	m = leafMetrics(&SupplyLeaf{
+	m = LeafSummary(&SupplyLeaf{
 		SupplyID: "a", ServerID: "A", Share: 1,
 		CapMin: 270, CapMax: 490, Demand: 180,
 	})
-	if got := m.Demand[0]; !power.ApproxEqual(got, 270, 1e-9) {
+	if got := m.Demand(0); !power.ApproxEqual(got, 270, 1e-9) {
 		t.Errorf("lifted demand = %v, want 270", got)
 	}
 	// The SPO BudgetCap pins every metric at the usable value.
-	m = leafMetrics(&SupplyLeaf{
+	m = LeafSummary(&SupplyLeaf{
 		SupplyID: "a", ServerID: "A", Share: 1,
 		CapMin: 270, CapMax: 490, Demand: 480, BudgetCap: 300,
 	})
-	if m.CapMin[0] != 300 || m.Demand[0] != 300 || m.Request[0] != 300 || m.Constraint != 300 {
+	if m.CapMin(0) != 300 || m.Demand(0) != 300 || m.Request(0) != 300 || m.Constraint != 300 {
 		t.Errorf("pinned metrics = %+v, want all 300", m)
 	}
 }

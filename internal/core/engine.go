@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"capmaestro/internal/power"
+)
+
+// flatNode is one tree node's entry in an Allocator's flattened layout.
+type flatNode struct {
+	node *Node
+	// childStart/childEnd delimit the node's children in the BFS-ordered
+	// node array (children of one node are contiguous in BFS order).
+	childStart, childEnd int
+	// leafParent marks lowest-level shifting controllers (direct parents
+	// of capping-controller endpoints), where LocalPriority collapses.
+	leafParent bool
+	limit      power.Watts // limitOrInf, precomputed
+}
+
+// Allocator is a reusable budgeting engine bound to one control tree. It
+// flattens the tree into index-addressed arrays once (validating it once)
+// and reuses all working storage — per-node summaries, budgets, and
+// waterfill scratch — across passes, so a steady-state Run allocates
+// nothing. This is the engine under the Monte Carlo capacity studies,
+// where the same trees are re-budgeted tens of thousands of times with
+// only leaf demands and priorities changing between runs.
+//
+// The Allocator reads the tree's leaves afresh on every Run, so callers
+// may mutate leaf Demand, Priority, Share, and BudgetCap between runs.
+// Structural changes (adding or removing nodes) require a new Allocator.
+// An Allocator is not safe for concurrent use; parallel studies run one
+// replica per worker.
+type Allocator struct {
+	nodes      []flatNode    // BFS (top-down) order; index 0 is the root
+	summaries  []Summary     // by node index; reused across runs
+	budgets    []power.Watts // by node index; the last Run's result
+	byID       map[string]int
+	scratch    distScratch
+	infeasible bool
+}
+
+// NewAllocator validates the tree and flattens it for repeated allocation.
+func NewAllocator(root *Node) (*Allocator, error) {
+	if root == nil {
+		return nil, fmt.Errorf("core: nil tree")
+	}
+	if err := root.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Allocator{byID: make(map[string]int)}
+	// Breadth-first layout: a node's children occupy a contiguous index
+	// range, so child summaries and budgets can be passed as slices.
+	queue := []*Node{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		a.byID[n.ID] = len(a.nodes)
+		a.nodes = append(a.nodes, flatNode{node: n, limit: n.limitOrInf()})
+		queue = append(queue, n.Children...)
+	}
+	// Second pass: child ranges follow from BFS order.
+	next := 1
+	for i := range a.nodes {
+		fn := &a.nodes[i]
+		fn.childStart = next
+		next += len(fn.node.Children)
+		fn.childEnd = next
+		for _, c := range fn.node.Children {
+			if c.IsLeaf() {
+				fn.leafParent = true
+				break
+			}
+		}
+	}
+	a.summaries = make([]Summary, len(a.nodes))
+	a.budgets = make([]power.Watts, len(a.nodes))
+	return a, nil
+}
+
+// Len returns the number of tree nodes under the allocator.
+func (a *Allocator) Len() int { return len(a.nodes) }
+
+// NodeIndex returns the index of the node with the given ID.
+func (a *Allocator) NodeIndex(id string) (int, bool) {
+	i, ok := a.byID[id]
+	return i, ok
+}
+
+// NodeBudget returns the budget the last Run assigned to node index i.
+func (a *Allocator) NodeBudget(i int) power.Watts { return a.budgets[i] }
+
+// Infeasible reports whether the last Run found some budget unable to
+// cover the aggregate Pcap_min beneath it.
+func (a *Allocator) Infeasible() bool { return a.infeasible }
+
+// gather runs the metrics gathering phase bottom-up (reverse BFS order),
+// leaving each node's reported summary — possibly priority-collapsed,
+// depending on the policy — in a.summaries.
+func (a *Allocator) gather(policy Policy) {
+	for i := len(a.nodes) - 1; i >= 0; i-- {
+		fn := &a.nodes[i]
+		n := fn.node
+		s := &a.summaries[i]
+		switch {
+		case n.Proxy != nil:
+			// Externally summarized subtree (a remote worker's report).
+			s.copyFrom(n.Proxy)
+			if policy == NoPriority {
+				s.collapseFrom(s)
+			}
+		case n.IsLeaf():
+			leafMetricsInto(s, n.Leaf)
+			if policy == NoPriority {
+				s.collapseFrom(s)
+			}
+		default:
+			combineInto(s, a.summaries[fn.childStart:fn.childEnd], fn.limit)
+			// A Dynamo-style local policy reports priority-collapsed
+			// metrics above the lowest shifting level; a No Priority
+			// policy sees a single level everywhere (leaves already
+			// collapsed).
+			if policy == LocalPriority && fn.leafParent {
+				s.collapseFrom(s)
+			}
+		}
+	}
+}
+
+// Run performs one gather + budgeting pass under the given policy and root
+// budget (non-positive uses the root constraint), reusing all scratch. It
+// reports whether the allocation was infeasible; per-node results are read
+// with NodeBudget/SupplyBudgets/Snapshot. Run never fails: the tree was
+// validated when the Allocator was built.
+func (a *Allocator) Run(budget power.Watts, policy Policy) (infeasible bool) {
+	a.gather(policy)
+	a.infeasible = false
+
+	rootSummary := &a.summaries[0]
+	if budget <= 0 {
+		budget = rootSummary.Constraint
+	}
+	budget = power.Min(budget, rootSummary.Constraint)
+	if budget+epsilon < rootSummary.TotalCapMin() {
+		a.infeasible = true
+	}
+
+	// Budgeting phase (Section 4.3.2), top-down in BFS order: each node's
+	// budget is clamped to its constraint and split among its children
+	// directly into their budget slots.
+	a.budgets[0] = budget
+	for i := range a.nodes {
+		fn := &a.nodes[i]
+		b := power.Min(a.budgets[i], a.summaries[i].Constraint)
+		if b < 0 {
+			b = 0
+		}
+		a.budgets[i] = b
+		if fn.childStart == fn.childEnd {
+			continue // leaf or proxy: the budget is the result
+		}
+		children := a.summaries[fn.childStart:fn.childEnd]
+		if distributeInto(b, children, a.budgets[fn.childStart:fn.childEnd], &a.scratch) {
+			a.infeasible = true
+		}
+	}
+	return a.infeasible
+}
+
+// Summarize runs the gathering phase only and returns a copy of the
+// summary the root would report upstream under the given policy.
+func (a *Allocator) Summarize(policy Policy) Summary {
+	a.gather(policy)
+	return a.summaries[0].Clone()
+}
+
+// Snapshot materializes the last Run as a map-based Allocation, the
+// portable result shape the one-shot Allocate API returns.
+func (a *Allocator) Snapshot() *Allocation {
+	res := &Allocation{
+		SupplyBudgets: make(map[string]power.Watts),
+		NodeBudgets:   make(map[string]power.Watts, len(a.nodes)),
+		Infeasible:    a.infeasible,
+	}
+	for i := range a.nodes {
+		n := a.nodes[i].node
+		res.NodeBudgets[n.ID] = a.budgets[i]
+		if n.IsLeaf() {
+			res.SupplyBudgets[n.Leaf.SupplyID] = a.budgets[i]
+		}
+	}
+	return res
+}

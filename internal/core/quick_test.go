@@ -55,9 +55,9 @@ func TestQuickCollapsePreservesTotals(t *testing.T) {
 		s := NewSummary()
 		for i := 0; i < 3; i++ {
 			p := Priority(i)
-			s.CapMin[p] = normWatt(capMins[i], 1000)
-			s.Demand[p] = s.CapMin[p] + normWatt(demands[i], 500)
-			s.Request[p] = s.Demand[p]
+			capMin := normWatt(capMins[i], 1000)
+			demand := capMin + normWatt(demands[i], 500)
+			s.SetLevel(p, capMin, demand, demand)
 		}
 		s.Constraint = normWatt(constraintRaw, 5000)
 		c := s.Collapse()
@@ -67,10 +67,10 @@ func TestQuickCollapsePreservesTotals(t *testing.T) {
 		if !power.ApproxEqual(c.TotalDemand(), s.TotalDemand(), 1e-6) {
 			return false
 		}
-		if c.Request[0] > s.Constraint+epsilon {
+		if c.Request(0) > s.Constraint+epsilon {
 			return false
 		}
-		if c.Request[0] > s.TotalRequest()+epsilon {
+		if c.Request(0) > s.TotalRequest()+epsilon {
 			return false
 		}
 		return c.Constraint == s.Constraint && len(c.Levels()) == 1
@@ -87,9 +87,8 @@ func TestQuickCombineRespectsLimit(t *testing.T) {
 	f := func(d1, d2, d3 float64, limitRaw float64) bool {
 		mk := func(p Priority, demandRaw float64) Summary {
 			s := NewSummary()
-			s.CapMin[p] = 270
-			s.Demand[p] = 270 + normWatt(demandRaw, 250)
-			s.Request[p] = s.Demand[p]
+			demand := 270 + normWatt(demandRaw, 250)
+			s.SetLevel(p, 270, demand, demand)
 			s.Constraint = 490
 			return s
 		}
@@ -104,10 +103,10 @@ func TestQuickCombineRespectsLimit(t *testing.T) {
 		}
 		var reqTotal power.Watts
 		for _, p := range agg.Levels() {
-			if agg.Request[p] < agg.CapMin[p]-epsilon {
+			if agg.Request(p) < agg.CapMin(p)-epsilon {
 				return false // requests never below the owed minimum
 			}
-			reqTotal += agg.Request[p]
+			reqTotal += agg.Request(p)
 		}
 		// When the limit can cover the minimums, total requests fit within
 		// the constraint.
@@ -131,9 +130,8 @@ func TestQuickDistributeBudgetSafety(t *testing.T) {
 		for i := range children {
 			s := NewSummary()
 			p := Priority(i % 2)
-			s.CapMin[p] = 270
-			s.Demand[p] = 270 + normWatt(demands[i], 220)
-			s.Request[p] = s.Demand[p]
+			demand := 270 + normWatt(demands[i], 220)
+			s.SetLevel(p, 270, demand, demand)
 			s.Constraint = 490
 			children[i] = s
 			minTotal += 270

@@ -1,45 +1,111 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"capmaestro/internal/power"
 )
+
+// LevelMetrics holds one priority level's metrics within a Summary.
+type LevelMetrics struct {
+	Priority Priority
+	CapMin   power.Watts
+	Demand   power.Watts
+	Request  power.Watts
+}
 
 // Summary is the priority-grouped metrics summary a node reports upstream
 // in the metrics gathering phase (Section 4.3.1). Summaries are the only
 // state exchanged between distributed workers: a sub-tree of thousands of
 // servers compresses to a few numbers per priority level, which is what
 // makes the root's global view scalable.
+//
+// Levels are stored as a compact slice sorted by descending priority (the
+// order every phase of the algorithm consumes them in), so building and
+// combining summaries in the Monte Carlo hot path allocates nothing once
+// scratch capacity exists. The JSON wire shape exchanged by the control
+// plane is unchanged: per-level maps keyed by the priority's decimal
+// string, as the previous map-based representation marshaled.
 type Summary struct {
-	// CapMin maps priority level to the minimum total budget that must be
-	// allocated to servers at that level under the node.
-	CapMin map[Priority]power.Watts `json:"cap_min"`
-	// Demand maps priority level to the total power demand at that level.
-	Demand map[Priority]power.Watts `json:"demand"`
-	// Request maps priority level to the budget actually requested, after
-	// accounting for limits and higher-priority requests.
-	Request map[Priority]power.Watts `json:"request"`
+	// levels holds one entry per priority present, descending by priority.
+	levels []LevelMetrics
 	// Constraint is the maximum budget the node can safely absorb.
-	Constraint power.Watts `json:"constraint"`
+	Constraint power.Watts
 }
 
-// NewSummary returns an empty summary with allocated maps.
-func NewSummary() Summary {
-	return Summary{
-		CapMin:  make(map[Priority]power.Watts),
-		Demand:  make(map[Priority]power.Watts),
-		Request: make(map[Priority]power.Watts),
-	}
+// NewSummary returns an empty summary. (The name survives from the
+// map-based representation, which needed allocated maps; a zero Summary is
+// now equally valid.)
+func NewSummary() Summary { return Summary{} }
+
+// reset empties the summary, retaining level capacity for reuse.
+func (s *Summary) reset() {
+	s.levels = s.levels[:0]
+	s.Constraint = 0
 }
+
+// level returns the entry for priority p, inserting a zero entry at its
+// sorted (descending) position if absent. The pointer is invalidated by
+// the next insertion.
+func (s *Summary) level(p Priority) *LevelMetrics {
+	i := sort.Search(len(s.levels), func(i int) bool { return s.levels[i].Priority <= p })
+	if i < len(s.levels) && s.levels[i].Priority == p {
+		return &s.levels[i]
+	}
+	s.levels = append(s.levels, LevelMetrics{})
+	copy(s.levels[i+1:], s.levels[i:])
+	s.levels[i] = LevelMetrics{Priority: p}
+	return &s.levels[i]
+}
+
+// at returns the entry for priority p, or a zero entry if absent.
+func (s *Summary) at(p Priority) LevelMetrics {
+	i := sort.Search(len(s.levels), func(i int) bool { return s.levels[i].Priority <= p })
+	if i < len(s.levels) && s.levels[i].Priority == p {
+		return s.levels[i]
+	}
+	return LevelMetrics{Priority: p}
+}
+
+// SetLevel sets all three metrics for one priority level.
+func (s *Summary) SetLevel(p Priority, capMin, demand, request power.Watts) {
+	l := s.level(p)
+	l.CapMin, l.Demand, l.Request = capMin, demand, request
+}
+
+// SetCapMin sets the minimum budget owed to priority level p.
+func (s *Summary) SetCapMin(p Priority, v power.Watts) { s.level(p).CapMin = v }
+
+// SetDemand sets the power demand of priority level p.
+func (s *Summary) SetDemand(p Priority, v power.Watts) { s.level(p).Demand = v }
+
+// SetRequest sets the budget requested by priority level p.
+func (s *Summary) SetRequest(p Priority, v power.Watts) { s.level(p).Request = v }
+
+// CapMin returns the minimum total budget that must be allocated to
+// servers at priority level p under the node (0 if the level is absent).
+func (s Summary) CapMin(p Priority) power.Watts { return s.at(p).CapMin }
+
+// Demand returns the total power demand at priority level p.
+func (s Summary) Demand(p Priority) power.Watts { return s.at(p).Demand }
+
+// Request returns the budget requested for priority level p, after
+// accounting for limits and higher-priority requests.
+func (s Summary) Request(p Priority) power.Watts { return s.at(p).Request }
+
+// LevelMetrics returns the per-priority entries, descending by priority.
+// The slice is the summary's backing storage; callers must not modify it.
+func (s Summary) LevelMetrics() []LevelMetrics { return s.levels }
 
 // TotalCapMin sums the minimum budgets across priority levels.
 func (s Summary) TotalCapMin() power.Watts {
 	var t power.Watts
-	for _, v := range s.CapMin {
-		t += v
+	for i := range s.levels {
+		t += s.levels[i].CapMin
 	}
 	return t
 }
@@ -47,8 +113,8 @@ func (s Summary) TotalCapMin() power.Watts {
 // TotalRequest sums requests across priority levels.
 func (s Summary) TotalRequest() power.Watts {
 	var t power.Watts
-	for _, v := range s.Request {
-		t += v
+	for i := range s.levels {
+		t += s.levels[i].Request
 	}
 	return t
 }
@@ -56,29 +122,18 @@ func (s Summary) TotalRequest() power.Watts {
 // TotalDemand sums demands across priority levels.
 func (s Summary) TotalDemand() power.Watts {
 	var t power.Watts
-	for _, v := range s.Demand {
-		t += v
+	for i := range s.levels {
+		t += s.levels[i].Demand
 	}
 	return t
 }
 
 // Levels returns the priorities present in the summary, descending.
 func (s Summary) Levels() []Priority {
-	set := make(map[Priority]struct{})
-	for p := range s.CapMin {
-		set[p] = struct{}{}
+	out := make([]Priority, len(s.levels))
+	for i := range s.levels {
+		out[i] = s.levels[i].Priority
 	}
-	for p := range s.Demand {
-		set[p] = struct{}{}
-	}
-	for p := range s.Request {
-		set[p] = struct{}{}
-	}
-	out := make([]Priority, 0, len(set))
-	for p := range set {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
 	return out
 }
 
@@ -87,28 +142,93 @@ func (s Summary) Levels() []Priority {
 // request is re-limited by the constraint, since per-level requests were
 // computed against priority-ordered headroom.
 func (s Summary) Collapse() Summary {
-	c := NewSummary()
-	c.Constraint = s.Constraint
-	c.CapMin[0] = s.TotalCapMin()
-	c.Demand[0] = s.TotalDemand()
-	c.Request[0] = power.Min(s.TotalRequest(), s.Constraint)
+	var c Summary
+	c.collapseFrom(&s)
 	return c
+}
+
+// collapseFrom fills dst with the single-level collapse of src, reusing
+// dst's level storage. dst and src may alias.
+func (dst *Summary) collapseFrom(src *Summary) {
+	capMin := src.TotalCapMin()
+	demand := src.TotalDemand()
+	request := power.Min(src.TotalRequest(), src.Constraint)
+	constraint := src.Constraint
+	dst.reset()
+	dst.Constraint = constraint
+	l := dst.level(0)
+	l.CapMin, l.Demand, l.Request = capMin, demand, request
 }
 
 // Clone deep-copies the summary.
 func (s Summary) Clone() Summary {
-	c := NewSummary()
-	c.Constraint = s.Constraint
-	for p, v := range s.CapMin {
-		c.CapMin[p] = v
-	}
-	for p, v := range s.Demand {
-		c.Demand[p] = v
-	}
-	for p, v := range s.Request {
-		c.Request[p] = v
+	c := Summary{Constraint: s.Constraint}
+	if len(s.levels) > 0 {
+		c.levels = append([]LevelMetrics(nil), s.levels...)
 	}
 	return c
+}
+
+// copyFrom overwrites s with src's contents, reusing s's level storage.
+func (s *Summary) copyFrom(src *Summary) {
+	if s == src {
+		return
+	}
+	s.levels = append(s.levels[:0], src.levels...)
+	s.Constraint = src.Constraint
+}
+
+// summaryWire is the JSON document shape the control plane has always
+// exchanged: per-level maps keyed by the priority's decimal string.
+type summaryWire struct {
+	CapMin     map[string]power.Watts `json:"cap_min"`
+	Demand     map[string]power.Watts `json:"demand"`
+	Request    map[string]power.Watts `json:"request"`
+	Constraint power.Watts            `json:"constraint"`
+}
+
+// MarshalJSON renders the summary in the historical map-based wire shape.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	w := summaryWire{
+		CapMin:     make(map[string]power.Watts, len(s.levels)),
+		Demand:     make(map[string]power.Watts, len(s.levels)),
+		Request:    make(map[string]power.Watts, len(s.levels)),
+		Constraint: s.Constraint,
+	}
+	for i := range s.levels {
+		k := strconv.Itoa(int(s.levels[i].Priority))
+		w.CapMin[k] = s.levels[i].CapMin
+		w.Demand[k] = s.levels[i].Demand
+		w.Request[k] = s.levels[i].Request
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON parses the historical map-based wire shape.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var w summaryWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	s.reset()
+	s.Constraint = w.Constraint
+	set := func(m map[string]power.Watts, assign func(*LevelMetrics, power.Watts)) error {
+		for k, v := range m {
+			p, err := strconv.Atoi(k)
+			if err != nil {
+				return fmt.Errorf("core: summary priority key %q: %w", k, err)
+			}
+			assign(s.level(Priority(p)), v)
+		}
+		return nil
+	}
+	if err := set(w.CapMin, func(l *LevelMetrics, v power.Watts) { l.CapMin = v }); err != nil {
+		return err
+	}
+	if err := set(w.Demand, func(l *LevelMetrics, v power.Watts) { l.Demand = v }); err != nil {
+		return err
+	}
+	return set(w.Request, func(l *LevelMetrics, v power.Watts) { l.Request = v })
 }
 
 // Validate checks internal consistency of a summary received from a remote
@@ -123,28 +243,25 @@ func (s Summary) Validate() error {
 	if s.Constraint < 0 {
 		return fmt.Errorf("core: summary constraint %v negative", s.Constraint)
 	}
-	for p, v := range s.CapMin {
-		if !isFiniteWatts(v) {
-			return fmt.Errorf("core: summary capmin[%d] = %v not finite", p, v)
+	for i := range s.levels {
+		l := &s.levels[i]
+		if !isFiniteWatts(l.CapMin) {
+			return fmt.Errorf("core: summary capmin[%d] = %v not finite", l.Priority, l.CapMin)
 		}
-		if v < 0 {
-			return fmt.Errorf("core: summary capmin[%d] negative", p)
+		if l.CapMin < 0 {
+			return fmt.Errorf("core: summary capmin[%d] negative", l.Priority)
 		}
-	}
-	for p, v := range s.Demand {
-		if !isFiniteWatts(v) {
-			return fmt.Errorf("core: summary demand[%d] = %v not finite", p, v)
+		if !isFiniteWatts(l.Demand) {
+			return fmt.Errorf("core: summary demand[%d] = %v not finite", l.Priority, l.Demand)
 		}
-		if v < 0 {
-			return fmt.Errorf("core: summary demand[%d] negative", p)
+		if l.Demand < 0 {
+			return fmt.Errorf("core: summary demand[%d] negative", l.Priority)
 		}
-	}
-	for p, v := range s.Request {
-		if !isFiniteWatts(v) {
-			return fmt.Errorf("core: summary request[%d] = %v not finite", p, v)
+		if !isFiniteWatts(l.Request) {
+			return fmt.Errorf("core: summary request[%d] = %v not finite", l.Priority, l.Request)
 		}
-		if v < 0 {
-			return fmt.Errorf("core: summary request[%d] negative", p)
+		if l.Request < 0 {
+			return fmt.Errorf("core: summary request[%d] negative", l.Priority)
 		}
 	}
 	// Requests are floored at CapMin during aggregation, so when the
@@ -173,41 +290,89 @@ func isFiniteWatts(w power.Watts) bool {
 //
 // with each level's request floored at its Pcap_min.
 func CombineSummaries(children []Summary, limit power.Watts) Summary {
-	agg := NewSummary()
+	var agg Summary
+	combineInto(&agg, children, limit)
+	return agg
+}
+
+// combineInto is CombineSummaries writing into a reusable destination.
+// dst must not alias any element of children.
+func combineInto(dst *Summary, children []Summary, limit power.Watts) {
+	dst.reset()
 	var childConstraints power.Watts
-	for _, cm := range children {
-		for p, v := range cm.CapMin {
-			agg.CapMin[p] += v
-		}
-		for p, v := range cm.Demand {
-			agg.Demand[p] += v
-		}
-		for p, v := range cm.Request {
-			agg.Request[p] += v
+	for ci := range children {
+		cm := &children[ci]
+		for li := range cm.levels {
+			cl := &cm.levels[li]
+			l := dst.level(cl.Priority)
+			l.CapMin += cl.CapMin
+			l.Demand += cl.Demand
+			l.Request += cl.Request
 		}
 		childConstraints += cm.Constraint
 	}
 	if limit <= 0 {
-		agg.Constraint = childConstraints
+		dst.Constraint = childConstraints
 	} else {
-		agg.Constraint = power.Min(limit, childConstraints)
+		dst.Constraint = power.Min(limit, childConstraints)
 	}
 
-	levels := agg.Levels()
 	var capMinBelow power.Watts
-	for _, p := range levels {
-		capMinBelow += agg.CapMin[p]
+	for i := range dst.levels {
+		capMinBelow += dst.levels[i].CapMin
 	}
 	var requestAbove power.Watts
-	for _, j := range levels {
-		capMinBelow -= agg.CapMin[j]
-		allowable := agg.Constraint - requestAbove - capMinBelow
-		req := power.Min(allowable, agg.Request[j])
-		req = power.Max(req, agg.CapMin[j])
-		agg.Request[j] = req
+	for i := range dst.levels { // descending priority order
+		l := &dst.levels[i]
+		capMinBelow -= l.CapMin
+		allowable := dst.Constraint - requestAbove - capMinBelow
+		req := power.Min(allowable, l.Request)
+		req = power.Max(req, l.CapMin)
+		l.Request = req
 		requestAbove += req
 	}
-	return agg
+}
+
+// distScratch holds the reusable working storage of one budgeting pass:
+// per-level priority union and per-child waterfill vectors.
+type distScratch struct {
+	levels    []Priority
+	wants     []power.Watts
+	weights   []float64
+	shares    []power.Watts
+	saturated []bool
+}
+
+// grow sizes the per-child vectors for n children.
+func (sc *distScratch) grow(n int) {
+	if cap(sc.wants) < n {
+		sc.wants = make([]power.Watts, n)
+		sc.weights = make([]float64, n)
+		sc.shares = make([]power.Watts, n)
+		sc.saturated = make([]bool, n)
+	}
+	sc.wants = sc.wants[:n]
+	sc.weights = sc.weights[:n]
+	sc.shares = sc.shares[:n]
+	sc.saturated = sc.saturated[:n]
+}
+
+// levelUnion collects the distinct priorities across children, descending.
+func (sc *distScratch) levelUnion(children []Summary) []Priority {
+	sc.levels = sc.levels[:0]
+	for ci := range children {
+		for li := range children[ci].levels {
+			p := children[ci].levels[li].Priority
+			i := sort.Search(len(sc.levels), func(i int) bool { return sc.levels[i] <= p })
+			if i < len(sc.levels) && sc.levels[i] == p {
+				continue
+			}
+			sc.levels = append(sc.levels, 0)
+			copy(sc.levels[i+1:], sc.levels[i:])
+			sc.levels[i] = p
+		}
+	}
+	return sc.levels
 }
 
 // DistributeBudget implements a shifting controller's budgeting phase
@@ -224,9 +389,17 @@ func CombineSummaries(children []Summary, limit power.Watts) Summary {
 // proportionally).
 func DistributeBudget(b power.Watts, children []Summary) (allocs []power.Watts, infeasible bool) {
 	alloc := make([]power.Watts, len(children))
+	var sc distScratch
+	infeasible = distributeInto(b, children, alloc, &sc)
+	return alloc, infeasible
+}
+
+// distributeInto is DistributeBudget writing allocations into alloc
+// (len(alloc) == len(children)) and reusing sc's scratch storage.
+func distributeInto(b power.Watts, children []Summary, alloc []power.Watts, sc *distScratch) (infeasible bool) {
 	var capMinTotal power.Watts
-	for i, cm := range children {
-		alloc[i] = cm.TotalCapMin()
+	for i := range children {
+		alloc[i] = children[i].TotalCapMin()
 		capMinTotal += alloc[i]
 	}
 	if b < 0 {
@@ -241,29 +414,20 @@ func DistributeBudget(b power.Watts, children []Summary) (allocs []power.Watts, 
 		for i := range alloc {
 			alloc[i] *= power.Watts(scale)
 		}
-		return alloc, true
+		return true
 	}
 
 	remaining := b - capMinTotal
-
-	levelSet := make(map[Priority]struct{})
-	for _, cm := range children {
-		for _, p := range cm.Levels() {
-			levelSet[p] = struct{}{}
-		}
-	}
-	levels := make([]Priority, 0, len(levelSet))
-	for p := range levelSet {
-		levels = append(levels, p)
-	}
-	sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
+	sc.grow(len(children))
+	levels := sc.levelUnion(children)
 
 	exhausted := false
 	for _, j := range levels {
-		wants := make([]power.Watts, len(children))
+		wants := sc.wants
 		var need power.Watts
-		for i, cm := range children {
-			w := cm.Request[j] - cm.CapMin[j]
+		for i := range children {
+			lj := children[i].at(j)
+			w := lj.Request - lj.CapMin
 			if w < 0 {
 				w = 0
 			}
@@ -280,15 +444,16 @@ func DistributeBudget(b power.Watts, children []Summary) (allocs []power.Watts, 
 			}
 			continue
 		}
-		weights := make([]float64, len(children))
-		for i, cm := range children {
-			w := float64(cm.Demand[j] - cm.CapMin[j])
+		weights := sc.weights
+		for i := range children {
+			lj := children[i].at(j)
+			w := float64(lj.Demand - lj.CapMin)
 			if w < 0 {
 				w = 0
 			}
 			weights[i] = w
 		}
-		shares := waterfill(remaining, weights, wants)
+		shares := waterfillInto(remaining, weights, wants, sc.shares, sc.saturated)
 		for i := range alloc {
 			alloc[i] += shares[i]
 		}
@@ -298,38 +463,39 @@ func DistributeBudget(b power.Watts, children []Summary) (allocs []power.Watts, 
 	}
 
 	if !exhausted && remaining > epsilon {
-		headroom := make([]power.Watts, len(children))
-		weights := make([]float64, len(children))
-		for i, cm := range children {
-			h := cm.Constraint - alloc[i]
+		headroom := sc.wants // reuse: wants are no longer needed
+		weights := sc.weights
+		for i := range children {
+			h := children[i].Constraint - alloc[i]
 			if h < 0 {
 				h = 0
 			}
 			headroom[i] = h
 			weights[i] = float64(h)
 		}
-		shares := waterfill(remaining, weights, headroom)
+		shares := waterfillInto(remaining, weights, headroom, sc.shares, sc.saturated)
 		for i := range alloc {
 			alloc[i] += shares[i]
 		}
 	}
-	return alloc, false
+	return false
 }
 
 // LeafSummary computes the level-1 (capping controller) summary of a
 // supply leaf; exported for distributed workers that summarize their local
 // servers before reporting upstream.
-func LeafSummary(l *SupplyLeaf) Summary { return leafMetrics(l) }
+func LeafSummary(l *SupplyLeaf) Summary {
+	var s Summary
+	leafMetricsInto(&s, l)
+	return s
+}
 
 // Summarize runs the metrics gathering phase over a subtree and returns
 // the summary its root would report upstream under the given policy.
 func Summarize(root *Node, policy Policy) (Summary, error) {
-	if root == nil {
-		return Summary{}, fmt.Errorf("core: nil tree")
-	}
-	if err := root.Validate(); err != nil {
+	a, err := NewAllocator(root)
+	if err != nil {
 		return Summary{}, err
 	}
-	a := &allocator{policy: policy, metrics: make(map[*Node]Summary)}
-	return a.gather(root), nil
+	return a.Summarize(policy), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -10,9 +11,7 @@ import (
 
 func validSummary() Summary {
 	s := NewSummary()
-	s.CapMin[0] = 270
-	s.Demand[0] = 450
-	s.Request[0] = 450
+	s.SetLevel(0, 270, 450, 450)
 	s.Constraint = 490
 	return s
 }
@@ -31,21 +30,21 @@ func TestSummaryValidate(t *testing.T) {
 		{"nan constraint", func(s *Summary) { s.Constraint = nan }, "not finite"},
 		{"inf constraint", func(s *Summary) { s.Constraint = inf }, "not finite"},
 		{"negative constraint", func(s *Summary) { s.Constraint = -1 }, "negative"},
-		{"nan capmin", func(s *Summary) { s.CapMin[0] = nan }, "not finite"},
-		{"negative capmin", func(s *Summary) { s.CapMin[0] = -270 }, "negative"},
-		{"inf demand", func(s *Summary) { s.Demand[0] = inf }, "not finite"},
-		{"negative demand", func(s *Summary) { s.Demand[0] = -1 }, "negative"},
-		{"nan request", func(s *Summary) { s.Request[3] = nan }, "not finite"},
-		{"negative request", func(s *Summary) { s.Request[0] = -450 }, "negative"},
+		{"nan capmin", func(s *Summary) { s.SetCapMin(0, nan) }, "not finite"},
+		{"negative capmin", func(s *Summary) { s.SetCapMin(0, -270) }, "negative"},
+		{"inf demand", func(s *Summary) { s.SetDemand(0, inf) }, "not finite"},
+		{"negative demand", func(s *Summary) { s.SetDemand(0, -1) }, "negative"},
+		{"nan request", func(s *Summary) { s.SetRequest(3, nan) }, "not finite"},
+		{"negative request", func(s *Summary) { s.SetRequest(0, -450) }, "negative"},
 		// A zero-value summary (as from a never-gathered proxy) is valid:
 		// the control plane must handle "no data" by policy, not rejection.
 		{"zero", func(s *Summary) { *s = Summary{} }, ""},
 		// Requests beyond the constraint envelope indicate a corrupt or
 		// buggy reporter and would poison the upper-level allocation.
-		{"request exceeds constraint", func(s *Summary) { s.Request[0] = 600 }, "exceed constraint envelope"},
+		{"request exceeds constraint", func(s *Summary) { s.SetRequest(0, 600) }, "exceed constraint envelope"},
 		{"request across levels exceeds constraint", func(s *Summary) {
-			s.Request[3] = 300
-			s.Request[0] = 300
+			s.SetRequest(3, 300)
+			s.SetRequest(0, 300)
 		}, "exceed constraint envelope"},
 	}
 	for _, tc := range cases {
@@ -72,15 +71,15 @@ func TestSummaryValidate(t *testing.T) {
 // by correct reporters — must validate.
 func TestSummaryValidateInfeasibleMinimums(t *testing.T) {
 	s := NewSummary()
-	s.CapMin[0] = 540 // two servers at 270 W minimum
-	s.Demand[0] = 900
-	s.Request[0] = 540 // floored at CapMin by CombineSummaries
-	s.Constraint = 500 // infeasible branch-circuit limit
+	// Two servers at 270 W minimum; request floored at CapMin by
+	// CombineSummaries; constraint is an infeasible branch-circuit limit.
+	s.SetLevel(0, 540, 900, 540)
+	s.Constraint = 500
 	if err := s.Validate(); err != nil {
 		t.Fatalf("infeasible-but-representable summary rejected: %v", err)
 	}
 	// The envelope is max(Constraint, ΣCapMin), not their sum.
-	s.Request[0] = 560
+	s.SetRequest(0, 560)
 	if err := s.Validate(); err == nil {
 		t.Fatal("request above both constraint and minimums should be rejected")
 	}
@@ -91,13 +90,62 @@ func TestSummaryValidateInfeasibleMinimums(t *testing.T) {
 // with it, so the aggregation rules and the validator must agree.
 func TestCombinedSummariesValidate(t *testing.T) {
 	a := NewSummary()
-	a.CapMin[0], a.Demand[0], a.Request[0], a.Constraint = 270, 450, 450, 490
+	a.SetLevel(0, 270, 450, 450)
+	a.Constraint = 490
 	b := NewSummary()
-	b.CapMin[3], b.Demand[3], b.Request[3], b.Constraint = 270, 430, 430, 490
+	b.SetLevel(3, 270, 430, 430)
+	b.Constraint = 490
 	for _, limit := range []power.Watts{0, 400, 700, 2000} {
 		comb := CombineSummaries([]Summary{a, b}, limit)
 		if err := comb.Validate(); err != nil {
 			t.Errorf("limit %v: combined summary invalid: %v\n%+v", limit, err, comb)
 		}
+	}
+}
+
+// TestSummaryJSONWireShape pins the JSON document shape the control plane
+// exchanges: per-level maps keyed by the priority's decimal string, exactly
+// as the original map-based Summary marshaled. The in-memory representation
+// is a sorted slice; the wire must not change.
+func TestSummaryJSONWireShape(t *testing.T) {
+	s := NewSummary()
+	s.SetLevel(0, 270, 450, 450)
+	s.SetLevel(3, 540, 900, 880)
+	s.Constraint = 1470
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"cap_min":{"0":270,"3":540},"demand":{"0":450,"3":900},"request":{"0":450,"3":880},"constraint":1470}`
+	if string(data) != want {
+		t.Fatalf("wire shape changed:\n got %s\nwant %s", data, want)
+	}
+
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CapMin(3) != 540 || back.Demand(0) != 450 || back.Request(3) != 880 || back.Constraint != 1470 {
+		t.Fatalf("roundtrip lost data: %+v", back)
+	}
+
+	// An empty summary marshals with empty (not null) level maps, as
+	// NewSummary's allocated maps always did.
+	data, err = json.Marshal(NewSummary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"cap_min":{},"demand":{},"request":{},"constraint":0}`; string(data) != want {
+		t.Fatalf("empty wire shape changed:\n got %s\nwant %s", data, want)
+	}
+
+	// Historical senders may emit null maps (a zero map-based Summary);
+	// those must still parse.
+	var legacy Summary
+	if err := json.Unmarshal([]byte(`{"cap_min":null,"demand":null,"request":null,"constraint":5}`), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Constraint != 5 || len(legacy.Levels()) != 0 {
+		t.Fatalf("legacy null-map document misparsed: %+v", legacy)
 	}
 }

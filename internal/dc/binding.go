@@ -53,19 +53,19 @@ func levelOf(id string) string {
 }
 
 // AnalyzeBinding runs one simulation at the given average utilization and
-// reports which levels of the hierarchy are saturated under the policy.
-func (dc *DataCenter) AnalyzeBinding(rng *rand.Rand, policy core.Policy, avgUtil float64) *BindingReport {
+// reports which levels of the hierarchy are saturated under the policy. It
+// reads the per-node budgets straight out of the run's allocators, so no
+// second allocation pass is needed.
+func (dc *DataCenter) AnalyzeBinding(rng *rand.Rand, policy core.Policy, avgUtil float64) (*BindingReport, error) {
 	report := &BindingReport{
 		Binding: make(map[string]int),
 		Total:   make(map[string]int),
 	}
-	// Re-run the allocation, keeping per-node budgets for comparison.
-	dc.Run(rng, policy, avgUtil)
-	for _, root := range dc.phases {
-		alloc, err := core.Allocate(root, 0, policy)
-		if err != nil {
-			panic(err) // trees validated at build
-		}
+	if _, err := dc.Run(rng, policy, avgUtil); err != nil {
+		return nil, err
+	}
+	for ph, root := range dc.phases {
+		alloc := dc.allocators[ph]
 		root.Walk(func(n *core.Node) {
 			level := levelOf(n.ID)
 			if level == "" || n.IsLeaf() {
@@ -76,10 +76,14 @@ func (dc *DataCenter) AnalyzeBinding(rng *rand.Rand, policy core.Policy, avgUtil
 				return
 			}
 			report.Total[level]++
-			if alloc.NodeBudgets[n.ID] >= limit-power.Watts(0.01) {
+			idx, ok := alloc.NodeIndex(n.ID)
+			if !ok {
+				return
+			}
+			if alloc.NodeBudget(idx) >= limit-power.Watts(0.01) {
 				report.Binding[level]++
 			}
 		})
 	}
-	return report
+	return report, nil
 }

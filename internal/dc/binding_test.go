@@ -15,7 +15,10 @@ func TestAnalyzeBindingAtCapacity(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(9))
-	r := d.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	r, err := d.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// At 36/rack in the worst case, the contractual budget is the
 	// bottleneck: all three phase roots saturate, and nothing below them
@@ -42,7 +45,10 @@ func TestAnalyzeBindingAtCapacity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2 := d2.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	r2, err := d2.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r2.Binding["transformer"] != 6 || r2.Binding["contractual"] != 0 {
 		t.Errorf("after raising the contract, transformers should bind: %+v", r2.Binding)
 	}
@@ -52,7 +58,10 @@ func TestAnalyzeBindingAtCapacity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r3 := d3.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	r3, err := d3.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r3.Binding["rpp"] != 18*3 || r3.Binding["transformer"] != 0 {
 		t.Errorf("after raising transformers, RPPs should bind: %+v", r3.Binding)
 	}
@@ -62,7 +71,10 @@ func TestAnalyzeBindingAtCapacity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r4 := d4.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	r4, err := d4.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r4.Binding["cdu"] != 162*3 || r4.Binding["rpp"] != 0 {
 		t.Errorf("after raising RPPs, every CDU should bind: %+v", r4.Binding)
 	}
@@ -76,7 +88,10 @@ func TestAnalyzeBindingLightlyLoaded(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(10))
-	r := d.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	r, err := d.AnalyzeBinding(rng, core.GlobalPriority, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 6/rack even at full demand fits every level with room to spare:
 	// nothing binds.
 	for level, n := range r.Binding {

@@ -3,6 +3,9 @@ package dc
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"capmaestro/internal/core"
 	"capmaestro/internal/workload"
@@ -18,20 +21,31 @@ const CapRatioThreshold = 0.01
 // results converge with far fewer runs, so the defaults are sized for
 // interactive use and can be raised to paper scale with the fields below.
 type StudyOptions struct {
-	TypicalRuns   int // per server count; default 200
+	// TypicalRuns is the requested number of typical-scenario simulations
+	// per server count (default 200). In the default stratified mode the
+	// study runs ceil(TypicalRuns / buckets) simulations per utilization
+	// bucket, so the actual count — EffectiveTypicalRuns — is TypicalRuns
+	// rounded up to a multiple of the bucket count, never fewer than
+	// requested.
+	TypicalRuns   int
 	WorstCaseRuns int // per server count; default 60
 	Seed          int64
-	Distribution  *workload.UtilizationDistribution // default Figure 8
-	MinPerRack    int                               // default 6
-	MaxPerRack    int                               // default 45
-	StepPerRack   int                               // default 3
-	Threshold     float64                           // default CapRatioThreshold
+	// Workers bounds the number of simulations run concurrently; default
+	// runtime.GOMAXPROCS(0). Each worker operates on its own DataCenter
+	// replica and every simulation derives its rng from Seed and the run
+	// index alone, so results are bit-identical for any worker count.
+	Workers      int
+	Distribution *workload.UtilizationDistribution // default Figure 8
+	MinPerRack   int                               // default 6
+	MaxPerRack   int                               // default 45
+	StepPerRack  int                               // default 3
+	Threshold    float64                           // default CapRatioThreshold
 	// MonteCarloTypical forces pure Monte Carlo sampling of the average
 	// utilization for the typical scenario, as the paper's 20 000-run
 	// methodology does. By default the study stratifies over the
-	// distribution's buckets (running TypicalRuns split evenly across
-	// buckets and weighting by bucket probability), which estimates the
-	// same expectation with far lower variance.
+	// distribution's buckets (running EffectiveTypicalRuns split evenly
+	// across buckets and weighting by bucket probability), which estimates
+	// the same expectation with far lower variance.
 	MonteCarloTypical bool
 }
 
@@ -41,6 +55,9 @@ func (o StudyOptions) withDefaults() StudyOptions {
 	}
 	if o.WorstCaseRuns == 0 {
 		o.WorstCaseRuns = 60
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.Distribution == nil {
 		o.Distribution = workload.Figure8Distribution()
@@ -60,54 +77,155 @@ func (o StudyOptions) withDefaults() StudyOptions {
 	return o
 }
 
-// MeanCapRatios evaluates the average cap ratios for one configuration,
-// scenario, and policy across the configured number of runs.
-func MeanCapRatios(cfg Config, scenario Scenario, policy core.Policy, opts StudyOptions) (all, high float64, err error) {
-	opts = opts.withDefaults()
-	d, err := Build(cfg, scenario)
-	if err != nil {
-		return 0, 0, err
+// EffectiveTypicalRuns reports the number of typical-scenario simulations
+// MeanCapRatios actually performs per server count: TypicalRuns under
+// MonteCarloTypical, otherwise TypicalRuns rounded up to a whole number of
+// runs per utilization bucket.
+func (o StudyOptions) EffectiveTypicalRuns() int {
+	o = o.withDefaults()
+	if o.MonteCarloTypical {
+		return o.TypicalRuns
 	}
-	rng := rand.New(rand.NewSource(opts.Seed + int64(cfg.ServersPerRack)*101 + int64(policy)*7 + int64(scenario)*3))
+	buckets := len(o.Distribution.Buckets())
+	per := (o.TypicalRuns + buckets - 1) / buckets
+	if per < 1 {
+		per = 1
+	}
+	return per * buckets
+}
 
-	if scenario == Typical && !opts.MonteCarloTypical {
-		// Stratified estimate: visit each utilization bucket and weight by
-		// its probability. Residual randomness (per-server spread and
-		// priority placement) stays Monte Carlo.
+// runSeed derives the rng seed for one simulation from the study seed and
+// the run index with a splitmix64-style mix, so every run's random stream
+// is independent of which worker executes it and of all other runs.
+func runSeed(base int64, run int) int64 {
+	z := uint64(base) + (uint64(run)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// runSpec describes one planned simulation: the average utilization to run
+// at (negative means "sample from the distribution with the run's own
+// rng") and the weight of its result in the study mean.
+type runSpec struct {
+	avgUtil float64
+	weight  float64
+}
+
+// planRuns expands options into the per-simulation plan for one scenario.
+func planRuns(scenario Scenario, opts StudyOptions) []runSpec {
+	switch {
+	case scenario == Typical && !opts.MonteCarloTypical:
+		// Stratified estimate: visit each utilization bucket equally often
+		// and weight by its probability. Residual randomness (per-server
+		// spread and priority placement) stays Monte Carlo.
 		buckets := opts.Distribution.Buckets()
-		per := opts.TypicalRuns / len(buckets)
+		per := (opts.TypicalRuns + len(buckets) - 1) / len(buckets)
 		if per < 1 {
 			per = 1
 		}
-		var sumAll, sumHigh float64
+		specs := make([]runSpec, 0, per*len(buckets))
 		for _, b := range buckets {
-			var bAll, bHigh float64
 			for i := 0; i < per; i++ {
-				r := d.Run(rng, policy, b[0])
-				bAll += r.MeanCapRatioAll
-				bHigh += r.MeanCapRatioHigh
+				specs = append(specs, runSpec{avgUtil: b[0], weight: b[1] / float64(per)})
 			}
-			sumAll += b[1] * bAll / float64(per)
-			sumHigh += b[1] * bHigh / float64(per)
 		}
-		return sumAll, sumHigh, nil
+		return specs
+	case scenario == Typical:
+		specs := make([]runSpec, opts.TypicalRuns)
+		for i := range specs {
+			specs[i] = runSpec{avgUtil: -1, weight: 1 / float64(len(specs))}
+		}
+		return specs
+	default:
+		specs := make([]runSpec, opts.WorstCaseRuns)
+		for i := range specs {
+			specs[i] = runSpec{avgUtil: 1, weight: 1 / float64(len(specs))}
+		}
+		return specs
+	}
+}
+
+// MeanCapRatios evaluates the average cap ratios for one configuration,
+// scenario, and policy across the configured number of runs.
+//
+// Runs are fanned out over opts.Workers goroutines, each holding its own
+// DataCenter replica (Build is deterministic, so replicas are identical).
+// Every simulation seeds its rng from opts.Seed mixed with the run index
+// and results are reduced in run-index order, so the returned ratios are
+// bit-identical for any worker count.
+func MeanCapRatios(cfg Config, scenario Scenario, policy core.Policy, opts StudyOptions) (all, high float64, err error) {
+	opts = opts.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	base := opts.Seed + int64(cfg.ServersPerRack)*101 + int64(policy)*7 + int64(scenario)*3
+	specs := planRuns(scenario, opts)
+	results := make([]RunResult, len(specs))
+
+	workers := opts.Workers
+	if workers > len(specs) {
+		workers = len(specs)
 	}
 
-	runs := opts.WorstCaseRuns
-	if scenario == Typical {
-		runs = opts.TypicalRuns
-	}
-	var sumAll, sumHigh float64
-	for i := 0; i < runs; i++ {
-		avgUtil := 1.0
-		if scenario == Typical {
-			avgUtil = opts.Distribution.Sample(rng)
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errMu   sync.Mutex
+		poolErr error
+		wg      sync.WaitGroup
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if poolErr == nil {
+			poolErr = err
 		}
-		r := d.Run(rng, policy, avgUtil)
-		sumAll += r.MeanCapRatioAll
-		sumHigh += r.MeanCapRatioHigh
+		errMu.Unlock()
+		failed.Store(true)
 	}
-	return sumAll / float64(runs), sumHigh / float64(runs), nil
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			replica, err := Build(cfg, scenario)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				rng := rand.New(rand.NewSource(runSeed(base, i)))
+				u := specs[i].avgUtil
+				if u < 0 {
+					u = opts.Distribution.Sample(rng)
+				}
+				r, err := replica.Run(rng, policy, u)
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if poolErr != nil {
+		return 0, 0, poolErr
+	}
+
+	// Deterministic reduction: weights applied in run-index order (float
+	// addition is not associative, so order matters for bit-identity).
+	for i, r := range results {
+		all += specs[i].weight * r.MeanCapRatioAll
+		high += specs[i].weight * r.MeanCapRatioHigh
+	}
+	return all, high, nil
 }
 
 // CurvePoint is one point of the Figure 10 cap-ratio curves.

@@ -118,23 +118,38 @@ func (s Scenario) String() string {
 	}
 }
 
+// leafRef binds one of a server's supply leaves to its slot in the phase
+// allocator: the leaf pointer for mutating demand and priority between
+// runs, the node index for reading the allocated budget back without any
+// map lookup, and the precomputed share reciprocal for converting a supply
+// budget into the whole-server power it implies.
+type leafRef struct {
+	leaf     *core.SupplyLeaf
+	node     int         // index in the phase's Allocator
+	invShare power.Watts // 1 / Share
+}
+
 // serverRef tracks one server's leaves across the per-phase trees so runs
 // can mutate demand and priority in place.
 type serverRef struct {
 	id     string
 	phase  int
-	leaves []*core.SupplyLeaf // one per operating feed
+	leaves []leafRef
 	demand power.Watts
 	high   bool
 }
 
 // DataCenter is a built instance of the study: three per-phase control
-// trees plus an index of every server.
+// trees, a reusable budgeting engine per tree, and an index of every
+// server. A DataCenter is not safe for concurrent use — parallel studies
+// run one replica per worker (Build is deterministic, so replicas are
+// identical).
 type DataCenter struct {
-	cfg      Config
-	scenario Scenario
-	phases   []*core.Node
-	servers  []*serverRef
+	cfg        Config
+	scenario   Scenario
+	phases     []*core.Node
+	allocators []*core.Allocator
+	servers    []*serverRef
 }
 
 // priority levels used by the study.
@@ -193,6 +208,10 @@ func Build(cfg Config, scenario Scenario) (*DataCenter, error) {
 			phase: p.phase,
 		}
 	}
+	// Leaf node IDs in creation order per phase, resolved to allocator
+	// indices once the allocator is built.
+	leafNodeIDs := make([][]string, 3)
+	leafOwners := make([][]int, 3) // parallel: owning server index
 
 	for ph := 0; ph < 3; ph++ {
 		var feedNodes []*core.Node
@@ -224,7 +243,12 @@ func Build(cfg Config, scenario Scenario) (*DataCenter, error) {
 								CapMax:   cfg.Model.CapMax,
 								Demand:   cfg.Model.CapMax,
 							})
-							refs[idx].leaves = append(refs[idx].leaves, ln.Leaf)
+							refs[idx].leaves = append(refs[idx].leaves, leafRef{
+								leaf:     ln.Leaf,
+								invShare: power.Watts(1 / share),
+							})
+							leafNodeIDs[ph] = append(leafNodeIDs[ph], ln.ID)
+							leafOwners[ph] = append(leafOwners[ph], idx)
 							leaves = append(leaves, ln)
 						}
 						if len(leaves) > 0 {
@@ -253,14 +277,33 @@ func Build(cfg Config, scenario Scenario) (*DataCenter, error) {
 		}
 		root := core.NewShifting(fmt.Sprintf("ph%d:contract", ph),
 			cfg.ContractualPerPhase*power.Watts(cfg.ContractualMargin), feedNodes...)
-		if err := root.Validate(); err != nil {
+		alloc, err := core.NewAllocator(root)
+		if err != nil {
 			return nil, fmt.Errorf("dc: phase %d: %w", ph, err)
 		}
+		// Bind each server leaf to its allocator slot so runs read budgets
+		// by integer index instead of a per-run supply-ID map.
+		seen := make(map[int]int) // server index → leaves bound so far this phase
+		for i, nodeID := range leafNodeIDs[ph] {
+			nodeIdx, ok := alloc.NodeIndex(nodeID)
+			if !ok {
+				return nil, fmt.Errorf("dc: phase %d: leaf %q missing from allocator", ph, nodeID)
+			}
+			owner := leafOwners[ph][i]
+			refs[owner].leaves[seen[owner]].node = nodeIdx
+			seen[owner]++
+		}
 		dc.phases = append(dc.phases, root)
+		dc.allocators = append(dc.allocators, alloc)
 	}
 	dc.servers = refs
 	return dc, nil
 }
+
+// Phases returns the per-phase control-tree roots, for inspection and
+// benchmarking. Callers must not restructure the trees: the DataCenter's
+// allocators are bound to them.
+func (dc *DataCenter) Phases() []*core.Node { return dc.phases }
 
 // RunResult aggregates one Monte Carlo run.
 type RunResult struct {
@@ -276,7 +319,16 @@ type RunResult struct {
 // paper does per simulation), demands are set from avgUtil (with per-server
 // spread in the typical scenario; exactly 100% in the worst case), budgets
 // are allocated per phase under the policy, and cap ratios are aggregated.
-func (dc *DataCenter) Run(rng *rand.Rand, policy core.Policy, avgUtil float64) RunResult {
+// The per-phase allocators and leaf bindings are reused across runs, so a
+// run performs no allocation beyond the rng's own state.
+//
+// Run fully re-randomizes and re-budgets the data center, so successive
+// runs on the same DataCenter are independent given independent rngs. It
+// returns an error only if the DataCenter was not constructed by Build.
+func (dc *DataCenter) Run(rng *rand.Rand, policy core.Policy, avgUtil float64) (RunResult, error) {
+	if len(dc.allocators) != len(dc.phases) || len(dc.phases) == 0 {
+		return RunResult{}, errors.New("dc: DataCenter was not constructed by Build")
+	}
 	cfg := dc.cfg
 	res := RunResult{TotalServers: len(dc.servers)}
 
@@ -292,32 +344,26 @@ func (dc *DataCenter) Run(rng *rand.Rand, policy core.Policy, avgUtil float64) R
 			prio = prioHigh
 			res.HighServers++
 		}
-		for _, l := range ref.leaves {
-			l.Demand = ref.demand
-			l.Priority = prio
+		for i := range ref.leaves {
+			ref.leaves[i].leaf.Demand = ref.demand
+			ref.leaves[i].leaf.Priority = prio
 		}
 	}
 
-	budgetOf := make(map[string]power.Watts)
-	for _, root := range dc.phases {
-		alloc, err := core.Allocate(root, 0, policy)
-		if err != nil {
-			panic(fmt.Sprintf("dc: allocation failed: %v", err)) // trees validated at build
-		}
-		if alloc.Infeasible {
+	for _, a := range dc.allocators {
+		if a.Run(0, policy) {
 			res.Infeasible = true
-		}
-		for id, b := range alloc.SupplyBudgets {
-			budgetOf[id] = b
 		}
 	}
 
 	var sumAll, sumHigh float64
 	for _, ref := range dc.servers {
+		a := dc.allocators[ref.phase]
 		eff := power.Watts(0)
 		first := true
-		for _, l := range ref.leaves {
-			implied := budgetOf[l.SupplyID] / power.Watts(l.Share)
+		for i := range ref.leaves {
+			lr := &ref.leaves[i]
+			implied := a.NodeBudget(lr.node) * lr.invShare
 			if first || implied < eff {
 				eff = implied
 				first = false
@@ -336,5 +382,5 @@ func (dc *DataCenter) Run(rng *rand.Rand, policy core.Policy, avgUtil float64) R
 	if res.HighServers > 0 {
 		res.MeanCapRatioHigh = sumHigh / float64(res.HighServers)
 	}
-	return res
+	return res, nil
 }

@@ -8,6 +8,16 @@ import (
 	"capmaestro/internal/core"
 )
 
+// mustRun executes one simulation and fails the test on error.
+func mustRun(t *testing.T, d *DataCenter, rng *rand.Rand, policy core.Policy, avgUtil float64) RunResult {
+	t.Helper()
+	r, err := d.Run(rng, policy, avgUtil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func TestDefaultConfigMatchesTable4(t *testing.T) {
 	cfg := DefaultConfig()
 	if err := cfg.Validate(); err != nil {
@@ -83,8 +93,8 @@ func TestBuildStructure(t *testing.T) {
 		if len(ref.leaves) != 1 {
 			t.Fatalf("worst-case server %s has %d leaves, want 1", ref.id, len(ref.leaves))
 		}
-		if ref.leaves[0].Share != 1.0 {
-			t.Fatalf("worst-case share = %v, want 1", ref.leaves[0].Share)
+		if ref.leaves[0].leaf.Share != 1.0 {
+			t.Fatalf("worst-case share = %v, want 1", ref.leaves[0].leaf.Share)
 		}
 	}
 }
@@ -109,7 +119,7 @@ func TestWorstCaseNoCappingAt24PerRack(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
-	r := d.Run(rng, core.NoPriority, 1.0)
+	r := mustRun(t, d, rng, core.NoPriority, 1.0)
 	if r.MeanCapRatioAll > 0.001 {
 		t.Errorf("cap ratio at 24/rack = %v, want ~0", r.MeanCapRatioAll)
 	}
@@ -126,7 +136,7 @@ func TestWorstCaseNoPriorityCapsEveryoneAt27(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(2))
-	r := d.Run(rng, core.NoPriority, 1.0)
+	r := mustRun(t, d, rng, core.NoPriority, 1.0)
 	// 27/rack demands ~714 kW/phase against 665 kW: ~7% of dynamic power
 	// capped, shared by everyone including high-priority servers.
 	if r.MeanCapRatioAll < 0.05 {
@@ -151,8 +161,8 @@ func TestWorstCaseGlobalProtectsHighPriorityAt36(t *testing.T) {
 	var sumG, sumL float64
 	const runs = 10
 	for i := 0; i < runs; i++ {
-		sumG += d.Run(rng, core.GlobalPriority, 1.0).MeanCapRatioHigh
-		sumL += d.Run(rng, core.LocalPriority, 1.0).MeanCapRatioHigh
+		sumG += mustRun(t, d, rng, core.GlobalPriority, 1.0).MeanCapRatioHigh
+		sumL += mustRun(t, d, rng, core.LocalPriority, 1.0).MeanCapRatioHigh
 	}
 	if g := sumG / runs; g > 0.01 {
 		t.Errorf("Global Priority high cap ratio at 36/rack = %v, want <1%%", g)
@@ -170,7 +180,7 @@ func TestWorstCaseGlobalFailsAt39(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(4))
-	r := d.Run(rng, core.GlobalPriority, 1.0)
+	r := mustRun(t, d, rng, core.GlobalPriority, 1.0)
 	if r.MeanCapRatioHigh < 0.01 {
 		t.Errorf("Global at 39/rack high cap ratio = %v, want >1%% (contractual bound)", r.MeanCapRatioHigh)
 	}
@@ -184,7 +194,7 @@ func TestTypicalCaseLowUtilUncapped(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(5))
-	r := d.Run(rng, core.GlobalPriority, 0.30)
+	r := mustRun(t, d, rng, core.GlobalPriority, 0.30)
 	if r.MeanCapRatioAll > 0.0001 {
 		t.Errorf("typical 30%% util cap ratio = %v, want ~0", r.MeanCapRatioAll)
 	}
@@ -198,7 +208,7 @@ func TestTypicalCaseHighUtilCapped(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(6))
-	r := d.Run(rng, core.GlobalPriority, 0.60)
+	r := mustRun(t, d, rng, core.GlobalPriority, 0.60)
 	if r.MeanCapRatioAll <= 0.01 {
 		t.Errorf("typical 60%% util at 45/rack cap ratio = %v, want >1%%", r.MeanCapRatioAll)
 	}
@@ -215,9 +225,9 @@ func TestHighPriorityOrderingHoldsInFullHierarchy(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(7))
-	g := d.Run(rng, core.GlobalPriority, 1.0)
-	l := d.Run(rng, core.LocalPriority, 1.0)
-	n := d.Run(rng, core.NoPriority, 1.0)
+	g := mustRun(t, d, rng, core.GlobalPriority, 1.0)
+	l := mustRun(t, d, rng, core.LocalPriority, 1.0)
+	n := mustRun(t, d, rng, core.NoPriority, 1.0)
 	if !(g.MeanCapRatioHigh <= l.MeanCapRatioHigh+1e-9 && l.MeanCapRatioHigh <= n.MeanCapRatioHigh+1e-9) {
 		t.Errorf("high cap ratios should order global ≤ local ≤ none: %v %v %v",
 			g.MeanCapRatioHigh, l.MeanCapRatioHigh, n.MeanCapRatioHigh)
@@ -234,7 +244,7 @@ func TestSplitSpreadBuild(t *testing.T) {
 	}
 	asymmetric := 0
 	for _, ref := range d.servers {
-		if ref.leaves[0].Share != 0.5 {
+		if ref.leaves[0].leaf.Share != 0.5 {
 			asymmetric++
 		}
 	}

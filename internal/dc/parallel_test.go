@@ -1,0 +1,107 @@
+package dc
+
+import (
+	"testing"
+
+	"capmaestro/internal/core"
+)
+
+// TestParallelStudyDeterminism pins the tentpole guarantee of the parallel
+// Monte Carlo engine: for a fixed seed, Workers=1 and Workers=8 produce
+// bit-identical study results, because every run derives its rng from the
+// seed and its run index alone and results reduce in run-index order.
+func TestParallelStudyDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	// Small but non-trivial facility so the test exercises both scenarios
+	// (and, for typical, the per-server spread) quickly.
+	cfg.TransformersPerFeed = 1
+	cfg.RPPsPerTransformer = 2
+	cfg.CDUsPerRPP = 3
+
+	for _, scenario := range []Scenario{Typical, WorstCase} {
+		for _, mc := range []bool{false, true} {
+			if mc && scenario == WorstCase {
+				continue // MonteCarloTypical only affects the typical case
+			}
+			base := StudyOptions{
+				TypicalRuns:       26,
+				WorstCaseRuns:     9,
+				Seed:              42,
+				MonteCarloTypical: mc,
+				MinPerRack:        6,
+				MaxPerRack:        18,
+				StepPerRack:       3,
+			}
+			seq, par := base, base
+			seq.Workers = 1
+			par.Workers = 8
+
+			cfg := cfg
+			cfg.ServersPerRack = 12
+			allSeq, highSeq, err := MeanCapRatios(cfg, scenario, core.GlobalPriority, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			allPar, highPar, err := MeanCapRatios(cfg, scenario, core.GlobalPriority, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if allSeq != allPar || highSeq != highPar {
+				t.Errorf("%v mc=%v: MeanCapRatios differ across worker counts: (%v,%v) vs (%v,%v)",
+					scenario, mc, allSeq, highSeq, allPar, highPar)
+			}
+
+			resSeq, errSeq := FindCapacity(cfg, scenario, core.GlobalPriority, seq)
+			resPar, errPar := FindCapacity(cfg, scenario, core.GlobalPriority, par)
+			if (errSeq == nil) != (errPar == nil) {
+				t.Fatalf("%v mc=%v: FindCapacity error disagreement: %v vs %v", scenario, mc, errSeq, errPar)
+			}
+			if resSeq != resPar {
+				t.Errorf("%v mc=%v: FindCapacity differs across worker counts: %+v vs %+v",
+					scenario, mc, resSeq, resPar)
+			}
+		}
+	}
+}
+
+// TestEffectiveTypicalRuns checks the stratified run-count accounting:
+// requested counts round up to whole runs per bucket and never under-run.
+func TestEffectiveTypicalRuns(t *testing.T) {
+	buckets := len(StudyOptions{}.withDefaults().Distribution.Buckets())
+	if buckets < 2 {
+		t.Fatalf("distribution has %d buckets, want several", buckets)
+	}
+	cases := []struct{ requested, want int }{
+		{1, buckets},                 // fewer than buckets: one run each
+		{buckets, buckets},           // exact fit
+		{buckets + 1, 2 * buckets},   // round up, never under-run
+		{3*buckets - 1, 3 * buckets}, // round up to the next multiple
+		{10 * buckets, 10 * buckets}, // exact multiple unchanged
+	}
+	for _, c := range cases {
+		got := StudyOptions{TypicalRuns: c.requested}.EffectiveTypicalRuns()
+		if got != c.want {
+			t.Errorf("EffectiveTypicalRuns(%d) = %d, want %d", c.requested, got, c.want)
+		}
+		if got < c.requested {
+			t.Errorf("EffectiveTypicalRuns(%d) = %d under-runs the request", c.requested, got)
+		}
+	}
+	// Pure Monte Carlo mode runs exactly what was asked.
+	got := StudyOptions{TypicalRuns: 17, MonteCarloTypical: true}.EffectiveTypicalRuns()
+	if got != 17 {
+		t.Errorf("MonteCarloTypical EffectiveTypicalRuns = %d, want 17", got)
+	}
+}
+
+// TestRunOnUnbuiltDataCenter checks the error path that replaced the old
+// allocation panic.
+func TestRunOnUnbuiltDataCenter(t *testing.T) {
+	var d DataCenter
+	if _, err := d.Run(nil, core.GlobalPriority, 1.0); err == nil {
+		t.Error("Run on a zero DataCenter should fail, not panic")
+	}
+	if _, err := d.AnalyzeBinding(nil, core.GlobalPriority, 1.0); err == nil {
+		t.Error("AnalyzeBinding on a zero DataCenter should fail, not panic")
+	}
+}

@@ -15,6 +15,7 @@ func studyOptions(o Options) dc.StudyOptions {
 	return dc.StudyOptions{
 		TypicalRuns:   o.typicalRuns(),
 		WorstCaseRuns: o.worstRuns(),
+		Workers:       o.Workers,
 		Seed:          o.Seed + 42,
 	}
 }

@@ -36,6 +36,9 @@ type Options struct {
 	// counts; zero selects per-mode defaults.
 	TypicalRuns   int
 	WorstCaseRuns int
+	// Workers bounds the concurrency of the Monte Carlo capacity studies;
+	// zero uses one worker per CPU. Results are identical for any value.
+	Workers int
 	// Seed makes every experiment reproducible.
 	Seed int64
 }

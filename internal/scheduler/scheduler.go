@@ -362,9 +362,8 @@ func (s *Scheduler) DivideBudget(serverID string, budget power.Watts, model powe
 		j := st.jobs[id]
 		share := float64(j.Cores) / totalCores
 		sum := core.NewSummary()
-		sum.CapMin[j.Priority] = power.Watts(share) * model.CapMin
-		sum.Demand[j.Priority] = power.Watts(share) * model.CapMax
-		sum.Request[j.Priority] = power.Watts(share) * model.CapMax
+		sum.SetLevel(j.Priority, power.Watts(share)*model.CapMin,
+			power.Watts(share)*model.CapMax, power.Watts(share)*model.CapMax)
 		sum.Constraint = power.Watts(share) * model.CapMax
 		summaries = append(summaries, sum)
 	}
