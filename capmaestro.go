@@ -6,6 +6,7 @@ import (
 	"capmaestro/internal/capping"
 	"capmaestro/internal/core"
 	"capmaestro/internal/dc"
+	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 	"capmaestro/internal/scheduler"
 	"capmaestro/internal/server"
@@ -237,6 +238,10 @@ type (
 	// TelemetryServer exposes a registry over HTTP (/metrics, /healthz,
 	// /debug/vars).
 	TelemetryServer = telemetry.Server
+	// FlightRecorder retains the last N control periods' traces and
+	// allocation explain records in a ring buffer; mount its Handler on a
+	// TelemetryServer to serve /debug/periods and /debug/trace.json.
+	FlightRecorder = flightrec.Recorder
 )
 
 // NewTelemetryRegistry creates an empty metrics registry. Wire it into
@@ -249,6 +254,24 @@ func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() 
 // returned server is closed.
 func ServeTelemetry(reg *TelemetryRegistry, addr string) (*TelemetryServer, error) {
 	return telemetry.Serve(reg, addr)
+}
+
+// NewFlightRecorder creates a flight recorder retaining the last size
+// control periods (size <= 0 selects the default of 64). Wire it into
+// SimConfig.FlightRecorder or a room worker's WithFlightRecorder option,
+// and mount its debug endpoints with MountFlightRecorder.
+func NewFlightRecorder(size int) *FlightRecorder { return flightrec.NewRecorder(size) }
+
+// MountFlightRecorder serves rec's /debug/periods, /debug/periods/{id},
+// and /debug/trace.json endpoints on the telemetry server.
+func MountFlightRecorder(ts *TelemetryServer, rec *FlightRecorder) {
+	if ts == nil || rec == nil {
+		return
+	}
+	h := rec.Handler()
+	ts.Handle("/debug/periods", h)
+	ts.Handle("/debug/periods/", h)
+	ts.Handle("/debug/trace.json", h)
 }
 
 // Job scheduling coordination (the Section 7 extension).

@@ -31,6 +31,8 @@ import (
 	"capmaestro/internal/controlplane"
 	"capmaestro/internal/core"
 	"capmaestro/internal/experiments"
+	"capmaestro/internal/flightrec"
+	"capmaestro/internal/logging"
 	"capmaestro/internal/power"
 	"capmaestro/internal/scheduler"
 	"capmaestro/internal/server"
@@ -51,7 +53,18 @@ func main() {
 		"serve demo: transport retries per rack RPC after a failure (<=0 disables)")
 	rpcBackoff := flag.Duration("rpc-retry-backoff", controlplane.DefaultRPCRetryBackoff,
 		"serve demo: initial backoff between rack RPC retries (doubles per retry)")
+	traceBuffer := flag.Int("trace-buffer", flightrec.DefaultBufferSize,
+		"serve demo: control periods retained by the flight recorder on /debug/periods and /debug/trace.json (0 disables)")
+	pprofOn := flag.Bool("pprof", false,
+		"mount net/http/pprof profiling handlers on the telemetry server under /debug/pprof/")
+	logOpts := logging.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := logOpts.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	addr := *telAddr
 	if addr == "" && *demo == "serve" {
@@ -61,17 +74,17 @@ func main() {
 	var ts *telemetry.Server
 	if addr != "" {
 		reg = telemetry.NewRegistry()
-		var err error
 		ts, err = telemetry.Serve(reg, addr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer ts.Close()
+		if *pprofOn {
+			ts.EnablePprof()
+		}
 		fmt.Printf("telemetry on http://%s/metrics\n", ts.Addr())
 	}
-
-	var err error
 	switch *demo {
 	case "capping":
 		err = demoCapping()
@@ -84,11 +97,12 @@ func main() {
 	case "scheduler":
 		err = demoScheduler()
 	case "serve":
-		err = demoServe(reg, ts, serveConfig{
+		err = demoServe(reg, ts, logger, serveConfig{
 			stalenessPeriods: *stalePeriods,
 			failsafeBudget:   power.Watts(*failsafe),
 			rpcRetries:       *rpcRetries,
 			rpcRetryBackoff:  *rpcBackoff,
+			traceBuffer:      *traceBuffer,
 		})
 	default:
 		err = fmt.Errorf("unknown demo %q", *demo)
@@ -328,6 +342,7 @@ type serveConfig struct {
 	failsafeBudget   power.Watts
 	rpcRetries       int
 	rpcRetryBackoff  time.Duration
+	traceBuffer      int
 }
 
 // demoServe runs the whole stack continuously until SIGINT/SIGTERM:
@@ -335,14 +350,26 @@ type serveConfig struct {
 // behind real TCP sockets, and a room worker driving 2-second control
 // periods. Every layer reports into the telemetry registry, and /healthz
 // tracks whether the room worker can still reach its racks.
-func demoServe(reg *telemetry.Registry, ts *telemetry.Server, cfg serveConfig) error {
-	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+func demoServe(reg *telemetry.Registry, ts *telemetry.Server, logger *slog.Logger, cfg serveConfig) error {
 	opts := []controlplane.Option{
 		controlplane.WithTelemetry(reg),
 		controlplane.WithLogger(logger),
 		controlplane.WithStalenessBound(cfg.stalenessPeriods),
 		controlplane.WithFailsafeBudget(cfg.failsafeBudget),
 		controlplane.WithRPCRetry(cfg.rpcRetries, cfg.rpcRetryBackoff),
+	}
+	// The flight recorder retains each control period's trace + explain
+	// records and serves them on the telemetry server's debug endpoints.
+	var recorder *flightrec.Recorder
+	if cfg.traceBuffer > 0 {
+		recorder = flightrec.NewRecorder(cfg.traceBuffer)
+		opts = append(opts, controlplane.WithFlightRecorder(recorder))
+		if ts != nil {
+			h := recorder.Handler()
+			ts.Handle("/debug/periods", h)
+			ts.Handle("/debug/periods/", h)
+			ts.Handle("/debug/trace.json", h)
+		}
 	}
 
 	// Four single-supply servers, two per rack; SA runs a high-priority
@@ -431,6 +458,7 @@ func demoServe(reg *telemetry.Registry, ts *telemetry.Server, cfg serveConfig) e
 	}
 	if ts != nil {
 		ts.AddHealthCheck("room", room.Healthy)
+		ts.AddHealthDetail("racks", func() any { return room.RackFreshness() })
 	}
 
 	fmt.Printf("rack workers on %s and %s; control period every 2s; Ctrl-C to stop\n",

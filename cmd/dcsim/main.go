@@ -19,11 +19,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 
 	"capmaestro/internal/core"
 	"capmaestro/internal/dc"
+	"capmaestro/internal/logging"
 	"capmaestro/internal/power"
 	"capmaestro/internal/telemetry"
 )
@@ -42,8 +44,15 @@ func main() {
 		workers    = flag.Int("workers", 0, "Monte Carlo worker goroutines (0 = one per CPU)")
 		seed       = flag.Int64("seed", 42, "random seed")
 		metricsOut = flag.String("metrics-out", "", "write results as Prometheus text to FILE")
+		logOpts    = logging.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+
+	logger, err := logOpts.Logger(os.Stderr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	slog.SetDefault(logger)
 
 	reg := telemetry.NewRegistry()
 
@@ -74,6 +83,9 @@ func main() {
 	}
 
 	opts := dc.StudyOptions{TypicalRuns: *typRuns, WorstCaseRuns: *worstRuns, Workers: *workers, Seed: *seed}
+	logger.Debug("study configured",
+		"mode", *mode, "scenario", scen.String(), "policies", *policyName,
+		"seed", *seed, "workers", *workers)
 	if scen == dc.Typical && (*mode == "capacity" || *mode == "curve") {
 		fmt.Printf("(typical case: %d stratified runs per server count)\n", opts.EffectiveTypicalRuns())
 	}

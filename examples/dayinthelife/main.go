@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"capmaestro"
+	"capmaestro/internal/logging"
 	"capmaestro/internal/workload"
 )
 
@@ -28,7 +29,18 @@ const serversPerFeedCDU = 4
 func main() {
 	telAddr := flag.String("telemetry-addr", "",
 		"HOST:PORT for /metrics, /healthz, and /debug/vars (empty disables)")
+	traceBuffer := flag.Int("trace-buffer", 64,
+		"control periods retained by the flight recorder on /debug/periods and /debug/trace.json (0 disables)")
+	logOpts := logging.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logOpts.Logger(os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rec *capmaestro.FlightRecorder
+	if *traceBuffer > 0 {
+		rec = capmaestro.NewFlightRecorder(*traceBuffer)
+	}
 	var reg *capmaestro.TelemetryRegistry
 	if *telAddr != "" {
 		reg = capmaestro.NewTelemetryRegistry()
@@ -37,6 +49,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer ts.Close()
+		capmaestro.MountFlightRecorder(ts, rec)
 		fmt.Printf("telemetry on http://%s/metrics\n\n", ts.Addr())
 	}
 	// Two feeds, one 1.6 kW-rated CDU each, four dual-corded servers.
@@ -66,8 +79,10 @@ func main() {
 		RootBudgets: map[capmaestro.FeedID]capmaestro.Watts{
 			"A": 1600, "B": 1600,
 		},
-		Derating:  &derating,
-		Telemetry: reg,
+		Derating:       &derating,
+		Telemetry:      reg,
+		Logger:         logger,
+		FlightRecorder: rec,
 	})
 	if err != nil {
 		log.Fatal(err)

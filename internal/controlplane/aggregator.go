@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"capmaestro/internal/core"
+	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 )
 
@@ -73,6 +74,8 @@ func NewAggregator(tree *core.Node, policy core.Policy, clients map[string]RackC
 func (a *Aggregator) Gather(ctx context.Context) (core.Summary, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	pt := flightrec.TraceFrom(ctx)
+	span := pt.StartSpan("agg.gather", a.tree.ID, flightrec.ParentIDFrom(ctx))
 	type result struct {
 		id      string
 		summary core.Summary
@@ -81,7 +84,9 @@ func (a *Aggregator) Gather(ctx context.Context) (core.Summary, error) {
 	results := make(chan result, len(a.clients))
 	for id, c := range a.clients {
 		go func(id string, c RackClient) {
-			s, err := c.Gather(ctx)
+			cs := pt.StartSpan("rpc.gather", id, span.ID())
+			s, err := c.Gather(flightrec.ContextWithSpan(ctx, pt, cs))
+			cs.End(err)
 			results <- result{id: id, summary: s, err: err}
 		}(id, c)
 	}
@@ -93,7 +98,9 @@ func (a *Aggregator) Gather(ctx context.Context) (core.Summary, error) {
 		a.seen[r.id] = true
 		*a.proxies[r.id].Proxy = r.summary
 	}
-	return core.Summarize(a.tree, a.policy)
+	s, err := core.Summarize(a.tree, a.policy)
+	span.End(err)
+	return s, err
 }
 
 // ApplyBudget implements RackClient: it allocates the received budget over
@@ -105,9 +112,13 @@ func (a *Aggregator) Gather(ctx context.Context) (core.Summary, error) {
 func (a *Aggregator) ApplyBudget(ctx context.Context, b power.Watts) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	alloc, err := core.Allocate(a.tree, b, a.policy)
+	pt := flightrec.TraceFrom(ctx)
+	span := pt.StartSpan("agg.apply", a.tree.ID, flightrec.ParentIDFrom(ctx))
+	alloc, err := core.AllocateExplained(a.tree, b, a.policy, pt.ExplainSink())
 	if err != nil {
-		return fmt.Errorf("controlplane: aggregator: %w", err)
+		err = fmt.Errorf("controlplane: aggregator: %w", err)
+		span.End(err)
+		return err
 	}
 	a.lastBudget = b
 	a.lastAlloc = alloc
@@ -119,7 +130,10 @@ func (a *Aggregator) ApplyBudget(ctx context.Context, b power.Watts) error {
 		}
 		pushed++
 		go func(id string, c RackClient) {
-			errs <- c.ApplyBudget(ctx, alloc.NodeBudgets[id])
+			cs := pt.StartSpan("rpc.apply", id, span.ID())
+			e := c.ApplyBudget(flightrec.ContextWithSpan(ctx, pt, cs), alloc.NodeBudgets[id])
+			cs.End(e)
+			errs <- e
 		}(id, c)
 	}
 	var firstErr error
@@ -128,6 +142,7 @@ func (a *Aggregator) ApplyBudget(ctx context.Context, b power.Watts) error {
 			firstErr = e
 		}
 	}
+	span.End(firstErr)
 	return firstErr
 }
 

@@ -4,6 +4,7 @@ import (
 	"log/slog"
 	"time"
 
+	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 	"capmaestro/internal/telemetry"
 )
@@ -21,6 +22,7 @@ type options struct {
 	failsafeBudget  power.Watts
 	rpcRetries      int
 	rpcRetryBackoff time.Duration
+	recorder        *flightrec.Recorder
 }
 
 func buildOptions(opts []Option) options {
@@ -80,6 +82,16 @@ func WithStalenessBound(periods int) Option {
 // entirely; either way they are never pushed a budget.
 func WithFailsafeBudget(b power.Watts) Option {
 	return func(o *options) { o.failsafeBudget = b }
+}
+
+// WithFlightRecorder attaches a flight recorder to the room worker: every
+// control period is traced (one root span, per-phase and per-rack child
+// spans, rack-side spans merged across the transport) and recorded into
+// rec's ring buffer together with the allocator's per-node explain
+// records. A nil recorder disables tracing (the default) — the period
+// then runs without a trace context and no spans are created anywhere.
+func WithFlightRecorder(rec *flightrec.Recorder) Option {
+	return func(o *options) { o.recorder = rec }
 }
 
 // Default transport retry policy: a failed rack RPC is retried a bounded

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"capmaestro/internal/core"
+	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 	"capmaestro/internal/telemetry"
 )
@@ -30,12 +31,19 @@ const (
 type wireRequest struct {
 	Op     string      `json:"op"`
 	Budget power.Watts `json:"budget,omitempty"`
+	// Trace carries the caller's per-period trace context so the rack's
+	// spans nest under the room's period root. Absent when tracing is off.
+	Trace *flightrec.TraceContext `json:"trace,omitempty"`
 }
 
 type wireResponse struct {
 	OK      bool          `json:"ok"`
 	Error   string        `json:"error,omitempty"`
 	Summary *core.Summary `json:"summary,omitempty"`
+	// Spans and Explains ship the rack-side trace back to the caller;
+	// populated only when the request carried a trace context.
+	Spans    []flightrec.Span   `json:"spans,omitempty"`
+	Explains []core.NodeExplain `json:"explains,omitempty"`
 }
 
 // RackServer exposes a RackWorker over TCP.
@@ -164,6 +172,22 @@ func (c *countingConn) Write(p []byte) (int, error) {
 
 func (s *RackServer) handle(req wireRequest) wireResponse {
 	ctx := context.Background()
+	// Continue the caller's trace: the worker's spans adopt the remote
+	// trace ID and parent, and travel back in the response.
+	var pt *flightrec.PeriodTrace
+	if req.Trace != nil {
+		pt = flightrec.NewRemoteTrace(req.Trace)
+		ctx = flightrec.ContextWithRemote(ctx, pt, req.Trace.ParentID)
+	}
+	resp := s.dispatch(ctx, req)
+	if pt != nil {
+		resp.Spans = pt.Spans()
+		resp.Explains = pt.Explains()
+	}
+	return resp
+}
+
+func (s *RackServer) dispatch(ctx context.Context, req wireRequest) wireResponse {
 	switch req.Op {
 	case opPing:
 		return wireResponse{OK: true}
@@ -281,8 +305,15 @@ func (c *TCPClient) roundTrip(ctx context.Context, req wireRequest) (wireRespons
 			break
 		}
 		c.met.retries.Inc()
+		flightrec.SpanFrom(ctx).AddRetry()
 	}
 	c.met.observe(req.Op, start, err != nil)
+	// A response that made it back carries the rack's side of the trace —
+	// merge it even when the server reported an application-level error.
+	if pt := flightrec.TraceFrom(ctx); pt != nil {
+		pt.Import(resp.Spans)
+		pt.ImportExplains(resp.Explains)
+	}
 	return resp, err
 }
 
@@ -365,7 +396,7 @@ func (c *TCPClient) resetLocked() {
 
 // Gather implements RackClient.
 func (c *TCPClient) Gather(ctx context.Context) (core.Summary, error) {
-	resp, err := c.roundTrip(ctx, wireRequest{Op: opGather})
+	resp, err := c.roundTrip(ctx, wireRequest{Op: opGather, Trace: flightrec.WireContext(ctx)})
 	if err != nil {
 		return core.Summary{}, err
 	}
@@ -377,12 +408,12 @@ func (c *TCPClient) Gather(ctx context.Context) (core.Summary, error) {
 
 // ApplyBudget implements RackClient.
 func (c *TCPClient) ApplyBudget(ctx context.Context, b power.Watts) error {
-	_, err := c.roundTrip(ctx, wireRequest{Op: opBudget, Budget: b})
+	_, err := c.roundTrip(ctx, wireRequest{Op: opBudget, Budget: b, Trace: flightrec.WireContext(ctx)})
 	return err
 }
 
 // Ping checks liveness of the rack server.
 func (c *TCPClient) Ping(ctx context.Context) error {
-	_, err := c.roundTrip(ctx, wireRequest{Op: opPing})
+	_, err := c.roundTrip(ctx, wireRequest{Op: opPing, Trace: flightrec.WireContext(ctx)})
 	return err
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"capmaestro/internal/core"
+	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 )
 
@@ -93,9 +94,12 @@ func (w *RackWorker) Gather(ctx context.Context) (core.Summary, error) {
 	if err := ctx.Err(); err != nil {
 		return core.Summary{}, err
 	}
+	span := flightrec.TraceFrom(ctx).StartSpan("rack.gather", w.id, flightrec.ParentIDFrom(ctx))
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return core.Summarize(w.tree, w.policy)
+	s, err := core.Summarize(w.tree, w.policy)
+	span.End(err)
+	return s, err
 }
 
 // ApplyBudget distributes the budget assigned by the room worker down the
@@ -104,9 +108,12 @@ func (w *RackWorker) ApplyBudget(ctx context.Context, b power.Watts) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	pt := flightrec.TraceFrom(ctx)
+	span := pt.StartSpan("rack.apply", w.id, flightrec.ParentIDFrom(ctx))
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	alloc, err := core.Allocate(w.tree, b, w.policy)
+	alloc, err := core.AllocateExplained(w.tree, b, w.policy, pt.ExplainSink())
+	span.End(err)
 	if err != nil {
 		w.met.applyErrors.Inc()
 		if w.log != nil {
@@ -210,6 +217,7 @@ type RoomWorker struct {
 	budgetLogDelta power.Watts
 	stalenessBound int
 	failsafe       power.Watts
+	recorder       *flightrec.Recorder
 
 	// runMu serializes control periods and guards the tree: only RunPeriod
 	// writes proxy summaries and walks the tree for allocation.
@@ -277,6 +285,7 @@ func NewRoomWorker(tree *core.Node, budget power.Watts, policy core.Policy, rack
 		budgetLogDelta: o.budgetLogDelta,
 		stalenessBound: o.stalenessBound,
 		failsafe:       o.failsafeBudget,
+		recorder:       o.recorder,
 		rackDown:       make(map[string]bool, len(racks)),
 		rackStale:      make(map[string]int, len(racks)),
 		rackSeen:       make(map[string]bool, len(racks)),
@@ -324,8 +333,19 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 		w.log.Debug("control period start", "racks", len(w.racks))
 	}
 
+	// With a flight recorder attached, the whole period runs under one
+	// trace: a per-period root span, per-phase children, and one RPC span
+	// per rack that the rack's own spans (shipped back over the transport)
+	// nest under. All span calls no-op when pt is nil.
+	var pt *flightrec.PeriodTrace
+	if w.recorder.Enabled() {
+		pt = flightrec.NewPeriodTrace()
+	}
+	root := pt.StartSpan("period", "room", "")
+
 	// Metrics gathering phase, in parallel across racks, without any lock
 	// held across the RPCs.
+	gatherSpan := pt.StartSpan("gather", "room", root.ID())
 	type gatherResult struct {
 		id      string
 		summary core.Summary
@@ -334,10 +354,12 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 	results := make(chan gatherResult, len(w.racks))
 	for id, client := range w.racks {
 		go func(id string, client RackClient) {
-			s, err := client.Gather(ctx)
+			span := pt.StartSpan("rpc.gather", id, gatherSpan.ID())
+			s, err := client.Gather(flightrec.ContextWithSpan(ctx, pt, span))
 			if err == nil {
 				err = s.Validate()
 			}
+			span.End(err)
 			results <- gatherResult{id: id, summary: s, err: err}
 		}(id, client)
 	}
@@ -351,9 +373,11 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 		}
 		fresh[r.id] = r.summary
 	}
+	gatherSpan.End(nil)
 	if err := ctx.Err(); err != nil {
 		// Cancelled mid-gather (typically clean shutdown): the per-rack
-		// context errors carry no signal about rack health.
+		// context errors carry no signal about rack health, and no period
+		// record is written — a shutdown is not a period.
 		return nil, stats, err
 	}
 	stats.GatherErrors = len(failed)
@@ -379,13 +403,17 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 
 	// Budgeting phase over the upper tree.
 	allocStart := time.Now()
-	alloc, err := core.Allocate(w.tree, w.budget, w.policy)
+	allocSpan := pt.StartSpan("allocate", "room", root.ID())
+	alloc, err := core.AllocateExplained(w.tree, w.budget, w.policy, pt.ExplainSink())
+	allocSpan.End(err)
 	if err != nil {
 		stats.Elapsed = time.Since(start)
 		if w.log != nil {
 			w.log.Error("room allocation failed", "err", err)
 		}
 		w.commitPeriod(nil, stats)
+		root.End(err)
+		w.recordPeriod(pt, start, stats, nil, err)
 		return nil, stats, err
 	}
 	w.met.allocateSeconds.ObserveSince(allocStart)
@@ -394,6 +422,7 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 	// Push budgets down, in parallel, skipping held racks. Like the gather
 	// phase, no lock is held across the RPCs.
 	pushStart := time.Now()
+	pushSpan := pt.StartSpan("push", "room", root.ID())
 	errs := make(chan error, len(w.racks))
 	pushed := 0
 	for id, client := range w.racks {
@@ -404,7 +433,10 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 		}
 		pushed++
 		go func(id string, client RackClient) {
-			errs <- client.ApplyBudget(ctx, alloc.NodeBudgets[id])
+			span := pt.StartSpan("rpc.apply", id, pushSpan.ID())
+			e := client.ApplyBudget(flightrec.ContextWithSpan(ctx, pt, span), alloc.NodeBudgets[id])
+			span.End(e)
+			errs <- e
 		}(id, client)
 	}
 	for i := 0; i < pushed; i++ {
@@ -412,11 +444,14 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 			stats.ApplyErrors++
 		}
 	}
+	pushSpan.End(nil)
 	w.met.pushSeconds.ObserveSince(pushStart)
 	w.met.applyErrors.Add(float64(stats.ApplyErrors))
 
 	stats.Elapsed = time.Since(start)
 	w.commitPeriod(alloc, stats)
+	root.End(nil)
+	w.recordPeriod(pt, start, stats, alloc, nil)
 	w.met.budget.Set(float64(w.budget))
 	if w.log != nil {
 		if stats.GatherErrors > 0 || stats.ApplyErrors > 0 || stats.BudgetsHeld > 0 {
@@ -503,6 +538,33 @@ func (w *RoomWorker) commitPeriod(alloc *core.Allocation, stats PeriodStats) {
 	w.met.periods.Inc()
 }
 
+// recordPeriod writes one completed period (successful or failed at
+// allocation) into the flight recorder. Periods aborted by context
+// cancellation are never recorded.
+func (w *RoomWorker) recordPeriod(pt *flightrec.PeriodTrace, start time.Time, stats PeriodStats, alloc *core.Allocation, err error) {
+	if pt == nil {
+		return
+	}
+	rec := flightrec.PeriodRecord{
+		TraceID:      pt.TraceID(),
+		Start:        start,
+		Duration:     stats.Elapsed,
+		Label:        "room",
+		GatherErrors: stats.GatherErrors,
+		ApplyErrors:  stats.ApplyErrors,
+		BudgetsHeld:  stats.BudgetsHeld,
+		Spans:        pt.Spans(),
+		Explains:     pt.Explains(),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	if alloc != nil {
+		rec.Infeasible = alloc.Infeasible
+	}
+	w.recorder.Add(rec)
+}
+
 // noteRackBudgets updates per-rack budget gauges and logs changes larger
 // than the configured delta.
 func (w *RoomWorker) noteRackBudgets(alloc *core.Allocation) {
@@ -559,6 +621,37 @@ func (w *RoomWorker) LastStats() PeriodStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.lastStats
+}
+
+// RackFreshness describes one rack's gather freshness, as reported in the
+// /healthz detail body.
+type RackFreshness struct {
+	// StalePeriods counts consecutive control periods since the rack's
+	// last successful gather (0 = fresh last period).
+	StalePeriods int `json:"stale_periods"`
+	// EverGathered reports whether any gather has ever succeeded.
+	EverGathered bool `json:"ever_gathered"`
+	// Held reports whether the rack's budget pushes are currently held.
+	Held bool `json:"held"`
+	// LastBudget is the budget most recently pushed to the rack.
+	LastBudget power.Watts `json:"last_budget_watts"`
+}
+
+// RackFreshness returns per-rack freshness detail for health reporting.
+// It never blocks on in-flight rack RPCs.
+func (w *RoomWorker) RackFreshness() map[string]RackFreshness {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string]RackFreshness, len(w.racks))
+	for id := range w.racks {
+		out[id] = RackFreshness{
+			StalePeriods: w.rackStale[id],
+			EverGathered: w.rackSeen[id],
+			Held:         w.rackHeld[id],
+			LastBudget:   w.rackBudgets[id],
+		}
+	}
+	return out
 }
 
 // Healthy reports the room worker's health for a /healthz endpoint: nil

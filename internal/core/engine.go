@@ -38,6 +38,7 @@ type Allocator struct {
 	byID       map[string]int
 	scratch    distScratch
 	infeasible bool
+	sink       ExplainSink // optional per-node audit stream; nil = free
 }
 
 // NewAllocator validates the tree and flattens it for repeated allocation.
@@ -163,6 +164,9 @@ func (a *Allocator) Run(budget power.Watts, policy Policy) (infeasible bool) {
 		if distributeInto(b, children, a.budgets[fn.childStart:fn.childEnd], &a.scratch) {
 			a.infeasible = true
 		}
+	}
+	if a.sink != nil {
+		a.explainAll()
 	}
 	return a.infeasible
 }

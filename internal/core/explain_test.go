@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"capmaestro/internal/power"
+)
+
+// collectExplains runs AllocateExplained and indexes the records by node ID.
+func collectExplains(t *testing.T, root *Node, budget power.Watts, policy Policy) (map[string]NodeExplain, *Allocation) {
+	t.Helper()
+	byID := make(map[string]NodeExplain)
+	alloc, err := AllocateExplained(root, budget, policy, ExplainFunc(func(e NodeExplain) {
+		if _, dup := byID[e.NodeID]; dup {
+			t.Fatalf("node %s explained twice", e.NodeID)
+		}
+		byID[e.NodeID] = e
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return byID, alloc
+}
+
+func TestExplainMatchesAllocation(t *testing.T) {
+	root := NewShifting("root", 1400,
+		NewShifting("left", 750, leaf("a", "SA", 1, 1, 430)),
+		NewShifting("right", 750, leaf("b", "SB", 0, 1, 430)),
+	)
+	byID, alloc := collectExplains(t, root, 900, GlobalPriority)
+	if len(byID) != 5 {
+		t.Fatalf("got %d explains, want one per node (5)", len(byID))
+	}
+	for id, e := range byID {
+		if want := alloc.NodeBudgets[id]; !power.ApproxEqual(e.Granted, want, 0.01) {
+			t.Errorf("%s: explained grant %v != allocated budget %v", id, e.Granted, want)
+		}
+		if e.Phase != PhasePreferred {
+			t.Errorf("%s: phase %q, want preferred", id, e.Phase)
+		}
+	}
+	a, b := byID["a"], byID["b"]
+	if !a.Leaf || a.SupplyID != "a" || a.ServerID != "SA" || a.Priority != 1 {
+		t.Errorf("leaf identity not carried: %+v", a)
+	}
+	// 900 W over demand 860: both leaves demand-satisfied.
+	if a.Clamp != ClampDemand {
+		t.Errorf("a clamp = %q, want demand (granted %v, demand %v)", a.Clamp, a.Granted, a.Demand)
+	}
+	if b.Clamp != ClampDemand {
+		t.Errorf("b clamp = %q, want demand", b.Clamp)
+	}
+	// The root's priority is the highest one beneath it.
+	if byID["root"].Priority != 1 {
+		t.Errorf("root priority = %v, want 1 (highest level present)", byID["root"].Priority)
+	}
+}
+
+func TestExplainClampShare(t *testing.T) {
+	// 700 W over two 430 W same-priority leaves: both lose the share
+	// contest — granted below demand and below their own constraints.
+	root := NewShifting("root", 1400,
+		NewShifting("left", 750, leaf("a", "SA", 0, 1, 430)),
+		NewShifting("right", 750, leaf("b", "SB", 0, 1, 430)),
+	)
+	byID, _ := collectExplains(t, root, 700, GlobalPriority)
+	for _, id := range []string{"a", "b"} {
+		e := byID[id]
+		if e.Clamp != ClampShare {
+			t.Errorf("%s clamp = %q (granted %v, demand %v, constraint %v), want share",
+				id, e.Clamp, e.Granted, e.Demand, e.Constraint)
+		}
+	}
+	// The root itself is pinned at the offered budget < demand, with no
+	// constraint binding: also a share outcome.
+	if e := byID["root"]; e.Clamp != ClampShare {
+		t.Errorf("root clamp = %q, want share", e.Clamp)
+	}
+}
+
+func TestExplainClampCap(t *testing.T) {
+	// Ample budget but a tight branch circuit: the left branch (and its
+	// leaf) pin at the 300 W constraint.
+	root := NewShifting("root", 2000,
+		NewShifting("left", 300, leaf("a", "SA", 0, 1, 430)),
+		NewShifting("right", 750, leaf("b", "SB", 0, 1, 430)),
+	)
+	byID, _ := collectExplains(t, root, 2000, GlobalPriority)
+	if e := byID["left"]; e.Clamp != ClampCap || !power.ApproxEqual(e.Granted, 300, 0.01) {
+		t.Errorf("left = %+v, want cap-clamped at 300", e)
+	}
+	if e := byID["b"]; e.Clamp != ClampDemand {
+		t.Errorf("b clamp = %q, want demand", e.Clamp)
+	}
+}
+
+func TestExplainClampInfeasible(t *testing.T) {
+	// 400 W cannot cover 2×270 W of Pcap_min.
+	root := NewShifting("root", 1400,
+		leaf("a", "SA", 0, 1, 430),
+		leaf("b", "SB", 0, 1, 430),
+	)
+	byID, alloc := collectExplains(t, root, 400, GlobalPriority)
+	if !alloc.Infeasible {
+		t.Fatal("expected infeasible allocation")
+	}
+	if e := byID["root"]; e.Clamp != ClampInfeasible {
+		t.Errorf("root clamp = %q, want infeasible", e.Clamp)
+	}
+}
+
+func TestExplainNilSinkEquivalence(t *testing.T) {
+	// The sink must observe the allocation, never change it.
+	build := func() *Node {
+		x, _ := fig7Trees()
+		return x
+	}
+	plain, err := Allocate(build(), 700, GlobalPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explained, err := AllocateExplained(build(), 700, GlobalPriority, ExplainFunc(func(NodeExplain) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range plain.NodeBudgets {
+		if got := explained.NodeBudgets[id]; got != want {
+			t.Errorf("%s: budget %v with sink, %v without", id, got, want)
+		}
+	}
+}
+
+func TestExplainSinkDetach(t *testing.T) {
+	x, _ := fig7Trees()
+	a, err := NewAllocator(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	a.SetExplainSink(ExplainFunc(func(NodeExplain) { n++ }))
+	a.Run(700, GlobalPriority)
+	if n != a.Len() {
+		t.Fatalf("sink saw %d explains, want %d", n, a.Len())
+	}
+	a.SetExplainSink(nil)
+	a.Run(700, GlobalPriority)
+	if n != a.Len() {
+		t.Fatalf("detached sink still consulted: %d explains", n)
+	}
+}
+
+func TestExplainSPOPhases(t *testing.T) {
+	// Figure 7a: the SPO pass moves the Y-side budgets (donors SC-y/SD-y
+	// shrink, SB-y receives) — those must report PhaseSPO; SA's X-side
+	// grant is untouched and stays PhasePreferred.
+	x, y := fig7Trees()
+	byID := make(map[string]NodeExplain)
+	_, report, err := AllocateWithSPOExplained([]*Node{x, y}, []power.Watts{700, 700}, GlobalPriority,
+		ExplainFunc(func(e NodeExplain) { byID[e.NodeID] = e }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Stranded) == 0 {
+		t.Fatal("fixture should strand power")
+	}
+	for _, id := range []string{"SB-y", "SC-y", "SD-y"} {
+		if e := byID[id]; e.Phase != PhaseSPO {
+			t.Errorf("%s phase = %q, want spo (granted %v)", id, e.Phase, e.Granted)
+		}
+	}
+	if e := byID["SA-x"]; e.Phase != PhasePreferred {
+		t.Errorf("SA-x phase = %q, want preferred (granted %v)", e.Phase, e.Granted)
+	}
+	// Donors end cap-clamped at their usable watts.
+	if e := byID["SC-y"]; e.Clamp != ClampCap {
+		t.Errorf("SC-y clamp = %q, want cap (pinned at usable)", e.Clamp)
+	}
+}
+
+func TestExplainSPONoStrandingFlushesFirstPass(t *testing.T) {
+	// Without stranding the buffered first-pass explains must still reach
+	// the sink, all marked preferred.
+	mk := func(feed string) *Node {
+		return NewShifting(feed+"-top", 0,
+			NewLeaf("s1-"+feed, SupplyLeaf{SupplyID: "s1-" + feed, ServerID: "s1", Share: 0.5,
+				CapMin: 270, CapMax: 490, Demand: 400}),
+			NewLeaf("s2-"+feed, SupplyLeaf{SupplyID: "s2-" + feed, ServerID: "s2", Share: 0.5,
+				CapMin: 270, CapMax: 490, Demand: 400}),
+		)
+	}
+	var n, spo int
+	_, report, err := AllocateWithSPOExplained([]*Node{mk("x"), mk("y")}, []power.Watts{400, 400},
+		GlobalPriority, ExplainFunc(func(e NodeExplain) {
+			n++
+			if e.Phase == PhaseSPO {
+				spo++
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Stranded) != 0 {
+		t.Fatal("fixture should not strand")
+	}
+	if n != 6 {
+		t.Errorf("got %d explains, want 6 (one per node)", n)
+	}
+	if spo != 0 {
+		t.Errorf("%d nodes marked spo without a second pass", spo)
+	}
+}

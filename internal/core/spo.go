@@ -107,6 +107,12 @@ type SPOReport struct {
 // root budget for trees[i]; a nil budgets slice uses each root's
 // constraint.
 func AllocateAll(trees []*Node, budgets []power.Watts, policy Policy) ([]*Allocation, error) {
+	return AllocateAllExplained(trees, budgets, policy, nil)
+}
+
+// AllocateAllExplained is AllocateAll with a per-node explanation stream:
+// sink (may be nil) receives one NodeExplain per node of every tree.
+func AllocateAllExplained(trees []*Node, budgets []power.Watts, policy Policy, sink ExplainSink) ([]*Allocation, error) {
 	if budgets != nil && len(budgets) != len(trees) {
 		return nil, fmt.Errorf("core: %d budgets for %d trees", len(budgets), len(trees))
 	}
@@ -116,7 +122,7 @@ func AllocateAll(trees []*Node, budgets []power.Watts, policy Policy) ([]*Alloca
 		if budgets != nil {
 			b = budgets[i]
 		}
-		a, err := Allocate(t, b, policy)
+		a, err := AllocateExplained(t, b, policy, sink)
 		if err != nil {
 			return nil, fmt.Errorf("core: tree %d: %w", i, err)
 		}
@@ -132,7 +138,24 @@ func AllocateAll(trees []*Node, budgets []power.Watts, policy Policy) ([]*Alloca
 // algorithm a second time so the freed power reaches servers that were
 // capped by the first pass. The trees are left unmodified.
 func AllocateWithSPO(trees []*Node, budgets []power.Watts, policy Policy) ([]*Allocation, *SPOReport, error) {
-	first, err := AllocateAll(trees, budgets, policy)
+	return AllocateWithSPOExplained(trees, budgets, policy, nil)
+}
+
+// AllocateWithSPOExplained is AllocateWithSPO with a per-node explanation
+// stream for the pass that produced the returned allocations. Nodes whose
+// grant was changed by the stranded-power redistribution (donors pinned to
+// their usable watts, recipients of the freed power, and any ancestors
+// whose budgets moved) carry Phase PhaseSPO; everything else reports
+// PhasePreferred. sink may be nil.
+func AllocateWithSPOExplained(trees []*Node, budgets []power.Watts, policy Policy, sink ExplainSink) ([]*Allocation, *SPOReport, error) {
+	// Buffer the first pass's explains: they are the final story only if
+	// no stranded power is found and no second pass runs.
+	var firstExplains []NodeExplain
+	var firstSink ExplainSink
+	if sink != nil {
+		firstSink = ExplainFunc(func(e NodeExplain) { firstExplains = append(firstExplains, e) })
+	}
+	first, err := AllocateAllExplained(trees, budgets, policy, firstSink)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -183,10 +206,32 @@ func AllocateWithSPO(trees []*Node, budgets []power.Watts, policy Policy) ([]*Al
 	})
 
 	if len(report.Stranded) == 0 {
+		if sink != nil {
+			for _, e := range firstExplains {
+				sink.Explain(e)
+			}
+		}
 		return first, report, nil
 	}
 	defer restore()
-	second, err := AllocateAll(trees, budgets, policy)
+	// The second pass supersedes the first: its explains are the final
+	// attribution, with nodes whose grants moved tagged as SPO-produced.
+	var secondSink ExplainSink
+	if sink != nil {
+		firstBudgets := make(map[string]power.Watts, len(firstExplains))
+		for _, a := range first {
+			for id, b := range a.NodeBudgets {
+				firstBudgets[id] = b
+			}
+		}
+		secondSink = ExplainFunc(func(e NodeExplain) {
+			if prev, ok := firstBudgets[e.NodeID]; !ok || !power.ApproxEqual(e.Granted, prev, epsilon) {
+				e.Phase = PhaseSPO
+			}
+			sink.Explain(e)
+		})
+	}
+	second, err := AllocateAllExplained(trees, budgets, policy, secondSink)
 	if err != nil {
 		return nil, nil, err
 	}

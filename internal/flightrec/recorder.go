@@ -1,0 +1,152 @@
+package flightrec
+
+import (
+	"sync"
+	"time"
+
+	"capmaestro/internal/core"
+)
+
+// DefaultBufferSize is the ring capacity used when a non-positive size is
+// requested.
+const DefaultBufferSize = 64
+
+// PeriodRecord is one control period's complete flight-recorder entry:
+// the span tree plus the allocator's per-node explain records.
+type PeriodRecord struct {
+	// ID is the recorder-assigned sequence number (monotonic; gaps never
+	// occur, but old IDs fall out of the ring).
+	ID       uint64        `json:"id"`
+	TraceID  string        `json:"trace_id"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	// Label distinguishes record sources when several components share a
+	// recorder (e.g. "room", a simulator phase).
+	Label string `json:"label,omitempty"`
+	// Err is the period-level failure, if the period did not complete.
+	Err string `json:"error,omitempty"`
+	// GatherErrors / ApplyErrors count racks that failed each phase.
+	GatherErrors int `json:"gather_errors,omitempty"`
+	ApplyErrors  int `json:"apply_errors,omitempty"`
+	// BudgetsHeld counts racks whose pushes were held (stale or never
+	// gathered).
+	BudgetsHeld int  `json:"budgets_held,omitempty"`
+	Infeasible  bool `json:"infeasible,omitempty"`
+
+	Spans    []Span             `json:"spans"`
+	Explains []core.NodeExplain `json:"explains,omitempty"`
+}
+
+// PeriodSummary is the list-view projection of a PeriodRecord, served by
+// /debug/periods.
+type PeriodSummary struct {
+	ID           uint64        `json:"id"`
+	TraceID      string        `json:"trace_id"`
+	Start        time.Time     `json:"start"`
+	Duration     time.Duration `json:"duration_ns"`
+	Label        string        `json:"label,omitempty"`
+	Err          string        `json:"error,omitempty"`
+	GatherErrors int           `json:"gather_errors,omitempty"`
+	ApplyErrors  int           `json:"apply_errors,omitempty"`
+	BudgetsHeld  int           `json:"budgets_held,omitempty"`
+	Infeasible   bool          `json:"infeasible,omitempty"`
+	Spans        int           `json:"spans"`
+	Explains     int           `json:"explains"`
+}
+
+// Recorder retains the last N PeriodRecords in a fixed-size ring buffer.
+// It is safe for concurrent use, and a nil Recorder no-ops (Enabled
+// reports false), so components take a *Recorder unconditionally.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []PeriodRecord
+	next uint64 // sequence number of the next record
+	n    int    // records currently held (≤ len(ring))
+	head int    // ring index the next record lands in
+}
+
+// NewRecorder builds a recorder holding the last size periods
+// (DefaultBufferSize when size <= 0).
+func NewRecorder(size int) *Recorder {
+	if size <= 0 {
+		size = DefaultBufferSize
+	}
+	return &Recorder{ring: make([]PeriodRecord, size)}
+}
+
+// Enabled reports whether records are being retained.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Add assigns the record its sequence ID and stores it, evicting the
+// oldest record when the ring is full. The assigned ID is returned.
+func (r *Recorder) Add(rec PeriodRecord) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec.ID = r.next
+	r.next++
+	r.ring[r.head] = rec
+	r.head = (r.head + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+	return rec.ID
+}
+
+// Get returns the record with the given sequence ID, if it is still in
+// the ring.
+func (r *Recorder) Get(id uint64) (PeriodRecord, bool) {
+	if r == nil {
+		return PeriodRecord{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	oldest := r.next - uint64(r.n)
+	if id < oldest || id >= r.next {
+		return PeriodRecord{}, false
+	}
+	idx := (r.head - int(r.next-id) + 2*len(r.ring)) % len(r.ring)
+	return r.ring[idx], true
+}
+
+// Records returns the retained records, oldest first.
+func (r *Recorder) Records() []PeriodRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PeriodRecord, 0, r.n)
+	start := (r.head - r.n + len(r.ring)) % len(r.ring)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	return out
+}
+
+// Summaries returns list-view projections of the retained records, newest
+// first (the order /debug/periods serves them in).
+func (r *Recorder) Summaries() []PeriodSummary {
+	recs := r.Records()
+	out := make([]PeriodSummary, 0, len(recs))
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := &recs[i]
+		out = append(out, PeriodSummary{
+			ID:           rec.ID,
+			TraceID:      rec.TraceID,
+			Start:        rec.Start,
+			Duration:     rec.Duration,
+			Label:        rec.Label,
+			Err:          rec.Err,
+			GatherErrors: rec.GatherErrors,
+			ApplyErrors:  rec.ApplyErrors,
+			BudgetsHeld:  rec.BudgetsHeld,
+			Infeasible:   rec.Infeasible,
+			Spans:        len(rec.Spans),
+			Explains:     len(rec.Explains),
+		})
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+// Package logging centralizes the slog setup shared by the repo's
+// binaries: a -log-level / -log-format flag pair and a constructor that
+// turns them into a configured *slog.Logger.
+package logging
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Options holds the values of the logging flags.
+type Options struct {
+	Level  string // debug | info | warn | error
+	Format string // text | json
+}
+
+// RegisterFlags registers -log-level and -log-format on fs (the process
+// flag set, typically flag.CommandLine) and returns the Options the
+// parsed values land in.
+func RegisterFlags(fs *flag.FlagSet) *Options {
+	o := &Options{Level: "info", Format: "text"}
+	fs.StringVar(&o.Level, "log-level", o.Level, "log verbosity: debug | info | warn | error")
+	fs.StringVar(&o.Format, "log-format", o.Format, "log output format: text | json")
+	return o
+}
+
+// Logger builds a logger writing to w per the parsed flags.
+func (o *Options) Logger(w io.Writer) (*slog.Logger, error) {
+	return New(w, o.Level, o.Format)
+}
+
+// New builds a logger writing to w at the given level ("debug", "info",
+// "warn", "error") in the given format ("text" or "json").
+func New(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("logging: unknown level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("logging: unknown format %q (want text|json)", format)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"capmaestro/internal/breaker"
 	"capmaestro/internal/capping"
 	"capmaestro/internal/core"
+	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 	"capmaestro/internal/server"
 	"capmaestro/internal/telemetry"
@@ -82,6 +83,9 @@ type Config struct {
 	// Logger receives structured events (breaker trips, feed failures,
 	// invariant violations). Nil disables event logging.
 	Logger *slog.Logger
+	// FlightRecorder retains each control period's allocation trace and
+	// per-node explain records. Nil disables recording.
+	FlightRecorder *flightrec.Recorder
 }
 
 // Simulator is a running simulation.
@@ -109,10 +113,11 @@ type Simulator struct {
 	invariantViolations []string
 	infeasiblePeriods   int
 
-	events []event
-	now    time.Duration
-	rec    *trace.Recorder
-	log    *slog.Logger
+	events    []event
+	now       time.Duration
+	rec       *trace.Recorder
+	log       *slog.Logger
+	flightRec *flightrec.Recorder
 
 	metBreakerTrips *telemetry.Counter
 	metInfeasible   *telemetry.Counter
@@ -166,6 +171,7 @@ func New(cfg Config) (*Simulator, error) {
 		lastAllocs:    make(map[topology.FeedID]*core.Allocation),
 		rec:           trace.NewRecorder(),
 		log:           cfg.Logger,
+		flightRec:     cfg.FlightRecorder,
 		traceNodes:    toSet(cfg.TraceNodes),
 		traceSupplies: toSet(cfg.TraceSupplies),
 		traceServers:  toSet(cfg.TraceServers),
@@ -492,16 +498,28 @@ func (s *Simulator) controlPeriod() {
 		return
 	}
 
+	// With a flight recorder attached, the period's allocation is traced
+	// and every node's explain record retained; all calls no-op when the
+	// recorder (and thus pt) is nil.
+	var pt *flightrec.PeriodTrace
+	if s.flightRec.Enabled() {
+		pt = flightrec.NewPeriodTrace()
+	}
+	periodStart := time.Now()
+	root := pt.StartSpan("period", "sim", "")
+	allocSpan := pt.StartSpan("allocate", "sim", root.ID())
+
 	var (
 		allocs []*core.Allocation
 		report *core.SPOReport
 		err    error
 	)
 	if s.spo {
-		allocs, report, err = core.AllocateWithSPO(trees, budgets, s.policy)
+		allocs, report, err = core.AllocateWithSPOExplained(trees, budgets, s.policy, pt.ExplainSink())
 	} else {
-		allocs, err = core.AllocateAll(trees, budgets, s.policy)
+		allocs, err = core.AllocateAllExplained(trees, budgets, s.policy, pt.ExplainSink())
 	}
+	allocSpan.End(err)
 	if err != nil {
 		panic(fmt.Sprintf("sim: allocation failed: %v", err)) // trees are built validated
 	}
@@ -544,6 +562,24 @@ func (s *Simulator) controlPeriod() {
 
 	for _, id := range s.serverIDs() {
 		s.controllers[id].Iterate()
+	}
+
+	if pt != nil {
+		root.End(nil)
+		rec := flightrec.PeriodRecord{
+			TraceID:  pt.TraceID(),
+			Start:    periodStart,
+			Duration: time.Since(periodStart),
+			Label:    fmt.Sprintf("sim t=%s", s.now),
+			Spans:    pt.Spans(),
+			Explains: pt.Explains(),
+		}
+		for _, a := range allocs {
+			if a.Infeasible {
+				rec.Infeasible = true
+			}
+		}
+		s.flightRec.Add(rec)
 	}
 }
 

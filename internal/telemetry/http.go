@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -14,24 +16,35 @@ import (
 // Server exposes a registry over HTTP:
 //
 //	/metrics     Prometheus text exposition format
-//	/healthz     200 "ok" while every registered health check passes,
-//	             503 with the failing checks otherwise
+//	/healthz     JSON health report: 200 while every registered health
+//	             check passes, 503 with the failing checks otherwise;
+//	             detail providers (AddHealthDetail) enrich the body
 //	/debug/vars  expvar-style JSON snapshot of every metric
+//
+// Additional handlers mount dynamically with Handle (e.g. a flight
+// recorder's debug endpoints) or EnablePprof, before or after Serve.
 //
 // Create one with NewServer (handler only, for embedding or tests) or
 // Serve (binds a listener and serves in the background).
 type Server struct {
 	reg *Registry
 
-	mu     sync.Mutex
-	checks map[string]func() error
-	ln     net.Listener
-	srv    *http.Server
+	mu      sync.Mutex
+	checks  map[string]func() error
+	details map[string]func() any
+	mounts  map[string]http.Handler
+	ln      net.Listener
+	srv     *http.Server
 }
 
 // NewServer wraps a registry in an HTTP handler without binding a port.
 func NewServer(reg *Registry) *Server {
-	return &Server{reg: reg, checks: make(map[string]func() error)}
+	return &Server{
+		reg:     reg,
+		checks:  make(map[string]func() error),
+		details: make(map[string]func() any),
+		mounts:  make(map[string]http.Handler),
+	}
 }
 
 // Serve starts an HTTP server for the registry on addr (e.g.
@@ -77,6 +90,49 @@ func (s *Server) AddHealthCheck(name string, check func() error) {
 	s.checks[name] = check
 }
 
+// AddHealthDetail registers a named detail provider whose value is
+// embedded in the /healthz JSON body under "details" — freshness maps,
+// uptime counters, anything json.Marshal accepts. Details never affect
+// the health verdict. Nil-safe.
+func (s *Server) AddHealthDetail(name string, detail func() any) {
+	if s == nil || detail == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.details[name] = detail
+}
+
+// Handle mounts an extra handler on the server, before or after Serve. A
+// pattern ending in "/" matches the whole subtree; otherwise the match is
+// exact. Mounted patterns take precedence over the built-in endpoints.
+// Nil-safe.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if s == nil || pattern == "" || h == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mounts[pattern] = h
+}
+
+// EnablePprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/, so CPU, heap, and goroutine profiles are one
+// `go tool pprof` away. Off unless called: the profile endpoints can
+// perturb the control loop and should be an explicit operator choice.
+func (s *Server) EnablePprof() {
+	if s == nil {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.Handle("/debug/pprof/", mux)
+}
+
 // Health runs every registered check and returns the failures, keyed by
 // check name. An empty map means healthy.
 func (s *Server) Health() map[string]error {
@@ -98,13 +154,38 @@ func (s *Server) Health() map[string]error {
 	return failures
 }
 
-// Handler returns the HTTP handler serving the three endpoints.
+// Handler returns the HTTP handler serving the built-in endpoints plus
+// everything mounted with Handle, including mounts added after Serve.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/vars", s.handleVars)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := s.mountFor(r.URL.Path); h != nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// mountFor resolves a dynamically mounted handler for path: an exact
+// pattern first, then the longest matching trailing-"/" prefix pattern.
+func (s *Server) mountFor(path string) http.Handler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.mounts[path]; ok {
+		return h
+	}
+	var best string
+	var bestH http.Handler
+	for pattern, h := range s.mounts {
+		if strings.HasSuffix(pattern, "/") && strings.HasPrefix(path, pattern) && len(pattern) > len(best) {
+			best, bestH = pattern, h
+		}
+	}
+	return bestH
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -112,23 +193,57 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.reg.WritePrometheus(w)
 }
 
+// healthReport is the /healthz response body.
+type healthReport struct {
+	// Status is "ok" or "unhealthy".
+	Status string `json:"status"`
+	// Checks maps every registered check to "ok" or its error string.
+	Checks map[string]string `json:"checks,omitempty"`
+	// Details carries the detail providers' values (e.g. per-rack
+	// freshness), purely informational.
+	Details map[string]any `json:"details,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	failures := s.Health()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if len(failures) == 0 {
-		fmt.Fprintln(w, "ok")
-		return
+	report := healthReport{Status: "ok"}
+	if len(failures) > 0 {
+		report.Status = "unhealthy"
 	}
-	names := make([]string, 0, len(failures))
-	for name := range failures {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.checks))
+	for name := range s.checks {
 		names = append(names, name)
 	}
-	sort.Strings(names)
-	w.WriteHeader(http.StatusServiceUnavailable)
-	fmt.Fprintln(w, "unhealthy")
-	for _, name := range names {
-		fmt.Fprintf(w, "%s: %v\n", name, failures[name])
+	details := make(map[string]func() any, len(s.details))
+	for name, fn := range s.details {
+		details[name] = fn
 	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	if len(names) > 0 {
+		report.Checks = make(map[string]string, len(names))
+		for _, name := range names {
+			if err, failed := failures[name]; failed {
+				report.Checks[name] = err.Error()
+			} else {
+				report.Checks[name] = "ok"
+			}
+		}
+	}
+	if len(details) > 0 {
+		report.Details = make(map[string]any, len(details))
+		for name, fn := range details {
+			report.Details[name] = fn()
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if len(failures) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(report)
 }
 
 func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {

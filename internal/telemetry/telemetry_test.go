@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -235,4 +237,147 @@ func TestVecSchemaMismatchPanics(t *testing.T) {
 		}
 	}()
 	reg.Gauge("m_total", "")
+}
+
+// TestDynamicMounts covers Handle: exact and subtree patterns, precedence
+// over built-ins, and mounts added after the handler was built (the
+// flight-recorder / pprof wiring depends on post-Serve mounting).
+func TestDynamicMounts(t *testing.T) {
+	srv := NewServer(NewRegistry())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// Nothing mounted yet.
+	if code, _ := get("/debug/periods"); code != http.StatusNotFound {
+		t.Fatalf("unmounted path = %d, want 404", code)
+	}
+
+	// Mounting after the handler was built still takes effect.
+	srv.Handle("/debug/periods", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "exact")
+	}))
+	srv.Handle("/debug/tree/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "subtree:", r.URL.Path)
+	}))
+	if _, body := get("/debug/periods"); body != "exact" {
+		t.Errorf("exact mount body = %q", body)
+	}
+	if _, body := get("/debug/tree/a/b"); body != "subtree:/debug/tree/a/b" {
+		t.Errorf("subtree mount body = %q", body)
+	}
+	// Exact mounts win over subtree prefixes; mounts win over built-ins.
+	srv.Handle("/debug/tree/pin", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "pinned")
+	}))
+	if _, body := get("/debug/tree/pin"); body != "pinned" {
+		t.Errorf("exact-over-subtree body = %q", body)
+	}
+	srv.Handle("/healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "shadowed")
+	}))
+	if _, body := get("/healthz"); body != "shadowed" {
+		t.Errorf("mount did not shadow built-in: %q", body)
+	}
+
+	// Nil-safety of the mounting surface.
+	var nilSrv *Server
+	nilSrv.Handle("/x", http.NotFoundHandler())
+	nilSrv.EnablePprof()
+	srv.Handle("", http.NotFoundHandler())
+	srv.Handle("/y", nil)
+}
+
+// TestPprofMount verifies EnablePprof exposes the profiling index and that
+// it is absent by default.
+func TestPprofMount(t *testing.T) {
+	srv := NewServer(NewRegistry())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof mounted without EnablePprof: %d", resp.StatusCode)
+	}
+
+	srv.EnablePprof()
+	resp, err = http.Get(ts.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(b), "goroutine") {
+		t.Errorf("pprof goroutine profile = %d %q", resp.StatusCode, string(b[:min(len(b), 120)]))
+	}
+}
+
+// TestHealthzDetails verifies the JSON health body: per-check verdicts and
+// detail-provider payloads, with details never flipping the verdict.
+func TestHealthzDetails(t *testing.T) {
+	srv := NewServer(NewRegistry())
+	healthy := true
+	srv.AddHealthCheck("room", func() error {
+		if healthy {
+			return nil
+		}
+		return fmt.Errorf("all 2 rack gathers failed")
+	})
+	srv.AddHealthDetail("racks", func() any {
+		return map[string]any{"rack0": map[string]any{"stale_periods": 3, "held": true}}
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fetch := func() (int, map[string]any) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var report map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+			t.Fatalf("/healthz not JSON: %v", err)
+		}
+		return resp.StatusCode, report
+	}
+
+	code, report := fetch()
+	if code != 200 || report["status"] != "ok" {
+		t.Fatalf("healthy report = %d %v", code, report)
+	}
+	checks := report["checks"].(map[string]any)
+	if checks["room"] != "ok" {
+		t.Errorf("healthy check verdict = %v", checks["room"])
+	}
+	details := report["details"].(map[string]any)
+	rack0 := details["racks"].(map[string]any)["rack0"].(map[string]any)
+	if rack0["stale_periods"] != float64(3) || rack0["held"] != true {
+		t.Errorf("detail payload = %v", rack0)
+	}
+
+	healthy = false
+	code, report = fetch()
+	if code != http.StatusServiceUnavailable || report["status"] != "unhealthy" {
+		t.Fatalf("unhealthy report = %d %v", code, report)
+	}
+	if v := report["checks"].(map[string]any)["room"]; v != "all 2 rack gathers failed" {
+		t.Errorf("failing check verdict = %v", v)
+	}
+	if _, ok := report["details"].(map[string]any)["racks"]; !ok {
+		t.Error("details dropped from unhealthy report")
+	}
 }
