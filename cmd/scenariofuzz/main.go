@@ -1,0 +1,127 @@
+// Command scenariofuzz drives the scenario harness outside go test: it
+// generates and verifies seeded scenarios in bulk, minimizes any failure
+// to its smallest still-failing form, and writes it as replayable JSON.
+//
+//	scenariofuzz -count 1000 -seed 1 -out failures/
+//	scenariofuzz -replay failures/gen-178-min.json
+//	scenariofuzz -emit corpus/gen-42.json -seed 42
+//
+// A failing scenario written by one invocation replays bit-identically in
+// another (or in TestCorpusReplay once committed to testdata/corpus).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"capmaestro/internal/scenario"
+)
+
+func main() {
+	var (
+		count    = flag.Int("count", 100, "scenarios to generate and verify")
+		seed     = flag.Int64("seed", 1, "base seed; scenario i uses seed+i")
+		outDir   = flag.String("out", "failures", "directory for failing scenario JSONs")
+		replay   = flag.String("replay", "", "verify one scenario JSON file and exit")
+		emit     = flag.String("emit", "", "write the scenario for -seed to this file and exit (no verification)")
+		minimize = flag.Bool("minimize", true, "minimize failing scenarios before writing")
+	)
+	flag.Parse()
+
+	switch {
+	case *replay != "":
+		os.Exit(replayFile(*replay))
+	case *emit != "":
+		os.Exit(emitFile(*emit, *seed))
+	default:
+		os.Exit(sweep(*count, *seed, *outDir, *minimize))
+	}
+}
+
+func replayFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	sc, err := scenario.Load(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if err := scenario.Verify(sc); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", sc.Name, err)
+		return 1
+	}
+	fmt.Printf("ok %s (seed %d, %d servers, %d events, %ds)\n",
+		sc.Name, sc.Seed, len(sc.Servers), len(sc.Events), sc.DurationSec)
+	return 0
+}
+
+func emitFile(path string, seed int64) int {
+	sc := scenario.Generate(seed)
+	data, err := sc.MarshalStable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("wrote %s (seed %d)\n", path, seed)
+	return 0
+}
+
+func sweep(count int, seed int64, outDir string, minimize bool) int {
+	failures := 0
+	for i := 0; i < count; i++ {
+		s := seed + int64(i)
+		sc := scenario.Generate(s)
+		err := scenario.Verify(sc)
+		if err == nil {
+			continue
+		}
+		failures++
+		fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", s, err)
+		if minimize {
+			sc = scenario.Minimize(sc, func(c *scenario.Scenario) bool {
+				return scenario.Verify(c) != nil
+			})
+			if merr := scenario.Verify(sc); merr != nil {
+				fmt.Fprintf(os.Stderr, "  minimized to %d servers, %d events, %ds: %v\n",
+					len(sc.Servers), len(sc.Events), sc.DurationSec, merr)
+			}
+		}
+		if werr := writeFailure(outDir, sc); werr != nil {
+			fmt.Fprintln(os.Stderr, " ", werr)
+		}
+	}
+	fmt.Printf("%d/%d scenarios passed\n", count-failures, count)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+func writeFailure(dir string, sc *scenario.Scenario) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := sc.MarshalStable()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, sc.Name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "  wrote %s\n", path)
+	return nil
+}

@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"encoding/json"
+	"time"
+
+	"capmaestro/internal/sim"
+)
+
+// ServerEnd is one server's observable state at the end of a run.
+type ServerEnd struct {
+	ID       string  `json:"id"`
+	ACPower  float64 `json:"ac_power"`
+	Throttle float64 `json:"throttle"`
+}
+
+// EndState is a deterministic digest of a finished simulation, used to
+// assert that two runs of the same scenario are bit-identical.
+type EndState struct {
+	ClockSec          int         `json:"clock_sec"`
+	InfeasiblePeriods int         `json:"infeasible_periods"`
+	Violations        []string    `json:"violations,omitempty"`
+	Tripped           []string    `json:"tripped,omitempty"`
+	Servers           []ServerEnd `json:"servers"`
+}
+
+// CaptureEndState digests a simulator after a run. Server order follows
+// the simulator's sorted ID order, so equal states encode to equal bytes.
+func CaptureEndState(s *sim.Simulator) *EndState {
+	es := &EndState{
+		ClockSec:          int(s.Now() / time.Second),
+		InfeasiblePeriods: s.InfeasiblePeriods(),
+		Violations:        s.InvariantViolations(),
+		Tripped:           s.TrippedBreakers(),
+	}
+	for _, id := range s.ServerIDs() {
+		srv := s.Server(id)
+		es.Servers = append(es.Servers, ServerEnd{
+			ID:       id,
+			ACPower:  float64(srv.ACPower()),
+			Throttle: srv.ThrottleLevel(),
+		})
+	}
+	return es
+}
+
+// Marshal renders the end state deterministically.
+func (es *EndState) Marshal() ([]byte, error) {
+	return json.MarshalIndent(es, "", "  ")
+}
+
+// RunToEnd builds the scenario's simulator, runs the full duration, and
+// returns the end-state digest.
+func RunToEnd(sc *Scenario) (*EndState, error) {
+	s, err := sc.BuildSim()
+	if err != nil {
+		return nil, err
+	}
+	s.Run(time.Duration(sc.DurationSec) * time.Second)
+	return CaptureEndState(s), nil
+}

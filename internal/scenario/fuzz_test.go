@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScenarioVerify is the main fuzz target: any seed must generate a
+// scenario that survives the full battery — differential oracle, priority
+// ledger, allocation invariants, SPO comparison, simulator safety monitor.
+// The committed corpus under testdata/fuzz seeds the interesting regions
+// (feed failures, infeasible budgets, SPO redistribution); -fuzz explores
+// outward from there.
+func FuzzScenarioVerify(f *testing.F) {
+	for _, s := range []int64{1, 3, 12, 42, 178} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		sc := Generate(seed)
+		if err := Verify(sc); err != nil {
+			data, _ := sc.MarshalStable()
+			t.Fatalf("%v\nscenario:\n%s", err, data)
+		}
+	})
+}
+
+// FuzzScenarioEncoding asserts, for any seed, the replayability contract:
+// generation is deterministic, the stable JSON round-trips byte-exactly,
+// and the decoded scenario validates.
+func FuzzScenarioEncoding(f *testing.F) {
+	for _, s := range []int64{1, 7, 101, 999} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		sc := Generate(seed)
+		again := Generate(seed)
+		a, err := sc.MarshalStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := again.MarshalStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+		back, err := Load(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := back.MarshalStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, c) {
+			t.Fatalf("seed %d: JSON round trip changed encoding", seed)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("seed %d: decoded scenario invalid: %v", seed, err)
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"capmaestro/internal/power"
+)
+
+// Generation bounds. The shapes stay small enough that a 200-scenario
+// sweep fits a CI race job, while still covering multi-rack trees, mixed
+// cording, every policy, and colliding fault schedules.
+const (
+	maxRPPs          = 2
+	maxRacksPerRPP   = 3
+	maxServersPerCDU = 4
+	maxEvents        = 8
+)
+
+// Generate derives a complete scenario from a seed. The same seed always
+// yields the same value (and hence, via MarshalStable, the same bytes):
+// all randomness flows from a single rand.Source consumed in a fixed
+// order.
+//
+// Breaker ratings are calibrated against the worst single-feed load so
+// generated scenarios are fallible only through real control-plane bugs,
+// not through physically unprotectable topologies: a rack's per-side
+// rating is at least 75% of the full-failover demand of its servers
+// (ΣPcap_max), which keeps the worst transient overload below ~1.33× —
+// over a minute from tripping a breaker, ample for capping to settle —
+// while the derated (80%) limit still clears the servers' aggregate
+// Pcap_min floor. Root budgets, when present, may be generated below the
+// aggregate floor on purpose: infeasible periods must be detected, not
+// avoided.
+func Generate(seed int64) *Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	model := power.DefaultServerModel()
+
+	sc := &Scenario{
+		Name:             fmt.Sprintf("gen-%d", seed),
+		Seed:             seed,
+		ControlPeriodSec: []int{4, 8}[rng.Intn(2)],
+		DurationSec:      60 + rng.Intn(121), // 60–180 s
+		Policy:           weightedPolicy(rng),
+		SPO:              rng.Intn(2) == 0,
+	}
+
+	// Structure: RPP/rack positions mirrored across both feeds.
+	nRPPs := 1 + rng.Intn(maxRPPs)
+	var serverCount int
+	type rackServers struct{ rpp, rack, n int }
+	var placements []rackServers
+	for ri := 0; ri < nRPPs; ri++ {
+		nRacks := 1 + rng.Intn(maxRacksPerRPP)
+		rpp := RPPSpec{}
+		for ci := 0; ci < nRacks; ci++ {
+			rpp.Racks = append(rpp.Racks, RackSpec{})
+			n := 1 + rng.Intn(maxServersPerCDU)
+			placements = append(placements, rackServers{rpp: ri, rack: ci, n: n})
+			serverCount += n
+		}
+		sc.Topology.RPPs = append(sc.Topology.RPPs, rpp)
+	}
+
+	// Servers: mostly dual-corded, a tail of single-corded on each side.
+	nPriorities := 1 + rng.Intn(3)
+	idx := 0
+	for _, pl := range placements {
+		for k := 0; k < pl.n; k++ {
+			sv := ServerSpec{
+				ID:          fmt.Sprintf("s%02d", idx),
+				RPP:         pl.rpp,
+				Rack:        pl.rack,
+				Priority:    rng.Intn(nPriorities),
+				Utilization: roundTo(0.15+0.85*rng.Float64(), 1e-4),
+			}
+			switch r := rng.Float64(); {
+			case r < 0.10:
+				sv.XShare = 1 // single-corded on X
+			case r < 0.20:
+				sv.XShare = 0 // single-corded on Y
+			default:
+				sv.XShare = roundTo(0.35+0.30*rng.Float64(), 1e-4)
+			}
+			sc.Servers = append(sc.Servers, sv)
+			idx++
+		}
+	}
+
+	// Ratings, calibrated per side against full-failover demand.
+	rateRack := func(ri, ci int) (x, y float64) {
+		var capMax power.Watts
+		for _, sv := range sc.Servers {
+			if sv.RPP == ri && sv.Rack == ci {
+				capMax += model.CapMax
+			}
+		}
+		x = roundTo(float64(capMax)*(0.75+0.30*rng.Float64()), 0.1)
+		y = roundTo(float64(capMax)*(0.75+0.30*rng.Float64()), 0.1)
+		return x, y
+	}
+	var rppXSum, rppYSum float64
+	for ri := range sc.Topology.RPPs {
+		rpp := &sc.Topology.RPPs[ri]
+		var cduX, cduY float64
+		for ci := range rpp.Racks {
+			x, y := rateRack(ri, ci)
+			rpp.Racks[ci] = RackSpec{XRating: x, YRating: y}
+			cduX += x
+			cduY += y
+		}
+		rpp.XRating = roundTo(cduX*(0.8+0.3*rng.Float64()), 0.1)
+		rpp.YRating = roundTo(cduY*(0.8+0.3*rng.Float64()), 0.1)
+		rppXSum += rpp.XRating
+		rppYSum += rpp.YRating
+	}
+	if rng.Intn(2) == 0 {
+		sc.Topology.XRootRating = roundTo(rppXSum*(0.85+0.25*rng.Float64()), 0.1)
+	}
+	if rng.Intn(2) == 0 {
+		sc.Topology.YRootRating = roundTo(rppYSum*(0.85+0.25*rng.Float64()), 0.1)
+	}
+
+	// Contractual budgets: half the feeds run unconstrained; the rest draw
+	// from a range spanning infeasible (below aggregate floors) to slack.
+	floor := float64(model.CapMin) * float64(serverCount)
+	ceiling := float64(model.CapMax) * float64(serverCount)
+	for _, feed := range []string{FeedX, FeedY} {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		sc.Budgets = append(sc.Budgets, FeedBudget{
+			Feed:  feed,
+			Watts: roundTo(floor*0.8+rng.Float64()*(ceiling-floor*0.8), 0.1),
+		})
+	}
+
+	sc.Events = generateEvents(rng, sc, floor, ceiling)
+	return sc
+}
+
+// generateEvents builds the fault schedule: feed failures with paired
+// restores, single-supply faults, budget renegotiations, and workload /
+// priority churn. Events are sorted by time with generation order breaking
+// ties, matching the simulator's same-timestamp FIFO.
+func generateEvents(rng *rand.Rand, sc *Scenario, floor, ceiling float64) []Event {
+	n := rng.Intn(maxEvents + 1)
+	if sc.DurationSec < 20 || n == 0 {
+		return nil
+	}
+	at := func() int { return 1 + rng.Intn(sc.DurationSec-10) }
+	pickServer := func() *ServerSpec { return &sc.Servers[rng.Intn(len(sc.Servers))] }
+	var events []Event
+	feedDown := map[string]bool{}
+	for len(events) < n {
+		switch rng.Intn(6) {
+		case 0: // feed failure, usually restored later
+			feed := []string{FeedX, FeedY}[rng.Intn(2)]
+			if feedDown[feed] {
+				continue
+			}
+			// Never fail both feeds at once: with no working supplies
+			// there is nothing left to protect or verify.
+			if (feed == FeedX && feedDown[FeedY]) || (feed == FeedY && feedDown[FeedX]) {
+				continue
+			}
+			t := at()
+			events = append(events, Event{AtSec: t, Kind: EventFailFeed, Feed: feed})
+			if rng.Intn(3) > 0 { // 2/3 of failures restore
+				restore := t + 5 + rng.Intn(sc.DurationSec-t)
+				if restore < sc.DurationSec {
+					events = append(events, Event{AtSec: restore, Kind: EventRestoreFeed, Feed: feed})
+					continue
+				}
+			}
+			feedDown[feed] = true
+		case 1: // single supply fault
+			sv := pickServer()
+			sup := sv.Supplies()
+			s := sup[rng.Intn(len(sup))]
+			t := at()
+			events = append(events, Event{AtSec: t, Kind: EventFailSupply, Supply: SupplyID(sv.ID, s.Feed)})
+			if rng.Intn(2) == 0 {
+				restore := t + 5 + rng.Intn(sc.DurationSec-t)
+				if restore < sc.DurationSec {
+					events = append(events, Event{AtSec: restore, Kind: EventRestoreSupply, Supply: SupplyID(sv.ID, s.Feed)})
+				}
+			}
+		case 2: // budget renegotiation (demand response)
+			events = append(events, Event{
+				AtSec: at(),
+				Kind:  EventSetBudget,
+				Feed:  []string{FeedX, FeedY}[rng.Intn(2)],
+				Value: roundTo(floor*0.8+rng.Float64()*(ceiling-floor*0.8), 0.1),
+			})
+		case 3: // workload burst or trough
+			events = append(events, Event{
+				AtSec:  at(),
+				Kind:   EventSetUtil,
+				Server: pickServer().ID,
+				Value:  roundTo(rng.Float64(), 1e-4),
+			})
+		case 4: // priority change from the scheduler
+			events = append(events, Event{
+				AtSec:  at(),
+				Kind:   EventSetPriority,
+				Server: pickServer().ID,
+				Value:  float64(rng.Intn(3)),
+			})
+		case 5: // diurnal shift: re-utilize several servers at once
+			t := at()
+			for i := 0; i < 1+rng.Intn(3) && len(events) < n; i++ {
+				events = append(events, Event{
+					AtSec:  t,
+					Kind:   EventSetUtil,
+					Server: pickServer().ID,
+					Value:  roundTo(rng.Float64(), 1e-4),
+				})
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].AtSec < events[j].AtSec })
+	return events
+}
+
+// weightedPolicy favors the paper's global policy while still exercising
+// the baselines.
+func weightedPolicy(rng *rand.Rand) string {
+	switch r := rng.Float64(); {
+	case r < 0.6:
+		return "global"
+	case r < 0.8:
+		return "local"
+	default:
+		return "none"
+	}
+}
+
+// roundTo quantizes v to a multiple of step, keeping generated values
+// short in JSON without affecting their physics.
+func roundTo(v, step float64) float64 {
+	return float64(int64(v/step+0.5)) * step
+}

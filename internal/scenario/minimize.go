@@ -1,0 +1,102 @@
+package scenario
+
+import "encoding/json"
+
+// Minimize greedily shrinks a failing scenario while it keeps failing the
+// given predicate: events are dropped one at a time, the duration is
+// truncated, and whole servers are removed (together with events that
+// reference them). Every candidate is validated before it is tried, so the
+// minimized scenario is always structurally sound. The original value is
+// not modified.
+func Minimize(sc *Scenario, fails func(*Scenario) bool) *Scenario {
+	cur := cloneScenario(sc)
+	for shrunk := true; shrunk; {
+		shrunk = false
+
+		// Drop events, last first (later events are least likely to set up
+		// the failing state).
+		for i := len(cur.Events) - 1; i >= 0; i-- {
+			cand := cloneScenario(cur)
+			cand.Events = append(cand.Events[:i], cand.Events[i+1:]...)
+			if accept(cand, fails) {
+				cur = cand
+				shrunk = true
+			}
+		}
+
+		// Truncate the run (events beyond the new horizon go with it).
+		for _, frac := range []int{2, 4} {
+			cand := cloneScenario(cur)
+			cand.DurationSec = cur.DurationSec - cur.DurationSec/frac
+			if cand.DurationSec < 2*cand.ControlPeriodSec {
+				continue
+			}
+			var kept []Event
+			for _, ev := range cand.Events {
+				if ev.AtSec <= cand.DurationSec {
+					kept = append(kept, ev)
+				}
+			}
+			cand.Events = kept
+			if accept(cand, fails) {
+				cur = cand
+				shrunk = true
+				break
+			}
+		}
+
+		// Drop servers.
+		for i := len(cur.Servers) - 1; i >= 0; i-- {
+			if len(cur.Servers) == 1 {
+				break
+			}
+			cand := cloneScenario(cur)
+			removed := cand.Servers[i]
+			cand.Servers = append(cand.Servers[:i], cand.Servers[i+1:]...)
+			var kept []Event
+			for _, ev := range cand.Events {
+				if ev.Server == removed.ID {
+					continue
+				}
+				if ev.Supply != "" && referencesServer(ev.Supply, removed.ID) {
+					continue
+				}
+				kept = append(kept, ev)
+			}
+			cand.Events = kept
+			if accept(cand, fails) {
+				cur = cand
+				shrunk = true
+			}
+		}
+	}
+	cur.Name = sc.Name + "-min"
+	return cur
+}
+
+// referencesServer reports whether a supply ID belongs to the server.
+func referencesServer(supplyID, serverID string) bool {
+	return supplyID == SupplyID(serverID, FeedX) || supplyID == SupplyID(serverID, FeedY)
+}
+
+// accept reports whether a candidate is both valid and still failing.
+func accept(cand *Scenario, fails func(*Scenario) bool) bool {
+	if cand.Validate() != nil {
+		return false
+	}
+	return fails(cand)
+}
+
+// cloneScenario deep-copies via the stable JSON encoding; scenario values
+// are plain data, so the round trip is exact.
+func cloneScenario(sc *Scenario) *Scenario {
+	data, err := json.Marshal(sc)
+	if err != nil {
+		panic(err) // scenarios are plain data; marshal cannot fail
+	}
+	var c Scenario
+	if err := json.Unmarshal(data, &c); err != nil {
+		panic(err)
+	}
+	return &c
+}

@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+)
+
+// mutationSeeds is the seed range each mutation test sweeps. The harness
+// must catch every mutation somewhere in this range — a mutation that
+// survives the whole range means the net has a hole.
+const mutationSeeds = 60
+
+// runMutation sweeps seeds through CheckStates with a broken allocator and
+// returns the first divergence the oracle reports (empty if none).
+func runMutation(t *testing.T, impl Impl) string {
+	t.Helper()
+	for s := int64(1); s <= mutationSeeds; s++ {
+		sc := Generate(s)
+		if err := CheckStates(sc, impl); err != nil {
+			return err.Error()
+		}
+	}
+	return ""
+}
+
+// TestMutationSPOSecondPassDropped breaks SPO by returning the first-pass
+// allocations (stranded budgets left in place) and asserts the
+// differential oracle catches the divergence. This is the acceptance
+// criterion's seeded mutation: the harness demonstrably protects the SPO
+// second pass.
+func TestMutationSPOSecondPassDropped(t *testing.T) {
+	mutant := Impl{
+		Name:        "spo-second-pass-dropped",
+		AllocateAll: Production.AllocateAll,
+		AllocateSPO: func(trees []*core.Node, budgets []power.Watts, policy core.Policy) ([]*core.Allocation, *core.SPOReport, error) {
+			// Compute the real report (so report comparison alone cannot
+			// catch it) but skip the re-budgeting pass.
+			_, report, err := core.AllocateWithSPO(trees, budgets, policy)
+			if err != nil {
+				return nil, nil, err
+			}
+			first, err := core.AllocateAll(trees, budgets, policy)
+			return first, report, err
+		},
+	}
+	msg := runMutation(t, mutant)
+	if msg == "" {
+		t.Fatalf("dropping the SPO second pass survived %d seeds undetected", mutationSeeds)
+	}
+	if !strings.Contains(msg, "after SPO") {
+		t.Fatalf("mutation caught by the wrong check: %s", msg)
+	}
+	t.Logf("caught: %s", msg)
+}
+
+// TestMutationPriorityBlind breaks the policy plumbing by allocating with
+// NoPriority regardless of the requested policy and asserts the oracle
+// reports a grant divergence.
+func TestMutationPriorityBlind(t *testing.T) {
+	mutant := Impl{
+		Name: "priority-blind",
+		AllocateAll: func(trees []*core.Node, budgets []power.Watts, _ core.Policy) ([]*core.Allocation, error) {
+			return core.AllocateAll(trees, budgets, core.NoPriority)
+		},
+		AllocateSPO: func(trees []*core.Node, budgets []power.Watts, _ core.Policy) ([]*core.Allocation, *core.SPOReport, error) {
+			return core.AllocateWithSPO(trees, budgets, core.NoPriority)
+		},
+	}
+	msg := runMutation(t, mutant)
+	if msg == "" {
+		t.Fatalf("priority-blind allocation survived %d seeds undetected", mutationSeeds)
+	}
+	t.Logf("caught: %s", msg)
+}
+
+// TestMutationEpsilonDrift breaks the arithmetic by a relative 1e-9 on
+// every supply grant — far below any approximate tolerance — and asserts
+// the oracle's exact comparison still catches it. This is what
+// "watt-for-watt" buys: optimizations cannot smuggle in tiny reorderings.
+func TestMutationEpsilonDrift(t *testing.T) {
+	drift := func(allocs []*core.Allocation, err error) ([]*core.Allocation, error) {
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range allocs {
+			for id, b := range a.SupplyBudgets {
+				if b > 0 {
+					a.SupplyBudgets[id] = b * (1 + 1e-9)
+				}
+			}
+		}
+		return allocs, nil
+	}
+	mutant := Impl{
+		Name: "epsilon-drift",
+		AllocateAll: func(trees []*core.Node, budgets []power.Watts, policy core.Policy) ([]*core.Allocation, error) {
+			return drift(core.AllocateAll(trees, budgets, policy))
+		},
+		AllocateSPO: Production.AllocateSPO,
+	}
+	msg := runMutation(t, mutant)
+	if msg == "" {
+		t.Fatalf("1e-9 relative drift survived %d seeds undetected", mutationSeeds)
+	}
+	t.Logf("caught: %s", msg)
+}
+
+// TestMutationFloorsSkipped removes the Pcap_min floor phase by draining
+// budgets below minimums on the lowest-priority level and asserts either
+// the oracle or the invariant checker trips.
+func TestMutationFloorsSkipped(t *testing.T) {
+	mutant := Impl{
+		Name: "floors-skipped",
+		AllocateAll: func(trees []*core.Node, budgets []power.Watts, policy core.Policy) ([]*core.Allocation, error) {
+			allocs, err := core.AllocateAll(trees, budgets, policy)
+			if err != nil {
+				return nil, err
+			}
+			for ti, a := range allocs {
+				for _, leaf := range trees[ti].Leaves() {
+					id := leaf.Leaf.SupplyID
+					a.SupplyBudgets[id] *= 0.9
+					a.NodeBudgets[leaf.ID] *= 0.9
+				}
+			}
+			return allocs, nil
+		},
+		AllocateSPO: Production.AllocateSPO,
+	}
+	msg := runMutation(t, mutant)
+	if msg == "" {
+		t.Fatalf("skipping cap floors survived %d seeds undetected", mutationSeeds)
+	}
+	t.Logf("caught: %s", msg)
+}

@@ -1,0 +1,588 @@
+// Package refalloc is a deliberately naive reference implementation of the
+// paper's priority-aware budgeting algorithm (Sections 4.3–4.4), used as a
+// differential oracle against the production core.Allocator.
+//
+// Where core.Allocator flattens each tree once into index-addressed arrays
+// and reuses every piece of scratch storage so a steady-state pass
+// allocates nothing, this package transcribes the algorithm the obvious
+// way: plain recursion over the tree, map-based summaries keyed by
+// priority, and fresh slices everywhere. It is several orders of magnitude
+// more allocation-heavy and makes no attempt to be fast — its only job is
+// to be easy to audit against the paper and to disagree loudly whenever an
+// optimization in the hot path changes a single grant.
+//
+// # Oracle contract
+//
+// For every valid tree, budget, and policy, Allocate must produce grants
+// that are bit-for-bit equal to core.Allocator's (exact float64 equality,
+// not approximate). To make that possible the arithmetic here performs the
+// same operations in the same order as the production code — summaries
+// accumulate per level in child order, requests are recomputed against
+// descending-priority headroom, the waterfill redistributes overflow with
+// the same proportional-give expression — while sharing none of its code
+// or data layout. If either side reorders its float operations the oracle
+// fails, which is deliberate: an allocation change, even one that looks
+// numerically harmless, is a behavior change for the control plane and
+// must be made on both sides consciously.
+//
+// Beyond the grants, the reference also keeps what the production code
+// throws away: a per-node ledger of how each distribution step filled each
+// priority level. The ledger is what makes the paper's global ordering
+// claim — no higher-priority request goes unmet while a lower-priority
+// level holds more than its floor — mechanically checkable on every
+// allocation (CheckPriorityOrdering).
+package refalloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+)
+
+// epsilon matches the watt-noise tolerance of the production allocator.
+const epsilon = 1e-6
+
+// level holds one priority level's metrics in a reference summary.
+type level struct {
+	capMin  power.Watts
+	demand  power.Watts
+	request power.Watts
+}
+
+// summary is the naive map-based counterpart of core.Summary.
+type summary struct {
+	levels     map[core.Priority]*level
+	constraint power.Watts
+}
+
+func newSummary() *summary {
+	return &summary{levels: make(map[core.Priority]*level)}
+}
+
+// level returns the entry for p, creating it if absent.
+func (s *summary) level(p core.Priority) *level {
+	l, ok := s.levels[p]
+	if !ok {
+		l = &level{}
+		s.levels[p] = l
+	}
+	return l
+}
+
+// at returns the entry for p, or a zero entry if absent.
+func (s *summary) at(p core.Priority) level {
+	if l, ok := s.levels[p]; ok {
+		return *l
+	}
+	return level{}
+}
+
+// prioritiesDesc lists the priorities present, highest first — the order
+// every phase of the algorithm consumes levels in.
+func (s *summary) prioritiesDesc() []core.Priority {
+	out := make([]core.Priority, 0, len(s.levels))
+	for p := range s.levels {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+func (s *summary) totalCapMin() power.Watts {
+	var t power.Watts
+	for _, p := range s.prioritiesDesc() {
+		t += s.levels[p].capMin
+	}
+	return t
+}
+
+func (s *summary) totalDemand() power.Watts {
+	var t power.Watts
+	for _, p := range s.prioritiesDesc() {
+		t += s.levels[p].demand
+	}
+	return t
+}
+
+func (s *summary) totalRequest() power.Watts {
+	var t power.Watts
+	for _, p := range s.prioritiesDesc() {
+		t += s.levels[p].request
+	}
+	return t
+}
+
+// collapse folds every level into a single level 0, as a policy that hides
+// priorities reports upstream.
+func (s *summary) collapse() *summary {
+	c := newSummary()
+	c.constraint = s.constraint
+	l := c.level(0)
+	l.capMin = s.totalCapMin()
+	l.demand = s.totalDemand()
+	l.request = power.Min(s.totalRequest(), s.constraint)
+	return c
+}
+
+// leafSummary computes the level-1 metrics of Section 4.3.1 for one supply
+// leaf, including the SPO BudgetCap pinning rule.
+func leafSummary(l *core.SupplyLeaf) *summary {
+	r := power.Watts(l.Share)
+	capMin := r * l.CapMin
+	demand := power.Min(power.Max(l.Demand, l.CapMin), l.CapMax) * r
+	constraint := r * l.CapMax
+	if l.BudgetCap > 0 {
+		bc := power.Max(l.BudgetCap, capMin)
+		capMin = bc
+		demand = bc
+		constraint = bc
+	}
+	s := newSummary()
+	s.constraint = constraint
+	lv := s.level(l.Priority)
+	lv.capMin = capMin
+	lv.demand = demand
+	lv.request = demand
+	return s
+}
+
+// fromCore converts a proxy's reported core.Summary into the map form.
+func fromCore(cs *core.Summary) *summary {
+	s := newSummary()
+	s.constraint = cs.Constraint
+	for _, lm := range cs.LevelMetrics() {
+		l := s.level(lm.Priority)
+		l.capMin = lm.CapMin
+		l.demand = lm.Demand
+		l.request = lm.Request
+	}
+	return s
+}
+
+// limitOrInf normalizes a node limit: non-positive means unlimited.
+func limitOrInf(n *core.Node) power.Watts {
+	if n.Limit <= 0 {
+		return power.Watts(math.Inf(1))
+	}
+	return n.Limit
+}
+
+// combine aggregates child summaries at a shifting controller
+// (Section 4.3.1): per-level sums, the constraint clamped to the node
+// limit, and requests recomputed highest-priority-first against the
+// node's remaining headroom with every level floored at its Pcap_min.
+func combine(children []*summary, limit power.Watts) *summary {
+	agg := newSummary()
+	var childConstraints power.Watts
+	for _, cm := range children {
+		for _, p := range cm.prioritiesDesc() {
+			cl := cm.levels[p]
+			l := agg.level(p)
+			l.capMin += cl.capMin
+			l.demand += cl.demand
+			l.request += cl.request
+		}
+		childConstraints += cm.constraint
+	}
+	if limit <= 0 {
+		agg.constraint = childConstraints
+	} else {
+		agg.constraint = power.Min(limit, childConstraints)
+	}
+
+	prios := agg.prioritiesDesc()
+	var capMinBelow power.Watts
+	for _, p := range prios {
+		capMinBelow += agg.levels[p].capMin
+	}
+	var requestAbove power.Watts
+	for _, p := range prios {
+		l := agg.levels[p]
+		capMinBelow -= l.capMin
+		allowable := agg.constraint - requestAbove - capMinBelow
+		req := power.Min(allowable, l.request)
+		req = power.Max(req, l.capMin)
+		l.request = req
+		requestAbove += req
+	}
+	return agg
+}
+
+// LevelGrant records how one distribution step treated one priority level:
+// Want is the aggregate request beyond floors, Granted the watts actually
+// handed out beyond floors.
+type LevelGrant struct {
+	Priority core.Priority
+	Want     power.Watts
+	Granted  power.Watts
+}
+
+// NodeLedger is the distribution record of one shifting controller.
+type NodeLedger struct {
+	NodeID string
+	Budget power.Watts // budget distributed (after constraint clamp)
+	// Levels in descending priority order. Absent when the budget could
+	// not cover the children's minimums (the infeasible scaling path).
+	Levels     []LevelGrant
+	Infeasible bool
+}
+
+// Result is one reference allocation over one tree.
+type Result struct {
+	// NodeBudgets maps every node ID to its granted budget.
+	NodeBudgets map[string]power.Watts
+	// SupplyBudgets maps supply IDs (leaves) to their granted budgets.
+	SupplyBudgets map[string]power.Watts
+	// Infeasible is true when some budget could not cover the aggregate
+	// Pcap_min beneath it.
+	Infeasible bool
+	// Ledger holds one distribution record per shifting controller, in
+	// depth-first preorder.
+	Ledger []NodeLedger
+}
+
+// Budget returns the granted budget for a supply ID (0 if absent).
+func (r *Result) Budget(supplyID string) power.Watts { return r.SupplyBudgets[supplyID] }
+
+// CheckPriorityOrdering verifies the paper's global priority claim on the
+// recorded ledger: at every shifting controller, once a priority level's
+// requests could not be fully met, no lower level received anything beyond
+// its floor. It returns the first violation found.
+func (r *Result) CheckPriorityOrdering() error {
+	for _, nl := range r.Ledger {
+		if nl.Infeasible {
+			continue // floors scaled down; no level received extras
+		}
+		starved := false
+		var starvedAt core.Priority
+		for _, lg := range nl.Levels {
+			if starved && lg.Granted > epsilon {
+				return fmt.Errorf("refalloc: node %q granted %v beyond floors to priority %d while priority %d is starved",
+					nl.NodeID, lg.Granted, lg.Priority, starvedAt)
+			}
+			if !starved && lg.Granted+epsilon < lg.Want {
+				starved = true
+				starvedAt = lg.Priority
+			}
+		}
+	}
+	return nil
+}
+
+// runner carries one allocation pass's state.
+type runner struct {
+	policy    core.Policy
+	summaries map[*core.Node]*summary
+	res       *Result
+}
+
+// Allocate runs the reference algorithm over one control tree: a bottom-up
+// gathering pass followed by a top-down budgeting pass. A non-positive
+// budget uses the root constraint, exactly as the production Allocate.
+func Allocate(root *core.Node, budget power.Watts, policy core.Policy) (*Result, error) {
+	if root == nil {
+		return nil, fmt.Errorf("refalloc: nil tree")
+	}
+	if err := root.Validate(); err != nil {
+		return nil, err
+	}
+	r := &runner{
+		policy:    policy,
+		summaries: make(map[*core.Node]*summary),
+		res: &Result{
+			NodeBudgets:   make(map[string]power.Watts),
+			SupplyBudgets: make(map[string]power.Watts),
+		},
+	}
+	rootSummary := r.gather(root)
+	if budget <= 0 {
+		budget = rootSummary.constraint
+	}
+	budget = power.Min(budget, rootSummary.constraint)
+	if budget+epsilon < rootSummary.totalCapMin() {
+		r.res.Infeasible = true
+	}
+	r.budget(root, budget)
+	return r.res, nil
+}
+
+// gather computes the node's reported summary bottom-up, applying the
+// policy's collapse rules: NoPriority collapses at the leaves (and
+// proxies), LocalPriority at the lowest shifting level — the direct
+// parents of capping-controller endpoints.
+func (r *runner) gather(n *core.Node) *summary {
+	var s *summary
+	switch {
+	case n.Proxy != nil:
+		s = fromCore(n.Proxy)
+		if r.policy == core.NoPriority {
+			s = s.collapse()
+		}
+	case n.IsLeaf():
+		s = leafSummary(n.Leaf)
+		if r.policy == core.NoPriority {
+			s = s.collapse()
+		}
+	default:
+		children := make([]*summary, len(n.Children))
+		leafParent := false
+		for i, c := range n.Children {
+			children[i] = r.gather(c)
+			if c.IsLeaf() {
+				leafParent = true
+			}
+		}
+		s = combine(children, limitOrInf(n))
+		if r.policy == core.LocalPriority && leafParent {
+			s = s.collapse()
+		}
+	}
+	r.summaries[n] = s
+	return s
+}
+
+// budget distributes b down the subtree rooted at n (Section 4.3.2).
+func (r *runner) budget(n *core.Node, b power.Watts) {
+	s := r.summaries[n]
+	b = power.Min(b, s.constraint)
+	if b < 0 {
+		b = 0
+	}
+	r.res.NodeBudgets[n.ID] = b
+	if n.IsLeaf() {
+		r.res.SupplyBudgets[n.Leaf.SupplyID] = b
+		return
+	}
+	if len(n.Children) == 0 {
+		return // proxy: the budget is the remote worker's to distribute
+	}
+	children := make([]*summary, len(n.Children))
+	for i, c := range n.Children {
+		children[i] = r.summaries[c]
+	}
+	allocs, ledger := distribute(b, children)
+	ledger.NodeID = n.ID
+	r.res.Ledger = append(r.res.Ledger, ledger)
+	if ledger.Infeasible {
+		r.res.Infeasible = true
+	}
+	for i, c := range n.Children {
+		r.budget(c, allocs[i])
+	}
+}
+
+// distribute implements one shifting controller's budgeting step
+// (Section 4.3.2): floors first, then requests level by level highest
+// priority first, the first level that cannot be met split by a
+// demand-weighted waterfill, and any leftover assigned up to each child's
+// constraint. It also records the per-level ledger.
+func distribute(b power.Watts, children []*summary) ([]power.Watts, NodeLedger) {
+	alloc := make([]power.Watts, len(children))
+	var capMinTotal power.Watts
+	for i, c := range children {
+		alloc[i] = c.totalCapMin()
+		capMinTotal += alloc[i]
+	}
+	if b < 0 {
+		b = 0
+	}
+	ledger := NodeLedger{Budget: b}
+
+	if b+epsilon < capMinTotal {
+		// Infeasible: scale the floors proportionally.
+		scale := float64(0)
+		if capMinTotal > 0 {
+			scale = float64(b / capMinTotal)
+		}
+		for i := range alloc {
+			alloc[i] *= power.Watts(scale)
+		}
+		ledger.Infeasible = true
+		return alloc, ledger
+	}
+
+	remaining := b - capMinTotal
+	prios := unionDesc(children)
+
+	exhausted := false
+	for pi, j := range prios {
+		wants := make([]power.Watts, len(children))
+		var need power.Watts
+		for i, c := range children {
+			lj := c.at(j)
+			w := lj.request - lj.capMin
+			if w < 0 {
+				w = 0
+			}
+			wants[i] = w
+			need += w
+		}
+		if need <= remaining+epsilon {
+			for i := range alloc {
+				alloc[i] += wants[i]
+			}
+			remaining -= need
+			if remaining < 0 {
+				remaining = 0
+			}
+			ledger.Levels = append(ledger.Levels, LevelGrant{Priority: j, Want: need, Granted: need})
+			continue
+		}
+		weights := make([]float64, len(children))
+		for i, c := range children {
+			lj := c.at(j)
+			w := float64(lj.demand - lj.capMin)
+			if w < 0 {
+				w = 0
+			}
+			weights[i] = w
+		}
+		shares := waterfill(remaining, weights, wants)
+		var granted power.Watts
+		for i := range alloc {
+			alloc[i] += shares[i]
+			granted += shares[i]
+		}
+		ledger.Levels = append(ledger.Levels, LevelGrant{Priority: j, Want: need, Granted: granted})
+		// Lower levels receive nothing beyond their floors; record them so
+		// the ordering check sees the whole story.
+		for _, jj := range prios[pi+1:] {
+			var want power.Watts
+			for _, c := range children {
+				lj := c.at(jj)
+				w := lj.request - lj.capMin
+				if w < 0 {
+					w = 0
+				}
+				want += w
+			}
+			ledger.Levels = append(ledger.Levels, LevelGrant{Priority: jj, Want: want})
+		}
+		remaining = 0
+		exhausted = true
+		break
+	}
+
+	if !exhausted && remaining > epsilon {
+		// Step 4: every request met; hand out the rest up to constraints.
+		headroom := make([]power.Watts, len(children))
+		weights := make([]float64, len(children))
+		for i, c := range children {
+			h := c.constraint - alloc[i]
+			if h < 0 {
+				h = 0
+			}
+			headroom[i] = h
+			weights[i] = float64(h)
+		}
+		shares := waterfill(remaining, weights, headroom)
+		for i := range alloc {
+			alloc[i] += shares[i]
+		}
+	}
+	return alloc, ledger
+}
+
+// unionDesc collects the distinct priorities across children, descending.
+func unionDesc(children []*summary) []core.Priority {
+	set := make(map[core.Priority]bool)
+	for _, c := range children {
+		for p := range c.levels {
+			set[p] = true
+		}
+	}
+	out := make([]core.Priority, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// waterfill distributes amount across recipients proportionally to
+// weights, capping each at caps[i] and re-offering overflow to the
+// unsaturated until the amount is exhausted or everyone is saturated.
+// The proportional-give expression matches the production waterfill so
+// grants agree bitwise.
+func waterfill(amount power.Watts, weights []float64, caps []power.Watts) []power.Watts {
+	n := len(weights)
+	shares := make([]power.Watts, n)
+	saturated := make([]bool, n)
+	if amount <= 0 {
+		return shares
+	}
+	for iter := 0; iter < n+1 && amount > epsilon; iter++ {
+		var wsum float64
+		for i := 0; i < n; i++ {
+			if !saturated[i] && caps[i]-shares[i] > epsilon {
+				wsum += weights[i]
+			}
+		}
+		if wsum <= 0 {
+			// Equal split among whoever still has headroom.
+			var open int
+			for i := 0; i < n; i++ {
+				if caps[i]-shares[i] > epsilon {
+					open++
+				}
+			}
+			if open == 0 {
+				break
+			}
+			per := amount / power.Watts(open)
+			var leftover power.Watts
+			for i := 0; i < n; i++ {
+				room := caps[i] - shares[i]
+				if room <= epsilon {
+					continue
+				}
+				give := power.Min(per, room)
+				shares[i] += give
+				leftover += per - give
+			}
+			amount = leftover
+			continue
+		}
+		var overflow power.Watts
+		for i := 0; i < n; i++ {
+			if saturated[i] || caps[i]-shares[i] <= epsilon {
+				continue
+			}
+			give := amount * power.Watts(weights[i]/wsum)
+			room := caps[i] - shares[i]
+			if give >= room {
+				shares[i] = caps[i]
+				overflow += give - room
+				saturated[i] = true
+			} else {
+				shares[i] += give
+			}
+		}
+		amount = overflow
+	}
+	return shares
+}
+
+// AllocateAll runs the reference algorithm independently over each tree,
+// mirroring core.AllocateAll's budget conventions.
+func AllocateAll(trees []*core.Node, budgets []power.Watts, policy core.Policy) ([]*Result, error) {
+	if budgets != nil && len(budgets) != len(trees) {
+		return nil, fmt.Errorf("refalloc: %d budgets for %d trees", len(budgets), len(trees))
+	}
+	results := make([]*Result, len(trees))
+	for i, t := range trees {
+		var b power.Watts
+		if budgets != nil {
+			b = budgets[i]
+		}
+		res, err := Allocate(t, b, policy)
+		if err != nil {
+			return nil, fmt.Errorf("refalloc: tree %d: %w", i, err)
+		}
+		results[i] = res
+	}
+	return results, nil
+}

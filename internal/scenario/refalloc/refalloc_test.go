@@ -1,0 +1,139 @@
+package refalloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+)
+
+// fig2Tree builds the paper's Figure 2 testbed as a control tree.
+func fig2Tree() *core.Node {
+	leaf := func(id string, pri core.Priority, demand power.Watts) *core.Node {
+		return core.NewLeaf(id+"-ps", core.SupplyLeaf{
+			SupplyID: id + "-ps",
+			ServerID: id,
+			Priority: pri,
+			Share:    1,
+			CapMin:   270,
+			CapMax:   490,
+			Demand:   demand,
+		})
+	}
+	return core.NewShifting("top", 1400,
+		core.NewShifting("left", 750, leaf("SA", 1, 420), leaf("SB", 0, 413)),
+		core.NewShifting("right", 750, leaf("SC", 0, 417), leaf("SD", 0, 423)),
+	)
+}
+
+// TestMatchesCoreOnFixture pins exact agreement with the production
+// allocator on the Figure 2 tree for every policy and several budgets.
+func TestMatchesCoreOnFixture(t *testing.T) {
+	for _, policy := range []core.Policy{core.NoPriority, core.LocalPriority, core.GlobalPriority} {
+		for _, budget := range []power.Watts{0, 1400, 1200, 1000, 900} {
+			tree := fig2Tree()
+			want, err := core.Allocate(tree, budget, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Allocate(tree, budget, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Infeasible != want.Infeasible {
+				t.Fatalf("%v budget %v: infeasible %v, core %v", policy, budget, got.Infeasible, want.Infeasible)
+			}
+			for id, w := range want.NodeBudgets {
+				if g := got.NodeBudgets[id]; g != w {
+					t.Errorf("%v budget %v: node %s = %v, core %v", policy, budget, id, g, w)
+				}
+			}
+			for id, w := range want.SupplyBudgets {
+				if g := got.SupplyBudgets[id]; g != w {
+					t.Errorf("%v budget %v: supply %s = %v, core %v", policy, budget, id, g, w)
+				}
+			}
+			if err := got.CheckPriorityOrdering(); err != nil {
+				t.Errorf("%v budget %v: %v", policy, budget, err)
+			}
+		}
+	}
+}
+
+// TestMatchesCoreOnRandomTrees compares against core.Allocate across
+// random deeper trees with mixed priorities, shares, and limits.
+func TestMatchesCoreOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		tree, _ := randomTree(rng, 0)
+		policy := []core.Policy{core.NoPriority, core.LocalPriority, core.GlobalPriority}[rng.Intn(3)]
+		budget := power.Watts(rng.Float64() * 8000)
+		want, err := core.Allocate(tree, budget, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Allocate(tree, budget, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, w := range want.NodeBudgets {
+			if g := got.NodeBudgets[id]; g != w {
+				t.Fatalf("trial %d %v budget %v: node %s = %v, core %v (diff %g)",
+					trial, policy, budget, id, g, w, float64(g-w))
+			}
+		}
+		if got.Infeasible != want.Infeasible {
+			t.Fatalf("trial %d: infeasible %v, core %v", trial, got.Infeasible, want.Infeasible)
+		}
+	}
+}
+
+var nodeSeq int
+
+// randomTree builds a random control tree of depth ≤ 3 with 1–3 children
+// per node; returns the tree and its leaf count.
+func randomTree(rng *rand.Rand, depth int) (*core.Node, int) {
+	nodeSeq++
+	id := "n" + itoa(nodeSeq)
+	if depth >= 3 || (depth > 0 && rng.Intn(3) == 0) {
+		demand := power.Watts(160 + rng.Float64()*400)
+		share := 0.3 + rng.Float64()*0.7
+		return core.NewLeaf(id, core.SupplyLeaf{
+			SupplyID: id,
+			ServerID: "srv-" + id,
+			Priority: core.Priority(rng.Intn(3)),
+			Share:    share,
+			CapMin:   270,
+			CapMax:   490,
+			Demand:   demand,
+		}), 1
+	}
+	n := 1 + rng.Intn(3)
+	var children []*core.Node
+	leaves := 0
+	for i := 0; i < n; i++ {
+		c, nl := randomTree(rng, depth+1)
+		children = append(children, c)
+		leaves += nl
+	}
+	limit := power.Watts(0)
+	if rng.Intn(2) == 0 {
+		limit = power.Watts(float64(leaves) * (250 + rng.Float64()*300))
+	}
+	return core.NewShifting(id, limit, children...), leaves
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

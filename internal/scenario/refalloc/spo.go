@@ -1,0 +1,128 @@
+package refalloc
+
+import (
+	"math"
+	"sort"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+)
+
+// serverLeaves aggregates one server's supply leaves across trees, in tree
+// order — the same order the production SPO walks them, so the min-over-
+// supplies consumption computation agrees bitwise.
+type serverLeaves struct {
+	leaves []*core.SupplyLeaf
+}
+
+func (v *serverLeaves) effectiveDemand() power.Watts {
+	l := v.leaves[0]
+	return power.Min(power.Max(l.Demand, l.CapMin), l.CapMax)
+}
+
+func (v *serverLeaves) consumption(budgetOf func(string) power.Watts) power.Watts {
+	limit := power.Watts(math.Inf(1))
+	for _, l := range v.leaves {
+		if l.Share <= 0 {
+			continue
+		}
+		implied := budgetOf(l.SupplyID) / power.Watts(l.Share)
+		if implied < limit {
+			limit = implied
+		}
+	}
+	return power.Min(v.effectiveDemand(), limit)
+}
+
+func collectServers(trees []*core.Node) map[string]*serverLeaves {
+	servers := make(map[string]*serverLeaves)
+	for _, t := range trees {
+		for _, leafNode := range t.Leaves() {
+			l := leafNode.Leaf
+			v := servers[l.ServerID]
+			if v == nil {
+				v = &serverLeaves{}
+				servers[l.ServerID] = v
+			}
+			v.leaves = append(v.leaves, l)
+		}
+	}
+	return servers
+}
+
+func combinedBudgets(results []*Result) func(string) power.Watts {
+	return func(supplyID string) power.Watts {
+		for _, r := range results {
+			if b, ok := r.SupplyBudgets[supplyID]; ok {
+				return b
+			}
+		}
+		return 0
+	}
+}
+
+// AllocateWithSPO mirrors core.AllocateWithSPO (Section 4.4): a first
+// pass, stranded-power detection on each server's most-constrained supply,
+// BudgetCap pinning of the stranded supplies, and a superseding second
+// pass. The trees are left unmodified. The returned report uses the
+// production core.SPOReport type so oracle comparisons are field-level.
+func AllocateWithSPO(trees []*core.Node, budgets []power.Watts, policy core.Policy) ([]*Result, *core.SPOReport, error) {
+	first, err := AllocateAll(trees, budgets, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &core.SPOReport{}
+	budgetOf := combinedBudgets(first)
+	servers := collectServers(trees)
+
+	type savedCap struct {
+		leaf *core.SupplyLeaf
+		old  power.Watts
+	}
+	var saved []savedCap
+	restore := func() {
+		for _, s := range saved {
+			s.leaf.BudgetCap = s.old
+		}
+	}
+	ids := make([]string, 0, len(servers))
+	for id := range servers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		v := servers[id]
+		consumption := v.consumption(budgetOf)
+		for _, l := range v.leaves {
+			budget := budgetOf(l.SupplyID)
+			usable := power.Watts(l.Share) * consumption
+			stranded := budget - usable
+			if stranded <= epsilon {
+				continue
+			}
+			report.Stranded = append(report.Stranded, core.StrandedSupply{
+				SupplyID: l.SupplyID,
+				ServerID: l.ServerID,
+				Budget:   budget,
+				Usable:   usable,
+				Stranded: stranded,
+			})
+			report.TotalStranded += stranded
+			saved = append(saved, savedCap{leaf: l, old: l.BudgetCap})
+			l.BudgetCap = usable
+		}
+	}
+	sort.Slice(report.Stranded, func(i, j int) bool {
+		return report.Stranded[i].SupplyID < report.Stranded[j].SupplyID
+	})
+
+	if len(report.Stranded) == 0 {
+		return first, report, nil
+	}
+	defer restore()
+	second, err := AllocateAll(trees, budgets, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	return second, report, nil
+}

@@ -1,0 +1,380 @@
+// Package scenario is a seeded, fully deterministic scenario generator and
+// invariant engine for the capping stack. A Scenario is a replayable value
+// — an N+N topology, a server population with priorities and utilizations,
+// a policy, root budgets, and a timed fault schedule — with a stable JSON
+// encoding, so any failure found by fuzzing or sweeping is a file that
+// reproduces exactly.
+//
+// Each scenario is checked two ways:
+//
+//   - Verify runs it through sim.Simulator and asserts the global safety
+//     battery: the safety monitor's allocation invariants never fire, and
+//     no breaker trips while the budgets are feasible.
+//   - CheckStates replays the scenario's state timeline at the allocation
+//     layer and runs the differential oracle: the production
+//     core.Allocator must match the naive refalloc reference watt-for-watt
+//     on every tree, policy, and state, the reference's grant ledger must
+//     satisfy the paper's priority-ordering claim, and SPO must never
+//     reduce total granted consumption.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"capmaestro/internal/server"
+	"capmaestro/internal/sim"
+	"capmaestro/internal/topology"
+)
+
+// Feed names of the generated N+N infrastructure, the paper's X/Y sides.
+const (
+	FeedX = "X"
+	FeedY = "Y"
+)
+
+// Scenario is one replayable test case. All fields are plain structs and
+// slices (no maps) in generator-chosen order, so json.MarshalIndent is
+// byte-stable for a given value.
+type Scenario struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+
+	Topology TopologySpec `json:"topology"`
+	Servers  []ServerSpec `json:"servers"`
+
+	// Policy is a core.ParsePolicy name: "none", "local", or "global".
+	Policy string `json:"policy"`
+	SPO    bool   `json:"spo"`
+
+	ControlPeriodSec int `json:"control_period_sec"`
+	DurationSec      int `json:"duration_sec"`
+
+	// Budgets lists contractual root budgets per feed; feeds without an
+	// entry allocate up to their physical constraint.
+	Budgets []FeedBudget `json:"budgets,omitempty"`
+
+	// Events is the fault schedule, sorted by time.
+	Events []Event `json:"events,omitempty"`
+}
+
+// TopologySpec describes a mirrored N+N distribution tree: both feeds see
+// the same RPP/rack structure (so dual-corded servers have a supply on
+// each side), with independently generated breaker ratings per side.
+type TopologySpec struct {
+	// XRootRating / YRootRating are the feed-level ratings; 0 = unlimited.
+	XRootRating float64 `json:"x_root_rating,omitempty"`
+	YRootRating float64 `json:"y_root_rating,omitempty"`
+	RPPs        []RPPSpec `json:"rpps"`
+}
+
+// RPPSpec is one remote power panel position, present on both feeds.
+type RPPSpec struct {
+	XRating float64    `json:"x_rating"`
+	YRating float64    `json:"y_rating"`
+	Racks   []RackSpec `json:"racks"`
+}
+
+// RackSpec is one rack (CDU) position under an RPP.
+type RackSpec struct {
+	XRating float64 `json:"x_rating"`
+	YRating float64 `json:"y_rating"`
+}
+
+// ServerSpec places one server on a rack and describes its workload.
+type ServerSpec struct {
+	ID   string `json:"id"`
+	RPP  int    `json:"rpp"`
+	Rack int    `json:"rack"`
+
+	Priority int `json:"priority"`
+
+	// XShare is the fraction of the server's load carried by its X-side
+	// supply: 1 = single-corded on X, 0 = single-corded on Y, anything in
+	// between = dual-corded with splits XShare / 1−XShare.
+	XShare float64 `json:"x_share"`
+
+	Utilization float64 `json:"utilization"`
+}
+
+// FeedBudget assigns a contractual budget to one feed's tree.
+type FeedBudget struct {
+	Feed  string  `json:"feed"`
+	Watts float64 `json:"watts"`
+}
+
+// Event kinds understood by the schedule.
+const (
+	EventFailFeed      = "fail_feed"
+	EventRestoreFeed   = "restore_feed"
+	EventSetBudget     = "set_budget"
+	EventSetUtil       = "set_util"
+	EventSetPriority   = "set_priority"
+	EventFailSupply    = "fail_supply"
+	EventRestoreSupply = "restore_supply"
+)
+
+// Event is one timed fault or reconfiguration.
+type Event struct {
+	AtSec int    `json:"at_sec"`
+	Kind  string `json:"kind"`
+
+	Feed   string  `json:"feed,omitempty"`
+	Server string  `json:"server,omitempty"`
+	Supply string  `json:"supply,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+}
+
+// MarshalStable renders the scenario as indented JSON. The encoding is
+// deterministic: identical scenarios produce identical bytes.
+func (sc *Scenario) MarshalStable() ([]byte, error) {
+	return json.MarshalIndent(sc, "", "  ")
+}
+
+// Load parses a scenario previously written with MarshalStable, rejecting
+// unknown fields so replayed files cannot silently drop information.
+func Load(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &sc, nil
+}
+
+// SupplyID names a server's supply on one feed.
+func SupplyID(serverID, feed string) string { return serverID + "-ps" + feed }
+
+// rppID and rackID name distribution nodes on one feed.
+func rppID(feed string, rpp int) string { return fmt.Sprintf("%s-rpp%d", feed, rpp) }
+func rackID(feed string, rpp, rack int) string {
+	return fmt.Sprintf("%s-rpp%d-cdu%d", feed, rpp, rack)
+}
+
+// DualCorded reports whether the server spec has supplies on both feeds.
+func (s *ServerSpec) DualCorded() bool { return s.XShare > 0 && s.XShare < 1 }
+
+// Supplies lists the (feed, split) pairs of the server's supplies.
+func (s *ServerSpec) Supplies() []struct {
+	Feed  string
+	Split float64
+} {
+	type fs = struct {
+		Feed  string
+		Split float64
+	}
+	switch {
+	case s.XShare >= 1:
+		return []fs{{FeedX, 1}}
+	case s.XShare <= 0:
+		return []fs{{FeedY, 1}}
+	default:
+		return []fs{{FeedX, s.XShare}, {FeedY, 1 - s.XShare}}
+	}
+}
+
+// BuildTopology materializes the scenario's physical topology via
+// topology.New, which validates it; a scenario that fails to build is
+// invalid by construction.
+func (sc *Scenario) BuildTopology() (*topology.Topology, error) {
+	mkRoot := func(feed string, rating float64) *topology.Node {
+		root := topology.NewNode(feed, topology.KindUtility, power.Watts(rating))
+		root.Feed = topology.FeedID(feed)
+		return root
+	}
+	rootX := mkRoot(FeedX, sc.Topology.XRootRating)
+	rootY := mkRoot(FeedY, sc.Topology.YRootRating)
+
+	type rackNodes struct{ x, y *topology.Node }
+	racks := make(map[[2]int]rackNodes)
+	for ri, rpp := range sc.Topology.RPPs {
+		rppX := rootX.AddChild(topology.NewNode(rppID(FeedX, ri), topology.KindRPP, power.Watts(rpp.XRating)))
+		rppY := rootY.AddChild(topology.NewNode(rppID(FeedY, ri), topology.KindRPP, power.Watts(rpp.YRating)))
+		for ci, rack := range rpp.Racks {
+			racks[[2]int{ri, ci}] = rackNodes{
+				x: rppX.AddChild(topology.NewNode(rackID(FeedX, ri, ci), topology.KindCDU, power.Watts(rack.XRating))),
+				y: rppY.AddChild(topology.NewNode(rackID(FeedY, ri, ci), topology.KindCDU, power.Watts(rack.YRating))),
+			}
+		}
+	}
+
+	for i := range sc.Servers {
+		sv := &sc.Servers[i]
+		rn, ok := racks[[2]int{sv.RPP, sv.Rack}]
+		if !ok {
+			return nil, fmt.Errorf("scenario: server %q references rack (%d,%d) not in topology", sv.ID, sv.RPP, sv.Rack)
+		}
+		for _, sup := range sv.Supplies() {
+			leaf := topology.NewSupply(SupplyID(sv.ID, sup.Feed), sv.ID, sup.Split)
+			if sup.Feed == FeedX {
+				rn.x.AddChild(leaf)
+			} else {
+				rn.y.AddChild(leaf)
+			}
+		}
+	}
+	return topology.New(rootX, rootY)
+}
+
+// BuildSim assembles a simulator for the scenario and schedules its event
+// timeline. The servers run noiseless with instantaneous actuation so two
+// runs of the same scenario are bit-identical.
+func (sc *Scenario) BuildSim() (*sim.Simulator, error) {
+	topo, err := sc.BuildTopology()
+	if err != nil {
+		return nil, err
+	}
+	pol, err := core.ParsePolicy(sc.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if sc.ControlPeriodSec < 1 {
+		return nil, fmt.Errorf("scenario: control period %ds below 1s tick", sc.ControlPeriodSec)
+	}
+	servers := make(map[string]sim.ServerSpec, len(sc.Servers))
+	for i := range sc.Servers {
+		sv := &sc.Servers[i]
+		servers[sv.ID] = sim.ServerSpec{
+			Priority:    core.Priority(sv.Priority),
+			Utilization: sv.Utilization,
+		}
+	}
+	budgets := make(map[topology.FeedID]power.Watts, len(sc.Budgets))
+	for _, b := range sc.Budgets {
+		budgets[topology.FeedID(b.Feed)] = power.Watts(b.Watts)
+	}
+	simulator, err := sim.New(sim.Config{
+		Topology:      topo,
+		Servers:       servers,
+		Policy:        pol,
+		SPO:           sc.SPO,
+		RootBudgets:   budgets,
+		ControlPeriod: time.Duration(sc.ControlPeriodSec) * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range sc.Events {
+		if err := scheduleEvent(simulator, ev); err != nil {
+			return nil, err
+		}
+	}
+	return simulator, nil
+}
+
+// scheduleEvent registers one scenario event on the simulator.
+func scheduleEvent(s *sim.Simulator, ev Event) error {
+	at := time.Duration(ev.AtSec) * time.Second
+	name := fmt.Sprintf("%s@%ds", ev.Kind, ev.AtSec)
+	switch ev.Kind {
+	case EventFailFeed:
+		feed := topology.FeedID(ev.Feed)
+		s.Schedule(at, name, func(s *sim.Simulator) { s.FailFeed(feed) })
+	case EventRestoreFeed:
+		feed := topology.FeedID(ev.Feed)
+		s.Schedule(at, name, func(s *sim.Simulator) { s.RestoreFeed(feed) })
+	case EventSetBudget:
+		feed := topology.FeedID(ev.Feed)
+		w := power.Watts(ev.Value)
+		s.Schedule(at, name, func(s *sim.Simulator) { s.SetRootBudget(feed, w) })
+	case EventSetUtil:
+		id, u := ev.Server, ev.Value
+		s.Schedule(at, name, func(s *sim.Simulator) {
+			if err := s.SetUtilization(id, u); err != nil {
+				panic(err) // server IDs are validated before scheduling
+			}
+		})
+	case EventSetPriority:
+		id, p := ev.Server, core.Priority(int(ev.Value))
+		s.Schedule(at, name, func(s *sim.Simulator) {
+			if err := s.SetPriority(id, p); err != nil {
+				panic(err)
+			}
+		})
+	case EventFailSupply:
+		id := ev.Supply
+		s.Schedule(at, name, func(s *sim.Simulator) {
+			if err := s.SetSupplyState(id, server.SupplyFailed); err != nil {
+				panic(err)
+			}
+		})
+	case EventRestoreSupply:
+		id := ev.Supply
+		s.Schedule(at, name, func(s *sim.Simulator) {
+			if err := s.SetSupplyState(id, server.SupplyActive); err != nil {
+				panic(err)
+			}
+		})
+	default:
+		return fmt.Errorf("scenario: unknown event kind %q", ev.Kind)
+	}
+	return nil
+}
+
+// Validate performs a full structural check: the topology must build, the
+// policy parse, every event reference resolve, and all workload values be
+// finite and in range.
+func (sc *Scenario) Validate() error {
+	if _, err := core.ParsePolicy(sc.Policy); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if sc.ControlPeriodSec < 1 {
+		return fmt.Errorf("scenario: control period %ds below 1s tick", sc.ControlPeriodSec)
+	}
+	if sc.DurationSec < 1 {
+		return fmt.Errorf("scenario: duration %ds invalid", sc.DurationSec)
+	}
+	if _, err := sc.BuildTopology(); err != nil {
+		return err
+	}
+	servers := make(map[string]*ServerSpec, len(sc.Servers))
+	supplies := make(map[string]bool)
+	for i := range sc.Servers {
+		sv := &sc.Servers[i]
+		if servers[sv.ID] != nil {
+			return fmt.Errorf("scenario: duplicate server %q", sv.ID)
+		}
+		servers[sv.ID] = sv
+		for _, sup := range sv.Supplies() {
+			supplies[SupplyID(sv.ID, sup.Feed)] = true
+		}
+		if sv.Utilization < 0 || sv.Utilization > 1 || math.IsNaN(sv.Utilization) {
+			return fmt.Errorf("scenario: server %q utilization %v out of [0,1]", sv.ID, sv.Utilization)
+		}
+	}
+	for _, ev := range sc.Events {
+		if ev.AtSec < 0 || ev.AtSec > sc.DurationSec {
+			return fmt.Errorf("scenario: event %q at %ds outside run of %ds", ev.Kind, ev.AtSec, sc.DurationSec)
+		}
+		switch ev.Kind {
+		case EventFailFeed, EventRestoreFeed, EventSetBudget:
+			if ev.Feed != FeedX && ev.Feed != FeedY {
+				return fmt.Errorf("scenario: event %q references unknown feed %q", ev.Kind, ev.Feed)
+			}
+		case EventSetUtil:
+			if servers[ev.Server] == nil {
+				return fmt.Errorf("scenario: event %q references unknown server %q", ev.Kind, ev.Server)
+			}
+			if ev.Value < 0 || ev.Value > 1 || math.IsNaN(ev.Value) {
+				return fmt.Errorf("scenario: event %q utilization %v out of [0,1]", ev.Kind, ev.Value)
+			}
+		case EventSetPriority:
+			if servers[ev.Server] == nil {
+				return fmt.Errorf("scenario: event %q references unknown server %q", ev.Kind, ev.Server)
+			}
+		case EventFailSupply, EventRestoreSupply:
+			if !supplies[ev.Supply] {
+				return fmt.Errorf("scenario: event %q references unknown supply %q", ev.Kind, ev.Supply)
+			}
+		default:
+			return fmt.Errorf("scenario: unknown event kind %q", ev.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// scenarioCount sets how many generated scenarios TestScenarioSweep
+// verifies; CI raises it with -scenario-count=200.
+var scenarioCount = flag.Int("scenario-count", 50, "scenarios verified by TestScenarioSweep")
+
+// baseSeed returns the sweep's base seed, overridable for reproducing a CI
+// failure locally: CAPMAESTRO_SCENARIO_SEED=<n> go test ./internal/scenario
+func baseSeed(t *testing.T) int64 {
+	v := os.Getenv("CAPMAESTRO_SCENARIO_SEED")
+	if v == "" {
+		return 1
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatalf("CAPMAESTRO_SCENARIO_SEED=%q: %v", v, err)
+	}
+	return n
+}
+
+// TestScenarioSweep generates scenarioCount scenarios and runs the full
+// battery — differential oracle, priority-ordering ledger, allocation
+// invariants, SPO comparison, simulator safety monitor — on each.
+func TestScenarioSweep(t *testing.T) {
+	seed := baseSeed(t)
+	for i := 0; i < *scenarioCount; i++ {
+		s := seed + int64(i)
+		t.Run(strconv.FormatInt(s, 10), func(t *testing.T) {
+			t.Parallel()
+			sc := Generate(s)
+			if err := Verify(sc); err != nil {
+				data, _ := sc.MarshalStable()
+				t.Fatalf("%v\nscenario:\n%s", err, data)
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic asserts the generator is a pure function of
+// its seed: two calls yield byte-identical stable JSON.
+func TestGenerateDeterministic(t *testing.T) {
+	for s := int64(1); s <= 25; s++ {
+		a, err := Generate(s).MarshalStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(s).MarshalStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: two generations differ:\n%s\n----\n%s", s, a, b)
+		}
+	}
+}
+
+// TestRunDeterministic asserts two simulator runs of the same scenario
+// reach bit-identical end states (same clock, counters, per-server power
+// and throttle), including under -race.
+func TestRunDeterministic(t *testing.T) {
+	for s := int64(1); s <= 8; s++ {
+		sc := Generate(s)
+		first, err := RunToEnd(sc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		second, err := RunToEnd(sc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		a, _ := first.Marshal()
+		b, _ := second.Marshal()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: end states differ:\n%s\n----\n%s", s, a, b)
+		}
+	}
+}
+
+// TestScenarioJSONRoundTrip pins the stable encoding: marshal → Load →
+// marshal must reproduce the exact bytes, and unknown fields are rejected.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	for s := int64(1); s <= 25; s++ {
+		sc := Generate(s)
+		data, err := sc.MarshalStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Load(data)
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		again, err := back.MarshalStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("seed %d: round trip changed encoding:\n%s\n----\n%s", s, data, again)
+		}
+	}
+	if _, err := Load([]byte(`{"name":"x","bogus_field":1}`)); err == nil {
+		t.Error("Load accepted unknown field")
+	}
+}
+
+// TestCorpusReplay verifies every committed scenario file, so corpus
+// entries double as regression tests: a scenario that once exposed a bug
+// keeps guarding against it.
+func TestCorpusReplay(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus scenarios committed under testdata/corpus")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Load(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(sc); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMinimizePreservesFailure minimizes against a synthetic predicate and
+// checks the result still satisfies it while being no larger.
+func TestMinimizePreservesFailure(t *testing.T) {
+	sc := Generate(7)
+	// Predicate: "fails" whenever the scenario still contains server s00.
+	fails := func(c *Scenario) bool {
+		for i := range c.Servers {
+			if c.Servers[i].ID == "s00" {
+				return true
+			}
+		}
+		return false
+	}
+	min := Minimize(sc, fails)
+	if !fails(min) {
+		t.Fatal("minimized scenario no longer fails the predicate")
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("minimized scenario invalid: %v", err)
+	}
+	if len(min.Servers) > len(sc.Servers) || len(min.Events) > len(sc.Events) || min.DurationSec > sc.DurationSec {
+		t.Fatalf("minimized scenario grew: servers %d→%d events %d→%d duration %d→%d",
+			len(sc.Servers), len(min.Servers), len(sc.Events), len(min.Events), sc.DurationSec, min.DurationSec)
+	}
+	if len(min.Servers) != 1 {
+		t.Errorf("expected minimization down to 1 server, got %d", len(min.Servers))
+	}
+}

@@ -1,0 +1,406 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"capmaestro/internal/scenario/refalloc"
+	"capmaestro/internal/topology"
+)
+
+// Impl is the allocator implementation under test. Injecting it lets the
+// harness prove its own teeth: mutation tests substitute deliberately
+// broken allocators and assert the oracle reports divergence.
+type Impl struct {
+	Name        string
+	AllocateAll func(trees []*core.Node, budgets []power.Watts, policy core.Policy) ([]*core.Allocation, error)
+	AllocateSPO func(trees []*core.Node, budgets []power.Watts, policy core.Policy) ([]*core.Allocation, *core.SPOReport, error)
+}
+
+// Production is the real allocator stack. Its AllocateAll deliberately
+// routes through a reused core.Allocator run under every policy before the
+// requested one, so the oracle also proves that the flattened hot path's
+// scratch reuse leaks no state between runs.
+var Production = Impl{
+	Name: "core",
+	AllocateAll: func(trees []*core.Node, budgets []power.Watts, policy core.Policy) ([]*core.Allocation, error) {
+		allocs := make([]*core.Allocation, len(trees))
+		for i, t := range trees {
+			a, err := core.NewAllocator(t)
+			if err != nil {
+				return nil, err
+			}
+			var b power.Watts
+			if budgets != nil {
+				b = budgets[i]
+			}
+			for _, warm := range []core.Policy{core.NoPriority, core.LocalPriority, core.GlobalPriority} {
+				a.Run(b, warm)
+			}
+			a.Run(b, policy)
+			allocs[i] = a.Snapshot()
+		}
+		return allocs, nil
+	},
+	AllocateSPO: core.AllocateWithSPO,
+}
+
+// SPOTolerance bounds how much total predicted consumption may drop after
+// the stranded power optimization: SPO moves budget that provably cannot
+// be consumed, so up to float noise it must never reduce what servers can
+// draw.
+const SPOTolerance = 0.5 // watts, summed over all servers
+
+// Verify runs the scenario through the full battery — the allocation-layer
+// differential oracle at every state the fault schedule visits, then the
+// simulator with its safety monitor — and returns the first failure.
+func Verify(sc *Scenario) error { return VerifyImpl(sc, Production) }
+
+// VerifyImpl is Verify with an injectable allocator implementation.
+func VerifyImpl(sc *Scenario, impl Impl) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	if err := CheckStates(sc, impl); err != nil {
+		return err
+	}
+	return verifySim(sc)
+}
+
+// verifySim runs the scenario end to end through sim.Simulator and asserts
+// the global safety properties.
+func verifySim(sc *Scenario) error {
+	s, err := sc.BuildSim()
+	if err != nil {
+		return err
+	}
+	s.Run(time.Duration(sc.DurationSec) * time.Second)
+	if v := s.InvariantViolations(); len(v) > 0 {
+		return fmt.Errorf("scenario %s: safety monitor: %s", sc.Name, v[0])
+	}
+	// Breakers must hold whenever capping could protect them. Infeasible
+	// periods mean the contractual budget itself was below the aggregate
+	// floors — the one regime in which the paper offers no guarantee.
+	if tripped := s.TrippedBreakers(); len(tripped) > 0 && s.InfeasiblePeriods() == 0 {
+		return fmt.Errorf("scenario %s: breaker %s tripped with feasible budgets", sc.Name, tripped[0])
+	}
+	return nil
+}
+
+// allocState is one point of the scenario's state timeline.
+type allocState struct {
+	atSec    int
+	feedDown map[string]bool
+	supDown  map[string]bool
+	util     map[string]float64
+	priority map[string]core.Priority
+	budget   map[string]power.Watts // by feed; absence means "no budget"
+}
+
+// states replays the fault schedule and returns the initial state plus one
+// state per event timestamp.
+func (sc *Scenario) states() []*allocState {
+	cur := &allocState{
+		feedDown: map[string]bool{},
+		supDown:  map[string]bool{},
+		util:     map[string]float64{},
+		priority: map[string]core.Priority{},
+		budget:   map[string]power.Watts{},
+	}
+	for i := range sc.Servers {
+		sv := &sc.Servers[i]
+		cur.util[sv.ID] = sv.Utilization
+		cur.priority[sv.ID] = core.Priority(sv.Priority)
+	}
+	for _, b := range sc.Budgets {
+		cur.budget[b.Feed] = power.Watts(b.Watts)
+	}
+	out := []*allocState{cur}
+	for i := 0; i < len(sc.Events); {
+		next := cur.clone()
+		t := sc.Events[i].AtSec
+		for ; i < len(sc.Events) && sc.Events[i].AtSec == t; i++ {
+			next.apply(sc.Events[i])
+		}
+		next.atSec = t
+		out = append(out, next)
+		cur = next
+	}
+	return out
+}
+
+func (s *allocState) clone() *allocState {
+	c := &allocState{
+		atSec:    s.atSec,
+		feedDown: make(map[string]bool, len(s.feedDown)),
+		supDown:  make(map[string]bool, len(s.supDown)),
+		util:     make(map[string]float64, len(s.util)),
+		priority: make(map[string]core.Priority, len(s.priority)),
+		budget:   make(map[string]power.Watts, len(s.budget)),
+	}
+	for k, v := range s.feedDown {
+		c.feedDown[k] = v
+	}
+	for k, v := range s.supDown {
+		c.supDown[k] = v
+	}
+	for k, v := range s.util {
+		c.util[k] = v
+	}
+	for k, v := range s.priority {
+		c.priority[k] = v
+	}
+	for k, v := range s.budget {
+		c.budget[k] = v
+	}
+	return c
+}
+
+func (s *allocState) apply(ev Event) {
+	switch ev.Kind {
+	case EventFailFeed:
+		s.feedDown[ev.Feed] = true
+	case EventRestoreFeed:
+		s.feedDown[ev.Feed] = false
+	case EventSetBudget:
+		s.budget[ev.Feed] = power.Watts(ev.Value)
+	case EventSetUtil:
+		s.util[ev.Server] = ev.Value
+	case EventSetPriority:
+		s.priority[ev.Server] = core.Priority(int(ev.Value))
+	case EventFailSupply:
+		s.supDown[ev.Supply] = true
+	case EventRestoreSupply:
+		s.supDown[ev.Supply] = false
+	}
+}
+
+// buildTrees materializes the control trees for the state: one per live
+// feed, leaves carrying static model demand with splits renormalized over
+// each server's working supplies. Feeds with no working supplies are
+// skipped, as the simulator skips them.
+func (sc *Scenario) buildTrees(st *allocState) (trees []*core.Node, budgets []power.Watts, err error) {
+	topo, err := sc.BuildTopology()
+	if err != nil {
+		return nil, nil, err
+	}
+	model := power.DefaultServerModel()
+
+	workingSplit := make(map[string]float64) // serverID → Σ splits of working supplies
+	split := make(map[string]float64)        // supplyID → its split
+	for i := range sc.Servers {
+		sv := &sc.Servers[i]
+		for _, sup := range sv.Supplies() {
+			id := SupplyID(sv.ID, sup.Feed)
+			split[id] = sup.Split
+			if !st.supDown[id] && !st.feedDown[sup.Feed] {
+				workingSplit[sv.ID] += sup.Split
+			}
+		}
+	}
+
+	src := func(supplyID, serverID string) (core.LeafInfo, bool) {
+		if st.supDown[supplyID] {
+			return core.LeafInfo{}, false
+		}
+		total := workingSplit[serverID]
+		if total <= 0 {
+			return core.LeafInfo{}, false
+		}
+		return core.LeafInfo{
+			Priority: st.priority[serverID],
+			CapMin:   model.CapMin,
+			CapMax:   model.CapMax,
+			Demand:   model.PowerAt(st.util[serverID]),
+			Share:    split[supplyID] / total,
+		}, true
+	}
+
+	for _, root := range topo.Roots() {
+		if st.feedDown[string(root.Feed)] {
+			continue
+		}
+		tree, err := core.BuildTree(root, topology.DefaultDerating(), src)
+		if err != nil {
+			continue // feed with no working supplies: nothing to budget
+		}
+		trees = append(trees, tree)
+		budgets = append(budgets, st.budget[string(root.Feed)])
+	}
+	return trees, budgets, nil
+}
+
+// CheckStates runs the differential oracle over every state in the
+// scenario's timeline: for each live control tree and every policy, the
+// implementation under test must match the refalloc reference exactly
+// (grant for grant, to the last bit), the reference ledger must satisfy
+// the paper's priority-ordering claim, the allocation must pass
+// core.CheckInvariants, and the SPO pass must match the reference and
+// never reduce total predicted consumption.
+func CheckStates(sc *Scenario, impl Impl) error {
+	policies := []core.Policy{core.NoPriority, core.LocalPriority, core.GlobalPriority}
+	for _, st := range sc.states() {
+		trees, budgets, err := sc.buildTrees(st)
+		if err != nil {
+			return err
+		}
+		if len(trees) == 0 {
+			continue
+		}
+		for _, pol := range policies {
+			if err := checkOnePolicy(sc, st, trees, budgets, pol, impl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func checkOnePolicy(sc *Scenario, st *allocState, trees []*core.Node, budgets []power.Watts, pol core.Policy, impl Impl) error {
+	where := func(detail string) error {
+		return fmt.Errorf("scenario %s: t=%ds policy=%v: %s", sc.Name, st.atSec, pol, detail)
+	}
+
+	ref, err := refalloc.AllocateAll(trees, budgets, pol)
+	if err != nil {
+		return where(fmt.Sprintf("reference allocator: %v", err))
+	}
+	got, err := impl.AllocateAll(trees, budgets, pol)
+	if err != nil {
+		return where(fmt.Sprintf("%s allocator: %v", impl.Name, err))
+	}
+	for i := range trees {
+		if err := diffAllocation(got[i], ref[i]); err != nil {
+			return where(fmt.Sprintf("tree %s: %v", trees[i].ID, err))
+		}
+		if err := ref[i].CheckPriorityOrdering(); err != nil {
+			return where(fmt.Sprintf("tree %s: %v", trees[i].ID, err))
+		}
+		if err := got[i].CheckInvariants(trees[i]); err != nil {
+			return where(fmt.Sprintf("tree %s: %v", trees[i].ID, err))
+		}
+	}
+
+	// Stranded power optimization: reference and implementation must agree
+	// on the stranded set and the re-budgeted grants, and freeing stranded
+	// watts must never shrink what servers can actually draw.
+	refSPO, refReport, err := refalloc.AllocateWithSPO(trees, budgets, pol)
+	if err != nil {
+		return where(fmt.Sprintf("reference SPO: %v", err))
+	}
+	gotSPO, gotReport, err := impl.AllocateSPO(trees, budgets, pol)
+	if err != nil {
+		return where(fmt.Sprintf("%s SPO: %v", impl.Name, err))
+	}
+	for i := range trees {
+		if err := diffAllocation(gotSPO[i], refSPO[i]); err != nil {
+			return where(fmt.Sprintf("tree %s after SPO: %v", trees[i].ID, err))
+		}
+	}
+	if err := diffSPOReport(gotReport, refReport); err != nil {
+		return where(err.Error())
+	}
+
+	// SPO never hurts — but only in the feasible regime. When a budget
+	// cannot cover the aggregate floors, minimums are scaled
+	// proportionally, and pinning a stranded supply (whose BudgetCap is
+	// floored at its Pcap_min) raises the floor total, shrinking every
+	// other supply's scaled share: consumption legitimately drops where no
+	// server was guaranteed its floor to begin with.
+	if !anyInfeasible(ref) && !anyInfeasible(refSPO) {
+		plain := refResultsToAllocations(ref)
+		spoAllocs := refResultsToAllocations(refSPO)
+		before := totalConsumption(core.PredictConsumption(trees, plain))
+		after := totalConsumption(core.PredictConsumption(trees, spoAllocs))
+		if after < before-SPOTolerance {
+			return where(fmt.Sprintf("SPO reduced total consumption %v → %v", before, after))
+		}
+	}
+	return nil
+}
+
+// diffAllocation compares an implementation allocation against the
+// reference with exact float equality — the oracle contract is zero-watt
+// divergence, which the reference guarantees is attainable by mirroring
+// the production arithmetic operation for operation.
+func diffAllocation(got *core.Allocation, ref *refalloc.Result) error {
+	if got.Infeasible != ref.Infeasible {
+		return fmt.Errorf("infeasible = %v, reference says %v", got.Infeasible, ref.Infeasible)
+	}
+	if len(got.NodeBudgets) != len(ref.NodeBudgets) {
+		return fmt.Errorf("%d node budgets, reference has %d", len(got.NodeBudgets), len(ref.NodeBudgets))
+	}
+	for id, want := range ref.NodeBudgets {
+		g, ok := got.NodeBudgets[id]
+		if !ok {
+			return fmt.Errorf("node %q missing from allocation", id)
+		}
+		if g != want {
+			return fmt.Errorf("node %q budget %v, reference %v (diff %g W)", id, g, want, float64(g-want))
+		}
+	}
+	if len(got.SupplyBudgets) != len(ref.SupplyBudgets) {
+		return fmt.Errorf("%d supply budgets, reference has %d", len(got.SupplyBudgets), len(ref.SupplyBudgets))
+	}
+	for id, want := range ref.SupplyBudgets {
+		if g := got.SupplyBudgets[id]; g != want {
+			return fmt.Errorf("supply %q budget %v, reference %v (diff %g W)", id, g, want, float64(g-want))
+		}
+	}
+	return nil
+}
+
+// diffSPOReport compares stranded-power reports exactly.
+func diffSPOReport(got, ref *core.SPOReport) error {
+	if (got == nil) != (ref == nil) {
+		return fmt.Errorf("SPO report present = %v, reference %v", got != nil, ref != nil)
+	}
+	if got == nil {
+		return nil
+	}
+	if got.TotalStranded != ref.TotalStranded {
+		return fmt.Errorf("SPO total stranded %v, reference %v", got.TotalStranded, ref.TotalStranded)
+	}
+	if len(got.Stranded) != len(ref.Stranded) {
+		return fmt.Errorf("SPO found %d stranded supplies, reference %d", len(got.Stranded), len(ref.Stranded))
+	}
+	for i := range ref.Stranded {
+		if got.Stranded[i] != ref.Stranded[i] {
+			return fmt.Errorf("SPO stranded[%d] = %+v, reference %+v", i, got.Stranded[i], ref.Stranded[i])
+		}
+	}
+	return nil
+}
+
+// refResultsToAllocations adapts reference results to the core.Allocation
+// shape PredictConsumption consumes.
+func refResultsToAllocations(results []*refalloc.Result) []*core.Allocation {
+	out := make([]*core.Allocation, len(results))
+	for i, r := range results {
+		out[i] = &core.Allocation{
+			SupplyBudgets: r.SupplyBudgets,
+			NodeBudgets:   r.NodeBudgets,
+			Infeasible:    r.Infeasible,
+		}
+	}
+	return out
+}
+
+func anyInfeasible(results []*refalloc.Result) bool {
+	for _, r := range results {
+		if r.Infeasible {
+			return true
+		}
+	}
+	return false
+}
+
+func totalConsumption(m map[string]power.Watts) power.Watts {
+	var t power.Watts
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestScheduleStableOrdering schedules 10k events with colliding
+// timestamps in random time order and asserts they fire sorted by time
+// with registration order preserved within a timestamp — the contract the
+// old sort-on-every-insert implementation provided via sort.SliceStable.
+func TestScheduleStableOrdering(t *testing.T) {
+	s, err := New(Config{
+		Topology: fig2Topology(t),
+		Servers:  fig2Servers(0),
+		Derating: fullRating(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 10000
+	const slots = 20 // seconds; heavy timestamp collision on purpose
+	rng := rand.New(rand.NewSource(1))
+	type stamp struct {
+		at  time.Duration
+		seq int
+	}
+	want := make([]stamp, 0, n)
+	var got []stamp
+	seqAt := make(map[time.Duration]int)
+	for i := 0; i < n; i++ {
+		at := time.Duration(rng.Intn(slots)) * time.Second
+		seq := seqAt[at]
+		seqAt[at]++
+		ev := stamp{at: at, seq: seq}
+		want = append(want, ev)
+		s.Schedule(at, fmt.Sprintf("ev-%d", i), func(*Simulator) {
+			got = append(got, ev)
+		})
+	}
+	// Expected firing order: by timestamp, registration order within one.
+	ordered := make([]stamp, len(want))
+	copy(ordered, want)
+	// Insertion sort by at keeps same-timestamp registration order without
+	// relying on the very library behavior under test.
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j-1].at > ordered[j].at; j-- {
+			ordered[j-1], ordered[j] = ordered[j], ordered[j-1]
+		}
+	}
+
+	s.Run(slots * time.Second)
+	if len(got) != n {
+		t.Fatalf("fired %d events, want %d", len(got), n)
+	}
+	for i := range ordered {
+		if got[i] != ordered[i] {
+			t.Fatalf("event %d fired out of order: got t=%v seq=%d, want t=%v seq=%d",
+				i, got[i].at, got[i].seq, ordered[i].at, ordered[i].seq)
+		}
+	}
+}

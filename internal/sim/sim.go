@@ -295,9 +295,14 @@ func (s *Simulator) InvariantViolations() []string {
 func (s *Simulator) InfeasiblePeriods() int { return s.infeasiblePeriods }
 
 // Schedule registers fn to run at simulation time at (relative to t=0).
+// Events sharing a timestamp fire in registration order.
 func (s *Simulator) Schedule(at time.Duration, name string, fn func(*Simulator)) {
-	s.events = append(s.events, event{at: at, name: name, fn: fn})
-	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].at < s.events[j].at })
+	// Insert after any events with the same timestamp, keeping the list
+	// sorted without re-sorting it on every call.
+	i := sort.Search(len(s.events), func(i int) bool { return s.events[i].at > at })
+	s.events = append(s.events, event{})
+	copy(s.events[i+1:], s.events[i:])
+	s.events[i] = event{at: at, name: name, fn: fn}
 }
 
 // SetUtilization changes a server's workload utilization immediately.

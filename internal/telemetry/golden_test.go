@@ -1,0 +1,146 @@
+// The golden test below pins the exported metric schema — every family
+// name, help string, and type across the instrumented subsystems — so a
+// rename or help-text edit shows up as an explicit diff in review instead
+// of silently breaking dashboards and alert rules that scrape them.
+package telemetry_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"capmaestro/internal/controlplane"
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+	"capmaestro/internal/sim"
+	"capmaestro/internal/telemetry"
+	"capmaestro/internal/topology"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/metrics.golden from the live registry")
+
+func goldenLeaf(id, serverID string, demand power.Watts) *core.Node {
+	return core.NewLeaf(id, core.SupplyLeaf{
+		SupplyID: id, ServerID: serverID, Share: 1,
+		CapMin: 270, CapMax: 490, Demand: demand,
+	})
+}
+
+// registerAllSubsystems instantiates one of everything that registers
+// metrics — simulator (which wires the capping controllers and node
+// managers), room and rack workers, and both sides of the rack transport —
+// against a single registry.
+func registerAllSubsystems(t *testing.T, reg *telemetry.Registry) {
+	t.Helper()
+
+	// Simulator: registers sim-, server-, and capping-level families.
+	root := topology.NewNode("X", topology.KindUtility, 0)
+	root.Feed = "X"
+	cdu := root.AddChild(topology.NewNode("X-cdu", topology.KindCDU, 1400))
+	cdu.AddChild(topology.NewSupply("SA-ps", "SA", 1))
+	cdu.AddChild(topology.NewSupply("SB-ps", "SB", 1))
+	topo, err := topology.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.New(sim.Config{
+		Topology: topo,
+		Servers: map[string]sim.ServerSpec{
+			"SA": {Utilization: 0.5},
+			"SB": {Utilization: 0.5},
+		},
+		Telemetry: reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Control plane: rack worker, room worker, and the TCP transport.
+	rackTree := core.NewShifting("rack0", 750,
+		goldenLeaf("SA-ps", "SA", 430),
+		goldenLeaf("SB-ps", "SB", 430),
+	)
+	rack, err := controlplane.NewRackWorker("rack0", rackTree, core.GlobalPriority,
+		nil, controlplane.WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roomTree := core.NewShifting("room", 1400, core.NewProxy("rack0", core.NewSummary()))
+	if _, err := controlplane.NewRoomWorker(roomTree, 1200, core.GlobalPriority,
+		map[string]controlplane.RackClient{"rack0": controlplane.LocalClient{Worker: rack}},
+		controlplane.WithTelemetry(reg)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := controlplane.ServeRack(rack, "127.0.0.1:0", controlplane.WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client := controlplane.DialRack(srv.Addr(), time.Second, controlplane.WithTelemetry(reg))
+	t.Cleanup(func() { client.Close() })
+}
+
+// TestMetricSchemaGolden renders the full registry in Prometheus text
+// format and compares the schema lines (# HELP / # TYPE) against the
+// committed golden file. Run with -update to accept an intentional change.
+func TestMetricSchemaGolden(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	registerAllSubsystems(t, reg)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var schema []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			schema = append(schema, line)
+		}
+	}
+	if len(schema) == 0 {
+		t.Fatal("no metric families registered")
+	}
+	got := strings.Join(schema, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create it): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report per-line drift so a rename is obvious at a glance.
+	gotLines := toSet(got)
+	wantLines := toSet(string(want))
+	for line := range wantLines {
+		if _, ok := gotLines[line]; !ok {
+			t.Errorf("missing from live registry: %s", line)
+		}
+	}
+	for line := range gotLines {
+		if _, ok := wantLines[line]; !ok {
+			t.Errorf("not in golden file: %s", line)
+		}
+	}
+	t.Errorf("metric schema drifted from %s; if intentional, regenerate with: go test ./internal/telemetry -run TestMetricSchemaGolden -update", golden)
+}
+
+func toSet(s string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		set[line] = struct{}{}
+	}
+	return set
+}

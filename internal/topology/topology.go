@@ -256,6 +256,9 @@ func (t *Topology) validate() error {
 		if r.Feed == "" {
 			return fmt.Errorf("topology: root %q has no feed", r.ID)
 		}
+		if len(r.children) == 0 {
+			return fmt.Errorf("topology: feed root %q has no children", r.ID)
+		}
 		var err error
 		r.Walk(func(n *Node) bool {
 			if err != nil {

@@ -93,6 +93,39 @@ func TestValidationErrors(t *testing.T) {
 			r.AddChild(NewSupply("s2", "srv", 0.3))
 			return []*Node{r}
 		}, "want ~1"},
+		{"childless feed root", func() []*Node {
+			r := NewNode("r", KindUtility, 0)
+			r.Feed = "A"
+			return []*Node{r}
+		}, "no children"},
+		{"duplicate ID across feeds", func() []*Node {
+			a := smallFeed("A")
+			b := smallFeed("B")
+			b.AddChild(NewNode("A-cdu", KindCDU, 100))
+			return []*Node{a, b}
+		}, "duplicate"},
+		{"feed mismatch", func() []*Node {
+			r := smallFeed("A")
+			rogue := NewNode("rogue", KindCDU, 100)
+			rogue.Feed = "B"
+			r.AddChild(rogue)
+			return []*Node{r}
+		}, "differs from root feed"},
+		{"supply zero split", func() []*Node {
+			r := smallFeed("A")
+			r.Children()[0].AddChild(NewSupply("s3", "server-3", 0))
+			return []*Node{r}
+		}, "out of (0,1]"},
+		{"supply negative split", func() []*Node {
+			r := smallFeed("A")
+			r.Children()[0].AddChild(NewSupply("s3", "server-3", -0.5))
+			return []*Node{r}
+		}, "out of (0,1]"},
+		{"empty supply ID", func() []*Node {
+			r := smallFeed("A")
+			r.Children()[0].AddChild(NewSupply("", "server-3", 0.5))
+			return []*Node{r}
+		}, "empty ID"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
