@@ -11,6 +11,7 @@ import (
 	"capmaestro/internal/scheduler"
 	"capmaestro/internal/server"
 	"capmaestro/internal/sim"
+	"capmaestro/internal/slo"
 	"capmaestro/internal/telemetry"
 	"capmaestro/internal/topocheck"
 	"capmaestro/internal/topology"
@@ -242,6 +243,16 @@ type (
 	// allocation explain records in a ring buffer; mount its Handler on a
 	// TelemetryServer to serve /debug/periods and /debug/trace.json.
 	FlightRecorder = flightrec.Recorder
+	// HealthLevel is the three-state health rollup reported by /healthz
+	// and SLOTracker.Status.
+	HealthLevel = telemetry.HealthLevel
+)
+
+// Health rollup levels, from healthy to failing.
+const (
+	HealthOK       = telemetry.HealthOK
+	HealthWarn     = telemetry.HealthWarn
+	HealthCritical = telemetry.HealthCritical
 )
 
 // NewTelemetryRegistry creates an empty metrics registry. Wire it into
@@ -254,6 +265,42 @@ func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() 
 // returned server is closed.
 func ServeTelemetry(reg *TelemetryRegistry, addr string) (*TelemetryServer, error) {
 	return telemetry.Serve(reg, addr)
+}
+
+// Safety SLOs: time-to-safe tracking, trip-risk scoring, and alerting.
+type (
+	// SLOTracker measures the paper's safety claim continuously: exposure
+	// windows from fault to back-under-budget, per-feed breaker trip risk,
+	// and an alert-rule engine with for-duration + deadband semantics.
+	SLOTracker = slo.Tracker
+	// SLOConfig assembles an SLOTracker.
+	SLOConfig = slo.Config
+	// SLORule is one alert rule (signal, op, threshold, for, deadband).
+	SLORule = slo.Rule
+)
+
+// NewSLOTracker builds a safety-SLO tracker. Wire it into
+// SimConfig.SLO or a room worker's WithSLO option, and mount its debug
+// endpoint and health rollup with MountSLO. An empty SLOConfig uses the
+// default alert rules.
+func NewSLOTracker(cfg SLOConfig) (*SLOTracker, error) { return slo.New(cfg) }
+
+// DefaultSLORules returns the built-in alert rules: breaker trip risk,
+// time-to-safe margin below the paper's bound, open overloaded exposure,
+// racks held on stale state, and persistent cap violations.
+func DefaultSLORules() []SLORule { return slo.DefaultRules() }
+
+// LoadSLORules parses an alert-rule JSON file (an array of SLORule).
+func LoadSLORules(path string) ([]SLORule, error) { return slo.LoadRulesFile(path) }
+
+// MountSLO serves the tracker's /debug/slo endpoint on the telemetry
+// server and folds its alert state into /healthz (ok/warn/critical).
+func MountSLO(ts *TelemetryServer, t *SLOTracker) {
+	if ts == nil || t == nil {
+		return
+	}
+	ts.Handle("/debug/slo", t.Handler())
+	ts.AddLeveledCheck("slo", t.HealthCheck)
 }
 
 // NewFlightRecorder creates a flight recorder retaining the last size

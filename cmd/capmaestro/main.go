@@ -37,6 +37,7 @@ import (
 	"capmaestro/internal/scheduler"
 	"capmaestro/internal/server"
 	"capmaestro/internal/sim"
+	"capmaestro/internal/slo"
 	"capmaestro/internal/telemetry"
 	"capmaestro/internal/topology"
 )
@@ -55,6 +56,8 @@ func main() {
 		"serve demo: initial backoff between rack RPC retries (doubles per retry)")
 	traceBuffer := flag.Int("trace-buffer", flightrec.DefaultBufferSize,
 		"serve demo: control periods retained by the flight recorder on /debug/periods and /debug/trace.json (0 disables)")
+	sloRules := flag.String("slo-rules", "",
+		"serve demo: JSON alert-rule file for the safety-SLO tracker on /debug/slo (empty uses the built-in rules)")
 	pprofOn := flag.Bool("pprof", false,
 		"mount net/http/pprof profiling handlers on the telemetry server under /debug/pprof/")
 	logOpts := logging.RegisterFlags(flag.CommandLine)
@@ -103,6 +106,7 @@ func main() {
 			rpcRetries:       *rpcRetries,
 			rpcRetryBackoff:  *rpcBackoff,
 			traceBuffer:      *traceBuffer,
+			sloRulesFile:     *sloRules,
 		})
 	default:
 		err = fmt.Errorf("unknown demo %q", *demo)
@@ -343,6 +347,7 @@ type serveConfig struct {
 	rpcRetries       int
 	rpcRetryBackoff  time.Duration
 	traceBuffer      int
+	sloRulesFile     string
 }
 
 // demoServe runs the whole stack continuously until SIGINT/SIGTERM:
@@ -370,6 +375,31 @@ func demoServe(reg *telemetry.Registry, ts *telemetry.Server, logger *slog.Logge
 			ts.Handle("/debug/periods/", h)
 			ts.Handle("/debug/trace.json", h)
 		}
+	}
+
+	// The safety-SLO tracker watches rack staleness through the room worker
+	// and folds alert state into /healthz; rules come from -slo-rules or the
+	// built-in defaults.
+	var rules []slo.Rule
+	if cfg.sloRulesFile != "" {
+		var err error
+		if rules, err = slo.LoadRulesFile(cfg.sloRulesFile); err != nil {
+			return err
+		}
+	}
+	tracker, err := slo.New(slo.Config{
+		Rules:    rules,
+		Registry: reg,
+		Recorder: recorder,
+		Logger:   logger,
+	})
+	if err != nil {
+		return err
+	}
+	opts = append(opts, controlplane.WithSLO(tracker))
+	if ts != nil {
+		ts.Handle("/debug/slo", tracker.Handler())
+		ts.AddLeveledCheck("slo", tracker.HealthCheck)
 	}
 
 	// Four single-supply servers, two per rack; SA runs a high-priority
@@ -458,6 +488,7 @@ func demoServe(reg *telemetry.Registry, ts *telemetry.Server, logger *slog.Logge
 	}
 	if ts != nil {
 		ts.AddHealthCheck("room", room.Healthy)
+		ts.AddWarnCheck("room-degraded", room.Degraded)
 		ts.AddHealthDetail("racks", func() any { return room.RackFreshness() })
 	}
 

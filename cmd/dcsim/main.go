@@ -27,6 +27,7 @@ import (
 	"capmaestro/internal/dc"
 	"capmaestro/internal/logging"
 	"capmaestro/internal/power"
+	"capmaestro/internal/slo"
 	"capmaestro/internal/telemetry"
 )
 
@@ -44,7 +45,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "Monte Carlo worker goroutines (0 = one per CPU)")
 		seed       = flag.Int64("seed", 42, "random seed")
 		metricsOut = flag.String("metrics-out", "", "write results as Prometheus text to FILE")
-		logOpts    = logging.RegisterFlags(flag.CommandLine)
+		sloRules   = flag.String("slo-rules", "",
+			"JSON alert-rule file evaluated once against study results (signals: cap_ratio, cap_ratio_high, capacity_servers, capped_servers, infeasible; label = policy); a firing critical rule exits 1")
+		logOpts = logging.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -55,6 +58,23 @@ func main() {
 	slog.SetDefault(logger)
 
 	reg := telemetry.NewRegistry()
+
+	// With -slo-rules the study doubles as a capacity gate: results are fed
+	// to the alert-rule engine as one evaluation (so rules should use
+	// for_periods <= 1), labeled by policy, and a firing critical rule fails
+	// the run. The slo_* metric families ride along in -metrics-out.
+	var tracker *slo.Tracker
+	var sloSamples []slo.Sample
+	if *sloRules != "" {
+		rules, err := slo.LoadRulesFile(*sloRules)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tracker, err = slo.New(slo.Config{Rules: rules, Registry: reg, Logger: logger})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
 
 	cfg := dc.DefaultConfig()
 	cfg.HighPriorityFraction = *highFrac
@@ -107,6 +127,9 @@ func main() {
 				p, scen, res.ServersPerRack, res.TotalServers, res.Ratio*100)
 			capacity.With(p.String(), scen.String()).Set(float64(res.TotalServers))
 			ratio.With(p.String(), scen.String()).Set(res.Ratio)
+			sloSamples = append(sloSamples,
+				slo.Sample{Signal: "cap_ratio", Label: p.String(), Value: res.Ratio},
+				slo.Sample{Signal: "capacity_servers", Label: p.String(), Value: float64(res.TotalServers)})
 		}
 	case "curve":
 		fmt.Printf("%-8s %-9s", "PerRack", "Servers")
@@ -151,6 +174,15 @@ func main() {
 				r.MeanCapRatioAll, r.MeanCapRatioHigh, r.Infeasible)
 			capped.With(p.String(), scen.String()).Set(float64(r.CappedServers))
 			ratioAll.With(p.String(), scen.String()).Set(r.MeanCapRatioAll)
+			infeasible := 0.0
+			if r.Infeasible {
+				infeasible = 1
+			}
+			sloSamples = append(sloSamples,
+				slo.Sample{Signal: "cap_ratio", Label: p.String(), Value: r.MeanCapRatioAll},
+				slo.Sample{Signal: "cap_ratio_high", Label: p.String(), Value: r.MeanCapRatioHigh},
+				slo.Sample{Signal: "capped_servers", Label: p.String(), Value: float64(r.CappedServers)},
+				slo.Sample{Signal: "infeasible", Label: p.String(), Value: infeasible})
 		}
 	case "binding":
 		cfg.ServersPerRack = *perRack
@@ -173,6 +205,22 @@ func main() {
 		fatalf("unknown mode %q", *mode)
 	}
 
+	critical := false
+	if tracker != nil {
+		tracker.EvalPeriod(tracker.Uptime(), sloSamples...)
+		if alerts := tracker.ActiveAlerts(); len(alerts) > 0 {
+			fmt.Println("\nSLO rule evaluation:")
+			for _, a := range alerts {
+				fmt.Printf("  %s: %s{%s} = %g\n", a.Severity, a.Rule, a.Label, a.Value)
+				if a.Severity == slo.SeverityCritical {
+					critical = true
+				}
+			}
+		} else {
+			fmt.Println("\nSLO rule evaluation: all rules clear")
+		}
+	}
+
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
@@ -187,6 +235,9 @@ func main() {
 			fatalf("writing %s: %v", *metricsOut, err)
 		}
 		fmt.Printf("(metrics written to %s)\n", *metricsOut)
+	}
+	if critical {
+		os.Exit(1)
 	}
 }
 

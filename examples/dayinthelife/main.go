@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"capmaestro"
@@ -31,6 +32,8 @@ func main() {
 		"HOST:PORT for /metrics, /healthz, and /debug/vars (empty disables)")
 	traceBuffer := flag.Int("trace-buffer", 64,
 		"control periods retained by the flight recorder on /debug/periods and /debug/trace.json (0 disables)")
+	sloRules := flag.String("slo-rules", "",
+		"JSON alert-rule file for the safety-SLO tracker on /debug/slo (empty uses the built-in rules)")
 	logOpts := logging.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	logger, err := logOpts.Logger(os.Stderr)
@@ -41,17 +44,36 @@ func main() {
 	if *traceBuffer > 0 {
 		rec = capmaestro.NewFlightRecorder(*traceBuffer)
 	}
+	var rules []capmaestro.SLORule
+	if *sloRules != "" {
+		if rules, err = capmaestro.LoadSLORules(*sloRules); err != nil {
+			log.Fatal(err)
+		}
+	}
 	var reg *capmaestro.TelemetryRegistry
+	var ts *capmaestro.TelemetryServer
 	if *telAddr != "" {
 		reg = capmaestro.NewTelemetryRegistry()
-		ts, err := capmaestro.ServeTelemetry(reg, *telAddr)
-		if err != nil {
+		if ts, err = capmaestro.ServeTelemetry(reg, *telAddr); err != nil {
 			log.Fatal(err)
 		}
 		defer ts.Close()
 		capmaestro.MountFlightRecorder(ts, rec)
 		fmt.Printf("telemetry on http://%s/metrics\n\n", ts.Addr())
 	}
+	// The safety-SLO tracker measures the paper's headline claim live:
+	// every fault opens an exposure window, and closing it is scored
+	// against the breaker's time-to-trip at the observed overload.
+	tracker, err := capmaestro.NewSLOTracker(capmaestro.SLOConfig{
+		Rules:    rules,
+		Registry: reg,
+		Recorder: rec,
+		Logger:   logger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	capmaestro.MountSLO(ts, tracker)
 	// Two feeds, one 1.6 kW-rated CDU each, four dual-corded servers.
 	mkFeed := func(feed capmaestro.FeedID) *capmaestro.TopologyNode {
 		root := capmaestro.NewTopologyNode(string(feed), capmaestro.KindUtility, 0)
@@ -83,6 +105,7 @@ func main() {
 		Telemetry:      reg,
 		Logger:         logger,
 		FlightRecorder: rec,
+		SLO:            tracker,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -171,6 +194,43 @@ func main() {
 	} else {
 		fmt.Printf("PROBLEMS: tripped=%v violations=%v\n",
 			s.TrippedBreakers(), s.InvariantViolations())
+	}
+
+	// The safety-SLO scoreboard: how long the pod stayed exposed after each
+	// fault, and how that compares to the breaker's trip window — the
+	// paper's order-of-magnitude claim as a measured number.
+	fmt.Println("\nTime-to-safe summary:")
+	ok := true
+	for i, w := range tracker.ClosedWindows() {
+		if w.Ratio > 0 {
+			fmt.Printf("  window %d (%s): exposed %.0f s, breaker would trip in %.0f s — margin %.0f×\n",
+				i+1, strings.Join(w.Causes, "+"), w.DurationSec, w.MinTimeToTripSec, w.Margin())
+		} else {
+			fmt.Printf("  window %d (%s): exposed %.0f s, no breaker overload\n",
+				i+1, strings.Join(w.Causes, "+"), w.DurationSec)
+		}
+	}
+	fmt.Printf("  p50/p99 time-to-safe: %.0f s / %.0f s   peak trip risk: %.3f\n",
+		tracker.TimeToSafeQuantile(0.5), tracker.TimeToSafeQuantile(0.99), tracker.PeakRisk())
+	if m := tracker.WorstMargin(); m < 10 {
+		fmt.Printf("  WORST MARGIN %.1f× — below the paper's 10× claim\n", m)
+		ok = false
+	} else {
+		fmt.Printf("  worst margin %.0f× — clears the paper's 10× claim\n", tracker.WorstMargin())
+	}
+	fired, resolved := tracker.TransitionCounts("feed-exposure")
+	if fired == 1 && resolved == 1 {
+		fmt.Println("  feed-exposure alert fired and resolved exactly once (the feed failure)")
+	} else {
+		fmt.Printf("  UNEXPECTED feed-exposure transitions: fired %d, resolved %d (want 1/1)\n", fired, resolved)
+		ok = false
+	}
+	if st := tracker.Status(); st != capmaestro.HealthOK {
+		fmt.Printf("  SLO status %v with active alerts %+v\n", st, tracker.ActiveAlerts())
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
 	}
 
 	if *telAddr != "" {

@@ -120,6 +120,58 @@ func (b *Breaker) Tripped() bool { return b.tripped }
 // = trip) for telemetry and tests.
 func (b *Breaker) Heat() float64 { return b.heat }
 
+// RiskSnapshot is a point-in-time view of how close a breaker is to
+// tripping, combining the thermal accumulator with the instantaneous
+// load. It feeds the SLO layer's per-feed trip-risk gauge.
+type RiskSnapshot struct {
+	Rating power.Watts `json:"rating_watts"`
+	Load   power.Watts `json:"load_watts"`
+	// LoadFraction is Load/Rating (1.0 = at rating).
+	LoadFraction float64 `json:"load_fraction"`
+	// Heat is the raw thermal accumulator (trip at the curve constant).
+	Heat float64 `json:"heat"`
+	// Risk is the normalized trip risk in [0, 1]: accumulated heat over
+	// the trip threshold, forced to 1 once tripped.
+	Risk float64 `json:"risk"`
+	// Overloaded reports a load above the hold threshold — heat is
+	// accumulating and the breaker will eventually trip if it persists.
+	Overloaded bool `json:"overloaded"`
+	Tripped    bool `json:"tripped"`
+	// TimeToTrip is the remaining time before the breaker opens if the
+	// load persists, accounting for heat already accumulated (0 when not
+	// overloaded, or when tripping is instantaneous or already past).
+	TimeToTrip time.Duration `json:"time_to_trip_ns,omitempty"`
+}
+
+// RiskSnapshot reports the breaker's trip risk under the given load.
+// The load is a parameter — not retained from Apply — so callers can
+// also probe hypothetical loads.
+func (b *Breaker) RiskSnapshot(load power.Watts) RiskSnapshot {
+	frac := float64(load / b.rating)
+	rs := RiskSnapshot{
+		Rating:       b.rating,
+		Load:         load,
+		LoadFraction: frac,
+		Heat:         b.heat,
+		Tripped:      b.tripped,
+	}
+	rs.Risk = math.Max(0, math.Min(1, b.heat/b.curveK))
+	if b.tripped {
+		rs.Risk = 1
+		return rs
+	}
+	switch {
+	case frac >= b.instFraction:
+		rs.Overloaded = true
+	case frac > b.holdFraction:
+		rs.Overloaded = true
+		if remaining := (b.curveK - b.heat) / (frac*frac - 1); remaining > 0 {
+			rs.TimeToTrip = time.Duration(remaining * float64(time.Second))
+		}
+	}
+	return rs
+}
+
 // Reset closes a tripped breaker and clears its thermal state, modelling a
 // manual reset by an operator.
 func (b *Breaker) Reset() {

@@ -186,3 +186,163 @@ func TestCustomCurveConstant(t *testing.T) {
 		t.Errorf("custom curve: got %v, want 60s", d)
 	}
 }
+
+// TestTimeToTripBoundaries pins the curve's edge behaviour: exactly at
+// the hold threshold the breaker holds forever; just above it the trip
+// time is finite but enormous (the curve's near-singular region); just
+// below the instantaneous threshold the thermal curve still governs; at
+// the threshold the magnetic element takes over.
+func TestTimeToTripBoundaries(t *testing.T) {
+	b := mustBreaker(t, 1000)
+	cases := []struct {
+		name    string
+		load    power.Watts
+		trips   bool
+		minSec  float64 // bounds on the trip time when trips
+		maxSec  float64
+		instant bool
+	}{
+		{name: "exactly at hold", load: 1000, trips: false},
+		{name: "hair above hold", load: 1000.1, trips: true,
+			// K/(1.0001²−1) ≈ 234k s: finite, not overflowed, huge.
+			minSec: 100_000, maxSec: 300_000},
+		{name: "1 percent over", load: 1010, trips: true,
+			// K/(1.01²−1) ≈ 2328 s.
+			minSec: 2300, maxSec: 2400},
+		{name: "just below instantaneous", load: 7999, trips: true,
+			// K/(7.999²−1) ≈ 0.744 s: still thermal, not instant.
+			minSec: 0.7, maxSec: 0.8},
+		{name: "exactly instantaneous", load: 8000, trips: true, instant: true},
+		{name: "beyond instantaneous", load: 20000, trips: true, instant: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, trips := b.TimeToTrip(tc.load)
+			if trips != tc.trips {
+				t.Fatalf("TimeToTrip(%v) trips = %v, want %v", tc.load, trips, tc.trips)
+			}
+			if !tc.trips {
+				if d != 0 {
+					t.Errorf("holding load reported duration %v", d)
+				}
+				return
+			}
+			if tc.instant {
+				if d != 0 {
+					t.Errorf("instantaneous load reported thermal delay %v", d)
+				}
+				return
+			}
+			if s := d.Seconds(); s < tc.minSec || s > tc.maxSec {
+				t.Errorf("TimeToTrip(%v) = %v s, want [%v, %v]", tc.load, s, tc.minSec, tc.maxSec)
+			}
+		})
+	}
+}
+
+// TestApplyExactlyAtHoldAccumulatesNothing: the hold threshold is
+// inclusive — a breaker pinned exactly at rating gains no heat, and any
+// prior heat decays.
+func TestApplyExactlyAtHoldAccumulatesNothing(t *testing.T) {
+	b := mustBreaker(t, 1000)
+	for i := 0; i < 3600; i++ {
+		b.Apply(1000, time.Second)
+	}
+	if b.Heat() != 0 {
+		t.Fatalf("heat = %v after an hour at rating, want 0", b.Heat())
+	}
+	// Warm it up, then hold at exactly rating: heat must decay, never grow.
+	b.Apply(1600, 10*time.Second)
+	h := b.Heat()
+	b.Apply(1000, 30*time.Second)
+	if b.Heat() >= h {
+		t.Errorf("heat %v did not decay at the hold threshold (was %v)", b.Heat(), h)
+	}
+}
+
+// TestRiskSnapshot pins the SLO layer's view of the breaker across the
+// cold, heated, instantaneous, and tripped regimes.
+func TestRiskSnapshot(t *testing.T) {
+	t.Run("cold regions", func(t *testing.T) {
+		b := mustBreaker(t, 1000)
+		cases := []struct {
+			name       string
+			load       power.Watts
+			overloaded bool
+			tttSec     float64
+		}{
+			{"light load", 500, false, 0},
+			{"exactly rated", 1000, false, 0},
+			{"ul489 datum", 1600, true, 30},
+			{"instantaneous", 8000, true, 0},
+		}
+		for _, tc := range cases {
+			rs := b.RiskSnapshot(tc.load)
+			if rs.Risk != 0 || rs.Tripped {
+				t.Errorf("%s: cold breaker risk = %v tripped = %v", tc.name, rs.Risk, rs.Tripped)
+			}
+			if rs.Overloaded != tc.overloaded {
+				t.Errorf("%s: overloaded = %v, want %v", tc.name, rs.Overloaded, tc.overloaded)
+			}
+			if got := rs.TimeToTrip.Seconds(); math.Abs(got-tc.tttSec) > 1e-6 {
+				t.Errorf("%s: timeToTrip = %v s, want %v", tc.name, got, tc.tttSec)
+			}
+			if rs.LoadFraction != float64(tc.load)/1000 {
+				t.Errorf("%s: load fraction = %v", tc.name, rs.LoadFraction)
+			}
+		}
+	})
+
+	t.Run("heat shortens remaining trip time", func(t *testing.T) {
+		b := mustBreaker(t, 1000)
+		// 15 s at 160% deposits half the trip budget: K/2 = 23.4.
+		b.Apply(1600, 15*time.Second)
+		rs := b.RiskSnapshot(1600)
+		if math.Abs(rs.Risk-0.5) > 1e-9 {
+			t.Errorf("risk = %v, want 0.5 at half the thermal budget", rs.Risk)
+		}
+		if got := rs.TimeToTrip.Seconds(); math.Abs(got-15) > 1e-6 {
+			t.Errorf("remaining timeToTrip = %v s, want 15 (half of 30)", got)
+		}
+		cold, _ := b.TimeToTrip(1600)
+		if rs.TimeToTrip >= cold {
+			t.Error("heated remaining time should be below the cold-start curve")
+		}
+	})
+
+	t.Run("snapshot does not mutate state", func(t *testing.T) {
+		b := mustBreaker(t, 1000)
+		b.Apply(1600, 5*time.Second)
+		h := b.Heat()
+		b.RiskSnapshot(5000)
+		b.RiskSnapshot(0)
+		if b.Heat() != h || b.Tripped() {
+			t.Error("RiskSnapshot mutated breaker state")
+		}
+	})
+
+	t.Run("tripped pins risk at 1", func(t *testing.T) {
+		b := mustBreaker(t, 1000)
+		b.Apply(9000, time.Millisecond)
+		rs := b.RiskSnapshot(0)
+		if !rs.Tripped || rs.Risk != 1 {
+			t.Errorf("tripped snapshot = %+v, want risk 1", rs)
+		}
+		if rs.TimeToTrip != 0 {
+			t.Errorf("tripped breaker reported timeToTrip %v", rs.TimeToTrip)
+		}
+	})
+
+	t.Run("risk saturates at 1 near trip", func(t *testing.T) {
+		b := mustBreaker(t, 1000)
+		// 29 of the 30 s budget: risk just under 1.
+		b.Apply(1600, 29*time.Second)
+		rs := b.RiskSnapshot(1600)
+		if rs.Risk <= 0.9 || rs.Risk >= 1 {
+			t.Errorf("risk = %v, want (0.9, 1) just before trip", rs.Risk)
+		}
+		if rs.TimeToTrip <= 0 || rs.TimeToTrip > 2*time.Second {
+			t.Errorf("remaining = %v, want ≈1 s", rs.TimeToTrip)
+		}
+	})
+}

@@ -108,6 +108,7 @@ type Controller struct {
 	met         controllerMetrics
 	settling    bool
 	settleIters int
+	violStreak  int
 }
 
 // New creates a controller for the given node.
@@ -255,6 +256,11 @@ func (c *Controller) Iterate() power.Watts {
 			violated++
 		}
 	}
+	if violated > 0 {
+		c.violStreak++
+	} else {
+		c.violStreak = 0
+	}
 	if c.met.enabled {
 		if violated > 0 {
 			c.met.violations.Inc()
@@ -287,3 +293,9 @@ func (c *Controller) Iterate() power.Watts {
 
 // DesiredDCCap exposes the integrator state (the cap last applied).
 func (c *Controller) DesiredDCCap() power.Watts { return c.integrator }
+
+// ViolationStreak counts consecutive Iterate calls in which at least one
+// budgeted supply sat above its budget (plus tolerance). The SLO layer
+// alerts on long streaks — a server the PI loop is failing to pull under
+// its line.
+func (c *Controller) ViolationStreak() int { return c.violStreak }

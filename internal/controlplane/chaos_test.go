@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -11,9 +12,40 @@ import (
 	"time"
 
 	"capmaestro/internal/core"
+	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 	"capmaestro/internal/telemetry"
 )
+
+// dumpTraceOnFailure registers a cleanup that, when the test failed and
+// CAPMAESTRO_ARTIFACT_DIR is set, writes the recorder's Chrome trace there
+// so CI uploads it for offline inspection in Perfetto / chrome://tracing.
+// A no-op for local runs without the variable.
+func dumpTraceOnFailure(t *testing.T, rec *flightrec.Recorder) {
+	t.Helper()
+	t.Cleanup(func() {
+		dir := os.Getenv("CAPMAESTRO_ARTIFACT_DIR")
+		if !t.Failed() || dir == "" {
+			return
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("artifact dir: %v", err)
+			return
+		}
+		path := filepath.Join(dir, strings.ReplaceAll(t.Name(), "/", "_")+"-trace.json")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Logf("artifact create: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := rec.WriteChromeTrace(f); err != nil {
+			t.Logf("trace write: %v", err)
+			return
+		}
+		t.Logf("chrome trace written to %s", path)
+	})
+}
 
 // switchableClient wraps a RackClient with a togglable gather failure and
 // records every budget push that reaches it.
@@ -297,6 +329,8 @@ func TestRoomWorkerChaos(t *testing.T) {
 	)
 
 	reg := telemetry.NewRegistry()
+	rec := flightrec.NewRecorder(periods)
+	dumpTraceOnFailure(t, rec)
 	workers := make([]*RackWorker, racks)
 	recorders := make([]*switchableClient, racks)
 	faulty := make([]*FaultyClient, racks)
@@ -324,7 +358,8 @@ func TestRoomWorkerChaos(t *testing.T) {
 
 	room, err := NewRoomWorker(core.NewShifting("room", 2600, proxies...),
 		roomBudget, core.GlobalPriority, clients,
-		WithTelemetry(reg), WithStalenessBound(2), WithFailsafeBudget(rackCapMin))
+		WithTelemetry(reg), WithFlightRecorder(rec),
+		WithStalenessBound(2), WithFailsafeBudget(rackCapMin))
 	if err != nil {
 		t.Fatal(err)
 	}

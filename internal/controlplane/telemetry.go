@@ -6,6 +6,7 @@ import (
 
 	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
+	"capmaestro/internal/slo"
 	"capmaestro/internal/telemetry"
 )
 
@@ -23,6 +24,7 @@ type options struct {
 	rpcRetries      int
 	rpcRetryBackoff time.Duration
 	recorder        *flightrec.Recorder
+	slo             *slo.Tracker
 }
 
 func buildOptions(opts []Option) options {
@@ -92,6 +94,15 @@ func WithFailsafeBudget(b power.Watts) Option {
 // then runs without a trace context and no spans are created anywhere.
 func WithFlightRecorder(rec *flightrec.Recorder) Option {
 	return func(o *options) { o.recorder = rec }
+}
+
+// WithSLO attaches a safety-SLO tracker to the room worker: after every
+// completed control period the worker feeds the tracker one alert-engine
+// evaluation with per-rack staleness samples (rack_stale_periods), so
+// rules like "rack held stale ≥ N periods" fire from live control-plane
+// state. A nil tracker disables SLO evaluation (the default).
+func WithSLO(t *slo.Tracker) Option {
+	return func(o *options) { o.slo = t }
 }
 
 // Default transport retry policy: a failed rack RPC is retried a bounded

@@ -2,14 +2,18 @@ package controlplane
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"capmaestro/internal/core"
 	"capmaestro/internal/power"
+	"capmaestro/internal/slo"
 	"capmaestro/internal/telemetry"
 )
 
@@ -218,5 +222,105 @@ func TestTransportTelemetry(t *testing.T) {
 			strings.HasSuffix(line, " 0") {
 			t.Errorf("byte counter did not advance: %s", line)
 		}
+	}
+}
+
+// TestRoomWorkerSLOAndDegraded drives a room with one permanently
+// failing rack: the staleness samples fed through WithSLO must fire the
+// rack-stale warn rule, Degraded must report the held rack, and the
+// /healthz rollup must show "warn" while still serving 200.
+func TestRoomWorkerSLOAndDegraded(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tracker, err := slo.New(slo.Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkRack := func(id, supply, srv string) RackClient {
+		w, err := NewRackWorker(id,
+			core.NewShifting(id, 600, telemetryLeaf(supply, srv, 400)),
+			core.GlobalPriority, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return LocalClient{Worker: w}
+	}
+	tree := core.NewShifting("room", 1200,
+		core.NewProxy("rack-good", core.NewSummary()),
+		core.NewProxy("rack-bad", core.NewSummary()),
+	)
+	room, err := NewRoomWorker(tree, 1000, core.GlobalPriority,
+		map[string]RackClient{
+			"rack-good": mkRack("rack-good", "g-ps", "g"),
+			"rack-bad":  gatherFailClient{inner: mkRack("rack-bad", "b-ps", "b")},
+		}, WithSLO(tracker))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := room.Degraded(); err != nil {
+		t.Errorf("pre-first-period Degraded = %v, want nil", err)
+	}
+
+	// The default rack-stale rule fires at ≥3 consecutive stale periods.
+	for i := 0; i < 4; i++ {
+		if _, _, err := room.RunPeriod(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	alerts := tracker.ActiveAlerts()
+	found := false
+	for _, a := range alerts {
+		if a.Rule == "rack-stale" && a.Label == "rack-bad" {
+			found = true
+		}
+		if a.Label == "rack-good" {
+			t.Errorf("healthy rack raised an alert: %+v", a)
+		}
+	}
+	if !found {
+		t.Fatalf("rack-stale{rack-bad} not firing; active = %+v", alerts)
+	}
+	if tracker.Status() != telemetry.HealthWarn {
+		t.Errorf("tracker status = %v, want warn", tracker.Status())
+	}
+	fired, resolved := tracker.TransitionCounts("rack-stale")
+	if fired != 1 || resolved != 0 {
+		t.Errorf("rack-stale transitions = %d/%d, want 1 fired, 0 resolved", fired, resolved)
+	}
+
+	// The never-gathered rack is held, so the worker reports degraded.
+	err = room.Degraded()
+	if err == nil || !strings.Contains(err.Error(), "held") {
+		t.Errorf("Degraded = %v, want a held-rack report", err)
+	}
+
+	// End-to-end /healthz: degraded room + warn-level alert keep the
+	// process at 200 with status "warn" — no restart-worthy condition.
+	srv := telemetry.NewServer(reg)
+	srv.AddWarnCheck("room-degraded", room.Degraded)
+	srv.AddLeveledCheck("slo", tracker.HealthCheck)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var report struct {
+		Status string            `json:"status"`
+		Checks map[string]string `json:"checks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || report.Status != "warn" {
+		t.Fatalf("/healthz = %d %+v, want 200 warn", resp.StatusCode, report)
+	}
+	if !strings.Contains(report.Checks["slo"], "rack-stale") {
+		t.Errorf("slo check verdict = %q", report.Checks["slo"])
+	}
+	if !strings.Contains(report.Checks["room-degraded"], "held") {
+		t.Errorf("room-degraded verdict = %q", report.Checks["room-degraded"])
 	}
 }

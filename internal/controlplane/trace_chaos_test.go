@@ -127,6 +127,7 @@ func TestTraceChaosPropagation(t *testing.T) {
 	flaky.SetErrorRate(0.3)
 
 	rec := flightrec.NewRecorder(periods)
+	dumpTraceOnFailure(t, rec)
 	room, err := NewRoomWorker(
 		core.NewShifting("room", 0,
 			core.NewProxy("tcprack", core.NewSummary()),

@@ -26,6 +26,7 @@ import (
 	"capmaestro/internal/core"
 	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
+	"capmaestro/internal/slo"
 )
 
 // BudgetSink receives the final per-supply budgets a rack worker computes;
@@ -218,6 +219,7 @@ type RoomWorker struct {
 	stalenessBound int
 	failsafe       power.Watts
 	recorder       *flightrec.Recorder
+	slo            *slo.Tracker
 
 	// runMu serializes control periods and guards the tree: only RunPeriod
 	// writes proxy summaries and walks the tree for allocation.
@@ -286,6 +288,7 @@ func NewRoomWorker(tree *core.Node, budget power.Watts, policy core.Policy, rack
 		stalenessBound: o.stalenessBound,
 		failsafe:       o.failsafeBudget,
 		recorder:       o.recorder,
+		slo:            o.slo,
 		rackDown:       make(map[string]bool, len(racks)),
 		rackStale:      make(map[string]int, len(racks)),
 		rackSeen:       make(map[string]bool, len(racks)),
@@ -414,6 +417,7 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 		w.commitPeriod(nil, stats)
 		root.End(err)
 		w.recordPeriod(pt, start, stats, nil, err)
+		w.evalSLO()
 		return nil, stats, err
 	}
 	w.met.allocateSeconds.ObserveSince(allocStart)
@@ -452,6 +456,7 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 	w.commitPeriod(alloc, stats)
 	root.End(nil)
 	w.recordPeriod(pt, start, stats, alloc, nil)
+	w.evalSLO()
 	w.met.budget.Set(float64(w.budget))
 	if w.log != nil {
 		if stats.GatherErrors > 0 || stats.ApplyErrors > 0 || stats.BudgetsHeld > 0 {
@@ -565,6 +570,27 @@ func (w *RoomWorker) recordPeriod(pt *flightrec.PeriodTrace, start time.Time, st
 	w.recorder.Add(rec)
 }
 
+// evalSLO runs one alert-engine evaluation against the period just
+// recorded, feeding the tracker every rack's staleness counter. It runs
+// after recordPeriod so alert transitions annotate the current period's
+// flight-recorder record. Nil tracker no-ops.
+func (w *RoomWorker) evalSLO() {
+	if w.slo == nil {
+		return
+	}
+	w.mu.Lock()
+	samples := make([]slo.Sample, 0, len(w.racks))
+	for id := range w.racks {
+		samples = append(samples, slo.Sample{
+			Signal: slo.SignalRackStalePeriods,
+			Label:  id,
+			Value:  float64(w.rackStale[id]),
+		})
+	}
+	w.mu.Unlock()
+	w.slo.EvalPeriod(w.slo.Uptime(), samples...)
+}
+
 // noteRackBudgets updates per-rack budget gauges and logs changes larger
 // than the configured delta.
 func (w *RoomWorker) noteRackBudgets(alloc *core.Allocation) {
@@ -670,4 +696,32 @@ func (w *RoomWorker) Healthy() error {
 		return fmt.Errorf("all %d rack gathers failed last control period", w.lastStats.RacksServed)
 	}
 	return nil
+}
+
+// Degraded reports reduced-but-serving conditions for a warn-level
+// /healthz check: nil while every rack is fresh, an error when some
+// racks are stale or their budget pushes are held while the room can
+// still see at least one rack. (When the room sees nothing at all,
+// Healthy reports that — a critical condition, not a degraded one.)
+// Before the first period the worker reports undegraded (starting up).
+// It never blocks on in-flight rack RPCs.
+func (w *RoomWorker) Degraded() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.periods == 0 {
+		return nil
+	}
+	stale, held := 0, 0
+	for id := range w.racks {
+		if w.rackStale[id] > 0 && w.rackSeen[id] {
+			stale++
+		}
+		if w.rackHeld[id] {
+			held++
+		}
+	}
+	if stale == 0 && held == 0 {
+		return nil
+	}
+	return fmt.Errorf("%d rack(s) on stale summaries, %d held", stale, held)
 }

@@ -2,6 +2,7 @@ package flightrec
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -34,9 +35,13 @@ func (r *Recorder) Handler() http.Handler {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	_ = encodeJSON(w, v)
+}
+
+func encodeJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	return enc.Encode(v)
 }
 
 func (r *Recorder) servePeriod(w http.ResponseWriter, rest string) {
@@ -72,11 +77,19 @@ type chromeTrace struct {
 	DisplayUnit string        `json:"displayTimeUnit"`
 }
 
-// serveChromeTrace flattens every retained record's spans into one trace
-// file. Each distinct span Node becomes a named "thread" so the viewer
-// lays the room row above the per-rack rows; span nesting within a row
-// comes from time containment, which the parent/child timing guarantees.
 func (r *Recorder) serveChromeTrace(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = r.WriteChromeTrace(w)
+}
+
+// WriteChromeTrace flattens every retained record's spans into one
+// Chrome trace-event file (the /debug/trace.json payload), so callers
+// without an HTTP server — CI failure hooks dumping artifacts, mainly —
+// can persist the same trace. Each distinct span Node becomes a named
+// "thread" so the viewer lays the room row above the per-rack rows;
+// span nesting within a row comes from time containment, which the
+// parent/child timing guarantees.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	recs := r.Records()
 	var spans []Span
 	for i := range recs {
@@ -84,8 +97,7 @@ func (r *Recorder) serveChromeTrace(w http.ResponseWriter) {
 	}
 	out := chromeTrace{DisplayUnit: "ms", TraceEvents: []chromeEvent{}}
 	if len(spans) == 0 {
-		writeJSON(w, out)
-		return
+		return encodeJSON(w, out)
 	}
 
 	// Stable thread numbering: sorted node names, with the room-side
@@ -140,7 +152,7 @@ func (r *Recorder) serveChromeTrace(w http.ResponseWriter) {
 			Args: args,
 		})
 	}
-	writeJSON(w, out)
+	return encodeJSON(w, out)
 }
 
 func threadName(s Span) string {

@@ -35,6 +35,18 @@ type PeriodRecord struct {
 
 	Spans    []Span             `json:"spans"`
 	Explains []core.NodeExplain `json:"explains,omitempty"`
+	// Annotations are events attached to the period after it was
+	// recorded — e.g. SLO alert transitions evaluated from its data.
+	Annotations []Annotation `json:"annotations,omitempty"`
+}
+
+// Annotation is a timestamped note attached to a period record, such as
+// an alert firing or resolving.
+type Annotation struct {
+	Time time.Time `json:"time"`
+	// Kind groups annotations ("alert-firing", "alert-resolved", ...).
+	Kind string `json:"kind"`
+	Text string `json:"text"`
 }
 
 // PeriodSummary is the list-view projection of a PeriodRecord, served by
@@ -52,6 +64,7 @@ type PeriodSummary struct {
 	Infeasible   bool          `json:"infeasible,omitempty"`
 	Spans        int           `json:"spans"`
 	Explains     int           `json:"explains"`
+	Annotations  int           `json:"annotations,omitempty"`
 }
 
 // Recorder retains the last N PeriodRecords in a fixed-size ring buffer.
@@ -93,6 +106,24 @@ func (r *Recorder) Add(rec PeriodRecord) uint64 {
 		r.n++
 	}
 	return rec.ID
+}
+
+// Annotate attaches an annotation to the most recently added record —
+// the period whose data produced the event — and reports whether a
+// record was there to receive it. SLO alert transitions land here
+// because they are evaluated right after the period is recorded.
+func (r *Recorder) Annotate(a Annotation) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return false
+	}
+	idx := (r.head - 1 + len(r.ring)) % len(r.ring)
+	r.ring[idx].Annotations = append(r.ring[idx].Annotations, a)
+	return true
 }
 
 // Get returns the record with the given sequence ID, if it is still in
@@ -146,6 +177,7 @@ func (r *Recorder) Summaries() []PeriodSummary {
 			Infeasible:   rec.Infeasible,
 			Spans:        len(rec.Spans),
 			Explains:     len(rec.Explains),
+			Annotations:  len(rec.Annotations),
 		})
 	}
 	return out

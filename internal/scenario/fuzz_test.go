@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"strconv"
 	"testing"
 )
 
@@ -19,6 +20,7 @@ func FuzzScenarioVerify(f *testing.F) {
 		sc := Generate(seed)
 		if err := Verify(sc); err != nil {
 			data, _ := sc.MarshalStable()
+			dumpArtifact(t, "fuzz-seed-"+strconv.FormatInt(seed, 10)+".json", data)
 			t.Fatalf("%v\nscenario:\n%s", err, data)
 		}
 	})

@@ -29,6 +29,7 @@ import (
 	"capmaestro/internal/power"
 	"capmaestro/internal/server"
 	"capmaestro/internal/sim"
+	"capmaestro/internal/slo"
 	"capmaestro/internal/topology"
 )
 
@@ -68,8 +69,8 @@ type Scenario struct {
 // each side), with independently generated breaker ratings per side.
 type TopologySpec struct {
 	// XRootRating / YRootRating are the feed-level ratings; 0 = unlimited.
-	XRootRating float64 `json:"x_root_rating,omitempty"`
-	YRootRating float64 `json:"y_root_rating,omitempty"`
+	XRootRating float64   `json:"x_root_rating,omitempty"`
+	YRootRating float64   `json:"y_root_rating,omitempty"`
 	RPPs        []RPPSpec `json:"rpps"`
 }
 
@@ -226,6 +227,13 @@ func (sc *Scenario) BuildTopology() (*topology.Topology, error) {
 // timeline. The servers run noiseless with instantaneous actuation so two
 // runs of the same scenario are bit-identical.
 func (sc *Scenario) BuildSim() (*sim.Simulator, error) {
+	return sc.BuildSimWithSLO(nil)
+}
+
+// BuildSimWithSLO is BuildSim with a safety-SLO tracker attached, so the
+// verification battery (and debugging reruns) can assert exposure-window
+// and trip-risk properties over the scenario's fault schedule.
+func (sc *Scenario) BuildSimWithSLO(tracker *slo.Tracker) (*sim.Simulator, error) {
 	topo, err := sc.BuildTopology()
 	if err != nil {
 		return nil, err
@@ -256,6 +264,7 @@ func (sc *Scenario) BuildSim() (*sim.Simulator, error) {
 		SPO:           sc.SPO,
 		RootBudgets:   budgets,
 		ControlPeriod: time.Duration(sc.ControlPeriodSec) * time.Second,
+		SLO:           tracker,
 	})
 	if err != nil {
 		return nil, err

@@ -27,6 +27,27 @@ func baseSeed(t *testing.T) int64 {
 	return n
 }
 
+// dumpArtifact writes a failing scenario's stable JSON into the directory
+// named by CAPMAESTRO_ARTIFACT_DIR so CI can upload it for offline replay.
+// A no-op when the variable is unset (local runs).
+func dumpArtifact(t *testing.T, name string, data []byte) {
+	t.Helper()
+	dir := os.Getenv("CAPMAESTRO_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Logf("artifact write: %v", err)
+		return
+	}
+	t.Logf("failing scenario written to %s", path)
+}
+
 // TestScenarioSweep generates scenarioCount scenarios and runs the full
 // battery — differential oracle, priority-ordering ledger, allocation
 // invariants, SPO comparison, simulator safety monitor — on each.
@@ -39,6 +60,7 @@ func TestScenarioSweep(t *testing.T) {
 			sc := Generate(s)
 			if err := Verify(sc); err != nil {
 				data, _ := sc.MarshalStable()
+				dumpArtifact(t, "sweep-seed-"+strconv.FormatInt(s, 10)+".json", data)
 				t.Fatalf("%v\nscenario:\n%s", err, data)
 			}
 		})
@@ -135,6 +157,7 @@ func TestCorpusReplay(t *testing.T) {
 				t.Fatal(err)
 			}
 			if err := Verify(sc); err != nil {
+				dumpArtifact(t, "corpus-"+filepath.Base(f), data)
 				t.Fatal(err)
 			}
 		})

@@ -7,6 +7,8 @@ import (
 	"capmaestro/internal/core"
 	"capmaestro/internal/power"
 	"capmaestro/internal/scenario/refalloc"
+	"capmaestro/internal/slo"
+	"capmaestro/internal/telemetry"
 	"capmaestro/internal/topology"
 )
 
@@ -69,10 +71,15 @@ func VerifyImpl(sc *Scenario, impl Impl) error {
 	return verifySim(sc)
 }
 
-// verifySim runs the scenario end to end through sim.Simulator and asserts
-// the global safety properties.
+// verifySim runs the scenario end to end through sim.Simulator — with a
+// safety-SLO tracker attached — and asserts the global safety properties
+// plus the sound subset of the SLO layer's invariants.
 func verifySim(sc *Scenario) error {
-	s, err := sc.BuildSim()
+	tracker, err := slo.New(slo.Config{})
+	if err != nil {
+		return err
+	}
+	s, err := sc.BuildSimWithSLO(tracker)
 	if err != nil {
 		return err
 	}
@@ -83,8 +90,42 @@ func verifySim(sc *Scenario) error {
 	// Breakers must hold whenever capping could protect them. Infeasible
 	// periods mean the contractual budget itself was below the aggregate
 	// floors — the one regime in which the paper offers no guarantee.
-	if tripped := s.TrippedBreakers(); len(tripped) > 0 && s.InfeasiblePeriods() == 0 {
+	tripped := s.TrippedBreakers()
+	if len(tripped) > 0 && s.InfeasiblePeriods() == 0 {
 		return fmt.Errorf("scenario %s: breaker %s tripped with feasible budgets", sc.Name, tripped[0])
+	}
+
+	// SLO soundness. Only properties that hold for every scenario are
+	// asserted here; the sharp ones (margin ≥ 10×, single fire/resolve)
+	// live in deterministic tests where the physics are pinned.
+	if len(sc.Events) == 0 && len(tripped) == 0 {
+		// Quiescent purity: with no faults injected and no trips, the
+		// tracker must not invent exposure.
+		if n := tracker.FaultCount(); n != 0 {
+			return fmt.Errorf("scenario %s: SLO recorded %d faults in a quiescent run", sc.Name, n)
+		}
+		if n := tracker.WindowsClosed(); n != 0 || tracker.OpenWindow() != nil {
+			return fmt.Errorf("scenario %s: SLO opened exposure windows in a quiescent run (closed=%d)", sc.Name, n)
+		}
+		if tracker.Status() == telemetry.HealthCritical {
+			return fmt.Errorf("scenario %s: SLO went critical in a quiescent run: %+v", sc.Name, tracker.ActiveAlerts())
+		}
+	}
+	if len(tripped) == 0 {
+		// Risk saturates at 1 only when a breaker actually opens.
+		if r := tracker.PeakRisk(); r >= 1 {
+			return fmt.Errorf("scenario %s: SLO peak trip risk %v without a breaker trip", sc.Name, r)
+		}
+		if feeds := tracker.TrippedFeeds(); len(feeds) > 0 {
+			return fmt.Errorf("scenario %s: SLO marked feeds tripped without a breaker trip: %v", sc.Name, feeds)
+		}
+	} else {
+		if r := tracker.PeakRisk(); r != 1 {
+			return fmt.Errorf("scenario %s: breaker tripped but SLO peak risk = %v, want 1", sc.Name, r)
+		}
+		if tracker.FaultCount() == 0 {
+			return fmt.Errorf("scenario %s: breaker tripped but SLO recorded no fault", sc.Name)
+		}
 	}
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 	"capmaestro/internal/server"
+	"capmaestro/internal/slo"
 	"capmaestro/internal/telemetry"
 	"capmaestro/internal/topology"
 	"capmaestro/internal/trace"
@@ -86,6 +87,12 @@ type Config struct {
 	// FlightRecorder retains each control period's allocation trace and
 	// per-node explain records. Nil disables recording.
 	FlightRecorder *flightrec.Recorder
+	// SLO attaches a safety-SLO tracker: feed failures, budget cuts,
+	// supply failures, and breaker trips open exposure windows; every
+	// tick updates per-feed trip risk and the window's safety verdict;
+	// every control period runs one alert-engine evaluation with
+	// per-server cap-violation-streak samples. Nil disables tracking.
+	SLO *slo.Tracker
 }
 
 // Simulator is a running simulation.
@@ -103,6 +110,7 @@ type Simulator struct {
 	supplyFeed  map[string]topology.FeedID
 	supplyNode  map[string]*topology.Node
 	breakers    map[string]*breaker.Breaker
+	breakerFeed map[string]topology.FeedID
 	feedFailed  map[topology.FeedID]bool
 
 	lastReadings map[string]server.Reading
@@ -118,6 +126,7 @@ type Simulator struct {
 	rec       *trace.Recorder
 	log       *slog.Logger
 	flightRec *flightrec.Recorder
+	slo       *slo.Tracker
 
 	metBreakerTrips *telemetry.Counter
 	metInfeasible   *telemetry.Counter
@@ -166,12 +175,14 @@ func New(cfg Config) (*Simulator, error) {
 		supplyFeed:    make(map[string]topology.FeedID),
 		supplyNode:    make(map[string]*topology.Node),
 		breakers:      make(map[string]*breaker.Breaker),
+		breakerFeed:   make(map[string]topology.FeedID),
 		feedFailed:    make(map[topology.FeedID]bool),
 		lastReadings:  make(map[string]server.Reading),
 		lastAllocs:    make(map[topology.FeedID]*core.Allocation),
 		rec:           trace.NewRecorder(),
 		log:           cfg.Logger,
 		flightRec:     cfg.FlightRecorder,
+		slo:           cfg.SLO,
 		traceNodes:    toSet(cfg.TraceNodes),
 		traceSupplies: toSet(cfg.TraceSupplies),
 		traceServers:  toSet(cfg.TraceServers),
@@ -233,11 +244,14 @@ func New(cfg Config) (*Simulator, error) {
 		}
 	}
 
-	// One breaker per rated distribution node.
+	// One breaker per rated distribution node, remembering which feed each
+	// breaker protects for per-feed trip-risk scoring.
 	for _, root := range cfg.Topology.Roots() {
+		feed := root.Feed
 		root.Walk(func(n *topology.Node) bool {
 			if n.Kind != topology.KindSupply && n.Rating > 0 {
 				s.breakers[n.ID] = breaker.MustNew(n.Rating, breaker.Config{})
+				s.breakerFeed[n.ID] = feed
 			}
 			return true
 		})
@@ -264,6 +278,9 @@ func (s *Simulator) ServerIDs() []string { return s.serverIDs() }
 
 // Recorder exposes the collected time series.
 func (s *Simulator) Recorder() *trace.Recorder { return s.rec }
+
+// SLO exposes the attached safety-SLO tracker (nil when none).
+func (s *Simulator) SLO() *slo.Tracker { return s.slo }
 
 // Server returns a simulated server by ID (nil if absent).
 func (s *Simulator) Server(id string) *server.Server { return s.servers[id] }
@@ -317,12 +334,29 @@ func (s *Simulator) SetUtilization(serverID string, u float64) error {
 
 // SetRootBudget changes a feed's contractual budget at runtime (e.g. a
 // demand-response event or renegotiated utility contract); the next
-// control period allocates against it.
+// control period allocates against it. A cut — a budget below the
+// previous one, or below the feed's current measured load — opens an SLO
+// exposure window that stays open until the feed is back under budget.
 func (s *Simulator) SetRootBudget(feed topology.FeedID, budget power.Watts) {
 	if s.rootBudgets == nil {
 		s.rootBudgets = make(map[topology.FeedID]power.Watts)
 	}
+	prev := s.rootBudgets[feed]
 	s.rootBudgets[feed] = budget
+	if budget > 0 && ((prev > 0 && budget < prev) || budget < s.feedLoad(feed)) {
+		s.slo.RecordFault(s.now, "budget-cut:"+string(feed))
+	}
+}
+
+// feedLoad sums the measured load of every root on the feed.
+func (s *Simulator) feedLoad(feed topology.FeedID) power.Watts {
+	var load power.Watts
+	for _, root := range s.topo.Roots() {
+		if root.Feed == feed {
+			load += s.NodeLoad(root.ID)
+		}
+	}
+	return load
 }
 
 // SetPriority changes a server's priority; the next control period
@@ -340,6 +374,9 @@ func (s *Simulator) SetPriority(serverID string, p core.Priority) error {
 // and its load shifts to the surviving cords, emulating the paper's
 // worst-case power emergency.
 func (s *Simulator) FailFeed(feed topology.FeedID) {
+	if !s.feedFailed[feed] {
+		s.slo.RecordFault(s.now, "feed-fail:"+string(feed))
+	}
 	s.feedFailed[feed] = true
 	s.setFeedSupplies(feed, server.SupplyFailed)
 	if s.log != nil {
@@ -377,6 +414,9 @@ func (s *Simulator) SetSupplyState(supplyID string, state server.SupplyState) er
 	sn, ok := s.supplyNode[supplyID]
 	if !ok {
 		return fmt.Errorf("sim: unknown supply %q", supplyID)
+	}
+	if state == server.SupplyFailed {
+		s.slo.RecordFault(s.now, "supply-fail:"+supplyID)
 	}
 	return s.servers[sn.ServerID].SetSupplyState(supplyID, state)
 }
@@ -431,9 +471,11 @@ func (s *Simulator) tick() {
 		s.lastReadings[id] = s.controllers[id].Sense()
 	}
 
-	// Control period boundary: gather, allocate, budget, iterate.
+	// Control period boundary: gather, allocate, budget, iterate, then
+	// one SLO alert-engine evaluation over the fresh period state.
 	if s.now%s.period == 0 {
 		s.controlPeriod()
+		s.evalSLOPeriod()
 	}
 
 	// Breaker thermal state and trip cascade.
@@ -606,28 +648,130 @@ func (s *Simulator) measuredShare(serverID, supplyID string) (float64, bool) {
 	return share, true
 }
 
+// safetyTolerance is the relative slack the SLO safety predicate allows
+// on breaker ratings and root budgets, mirroring the capping
+// controller's violation tolerance: the PI loop converges asymptotically
+// onto its line, so an exposure window closes once measured power is
+// within half a percent of the limit rather than strictly under it.
+const safetyTolerance = 0.005
+
 // updateBreakers advances breaker thermal models under the current loads
 // and cascades trips: a tripped breaker fails every supply beneath it.
+// With an SLO tracker attached, the same sweep scores per-feed trip risk
+// from the breakers' accumulated heat and delivers this tick's safety
+// verdict to the open exposure window.
 func (s *Simulator) updateBreakers() {
 	ids := make([]string, 0, len(s.breakers))
 	for id := range s.breakers {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	var (
+		feedRisk   map[topology.FeedID]float64
+		minTTT     time.Duration
+		overloaded bool
+	)
+	if s.slo != nil {
+		feedRisk = make(map[topology.FeedID]float64)
+	}
 	for _, id := range ids {
 		b := s.breakers[id]
 		if b.Tripped() {
+			if feedRisk != nil {
+				feedRisk[s.breakerFeed[id]] = 1
+			}
 			continue
 		}
-		if b.Apply(s.NodeLoad(id), time.Second) {
+		load := s.NodeLoad(id)
+		if b.Apply(load, time.Second) {
 			s.trippedOrder = append(s.trippedOrder, id)
 			s.metBreakerTrips.Inc()
 			if s.log != nil {
 				s.log.Warn("breaker tripped", "node", id, "t", s.now)
 			}
+			s.slo.RecordFault(s.now, "breaker-trip:"+id)
+			if feedRisk != nil {
+				feedRisk[s.breakerFeed[id]] = 1
+			}
 			s.cascadeTrip(id)
+			continue
+		}
+		if feedRisk == nil {
+			continue
+		}
+		rs := b.RiskSnapshot(load)
+		feed := s.breakerFeed[id]
+		if rs.Risk > feedRisk[feed] {
+			feedRisk[feed] = rs.Risk
+		}
+		if float64(load) > float64(b.Rating())*(1+safetyTolerance) {
+			overloaded = true
+			// Normalize the exposure against the cold-start trip time at
+			// this overload — the quantity the paper's 10× claim compares
+			// capping latency to.
+			if ttt, ok := b.TimeToTrip(load); ok && ttt > 0 && (minTTT == 0 || ttt < minTTT) {
+				minTTT = ttt
+			}
 		}
 	}
+	if s.slo == nil {
+		return
+	}
+	feeds := make([]string, 0, len(feedRisk))
+	for feed := range feedRisk {
+		feeds = append(feeds, string(feed))
+	}
+	sort.Strings(feeds)
+	for _, feed := range feeds {
+		s.slo.SetTripRisk(feed, feedRisk[topology.FeedID(feed)])
+	}
+	s.slo.ObserveExposure(s.now, !overloaded && s.budgetsRespected(), minTTT)
+}
+
+// budgetsRespected reports whether every live feed with a contractual
+// budget is measuring at or under it (plus tolerance) — the "measured
+// power back under budget" half of the exposure-window close condition.
+func (s *Simulator) budgetsRespected() bool {
+	for _, root := range s.topo.Roots() {
+		if s.feedFailed[root.Feed] {
+			continue
+		}
+		b := power.Watts(0)
+		if s.rootBudgets != nil {
+			b = s.rootBudgets[root.Feed]
+		}
+		if b <= 0 {
+			continue
+		}
+		tol := power.Watts(safetyTolerance) * b
+		if tol < 1 {
+			tol = 1
+		}
+		if s.NodeLoad(root.ID) > b+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// evalSLOPeriod runs one alert-engine evaluation at the control-period
+// boundary, feeding each server's cap-violation streak alongside the
+// tracker's built-in signals. It runs after controlPeriod so alert
+// transitions annotate the period record just written.
+func (s *Simulator) evalSLOPeriod() {
+	if s.slo == nil {
+		return
+	}
+	ids := s.serverIDs()
+	samples := make([]slo.Sample, 0, len(ids))
+	for _, id := range ids {
+		samples = append(samples, slo.Sample{
+			Signal: slo.SignalCapViolationStreak,
+			Label:  id,
+			Value:  float64(s.controllers[id].ViolationStreak()),
+		})
+	}
+	s.slo.EvalPeriod(s.now, samples...)
 }
 
 func (s *Simulator) cascadeTrip(nodeID string) {

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/flightrec"
+	"capmaestro/internal/power"
+	"capmaestro/internal/slo"
+	"capmaestro/internal/telemetry"
+	"capmaestro/internal/topology"
+)
+
+// buildSLOSmokeDC wires two dual-corded full-demand servers across two
+// feeds, sized so losing a feed overloads the survivor mildly: 2 × 490 W
+// on a 900 W CDU is a 1.089× overload with a ~252 s cold-start
+// timeToTrip — slow enough that capping's few-second response leaves a
+// margin far above the paper's 10× claim.
+func buildSLOSmokeDC(t *testing.T) (*topology.Topology, map[string]ServerSpec) {
+	t.Helper()
+	mkFeed := func(feed topology.FeedID) *topology.Node {
+		root := topology.NewNode(string(feed), topology.KindUtility, 0)
+		root.Feed = feed
+		cdu := root.AddChild(topology.NewNode(string(feed)+"-cdu", topology.KindCDU, 900))
+		for _, id := range []string{"s0", "s1"} {
+			cdu.AddChild(topology.NewSupply(id+"-"+string(feed), id, 0.5))
+		}
+		return root
+	}
+	topo, err := topology.New(mkFeed("A"), mkFeed("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := map[string]ServerSpec{
+		"s0": {Utilization: 1.0},
+		"s1": {Utilization: 1.0},
+	}
+	return topo, servers
+}
+
+// TestSLOFeedFailure is the deterministic end-to-end check of the
+// acceptance criterion: a seeded feed failure opens an exposure window,
+// capping closes it with ≥10× margin against the breaker trip curve, and
+// the feed-exposure alert fires and resolves exactly once. A later
+// budget cut opens a second, overload-free window that closes with the
+// margin capped.
+func TestSLOFeedFailure(t *testing.T) {
+	topo, servers := buildSLOSmokeDC(t)
+	reg := telemetry.NewRegistry()
+	rec := flightrec.NewRecorder(64)
+	tr, err := slo.New(slo.Config{Registry: reg, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derating := topology.FullRating()
+	s, err := New(Config{
+		Topology:       topo,
+		Servers:        servers,
+		Policy:         core.GlobalPriority,
+		RootBudgets:    map[topology.FeedID]power.Watts{"A": 900, "B": 900},
+		Derating:       &derating,
+		FlightRecorder: rec,
+		SLO:            tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SLO() != tr {
+		t.Fatal("SLO accessor does not return the configured tracker")
+	}
+
+	// Steady state: each feed carries 490 W against a 900 W budget, so the
+	// tracker must stay empty.
+	s.Run(31 * time.Second)
+	if tr.FaultCount() != 0 || tr.OpenWindow() != nil || tr.PeakRisk() != 0 {
+		t.Fatalf("tracker not quiescent before fault: faults=%d peak=%v",
+			tr.FaultCount(), tr.PeakRisk())
+	}
+
+	// Feed B fails at t=31: feed A jumps to 980 W on a 900 W breaker.
+	s.FailFeed("B")
+	s.Run(90 * time.Second)
+
+	if tripped := s.TrippedBreakers(); len(tripped) != 0 {
+		t.Fatalf("breakers tripped: %v", tripped)
+	}
+	if v := s.InvariantViolations(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+	if got := tr.WindowsClosed(); got != 1 {
+		t.Fatalf("windows closed = %d, want 1 (open=%+v)", got, tr.OpenWindow())
+	}
+	w := tr.ClosedWindows()[0]
+	if len(w.Causes) != 1 || w.Causes[0] != "feed-fail:B" {
+		t.Errorf("window causes = %v", w.Causes)
+	}
+	// Cold-start timeToTrip at 980/900 overload: 46.8/(1.089²−1) ≈ 252 s.
+	if w.MinTimeToTripSec < 200 || w.MinTimeToTripSec > 300 {
+		t.Errorf("min timeToTrip = %v s, want ≈252", w.MinTimeToTripSec)
+	}
+	// Capping must close the window within two control periods.
+	if w.DurationSec <= 0 || w.DurationSec > 16 {
+		t.Errorf("exposure duration = %v s, want (0, 16]", w.DurationSec)
+	}
+	// The paper's claim: capping acts an order of magnitude faster than
+	// the breaker trips.
+	if m := w.Margin(); m < 10 {
+		t.Errorf("time-to-safe margin = %.1f×, want ≥10×", m)
+	}
+	if tr.WorstMargin() < 10 {
+		t.Errorf("worst margin = %v, want ≥10", tr.WorstMargin())
+	}
+
+	// The feed-exposure alert fired when the overloaded window was open at
+	// a period boundary and resolved at the next — exactly once each.
+	fired, resolved := tr.TransitionCounts("feed-exposure")
+	if fired != 1 || resolved != 1 {
+		t.Errorf("feed-exposure transitions = %d fired / %d resolved, want 1/1", fired, resolved)
+	}
+	if alerts := tr.ActiveAlerts(); len(alerts) != 0 {
+		t.Errorf("alerts still firing: %+v", alerts)
+	}
+	if tr.Status() != telemetry.HealthOK {
+		t.Errorf("status = %v after recovery, want ok", tr.Status())
+	}
+
+	// The breakers warmed but stayed far from tripping.
+	if r := tr.PeakRisk(); r <= 0 || r >= 0.5 {
+		t.Errorf("peak trip risk = %v, want (0, 0.5)", r)
+	}
+	if feeds := tr.TrippedFeeds(); len(feeds) != 0 {
+		t.Errorf("tripped feeds = %v", feeds)
+	}
+	if q := tr.TimeToSafeQuantile(0.5); !(q > 0) {
+		t.Errorf("p50 time-to-safe = %v, want > 0", q)
+	}
+
+	// Both alert transitions were annotated onto flight-recorder periods.
+	var firing, resolving int
+	for _, r := range rec.Records() {
+		for _, a := range r.Annotations {
+			switch a.Kind {
+			case "alert-firing":
+				firing++
+			case "alert-resolved":
+				resolving++
+			}
+		}
+	}
+	if firing != 1 || resolving != 1 {
+		t.Errorf("flight-recorder annotations = %d firing / %d resolved, want 1/1", firing, resolving)
+	}
+
+	// A budget cut on the surviving feed opens a second window. Feed A is
+	// measuring ~900 W; cutting to 700 W is a fault, but no breaker
+	// overloads, so the window closes with ratio 0 and the margin capped.
+	s.SetRootBudget("A", 700)
+	s.Run(60 * time.Second)
+	if got := tr.WindowsClosed(); got != 2 {
+		t.Fatalf("windows closed after budget cut = %d, want 2 (open=%+v)", got, tr.OpenWindow())
+	}
+	w2 := tr.ClosedWindows()[1]
+	if len(w2.Causes) != 1 || w2.Causes[0] != "budget-cut:A" {
+		t.Errorf("budget-cut window causes = %v", w2.Causes)
+	}
+	if w2.MinTimeToTripSec != 0 || w2.Ratio != 0 || w2.Margin() != slo.MarginCap {
+		t.Errorf("budget-cut window = %+v, want no overload", w2)
+	}
+	// No overload: the feed-exposure counters must not have moved.
+	fired, resolved = tr.TransitionCounts("feed-exposure")
+	if fired != 1 || resolved != 1 {
+		t.Errorf("feed-exposure transitions after budget cut = %d/%d, want 1/1", fired, resolved)
+	}
+	if load := s.NodeLoad("A"); load > 700+4 {
+		t.Errorf("feed A load %v not pulled under the 700 W cut", load)
+	}
+}
+
+// TestSLORiskReachesOneOnTrip checks the risk score saturates at 1 when
+// a breaker actually trips: a severe overload with capping unable to
+// shed enough load (budget far above the breaker rating, so the control
+// plane never reacts).
+func TestSLORiskReachesOneOnTrip(t *testing.T) {
+	topo, servers := buildSLOSmokeDC(t)
+	tr, err := slo.New(slo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derating := topology.FullRating()
+	s, err := New(Config{
+		Topology: topo,
+		Servers:  servers,
+		Policy:   core.GlobalPriority,
+		// A huge control period keeps the control plane from ever reacting
+		// to the failover overload, so the breaker integrates heat to its
+		// trip threshold.
+		ControlPeriod: time.Hour,
+		Derating:      &derating,
+		SLO:           tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2 * time.Second)
+	s.FailFeed("B")
+	// 980 W on the 900 W CDU forever: heat reaches K≈46.8 after ≈252 s.
+	s.Run(5 * time.Minute)
+	if tripped := s.TrippedBreakers(); len(tripped) == 0 {
+		t.Fatal("expected the A-side breaker to trip with capping disabled")
+	}
+	if r := tr.PeakRisk(); r != 1 {
+		t.Errorf("peak risk = %v, want 1 after a trip", r)
+	}
+	if feeds := tr.TrippedFeeds(); len(feeds) != 1 || feeds[0] != "A" {
+		t.Errorf("tripped feeds = %v, want [A]", feeds)
+	}
+	// The breaker-trip fault was recorded.
+	if tr.FaultCount() < 2 { // feed-fail:B + breaker-trip:A-cdu
+		t.Errorf("fault count = %d, want ≥2", tr.FaultCount())
+	}
+}

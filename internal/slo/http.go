@@ -1,0 +1,93 @@
+package slo
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+)
+
+// debugReport is the /debug/slo response body: the full safety-SLO
+// state in one JSON document.
+type debugReport struct {
+	// Status is "ok", "warn", or "critical" — the same rollup /healthz
+	// folds into its verdict.
+	Status string        `json:"status"`
+	Active []ActiveAlert `json:"active_alerts"`
+	Rules  []RuleState   `json:"rules"`
+	// TripRisk is the latest per-feed trip-risk score.
+	TripRisk map[string]float64 `json:"trip_risk,omitempty"`
+	PeakRisk float64            `json:"peak_risk"`
+	Exposure exposureReport     `json:"exposure"`
+	Faults   uint64             `json:"faults_total"`
+}
+
+type exposureReport struct {
+	Open         *Window  `json:"open,omitempty"`
+	Closed       []Window `json:"closed,omitempty"`
+	ClosedTotal  uint64   `json:"closed_total"`
+	WorstRatio   float64  `json:"worst_ratio"`
+	WorstMargin  float64  `json:"worst_margin"`
+	P50DurationS float64  `json:"p50_duration_sec,omitempty"`
+	P99DurationS float64  `json:"p99_duration_sec,omitempty"`
+}
+
+// Handler serves the tracker's state as JSON on /debug/slo. Mount it on
+// a telemetry server with Handle("/debug/slo", t.Handler()).
+func (t *Tracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		rep := t.debugReport()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+}
+
+func (t *Tracker) debugReport() debugReport {
+	rep := debugReport{Status: "ok", Active: []ActiveAlert{}, Rules: []RuleState{}}
+	if t == nil {
+		return rep
+	}
+	rep.Status = t.Status().String()
+
+	t.mu.Lock()
+	rep.Active = t.eng.active()
+	if rep.Active == nil {
+		rep.Active = []ActiveAlert{}
+	}
+	rep.Rules = t.eng.stateList()
+	if len(t.risk) > 0 {
+		rep.TripRisk = make(map[string]float64, len(t.risk))
+		for feed, r := range t.risk {
+			rep.TripRisk[feed] = r
+		}
+	}
+	rep.PeakRisk = t.peakRisk
+	rep.Faults = t.faults
+	if t.open != nil {
+		w := *t.open
+		w.Causes = append([]string(nil), t.open.Causes...)
+		rep.Exposure.Open = &w
+	}
+	// Newest first, matching /debug/periods.
+	for i := len(t.closed) - 1; i >= 0; i-- {
+		rep.Exposure.Closed = append(rep.Exposure.Closed, t.closed[i])
+	}
+	rep.Exposure.ClosedTotal = t.closedTot
+	rep.Exposure.WorstRatio = t.worstRatio
+	rep.Exposure.WorstMargin = MarginCap
+	if t.worstRatio > 0 {
+		rep.Exposure.WorstMargin = math.Min(1/t.worstRatio, MarginCap)
+	}
+	t.mu.Unlock()
+
+	// Quantiles come from the histogram's linear-interpolation estimator,
+	// present only once a window has closed.
+	if p50 := t.metTTS.Quantile(0.5); !math.IsNaN(p50) {
+		rep.Exposure.P50DurationS = p50
+	}
+	if p99 := t.metTTS.Quantile(0.99); !math.IsNaN(p99) {
+		rep.Exposure.P99DurationS = p99
+	}
+	return rep
+}

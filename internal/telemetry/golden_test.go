@@ -17,6 +17,7 @@ import (
 	"capmaestro/internal/core"
 	"capmaestro/internal/power"
 	"capmaestro/internal/sim"
+	"capmaestro/internal/slo"
 	"capmaestro/internal/telemetry"
 	"capmaestro/internal/topology"
 )
@@ -81,6 +82,11 @@ func registerAllSubsystems(t *testing.T, reg *telemetry.Registry) {
 	t.Cleanup(func() { srv.Close() })
 	client := controlplane.DialRack(srv.Addr(), time.Second, controlplane.WithTelemetry(reg))
 	t.Cleanup(func() { client.Close() })
+
+	// Safety-SLO tracker: registers the slo_* families.
+	if _, err := slo.New(slo.Config{Registry: reg}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestMetricSchemaGolden renders the full registry in Prometheus text

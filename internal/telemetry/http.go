@@ -13,12 +13,42 @@ import (
 	"time"
 )
 
+// HealthLevel is a health check's verdict. Levels order by severity, so
+// the rollup of several checks is simply the maximum.
+type HealthLevel int
+
+// Health levels, worst last.
+const (
+	// HealthOK: the check passed.
+	HealthOK HealthLevel = iota
+	// HealthWarn: degraded but serving — /healthz stays 200 so
+	// orchestrators don't restart a process that is riding out a
+	// recoverable condition (e.g. a rack held on stale budgets).
+	HealthWarn
+	// HealthCritical: failing — /healthz returns 503.
+	HealthCritical
+)
+
+// String returns the level's /healthz status word.
+func (l HealthLevel) String() string {
+	switch l {
+	case HealthWarn:
+		return "warn"
+	case HealthCritical:
+		return "critical"
+	default:
+		return "ok"
+	}
+}
+
 // Server exposes a registry over HTTP:
 //
 //	/metrics     Prometheus text exposition format
-//	/healthz     JSON health report: 200 while every registered health
-//	             check passes, 503 with the failing checks otherwise;
-//	             detail providers (AddHealthDetail) enrich the body
+//	/healthz     JSON health report with a three-level rollup: "ok"
+//	             (200) while every check passes, "warn" (still 200)
+//	             when only degraded-level checks fail, "critical" (503)
+//	             when any critical check fails; detail providers
+//	             (AddHealthDetail) enrich the body
 //	/debug/vars  expvar-style JSON snapshot of every metric
 //
 // Additional handlers mount dynamically with Handle (e.g. a flight
@@ -30,7 +60,7 @@ type Server struct {
 	reg *Registry
 
 	mu      sync.Mutex
-	checks  map[string]func() error
+	checks  map[string]func() (HealthLevel, string)
 	details map[string]func() any
 	mounts  map[string]http.Handler
 	ln      net.Listener
@@ -41,7 +71,7 @@ type Server struct {
 func NewServer(reg *Registry) *Server {
 	return &Server{
 		reg:     reg,
-		checks:  make(map[string]func() error),
+		checks:  make(map[string]func() (HealthLevel, string)),
 		details: make(map[string]func() any),
 		mounts:  make(map[string]http.Handler),
 	}
@@ -80,8 +110,41 @@ func (s *Server) Close() error {
 }
 
 // AddHealthCheck registers a named health check consulted by /healthz. A
-// check returning a non-nil error marks the process unhealthy. Nil-safe.
+// check returning a non-nil error marks the process critical (503).
+// Nil-safe.
 func (s *Server) AddHealthCheck(name string, check func() error) {
+	if s == nil || check == nil {
+		return
+	}
+	s.AddLeveledCheck(name, func() (HealthLevel, string) {
+		if err := check(); err != nil {
+			return HealthCritical, err.Error()
+		}
+		return HealthOK, ""
+	})
+}
+
+// AddWarnCheck registers a degraded-level health check: a non-nil error
+// marks the process "warn" in /healthz without flipping it to 503 —
+// for conditions the control plane is designed to ride out, like racks
+// temporarily held on stale budgets. Nil-safe.
+func (s *Server) AddWarnCheck(name string, check func() error) {
+	if s == nil || check == nil {
+		return
+	}
+	s.AddLeveledCheck(name, func() (HealthLevel, string) {
+		if err := check(); err != nil {
+			return HealthWarn, err.Error()
+		}
+		return HealthOK, ""
+	})
+}
+
+// AddLeveledCheck registers a health check that chooses its own level
+// per evaluation — e.g. the SLO tracker reporting warn or critical
+// depending on which alert rules are firing. The message explains a
+// non-OK verdict. Nil-safe.
+func (s *Server) AddLeveledCheck(name string, check func() (HealthLevel, string)) {
 	if s == nil || check == nil {
 		return
 	}
@@ -133,25 +196,43 @@ func (s *Server) EnablePprof() {
 	s.Handle("/debug/pprof/", mux)
 }
 
-// Health runs every registered check and returns the failures, keyed by
-// check name. An empty map means healthy.
+// checkResult is one evaluated health check.
+type checkResult struct {
+	level   HealthLevel
+	message string
+}
+
+// Health runs every registered check and returns the non-OK results,
+// keyed by check name, as errors prefixed with the level ("warn: ..."
+// or "critical: ..."). An empty map means fully healthy.
 func (s *Server) Health() map[string]error {
 	failures := make(map[string]error)
+	for name, res := range s.runChecks() {
+		if res.level != HealthOK {
+			failures[name] = fmt.Errorf("%s: %s", res.level, res.message)
+		}
+	}
+	return failures
+}
+
+// runChecks evaluates every registered check (outside the lock, since a
+// check may itself take locks).
+func (s *Server) runChecks() map[string]checkResult {
+	results := make(map[string]checkResult)
 	if s == nil {
-		return failures
+		return results
 	}
 	s.mu.Lock()
-	checks := make(map[string]func() error, len(s.checks))
+	checks := make(map[string]func() (HealthLevel, string), len(s.checks))
 	for name, fn := range s.checks {
 		checks[name] = fn
 	}
 	s.mu.Unlock()
 	for name, fn := range checks {
-		if err := fn(); err != nil {
-			failures[name] = err
-		}
+		level, msg := fn()
+		results[name] = checkResult{level: level, message: msg}
 	}
-	return failures
+	return results
 }
 
 // Handler returns the HTTP handler serving the built-in endpoints plus
@@ -195,9 +276,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 // healthReport is the /healthz response body.
 type healthReport struct {
-	// Status is "ok" or "unhealthy".
+	// Status is the worst check level: "ok", "warn", or "critical".
 	Status string `json:"status"`
-	// Checks maps every registered check to "ok" or its error string.
+	// Checks maps every registered check to "ok" or its leveled verdict
+	// ("warn: ..." / "critical: ...").
 	Checks map[string]string `json:"checks,omitempty"`
 	// Details carries the detail providers' values (e.g. per-rack
 	// freshness), purely informational.
@@ -205,32 +287,35 @@ type healthReport struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	failures := s.Health()
-	report := healthReport{Status: "ok"}
-	if len(failures) > 0 {
-		report.Status = "unhealthy"
+	results := s.runChecks()
+	worst := HealthOK
+	report := healthReport{}
+	if len(results) > 0 {
+		report.Checks = make(map[string]string, len(results))
+		names := make([]string, 0, len(results))
+		for name := range results {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			res := results[name]
+			if res.level > worst {
+				worst = res.level
+			}
+			if res.level == HealthOK {
+				report.Checks[name] = "ok"
+			} else {
+				report.Checks[name] = fmt.Sprintf("%s: %s", res.level, res.message)
+			}
+		}
 	}
+	report.Status = worst.String()
 	s.mu.Lock()
-	names := make([]string, 0, len(s.checks))
-	for name := range s.checks {
-		names = append(names, name)
-	}
 	details := make(map[string]func() any, len(s.details))
 	for name, fn := range s.details {
 		details[name] = fn
 	}
 	s.mu.Unlock()
-	sort.Strings(names)
-	if len(names) > 0 {
-		report.Checks = make(map[string]string, len(names))
-		for _, name := range names {
-			if err, failed := failures[name]; failed {
-				report.Checks[name] = err.Error()
-			} else {
-				report.Checks[name] = "ok"
-			}
-		}
-	}
 	if len(details) > 0 {
 		report.Details = make(map[string]any, len(details))
 		for name, fn := range details {
@@ -238,7 +323,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	if len(failures) > 0 {
+	if worst == HealthCritical {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	enc := json.NewEncoder(w)

@@ -400,6 +400,48 @@ func (h *Histogram) snapshot() (cum []uint64, total uint64, sum float64) {
 	return cum, h.total, h.sum
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation within the bucket containing the
+// target rank, the same estimator Prometheus's histogram_quantile uses:
+// observations are assumed uniformly spread across their bucket, the
+// lower edge of the first bucket is taken as 0, and a quantile landing
+// in the +Inf bucket is clamped to the largest finite upper bound. q is
+// clamped to [0, 1]; the result is NaN when the histogram is empty (or
+// nil) and exact only up to bucket resolution.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	cum, total, _ := h.snapshot()
+	if total == 0 {
+		return math.NaN()
+	}
+	q = math.Max(0, math.Min(1, q))
+	rank := q * float64(total)
+	for i, c := range cum {
+		if float64(c) < rank {
+			continue
+		}
+		if i >= len(h.upper) {
+			// +Inf bucket: no finite upper edge to interpolate toward.
+			if len(h.upper) == 0 {
+				return math.NaN()
+			}
+			return h.upper[len(h.upper)-1]
+		}
+		lower, prev := 0.0, uint64(0)
+		if i > 0 {
+			lower, prev = h.upper[i-1], cum[i-1]
+		}
+		inBucket := c - prev
+		if inBucket == 0 {
+			return lower
+		}
+		return lower + (h.upper[i]-lower)*((rank-float64(prev))/float64(inBucket))
+	}
+	return math.NaN() // unreachable: cum[len-1] == total >= rank
+}
+
 // Buckets returns the histogram's upper bounds (excluding +Inf).
 func (h *Histogram) Buckets() []float64 {
 	if h == nil {

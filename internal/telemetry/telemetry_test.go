@@ -371,13 +371,134 @@ func TestHealthzDetails(t *testing.T) {
 
 	healthy = false
 	code, report = fetch()
-	if code != http.StatusServiceUnavailable || report["status"] != "unhealthy" {
+	if code != http.StatusServiceUnavailable || report["status"] != "critical" {
 		t.Fatalf("unhealthy report = %d %v", code, report)
 	}
-	if v := report["checks"].(map[string]any)["room"]; v != "all 2 rack gathers failed" {
+	if v := report["checks"].(map[string]any)["room"]; v != "critical: all 2 rack gathers failed" {
 		t.Errorf("failing check verdict = %v", v)
 	}
 	if _, ok := report["details"].(map[string]any)["racks"]; !ok {
 		t.Error("details dropped from unhealthy report")
+	}
+}
+
+// TestHistogramQuantile pins the linear-interpolation estimator against
+// hand-computed ranks.
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_seconds", "", []float64{1, 2, 4, 8})
+
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram quantile should be NaN")
+	}
+
+	// 4 observations, one per bucket: (0,1], (1,2], (2,4], (4,8].
+	for _, v := range []float64{0.5, 1.5, 3, 6} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		// rank = q×4; each bucket holds exactly one observation, so the
+		// estimate interpolates the full bucket width at its rank.
+		{0.25, 1}, // rank 1 → top of (0,1]
+		{0.5, 2},  // rank 2 → top of (1,2]
+		{0.75, 4}, // rank 3 → top of (2,4]
+		{1.0, 8},  // rank 4 → top of (4,8]
+		{0.125, 0.5},
+		{0.625, 3}, // rank 2.5 → midpoint of (2,4]
+		{0, 0},     // rank 0 → lower edge of the first bucket
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Out-of-range q clamps rather than erroring.
+	if got := h.Quantile(2); got != 8 {
+		t.Errorf("Quantile(2) = %v, want clamp to 8", got)
+	}
+
+	// An observation past the last bucket lands in +Inf: the estimate is
+	// clamped to the largest finite bound.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("+Inf-bucket quantile = %v, want clamp to 8", got)
+	}
+}
+
+// TestHealthLevels covers the three-level rollup: warn keeps /healthz at
+// 200 with status "warn"; critical flips to 503; the worst level wins.
+func TestHealthLevels(t *testing.T) {
+	srv := NewServer(NewRegistry())
+	degraded := false
+	level := HealthOK
+	srv.AddWarnCheck("room-degraded", func() error {
+		if degraded {
+			return fmt.Errorf("2 rack(s) on stale summaries, 1 held")
+		}
+		return nil
+	})
+	srv.AddLeveledCheck("slo", func() (HealthLevel, string) {
+		if level == HealthOK {
+			return HealthOK, ""
+		}
+		return level, "1 alert(s) firing: [trip-risk{A}]"
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fetch := func() (int, map[string]any) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var report map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, report
+	}
+
+	if code, report := fetch(); code != 200 || report["status"] != "ok" {
+		t.Fatalf("all-ok = %d %v", code, report)
+	}
+
+	// A warn-level failure degrades the status but keeps serving 200, so
+	// orchestrators don't restart a process riding out a stale rack.
+	degraded = true
+	code, report := fetch()
+	if code != 200 || report["status"] != "warn" {
+		t.Fatalf("degraded = %d %v", code, report)
+	}
+	if v := report["checks"].(map[string]any)["room-degraded"]; v != "warn: 2 rack(s) on stale summaries, 1 held" {
+		t.Errorf("warn verdict = %v", v)
+	}
+	if len(srv.Health()) != 1 {
+		t.Errorf("Health() = %v, want the warn failure", srv.Health())
+	}
+
+	// A critical check outranks the warn: 503.
+	level = HealthCritical
+	code, report = fetch()
+	if code != http.StatusServiceUnavailable || report["status"] != "critical" {
+		t.Fatalf("critical = %d %v", code, report)
+	}
+
+	// Leveled check downgrading to warn drops the 503 again.
+	level = HealthWarn
+	if code, report := fetch(); code != 200 || report["status"] != "warn" {
+		t.Fatalf("warn-only = %d %v", code, report)
+	}
+	degraded = false
+	level = HealthOK
+	if code, report := fetch(); code != 200 || report["status"] != "ok" {
+		t.Fatalf("recovered = %d %v", code, report)
 	}
 }
