@@ -2,8 +2,10 @@ package capmaestro
 
 import (
 	"io"
+	"time"
 
 	"capmaestro/internal/capping"
+	"capmaestro/internal/controlplane"
 	"capmaestro/internal/core"
 	"capmaestro/internal/dc"
 	"capmaestro/internal/flightrec"
@@ -358,3 +360,100 @@ func VerifyTopology(declared *Topology, plant TopologyPlant) (*TopologyReport, e
 
 // NewSimPlant adapts a running simulation to the TopologyPlant interface.
 func NewSimPlant(s *Simulator) TopologyPlant { return &topocheck.SimPlant{Sim: s} }
+
+// Distributed control plane (Section 5): rack and room workers exchanging
+// summaries and budgets over pluggable wire codecs.
+type (
+	// RackWorker protects one rack's subtree and answers gather/budget
+	// RPCs from the room worker.
+	RackWorker = controlplane.RackWorker
+	// RoomWorker protects the upper hierarchy; each rack appears in its
+	// tree as a proxy node backed by a RackClient transport.
+	RoomWorker = controlplane.RoomWorker
+	// RackClient is the transport between the room worker and one rack:
+	// in-process (NewLocalClient) or TCP (DialRack).
+	RackClient = controlplane.RackClient
+	// RackServer serves a rack worker over TCP.
+	RackServer = controlplane.RackServer
+	// RackTCPClient is the TCP transport end the room worker dials.
+	RackTCPClient = controlplane.TCPClient
+	// BudgetSink receives each supply's budget when a rack worker applies
+	// an allocation.
+	BudgetSink = controlplane.BudgetSink
+	// ControlPlaneOption configures workers and transports.
+	ControlPlaneOption = controlplane.Option
+	// PeriodStats summarizes one room control period.
+	PeriodStats = controlplane.PeriodStats
+)
+
+// Wire codec names for WithWireCodec and -wire-codec flags. Servers
+// default to auto-detecting each connection's codec; clients default to
+// JSON unless the CAPMAESTRO_WIRE_CODEC environment variable overrides.
+const (
+	CodecJSON   = controlplane.CodecJSON
+	CodecBinary = controlplane.CodecBinary
+	CodecAuto   = controlplane.CodecAuto
+)
+
+// NewRackWorker creates a rack worker over the rack's local control tree.
+func NewRackWorker(id string, tree *Node, policy Policy, sink BudgetSink, opts ...ControlPlaneOption) (*RackWorker, error) {
+	return controlplane.NewRackWorker(id, tree, policy, sink, opts...)
+}
+
+// NewRoomWorker creates a room worker over the upper control tree. Keys
+// of racks must match the tree's proxy node IDs (NewProxyNode).
+func NewRoomWorker(tree *Node, budget Watts, policy Policy, racks map[string]RackClient, opts ...ControlPlaneOption) (*RoomWorker, error) {
+	return controlplane.NewRoomWorker(tree, budget, policy, racks, opts...)
+}
+
+// NewProxyNode creates an upper-tree stand-in for a remote rack; its
+// summary is refreshed from the rack's worker every gather.
+func NewProxyNode(id string) *Node { return core.NewProxy(id, core.NewSummary()) }
+
+// NewLocalClient wraps a rack worker as an in-process transport for
+// single-binary deployments.
+func NewLocalClient(w *RackWorker) RackClient { return controlplane.LocalClient{Worker: w} }
+
+// ServeRack serves a rack worker's gather/budget RPCs on addr.
+func ServeRack(worker *RackWorker, addr string, opts ...ControlPlaneOption) (*RackServer, error) {
+	return controlplane.ServeRack(worker, addr, opts...)
+}
+
+// DialRack connects lazily to a rack server; dialing and redialing happen
+// per request, so it may be created before the server is up.
+func DialRack(addr string, timeout time.Duration, opts ...ControlPlaneOption) *RackTCPClient {
+	return controlplane.DialRack(addr, timeout, opts...)
+}
+
+// WithWireCodec selects the transport codec by name: CodecJSON,
+// CodecBinary, or CodecAuto (the default — servers accept both, clients
+// consult CAPMAESTRO_WIRE_CODEC then fall back to JSON). Parse
+// user-supplied names with ParseWireCodec first.
+func WithWireCodec(name string) ControlPlaneOption { return controlplane.WithWireCodec(name) }
+
+// ParseWireCodec validates a codec name from a flag or config file.
+func ParseWireCodec(name string) (string, error) { return controlplane.ParseWireCodec(name) }
+
+// WithDeltaDeadband sets how far a rack's summary may drift (per metric,
+// in watts) while the server still answers binary-codec gathers with a
+// few-byte "unchanged" frame. Zero (default) squashes only identical
+// summaries; negative disables delta responses.
+func WithDeltaDeadband(d Watts) ControlPlaneOption { return controlplane.WithDeltaDeadband(d) }
+
+// WithRPCRetry sets the TCP client's retry budget per request.
+func WithRPCRetry(retries int, backoff time.Duration) ControlPlaneOption {
+	return controlplane.WithRPCRetry(retries, backoff)
+}
+
+// WithControlPlaneTelemetry registers worker and transport metrics
+// (including per-codec encode/decode histograms and delta-hit counters)
+// with the registry.
+func WithControlPlaneTelemetry(reg *TelemetryRegistry) ControlPlaneOption {
+	return controlplane.WithTelemetry(reg)
+}
+
+// WithControlPlaneRecorder records per-period traces, spans, and
+// allocation explains into the flight recorder.
+func WithControlPlaneRecorder(rec *FlightRecorder) ControlPlaneOption {
+	return controlplane.WithFlightRecorder(rec)
+}

@@ -54,6 +54,9 @@ func main() {
 		"serve demo: transport retries per rack RPC after a failure (<=0 disables)")
 	rpcBackoff := flag.Duration("rpc-retry-backoff", controlplane.DefaultRPCRetryBackoff,
 		"serve demo: initial backoff between rack RPC retries (doubles per retry)")
+	wireCodec := flag.String("wire-codec", controlplane.CodecAuto,
+		"distributed/serve demos: rack transport codec — json, binary, or auto (servers detect per connection; clients follow "+
+			controlplane.WireCodecEnv+", defaulting to json)")
 	traceBuffer := flag.Int("trace-buffer", flightrec.DefaultBufferSize,
 		"serve demo: control periods retained by the flight recorder on /debug/periods and /debug/trace.json (0 disables)")
 	sloRules := flag.String("slo-rules", "",
@@ -64,6 +67,12 @@ func main() {
 	flag.Parse()
 
 	logger, err := logOpts.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	codec, err := controlplane.ParseWireCodec(*wireCodec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -96,7 +105,7 @@ func main() {
 	case "spo":
 		err = demoSPO()
 	case "distributed":
-		err = demoDistributed(reg)
+		err = demoDistributed(reg, codec)
 	case "scheduler":
 		err = demoScheduler()
 	case "serve":
@@ -107,6 +116,7 @@ func main() {
 			rpcRetryBackoff:  *rpcBackoff,
 			traceBuffer:      *traceBuffer,
 			sloRulesFile:     *sloRules,
+			wireCodec:        codec,
 		})
 	default:
 		err = fmt.Errorf("unknown demo %q", *demo)
@@ -260,8 +270,11 @@ func demoScheduler() error {
 // demoDistributed wires two rack workers to a room worker over loopback
 // TCP and runs control periods, printing each rack's budget. With
 // -telemetry-addr set, reg is non-nil and every layer is instrumented.
-func demoDistributed(reg *telemetry.Registry) error {
-	opts := []controlplane.Option{controlplane.WithTelemetry(reg)}
+func demoDistributed(reg *telemetry.Registry, wireCodec string) error {
+	opts := []controlplane.Option{
+		controlplane.WithTelemetry(reg),
+		controlplane.WithWireCodec(wireCodec),
+	}
 	var mu sync.Mutex
 	budgets := map[string]power.Watts{}
 	sink := func(supplyID string, b power.Watts) {
@@ -348,6 +361,7 @@ type serveConfig struct {
 	rpcRetryBackoff  time.Duration
 	traceBuffer      int
 	sloRulesFile     string
+	wireCodec        string
 }
 
 // demoServe runs the whole stack continuously until SIGINT/SIGTERM:
@@ -362,6 +376,7 @@ func demoServe(reg *telemetry.Registry, ts *telemetry.Server, logger *slog.Logge
 		controlplane.WithStalenessBound(cfg.stalenessPeriods),
 		controlplane.WithFailsafeBudget(cfg.failsafeBudget),
 		controlplane.WithRPCRetry(cfg.rpcRetries, cfg.rpcRetryBackoff),
+		controlplane.WithWireCodec(cfg.wireCodec),
 	}
 	// The flight recorder retains each control period's trace + explain
 	// records and serves them on the telemetry server's debug endpoints.

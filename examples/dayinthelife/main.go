@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -34,9 +35,15 @@ func main() {
 		"control periods retained by the flight recorder on /debug/periods and /debug/trace.json (0 disables)")
 	sloRules := flag.String("slo-rules", "",
 		"JSON alert-rule file for the safety-SLO tracker on /debug/slo (empty uses the built-in rules)")
+	wireCodecFlag := flag.String("wire-codec", capmaestro.CodecBinary,
+		"epilogue rack transport codec: json, binary, or auto")
 	logOpts := logging.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	logger, err := logOpts.Logger(os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wireCodec, err := capmaestro.ParseWireCodec(*wireCodecFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -233,10 +240,89 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Night shift: the same control loop as a distributed deployment —
+	// rack workers behind real TCP sockets, the room worker gathering and
+	// budgeting over the wire. With the binary codec (the default here),
+	// steady overnight load means most gathers come back as few-byte
+	// "unchanged" delta frames.
+	if err := distributedEpilogue(wireCodec, reg); err != nil {
+		log.Fatal(err)
+	}
+
 	if *telAddr != "" {
 		fmt.Println("\nday complete; telemetry still serving — Ctrl-C to exit")
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
 	}
+}
+
+// distributedEpilogue replays the overnight steady state through the TCP
+// control plane: two rack workers served on loopback, a room worker
+// dialing them with the chosen wire codec, and a handful of control
+// periods so the binary codec's delta path engages.
+func distributedEpilogue(wireCodec string, reg *capmaestro.TelemetryRegistry) error {
+	fmt.Println("\nNight shift, distributed: rack workers behind TCP, codec " + wireCodec)
+	if reg == nil {
+		reg = capmaestro.NewTelemetryRegistry()
+	}
+	opts := []capmaestro.ControlPlaneOption{
+		capmaestro.WithControlPlaneTelemetry(reg),
+		capmaestro.WithWireCodec(wireCodec),
+		capmaestro.WithDeltaDeadband(0.5),
+	}
+	sink := func(string, capmaestro.Watts) {}
+	mkLeaf := func(id string, prio capmaestro.Priority, demand capmaestro.Watts) *capmaestro.Node {
+		return capmaestro.NewLeaf(id, capmaestro.SupplyLeaf{
+			SupplyID: id, ServerID: id, Priority: prio, Share: 1,
+			CapMin: 150, CapMax: 400, Demand: demand,
+		})
+	}
+	racks := map[string]*capmaestro.RackWorker{}
+	for name, leaves := range map[string][]*capmaestro.Node{
+		"rack-east": {mkLeaf("e0", 1, 320), mkLeaf("e1", 0, 260)},
+		"rack-west": {mkLeaf("w0", 0, 240), mkLeaf("w1", 0, 240)},
+	} {
+		w, err := capmaestro.NewRackWorker(name,
+			capmaestro.NewShifting(name, 700, leaves...),
+			capmaestro.GlobalPriority, sink, opts...)
+		if err != nil {
+			return err
+		}
+		racks[name] = w
+	}
+	clients := map[string]capmaestro.RackClient{}
+	proxies := make([]*capmaestro.Node, 0, len(racks))
+	for name, w := range racks {
+		srv, err := capmaestro.ServeRack(w, "127.0.0.1:0", opts...)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		c := capmaestro.DialRack(srv.Addr(), 2*time.Second, opts...)
+		defer c.Close()
+		clients[name] = c
+		proxies = append(proxies, capmaestro.NewProxyNode(name))
+	}
+	room, err := capmaestro.NewRoomWorker(
+		capmaestro.NewShifting("contractual", 1400, proxies...),
+		1200, capmaestro.GlobalPriority, clients, opts...)
+	if err != nil {
+		return err
+	}
+	const periods = 6
+	for i := 0; i < periods; i++ {
+		if _, _, err := room.RunPeriod(context.Background()); err != nil {
+			return err
+		}
+	}
+	stats := room.LastStats()
+	deltaHits := reg.CounterVec("capmaestro_rpc_delta_hits_total", "", "role").With("client").Value()
+	fmt.Printf("  %d control periods over TCP across %d racks, last period %d served / %d gather errors\n",
+		periods, len(clients), stats.RacksServed, stats.GatherErrors)
+	fmt.Printf("  unchanged-summary delta frames served from cache: %.0f\n", deltaHits)
+	if wireCodec == capmaestro.CodecBinary && deltaHits == 0 {
+		return fmt.Errorf("binary codec ran %d steady periods but no gather was delta-squashed", periods)
+	}
+	return nil
 }

@@ -3,6 +3,8 @@ package controlplane
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -14,10 +16,12 @@ import (
 )
 
 // droppingProxy sits between a TCPClient and a RackServer and drops every
-// Nth request on each connection: it reads the request line, discards it,
+// Nth request on each connection: it reads one whole request, discards it,
 // and closes the connection. The client sees a transport failure mid-RPC
 // and must retry over a fresh connection — exactly the reconnect path
-// WithRPCRetry exists for.
+// WithRPCRetry exists for. The proxy is codec-aware: it frames JSON
+// requests by newline and binary requests by their length prefix (after
+// forwarding the connection preamble), so it can chaos both protocols.
 type droppingProxy struct {
 	ln      net.Listener
 	backend string
@@ -66,8 +70,24 @@ func (p *droppingProxy) serve(client net.Conn) {
 	defer server.Close()
 	go io.Copy(client, server) // responses flow back untouched
 	br := bufio.NewReader(client)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	isBinary := first[0] == binMagic
+	if isBinary {
+		// Forward the two-byte preamble so the backend can detect the
+		// codec itself.
+		pre := make([]byte, 2)
+		if _, err := io.ReadFull(br, pre); err != nil {
+			return
+		}
+		if _, err := server.Write(pre); err != nil {
+			return
+		}
+	}
 	for n := 1; ; n++ {
-		line, err := br.ReadBytes('\n')
+		frame, err := readRequestFrame(br, isBinary)
 		if err != nil {
 			return
 		}
@@ -79,10 +99,33 @@ func (p *droppingProxy) serve(client net.Conn) {
 			p.mu.Unlock()
 			return
 		}
-		if _, err := server.Write(line); err != nil {
+		if _, err := server.Write(frame); err != nil {
 			return
 		}
 	}
+}
+
+// readRequestFrame reads exactly one request off the client connection:
+// one newline-terminated JSON line, or one length-prefixed binary frame
+// (header included).
+func readRequestFrame(br *bufio.Reader, isBinary bool) ([]byte, error) {
+	if !isBinary {
+		return br.ReadBytes('\n')
+	}
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("proxy: frame length %d exceeds limit", n)
+	}
+	frame := make([]byte, 4+int(n))
+	copy(frame, hdr)
+	if _, err := io.ReadFull(br, frame[4:]); err != nil {
+		return nil, err
+	}
+	return frame, nil
 }
 
 // TestTraceChaosPropagation drives a room worker — with the flight

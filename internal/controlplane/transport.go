@@ -3,7 +3,6 @@ package controlplane
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -16,10 +15,13 @@ import (
 	"capmaestro/internal/telemetry"
 )
 
-// The wire protocol is newline-delimited JSON over TCP: one request line,
-// one response line. It carries only metric summaries and budgets — a few
+// The wire protocol carries only metric summaries and budgets — a few
 // hundred bytes per rack per control period — matching the paper's
 // observation that worker communication is "on the order of milliseconds".
+// Two codecs speak it (see codec.go): the historical newline-delimited
+// JSON protocol, and a length-prefixed binary protocol that is
+// allocation-free steady-state and supports delta-encoded gather
+// responses. Servers detect the codec per connection from its first byte.
 
 // request ops.
 const (
@@ -34,12 +36,21 @@ type wireRequest struct {
 	// Trace carries the caller's per-period trace context so the rack's
 	// spans nest under the room's period root. Absent when tracing is off.
 	Trace *flightrec.TraceContext `json:"trace,omitempty"`
+	// HaveCached marks a gather from a client that still holds the last
+	// full summary this connection delivered, making it eligible for an
+	// Unchanged response. Only the binary codec sets it, so the JSON byte
+	// stream is unchanged.
+	HaveCached bool `json:"have_cached,omitempty"`
 }
 
 type wireResponse struct {
 	OK      bool          `json:"ok"`
 	Error   string        `json:"error,omitempty"`
 	Summary *core.Summary `json:"summary,omitempty"`
+	// Unchanged marks a gather response whose summary stayed within the
+	// server's deadband of the last full summary sent on this connection;
+	// the client substitutes its cached copy. Binary codec only.
+	Unchanged bool `json:"unchanged,omitempty"`
 	// Spans and Explains ship the rack-side trace back to the caller;
 	// populated only when the request carried a trace context.
 	Spans    []flightrec.Span   `json:"spans,omitempty"`
@@ -51,6 +62,8 @@ type RackServer struct {
 	worker   *RackWorker
 	listener net.Listener
 	met      rpcMetrics
+	accept   string      // codec restriction: CodecAuto admits both
+	deadband power.Watts // delta deadband; < 0 disables delta responses
 
 	mu     sync.Mutex
 	closed bool
@@ -70,10 +83,16 @@ func ServeRack(worker *RackWorker, addr string, opts ...Option) (*RackServer, er
 		return nil, fmt.Errorf("controlplane: listen: %w", err)
 	}
 	o := buildOptions(opts)
+	accept := o.wireCodec
+	if accept != CodecJSON && accept != CodecBinary {
+		accept = CodecAuto
+	}
 	s := &RackServer{
 		worker:   worker,
 		listener: ln,
 		met:      newRPCMetrics(o.reg, "server"),
+		accept:   accept,
+		deadband: o.deltaDeadband,
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -128,18 +147,48 @@ func (s *RackServer) serveConn(conn net.Conn) {
 		s.met.openConns.Dec()
 	}()
 	counted := countConn(conn, s.met.bytesIn, s.met.bytesOut)
-	dec := json.NewDecoder(bufio.NewReader(counted))
-	enc := json.NewEncoder(counted)
+	br := bufio.NewReader(counted)
+	cdc, err := detectServerCodec(br, counted, s.accept)
+	if err != nil {
+		var pe *protocolError
+		if errors.As(err, &pe) {
+			s.met.protocolErrors.Inc()
+		}
+		return
+	}
+	encHist, decHist := s.met.codecHists(cdc.Name())
+	// Delta squashing rides on the binary codec only: the JSON stream
+	// stays byte-compatible with pre-codec servers.
+	var delta *deltaTracker
+	if cdc.Name() == CodecBinary && s.deadband >= 0 {
+		delta = &deltaTracker{deadband: s.deadband}
+	}
+	var req wireRequest
 	for {
-		var req wireRequest
-		if err := dec.Decode(&req); err != nil {
+		var t0 time.Time
+		if s.met.enabled {
+			t0 = time.Now()
+		}
+		if err := cdc.ReadRequest(&req); err != nil {
 			return // connection closed or garbage
+		}
+		if s.met.enabled {
+			decHist.ObserveSince(t0)
 		}
 		start := time.Now()
 		resp := s.handle(req)
+		if delta.squash(&req, &resp) {
+			s.met.deltaHits.Inc()
+		}
 		s.met.observe(req.Op, start, !resp.OK)
-		if err := enc.Encode(resp); err != nil {
+		if s.met.enabled {
+			t0 = time.Now()
+		}
+		if err := cdc.WriteResponse(&resp); err != nil {
 			return
+		}
+		if s.met.enabled {
+			encHist.ObserveSince(t0)
 		}
 	}
 }
@@ -218,45 +267,72 @@ type serverError struct{ msg string }
 
 func (e *serverError) Error() string { return e.msg }
 
+// protocolError is a malformed-but-delivered response: the bytes arrived
+// but violate the protocol (for example OK with neither a summary nor a
+// valid Unchanged marker). The stream can no longer be trusted, so the
+// connection is reset and the attempt retried over a fresh one.
+type protocolError struct{ msg string }
+
+func (e *protocolError) Error() string { return "controlplane: protocol error: " + e.msg }
+
 // TCPClient is a RackClient that talks to a RackServer. It maintains one
 // connection, re-dialing on failure, retries transport failures a bounded
 // number of times with doubling backoff, and serializes requests (the room
 // worker issues one request at a time per rack).
+//
+// Two locks split request serialization from connection state: reqMu is
+// held for the whole round trip (including dial, I/O, and retry backoff),
+// while mu guards only the closed flag, the live connection, and the delta
+// cache. Close takes just mu, so it closes the live connection immediately
+// — the in-flight decode then fails fast with ErrClientClosed instead of
+// waiting out the attempt timeout.
 type TCPClient struct {
-	addr    string
-	timeout time.Duration
-	retries int
-	backoff time.Duration
-	met     rpcMetrics
+	addr      string
+	timeout   time.Duration
+	retries   int
+	backoff   time.Duration
+	codecName string
+	met       rpcMetrics
 
-	mu     sync.Mutex
-	closed bool
-	conn   net.Conn
-	dec    *json.Decoder
-	enc    *json.Encoder
+	reqMu sync.Mutex // serializes round trips; never taken by Close
+
+	mu         sync.Mutex // guards everything below
+	closed     bool
+	conn       net.Conn
+	cdc        codec
+	encHist    *telemetry.Histogram
+	decHist    *telemetry.Histogram
+	cached     core.Summary // last full summary decoded on the live conn
+	haveCached bool
 }
 
 // DialRack creates a client for the rack server at addr. timeout bounds
 // each request attempt; zero selects 2 s (comfortably inside the paper's
 // 8 s control period). Retry behavior follows WithRPCRetry (default: 2
-// retries starting at 25 ms backoff).
+// retries starting at 25 ms backoff); the wire codec follows WithWireCodec
+// (default: the CAPMAESTRO_WIRE_CODEC environment variable, then JSON).
 func DialRack(addr string, timeout time.Duration, opts ...Option) *TCPClient {
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
 	o := buildOptions(opts)
 	return &TCPClient{
-		addr:    addr,
-		timeout: timeout,
-		retries: o.rpcRetries,
-		backoff: o.rpcRetryBackoff,
-		met:     newRPCMetrics(o.reg, "client"),
+		addr:      addr,
+		timeout:   timeout,
+		retries:   o.rpcRetries,
+		backoff:   o.rpcRetryBackoff,
+		codecName: resolveClientCodec(o.wireCodec),
+		met:       newRPCMetrics(o.reg, "client"),
 	}
 }
 
+// Codec returns the wire codec this client dials with.
+func (c *TCPClient) Codec() string { return c.codecName }
+
 // Close tears down the connection and marks the client terminally closed:
-// subsequent requests fail with ErrClientClosed instead of re-dialing.
-// Closing an already-closed client is a no-op.
+// subsequent requests fail with ErrClientClosed instead of re-dialing, and
+// an in-flight request fails fast as its read is unblocked. Closing an
+// already-closed client is a no-op.
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -266,33 +342,86 @@ func (c *TCPClient) Close() error {
 	c.closed = true
 	if c.conn != nil {
 		err := c.conn.Close()
-		c.conn = nil
-		c.met.openConns.Dec()
+		c.dropConnLocked()
 		return err
 	}
 	return nil
 }
 
-func (c *TCPClient) ensureConn() error {
+// dropConnLocked forgets the live connection (already closed or being
+// closed) and invalidates the per-connection delta cache.
+func (c *TCPClient) dropConnLocked() {
+	if c.conn == nil {
+		return
+	}
+	c.conn = nil
+	c.cdc = nil
+	c.haveCached = false
+	c.met.openConns.Dec()
+}
+
+// connFor returns the live connection and codec, dialing outside the lock
+// so Close never waits on a slow dial.
+func (c *TCPClient) connFor() (net.Conn, codec, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, nil, ErrClientClosed
+	}
+	if c.conn != nil {
+		conn, cdc := c.conn, c.cdc
+		c.mu.Unlock()
+		return conn, cdc, nil
+	}
+	c.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	counted := countConn(conn, c.met.bytesIn, c.met.bytesOut)
+	cdc := newClientCodec(c.codecName, counted)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return nil, nil, ErrClientClosed
+	}
+	// reqMu serializes dialers, so no connection can have appeared.
+	c.conn, c.cdc = conn, cdc
+	c.haveCached = false
+	c.encHist, c.decHist = c.met.codecHists(cdc.Name())
+	c.met.openConns.Inc()
+	return conn, cdc, nil
+}
+
+// fault maps an I/O failure on conn to its terminal form: if the client
+// was closed meanwhile the failure is reported as ErrClientClosed, else
+// the connection is reset so the next attempt re-dials.
+func (c *TCPClient) fault(conn net.Conn, err error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
 		return ErrClientClosed
 	}
-	if c.conn != nil {
-		return nil
+	if c.conn == conn {
+		conn.Close()
+		c.dropConnLocked()
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
-	if err != nil {
-		return err
-	}
-	c.conn = conn
-	c.met.openConns.Inc()
-	counted := countConn(conn, c.met.bytesIn, c.met.bytesOut)
-	c.dec = json.NewDecoder(bufio.NewReader(counted))
-	c.enc = json.NewEncoder(counted)
-	return nil
+	return err
+}
+
+// protocolFault records a malformed-but-delivered response and resets the
+// connection: a desynced stream must not poison subsequent requests.
+func (c *TCPClient) protocolFault(conn net.Conn, msg string) error {
+	c.met.protocolErrors.Inc()
+	return c.fault(conn, error(&protocolError{msg: msg}))
 }
 
 func (c *TCPClient) roundTrip(ctx context.Context, req wireRequest) (wireResponse, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
 	start := time.Now()
 	var resp wireResponse
 	var err error
@@ -317,30 +446,48 @@ func (c *TCPClient) roundTrip(ctx context.Context, req wireRequest) (wireRespons
 	return resp, err
 }
 
-// attempt performs one round trip under the lock. The lock is released
-// between attempts so Close (and the backoff sleep) never deadlock.
+// attempt performs one round trip. All I/O happens outside mu, so Close
+// can always reach the live connection and unblock it.
 func (c *TCPClient) attempt(ctx context.Context, req wireRequest) (wireResponse, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return wireResponse{}, err
 	}
-	if err := c.ensureConn(); err != nil {
+	conn, cdc, err := c.connFor()
+	if err != nil {
 		return wireResponse{}, err
 	}
 	deadline := time.Now().Add(c.timeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	c.conn.SetDeadline(deadline)
-	if err := c.enc.Encode(req); err != nil {
-		c.resetLocked()
-		return wireResponse{}, err
+	conn.SetDeadline(deadline)
+	if req.Op == opGather && cdc.Name() == CodecBinary {
+		c.mu.Lock()
+		req.HaveCached = c.haveCached && c.conn == conn
+		c.mu.Unlock()
+	}
+	var t0 time.Time
+	if c.met.enabled {
+		t0 = time.Now()
+	}
+	if err := cdc.WriteRequest(&req); err != nil {
+		return wireResponse{}, c.fault(conn, err)
+	}
+	if c.met.enabled {
+		c.encHist.ObserveSince(t0)
+		t0 = time.Now()
 	}
 	var resp wireResponse
-	if err := c.dec.Decode(&resp); err != nil {
-		c.resetLocked()
-		return wireResponse{}, err
+	if err := cdc.ReadResponse(&resp); err != nil {
+		return wireResponse{}, c.fault(conn, err)
+	}
+	if c.met.enabled {
+		c.decHist.ObserveSince(t0)
+	}
+	if resp.OK && req.Op == opGather {
+		if err := c.finishGather(conn, &resp); err != nil {
+			return wireResponse{}, err
+		}
 	}
 	if !resp.OK {
 		return resp, &serverError{msg: resp.Error}
@@ -348,9 +495,43 @@ func (c *TCPClient) attempt(ctx context.Context, req wireRequest) (wireResponse,
 	return resp, nil
 }
 
+// finishGather validates a successful gather response and maintains the
+// delta cache: full summaries are cached for later Unchanged
+// substitution, Unchanged responses are resolved from the cache, and
+// malformed combinations (OK with neither, or both) are protocol faults
+// that reset the connection.
+func (c *TCPClient) finishGather(conn net.Conn, resp *wireResponse) error {
+	c.mu.Lock()
+	switch {
+	case resp.Unchanged && resp.Summary == nil:
+		if c.haveCached && c.conn == conn {
+			resp.Summary = &c.cached
+			c.met.deltaHits.Inc()
+			c.mu.Unlock()
+			return nil
+		}
+		c.mu.Unlock()
+		return c.protocolFault(conn, "unchanged gather but no cached summary")
+	case !resp.Unchanged && resp.Summary != nil:
+		// Cache the full summary for this connection. The cached value is
+		// replaced wholesale (never mutated in place), so earlier copies
+		// handed to the room worker's proxies stay valid.
+		if c.conn == conn {
+			c.cached = *resp.Summary
+			c.haveCached = true
+		}
+		c.mu.Unlock()
+		return nil
+	default:
+		c.mu.Unlock()
+		return c.protocolFault(conn, "gather response with OK but no usable summary")
+	}
+}
+
 // retryable reports whether a failed attempt is worth repeating: transport
-// failures are (the next attempt re-dials), closed clients, dead contexts,
-// and application-level rejections are not.
+// failures are (the next attempt re-dials, and protocol faults resync the
+// delta stream on the way), closed clients, dead contexts, and
+// application-level rejections are not.
 func retryable(err error) bool {
 	if errors.Is(err, ErrClientClosed) ||
 		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -386,14 +567,6 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-func (c *TCPClient) resetLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-		c.met.openConns.Dec()
-	}
-}
-
 // Gather implements RackClient.
 func (c *TCPClient) Gather(ctx context.Context) (core.Summary, error) {
 	resp, err := c.roundTrip(ctx, wireRequest{Op: opGather, Trace: flightrec.WireContext(ctx)})
@@ -401,7 +574,9 @@ func (c *TCPClient) Gather(ctx context.Context) (core.Summary, error) {
 		return core.Summary{}, err
 	}
 	if resp.Summary == nil {
-		return core.Summary{}, errors.New("controlplane: gather response missing summary")
+		// finishGather guarantees a summary on success; this guards the
+		// invariant if it is ever violated.
+		return core.Summary{}, &protocolError{msg: "gather response missing summary"}
 	}
 	return *resp.Summary, nil
 }

@@ -1,0 +1,411 @@
+package controlplane
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/flightrec"
+	"capmaestro/internal/telemetry"
+)
+
+// TestTCPClientCloseUnblocksStalledRequest is the regression test for the
+// Close-blocking bug: a server that accepts and reads but never responds
+// used to pin the client mutex for the whole attempt timeout, so Close
+// blocked behind it. With connection state split from request
+// serialization, Close must return immediately and the in-flight request
+// must fail fast with ErrClientClosed.
+func TestTCPClientCloseUnblocksStalledRequest(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	requestSeen := make(chan struct{}, 4)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				// Read the request so the client's write completes, then
+				// stall forever: the client blocks in decode.
+				buf := make([]byte, 1)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+					select {
+					case requestSeen <- struct{}{}:
+					default:
+					}
+				}
+			}()
+		}
+	}()
+
+	// A long attempt timeout: if Close waits out the attempt, the test
+	// time limit catches it.
+	client := DialRack(ln.Addr().String(), 30*time.Second, WithRPCRetry(0, time.Millisecond))
+	gatherErr := make(chan error, 1)
+	go func() {
+		_, err := client.Gather(context.Background())
+		gatherErr <- err
+	}()
+	select {
+	case <-requestSeen:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never saw the request")
+	}
+
+	closeStart := time.Now()
+	if err := client.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if elapsed := time.Since(closeStart); elapsed > 2*time.Second {
+		t.Fatalf("Close blocked %v behind the stalled request", elapsed)
+	}
+	select {
+	case err := <-gatherErr:
+		if !errors.Is(err, ErrClientClosed) {
+			t.Fatalf("stalled gather returned %v, want ErrClientClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight gather did not fail fast after Close")
+	}
+}
+
+// jsonScriptServer answers every request on every connection with the
+// same scripted JSON response line, counting connections — a minimal
+// stand-in for a buggy or malicious rack server.
+func jsonScriptServer(t *testing.T, response string) (addr string, conns *atomic.Int32) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	conns = &atomic.Int32{}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns.Add(1)
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					if _, err := br.ReadBytes('\n'); err != nil {
+						return
+					}
+					if _, err := io.WriteString(conn, response+"\n"); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), conns
+}
+
+// TestGatherOKWithoutSummaryIsTransportFault is the regression test for
+// the malformed-response bug: a gather response claiming OK with no
+// summary must be treated as a transport fault — counted in
+// protocol_errors, connection reset (each retry arrives on a fresh
+// connection), and surfaced as an error instead of a healthy stream.
+func TestGatherOKWithoutSummaryIsTransportFault(t *testing.T) {
+	addr, conns := jsonScriptServer(t, `{"ok":true}`)
+	reg := telemetry.NewRegistry()
+	client := DialRack(addr, time.Second, WithWireCodec(CodecJSON), WithRPCRetry(2, time.Millisecond), WithTelemetry(reg))
+	defer client.Close()
+
+	_, err := client.Gather(context.Background())
+	if err == nil {
+		t.Fatal("malformed gather response reported success")
+	}
+	var pe *protocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("gather returned %v, want a protocol error", err)
+	}
+	// 1 attempt + 2 retries, each over a fresh connection because every
+	// protocol fault resets the stream.
+	if got := conns.Load(); got != 3 {
+		t.Fatalf("server saw %d connections, want 3 (reset per protocol fault)", got)
+	}
+	errsVec := reg.CounterVec("capmaestro_rpc_protocol_errors_total", "", "role")
+	if got := errsVec.With("client").Value(); got != 3 {
+		t.Fatalf("protocol_errors = %v, want 3", got)
+	}
+	// The client is still usable: a later budget push round-trips fine on
+	// a server that answers OK.
+	if pingErr := client.Ping(context.Background()); pingErr != nil {
+		t.Fatalf("client unusable after protocol faults: %v", pingErr)
+	}
+}
+
+// TestUnchangedWithoutCacheIsTransportFault covers the other malformed
+// combination: an Unchanged gather on a connection that never received a
+// full summary has nothing to resolve against and must fault rather than
+// fabricate a summary.
+func TestUnchangedWithoutCacheIsTransportFault(t *testing.T) {
+	addr, _ := jsonScriptServer(t, `{"ok":true,"unchanged":true}`)
+	client := DialRack(addr, time.Second, WithWireCodec(CodecJSON), WithRPCRetry(1, time.Millisecond))
+	defer client.Close()
+	_, err := client.Gather(context.Background())
+	var pe *protocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("gather returned %v, want a protocol error", err)
+	}
+	if !strings.Contains(err.Error(), "cached") {
+		t.Fatalf("unexpected protocol error text: %v", err)
+	}
+}
+
+// TestBinaryDeltaGatherEndToEnd drives a real server/client pair on the
+// binary codec: the first gather ships a full summary, repeat gathers of
+// an unchanged rack squash to delta frames on both counters, and a severed
+// connection forces a full-summary resync before delta resumes.
+func TestBinaryDeltaGatherEndToEnd(t *testing.T) {
+	worker, err := NewRackWorker("rack0",
+		core.NewShifting("rack0", 0, leaf("s0", "S0", 1, 400), leaf("s1", "S1", 0, 400)),
+		core.GlobalPriority, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	srv, err := ServeRack(worker, "127.0.0.1:0", WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := DialRack(srv.Addr(), time.Second,
+		WithWireCodec(CodecBinary), WithTelemetry(reg), WithRPCRetry(2, time.Millisecond))
+	defer client.Close()
+
+	deltaVec := reg.CounterVec("capmaestro_rpc_delta_hits_total", "", "role")
+	clientHits := func() float64 { return deltaVec.With("client").Value() }
+	serverHits := func() float64 { return deltaVec.With("server").Value() }
+
+	first, err := client.Gather(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clientHits() != 0 || serverHits() != 0 {
+		t.Fatalf("first gather used the delta path (client %v, server %v)", clientHits(), serverHits())
+	}
+
+	// The rack is static, so repeat gathers squash to unchanged frames
+	// that resolve to the identical summary.
+	for i := 0; i < 3; i++ {
+		got, err := client.Gather(context.Background())
+		if err != nil {
+			t.Fatalf("gather %d: %v", i, err)
+		}
+		if !summariesEquivalent(&first, &got) {
+			t.Fatalf("delta gather %d drifted:\nfirst %+v\n got  %+v", i, first, got)
+		}
+	}
+	if clientHits() != 3 || serverHits() != 3 {
+		t.Fatalf("delta hits client %v server %v, want 3/3", clientHits(), serverHits())
+	}
+
+	// Sever the live connection: the next gather reconnects, and the
+	// fresh connection must resync with a full frame (no new delta hit).
+	client.mu.Lock()
+	conn := client.conn
+	client.mu.Unlock()
+	conn.Close()
+	got, err := client.Gather(context.Background())
+	if err != nil {
+		t.Fatalf("gather after severed conn: %v", err)
+	}
+	if !summariesEquivalent(&first, &got) {
+		t.Fatal("post-reconnect gather drifted")
+	}
+	if clientHits() != 3 {
+		t.Fatalf("reconnect did not force a full-summary resync (client hits %v)", clientHits())
+	}
+	// Delta resumes on the new connection.
+	if _, err := client.Gather(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if clientHits() != 4 {
+		t.Fatalf("delta did not resume after resync (client hits %v)", clientHits())
+	}
+}
+
+// TestJSONCodecNeverSquashes pins JSON compatibility: a JSON client
+// against a delta-capable server always receives full summaries.
+func TestJSONCodecNeverSquashes(t *testing.T) {
+	worker, err := NewRackWorker("rack0",
+		core.NewShifting("rack0", 0, leaf("s0", "S0", 0, 400)),
+		core.GlobalPriority, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	srv, err := ServeRack(worker, "127.0.0.1:0", WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := DialRack(srv.Addr(), time.Second, WithWireCodec(CodecJSON), WithTelemetry(reg))
+	defer client.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Gather(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deltaVec := reg.CounterVec("capmaestro_rpc_delta_hits_total", "", "role")
+	if got := deltaVec.With("server").Value(); got != 0 {
+		t.Fatalf("JSON connection produced %v delta hits", got)
+	}
+}
+
+// TestServerCodecRestriction pins WithWireCodec on the server side: a
+// JSON-only server rejects binary preambles (counting a protocol error)
+// and vice versa, while the default accepts both.
+func TestServerCodecRestriction(t *testing.T) {
+	newWorker := func() *RackWorker {
+		w, err := NewRackWorker("rack0",
+			core.NewShifting("rack0", 0, leaf("s0", "S0", 0, 400)),
+			core.GlobalPriority, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	cases := []struct {
+		name        string
+		server      string
+		client      string
+		wantSuccess bool
+	}{
+		{"auto-json", CodecAuto, CodecJSON, true},
+		{"auto-binary", CodecAuto, CodecBinary, true},
+		{"json-json", CodecJSON, CodecJSON, true},
+		{"json-binary", CodecJSON, CodecBinary, false},
+		{"binary-binary", CodecBinary, CodecBinary, true},
+		{"binary-json", CodecBinary, CodecJSON, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := telemetry.NewRegistry()
+			srv, err := ServeRack(newWorker(), "127.0.0.1:0",
+				WithWireCodec(tc.server), WithTelemetry(reg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			client := DialRack(srv.Addr(), time.Second,
+				WithWireCodec(tc.client), WithRPCRetry(0, time.Millisecond))
+			defer client.Close()
+			_, err = client.Gather(context.Background())
+			if tc.wantSuccess && err != nil {
+				t.Fatalf("gather failed: %v", err)
+			}
+			if !tc.wantSuccess {
+				if err == nil {
+					t.Fatal("restricted server accepted the wrong codec")
+				}
+				errsVec := reg.CounterVec("capmaestro_rpc_protocol_errors_total", "", "role")
+				if got := errsVec.With("server").Value(); got == 0 {
+					t.Fatal("codec rejection did not count a server protocol error")
+				}
+			}
+		})
+	}
+}
+
+// TestTransportChaosBothCodecs runs a room worker over a real TCP
+// transport through the dropping proxy with fault injection layered on
+// top, once per codec: the codec must survive FaultyClient faults and
+// WithRPCRetry reconnects with trace spans intact, and the binary codec
+// must still land delta hits between the failures.
+func TestTransportChaosBothCodecs(t *testing.T) {
+	for _, codecName := range []string{CodecJSON, CodecBinary} {
+		t.Run(codecName, func(t *testing.T) {
+			seed := chaosSeed(t)
+			const periods = 10
+			worker, err := NewRackWorker("tcprack",
+				core.NewShifting("tcprack", 0, leaf("t0", "T0", 1, 400), leaf("t1", "T1", 0, 400)),
+				core.GlobalPriority, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := telemetry.NewRegistry()
+			srv, err := ServeRack(worker, "127.0.0.1:0", WithTelemetry(reg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			proxy := newDroppingProxy(t, srv.Addr(), 4)
+			tcpClient := DialRack(proxy.addr(), time.Second,
+				WithWireCodec(codecName), WithTelemetry(reg), WithRPCRetry(3, 2*time.Millisecond))
+			defer tcpClient.Close()
+			flaky := NewFaultyClient(tcpClient, seed)
+			flaky.SetErrorRate(0.2)
+
+			rec := flightrec.NewRecorder(periods)
+			dumpTraceOnFailure(t, rec)
+			room, err := NewRoomWorker(
+				core.NewShifting("room", 0, core.NewProxy("tcprack", core.NewSummary())),
+				2000, core.GlobalPriority,
+				map[string]RackClient{"tcprack": flaky},
+				WithFlightRecorder(rec), WithStalenessBound(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for period := 0; period < periods; period++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				_, _, err := room.RunPeriod(ctx)
+				cancel()
+				if err != nil {
+					t.Fatalf("period %d: %v", period, err)
+				}
+			}
+			if proxy.dropCount() == 0 {
+				t.Fatal("proxy never dropped a request; chaos did not engage")
+			}
+			// Trace invariants: every period has a root span carrying its
+			// trace ID, and rack-side spans crossed the transport.
+			rackSpans := 0
+			for _, pr := range rec.Records() {
+				roots := 0
+				for _, s := range pr.Spans {
+					if s.TraceID != pr.TraceID {
+						t.Fatalf("record %d: span %s has trace %q, want %q", pr.ID, s.Name, s.TraceID, pr.TraceID)
+					}
+					if s.ParentID == "" {
+						roots++
+					}
+					if s.Node == "tcprack" && (s.Name == "rack.gather" || s.Name == "rack.apply") {
+						rackSpans++
+					}
+				}
+				if roots != 1 {
+					t.Fatalf("record %d: %d roots, want 1", pr.ID, roots)
+				}
+			}
+			if rackSpans == 0 {
+				t.Fatal("no rack-side spans survived the transport")
+			}
+			if codecName == CodecBinary {
+				deltaVec := reg.CounterVec("capmaestro_rpc_delta_hits_total", "", "role")
+				if got := deltaVec.With("client").Value(); got == 0 {
+					t.Fatal("binary chaos run landed no delta hits")
+				}
+			}
+		})
+	}
+}

@@ -418,8 +418,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	q = math.Max(0, math.Min(1, q))
 	rank := q * float64(total)
+	var prev uint64
 	for i, c := range cum {
+		// Skip buckets with no mass: a rank of 0 (q=0) or one landing
+		// exactly on a cumulative boundary must interpolate within the
+		// first bucket that actually holds observations, not return the
+		// lower edge of an empty leading bucket.
+		if c == prev {
+			continue
+		}
 		if float64(c) < rank {
+			prev = c
 			continue
 		}
 		if i >= len(h.upper) {
@@ -429,15 +438,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 			}
 			return h.upper[len(h.upper)-1]
 		}
-		lower, prev := 0.0, uint64(0)
+		lower := 0.0
 		if i > 0 {
-			lower, prev = h.upper[i-1], cum[i-1]
+			lower = h.upper[i-1]
 		}
-		inBucket := c - prev
-		if inBucket == 0 {
-			return lower
-		}
-		return lower + (h.upper[i]-lower)*((rank-float64(prev))/float64(inBucket))
+		// q=0 with empty leading buckets yields rank < prev; clamp so the
+		// estimate is the lower edge of this (first occupied) bucket.
+		r := math.Max(rank, float64(prev))
+		return lower + (h.upper[i]-lower)*((r-float64(prev))/float64(c-prev))
 	}
 	return math.NaN() // unreachable: cum[len-1] == total >= rank
 }

@@ -432,6 +432,52 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileBoundaries pins the boundary handling the SLO
+// time-to-safe report depends on: q=0 and quantiles over distributions
+// with empty leading buckets must interpolate within the first bucket
+// that holds mass, never return an empty bucket's lower edge (which was
+// often 0, wildly understating the estimate).
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	cases := []struct {
+		name    string
+		buckets []float64
+		obs     []float64
+		q       float64
+		want    float64
+	}{
+		// All mass in (2,4]: the first two buckets are empty. Before the
+		// fix q=0 returned 0 (the empty first bucket's lower edge).
+		{"empty-leading-q0", []float64{1, 2, 4, 8}, []float64{3, 3, 3}, 0, 2},
+		{"empty-leading-q0.5", []float64{1, 2, 4, 8}, []float64{3, 3, 3}, 0.5, 3},
+		{"empty-leading-q1", []float64{1, 2, 4, 8}, []float64{3, 3, 3}, 1, 4},
+		// Empty bucket in the middle: ranks past it skip to the next
+		// occupied bucket instead of sticking to the empty one's edge.
+		{"empty-middle", []float64{1, 2, 4, 8}, []float64{0.5, 6, 6}, 0.5, 5},
+		// Single bucket holding everything.
+		{"single-bucket-q0", []float64{5}, []float64{1, 2, 3}, 0, 0},
+		{"single-bucket-q0.5", []float64{5}, []float64{1, 2, 3}, 0.5, 2.5},
+		{"single-bucket-q1", []float64{5}, []float64{1, 2, 3}, 1, 5},
+		// One observation: every quantile lands in its bucket.
+		{"one-obs-q0", []float64{1, 2, 4, 8}, []float64{6}, 0, 4},
+		{"one-obs-q1", []float64{1, 2, 4, 8}, []float64{6}, 1, 8},
+		// Everything in +Inf: clamp to the largest finite bound even at
+		// q=0.
+		{"all-inf-q0", []float64{1, 2}, []float64{50, 60}, 0, 2},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := reg.Histogram(fmt.Sprintf("qb_%d_seconds", i), "", tc.buckets)
+			for _, v := range tc.obs {
+				h.Observe(v)
+			}
+			if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
 // TestHealthLevels covers the three-level rollup: warn keeps /healthz at
 // 200 with status "warn"; critical flips to 503; the worst level wins.
 func TestHealthLevels(t *testing.T) {
