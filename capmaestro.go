@@ -384,7 +384,23 @@ type (
 	ControlPlaneOption = controlplane.Option
 	// PeriodStats summarizes one room control period.
 	PeriodStats = controlplane.PeriodStats
+	// Aggregator is a mid-level hierarchy worker: a RackClient toward its
+	// parent, a room worker toward its children.
+	Aggregator = controlplane.Aggregator
+	// Hierarchy is a sharded room → aggregator → rack control plane built
+	// by BuildHierarchy.
+	Hierarchy = controlplane.Hierarchy
+	// HierarchyConfig declares a hierarchy's shape: levels, fan-out,
+	// policy, budget.
+	HierarchyConfig = controlplane.HierarchyConfig
+	// RackHandle is a RackClient view of one rack on a multi-rack server;
+	// handles sharing a client are gathered and pushed in batch frames.
+	RackHandle = controlplane.RackHandle
 )
+
+// DefaultFanOut is the hierarchy fan-out BuildHierarchy uses when the
+// config leaves it zero.
+const DefaultFanOut = controlplane.DefaultFanOut
 
 // Wire codec names for WithWireCodec and -wire-codec flags. Servers
 // default to auto-detecting each connection's codec; clients default to
@@ -456,4 +472,37 @@ func WithControlPlaneTelemetry(reg *TelemetryRegistry) ControlPlaneOption {
 // allocation explains into the flight recorder.
 func WithControlPlaneRecorder(rec *FlightRecorder) ControlPlaneOption {
 	return controlplane.WithFlightRecorder(rec)
+}
+
+// NewAggregator creates a mid-level hierarchy worker over the given
+// subtree, whose proxy nodes stand for the downstream workers in clients.
+func NewAggregator(tree *Node, policy Policy, clients map[string]RackClient, opts ...ControlPlaneOption) (*Aggregator, error) {
+	return controlplane.NewAggregator(tree, policy, clients, opts...)
+}
+
+// BuildHierarchy shards a flat rack set into an N-level room → aggregator
+// → rack control hierarchy (cfg.Levels counts every tier, racks and room
+// included).
+func BuildHierarchy(racks map[string]RackClient, cfg HierarchyConfig) (*Hierarchy, error) {
+	return controlplane.BuildHierarchy(racks, cfg)
+}
+
+// ServeRacks serves many rack workers from one TCP listener; clients
+// reach each via RackTCPClient.Rack(id), and rack handles sharing a
+// client are batched into single multiplexed frames per control period.
+func ServeRacks(workers map[string]RackClient, addr string, opts ...ControlPlaneOption) (*RackServer, error) {
+	return controlplane.ServeRacks(workers, addr, opts...)
+}
+
+// WithRPCConcurrency bounds a worker's in-flight rack RPCs per wave
+// (default max(32, 16×GOMAXPROCS)).
+func WithRPCConcurrency(n int) ControlPlaneOption {
+	return controlplane.WithRPCConcurrency(n)
+}
+
+// WithHierarchyLevel labels an aggregator's telemetry with its hierarchy
+// level (1 = directly above the racks); BuildHierarchy sets it
+// automatically.
+func WithHierarchyLevel(level int) ControlPlaneOption {
+	return controlplane.WithHierarchyLevel(level)
 }

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"sort"
 	"sync"
+	"time"
 
 	"capmaestro/internal/core"
 	"capmaestro/internal/flightrec"
@@ -17,22 +20,66 @@ import (
 // summary, accept a budget); toward its children it behaves like a room
 // worker (collect summaries, distribute budgets). A large data center can
 // stack aggregators — e.g. room → row → rack — without any level seeing
-// more than its direct children's summaries.
+// more than its direct children's summaries. BuildHierarchy stacks them
+// automatically from a flat rack set.
+//
+// Failure semantics mirror the room worker's: a child whose gather has
+// never succeeded is never pushed a budget (optionally reserving a
+// failsafe budget instead), a child whose gather fails keeps its previous
+// summary, and a child stale beyond the staleness bound has its pushes
+// held. Per-child gather and push error counts surface through LastStats
+// and the per-level telemetry families, not just logs.
 type Aggregator struct {
-	mu      sync.Mutex
-	tree    *core.Node
 	policy  core.Policy
 	clients map[string]RackClient
-	proxies map[string]*core.Node
-	seen    map[string]bool // children with at least one good gather
 
+	log            *slog.Logger
+	met            aggMetrics
+	stalenessBound int
+	failsafe       power.Watts
+
+	// runMu guards the tree, engine, and hold map — the shared state both
+	// passes touch. Neither pass holds it during network I/O: Gather runs
+	// its wave under gatherMu alone and takes runMu only to install
+	// summaries and summarize; ApplyBudget takes runMu only to run the
+	// engine and configure its wave. A pipelined parent's push(k) and
+	// gather(k+1) therefore overlap their I/O at every tier. runMu is
+	// never held while accessors run: LastBudget, LastAllocation, and
+	// LastStats only take mu.
+	runMu   sync.Mutex
+	tree    *core.Node
+	proxies map[string]*core.Node
+	engine  *core.Allocator
+	hold    map[string]holdReason
+
+	lim       limiter
+	childList []string // sorted child IDs: deterministic wave order
+
+	// gatherMu serializes Gather passes and owns fan; pushMu serializes
+	// ApplyBudget passes and owns pushF. Each is acquired before runMu,
+	// never the other way around.
+	gatherMu sync.Mutex
+	fan      *fanEngine
+	pushMu   sync.Mutex
+	pushF    *fanEngine
+
+	mu         sync.Mutex
+	seen       map[string]bool // children with at least one good gather
+	down       map[string]bool // children whose last gather failed
+	stale      map[string]int  // consecutive failed gathers per child
 	lastBudget power.Watts
 	lastAlloc  *core.Allocation
+	lastStats  PeriodStats
+	lastUnseen int // gauge deltas: same-level aggregators share instruments
+	lastStale  int
 }
 
 // NewAggregator creates a mid-level worker over the given subtree, whose
-// proxy nodes stand for the downstream workers in clients.
-func NewAggregator(tree *core.Node, policy core.Policy, clients map[string]RackClient) (*Aggregator, error) {
+// proxy nodes stand for the downstream workers in clients. Options
+// configure telemetry (labeled by WithHierarchyLevel), logging, staleness
+// bound, failsafe budget, and RPC concurrency, exactly as on a room
+// worker.
+func NewAggregator(tree *core.Node, policy core.Policy, clients map[string]RackClient, opts ...Option) (*Aggregator, error) {
 	if tree == nil {
 		return nil, errors.New("controlplane: nil aggregator tree")
 	}
@@ -58,91 +105,221 @@ func NewAggregator(tree *core.Node, policy core.Policy, clients map[string]RackC
 			return nil, fmt.Errorf("controlplane: proxy node %q has no client", id)
 		}
 	}
-	return &Aggregator{
-		tree:    tree,
-		policy:  policy,
-		clients: clients,
-		proxies: proxies,
-		seen:    make(map[string]bool, len(clients)),
-	}, nil
+	engine, err := core.NewAllocator(tree)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: aggregator tree: %w", err)
+	}
+	o := buildOptions(opts)
+	level := o.level
+	if level <= 0 {
+		level = 1
+	}
+	childList := make([]string, 0, len(clients))
+	for id := range clients {
+		childList = append(childList, id)
+	}
+	sort.Strings(childList)
+	lim := newLimiter(o.rpcConcurrency)
+	a := &Aggregator{
+		policy:         policy,
+		clients:        clients,
+		log:            o.log,
+		met:            newAggMetrics(o.reg, level),
+		stalenessBound: o.stalenessBound,
+		failsafe:       o.failsafeBudget,
+		tree:           tree,
+		proxies:        proxies,
+		engine:         engine,
+		lim:            lim,
+		fan:            newFanEngine(lim, len(clients)),
+		pushF:          newFanEngine(lim, len(clients)),
+		childList:      childList,
+		hold:           make(map[string]holdReason, len(clients)),
+		seen:           make(map[string]bool, len(clients)),
+		down:           make(map[string]bool, len(clients)),
+		stale:          make(map[string]int, len(clients)),
+	}
+	// Until the first gather every child is unseen: an ApplyBudget that
+	// arrives before any gather must hold all pushes.
+	for _, id := range childList {
+		a.hold[id] = holdNeverSeen
+	}
+	a.lastUnseen = len(childList)
+	a.met.unseenChildren.Add(float64(len(childList)))
+	return a, nil
 }
 
+// ID returns the aggregator's identifier (its subtree root's node ID).
+func (a *Aggregator) ID() string { return a.tree.ID }
+
 // Gather implements RackClient: it collects fresh summaries from the
-// downstream workers in parallel, installs them into the proxies, and
-// reports the combined subtree summary upstream. Downstream workers that
-// fail keep their previous summaries.
+// downstream workers — bounded concurrency, batched where the transport
+// allows — installs them into the proxies, and reports the combined
+// subtree summary upstream. Downstream workers that fail keep their
+// previous summaries; the failure count lands in LastStats.GatherErrors
+// and the per-level error counter.
 func (a *Aggregator) Gather(ctx context.Context) (core.Summary, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.gatherMu.Lock()
+	defer a.gatherMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return core.Summary{}, err
+	}
+	start := time.Now()
 	pt := flightrec.TraceFrom(ctx)
 	span := pt.StartSpan("agg.gather", a.tree.ID, flightrec.ParentIDFrom(ctx))
-	type result struct {
-		id      string
-		summary core.Summary
-		err     error
+	e := a.fan
+	e.reset()
+	for _, id := range a.childList {
+		e.add(id, a.clients[id])
 	}
-	results := make(chan result, len(a.clients))
-	for id, c := range a.clients {
-		go func(id string, c RackClient) {
-			cs := pt.StartSpan("rpc.gather", id, span.ID())
-			s, err := c.Gather(flightrec.ContextWithSpan(ctx, pt, cs))
-			cs.End(err)
-			results <- result{id: id, summary: s, err: err}
-		}(id, c)
-	}
-	for range a.clients {
-		r := <-results
-		if r.err != nil || r.summary.Validate() != nil {
+	// The wave is pure I/O into e's call slots; runMu is taken only below,
+	// so an in-flight budget push never delays this gather.
+	e.gatherWave(ctx, pt, span.ID())
+
+	a.runMu.Lock()
+	gatherErrors := 0
+	for i := range e.calls {
+		c := &e.calls[i]
+		if c.err != nil {
+			gatherErrors++
 			continue
 		}
-		a.seen[r.id] = true
-		*a.proxies[r.id].Proxy = r.summary
+		*a.proxies[c.id].Proxy = c.summary
 	}
-	s, err := core.Summarize(a.tree, a.policy)
-	span.End(err)
-	return s, err
+	a.commitGather(e, gatherErrors, start)
+	if a.failsafe > 0 {
+		for id, reason := range a.hold {
+			if reason == holdNeverSeen {
+				*a.proxies[id].Proxy = failsafeSummary(a.failsafe)
+			}
+		}
+	}
+	s := a.engine.Summarize(a.policy)
+	a.runMu.Unlock()
+	span.End(nil)
+	a.met.gatherSeconds.ObserveSince(start)
+	a.met.gatherErrors.Add(float64(gatherErrors))
+	return s, nil
+}
+
+// commitGather records the pass's outcomes under mu — per-child staleness
+// counters, down/recovered transitions — and refills the reused hold map.
+func (a *Aggregator) commitGather(e *fanEngine, gatherErrors int, start time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range e.calls {
+		c := &e.calls[i]
+		if c.err != nil {
+			a.stale[c.id]++
+			if !a.down[c.id] {
+				a.down[c.id] = true
+				if a.log != nil {
+					a.log.Warn("aggregator child gather failed",
+						"aggregator", a.tree.ID, "child", c.id, "err", c.err)
+				}
+			}
+			continue
+		}
+		a.seen[c.id] = true
+		if a.down[c.id] {
+			a.down[c.id] = false
+			if a.log != nil {
+				a.log.Info("aggregator child recovered",
+					"aggregator", a.tree.ID, "child", c.id, "stale_periods", a.stale[c.id])
+			}
+		}
+		a.stale[c.id] = 0
+	}
+	clear(a.hold)
+	unseen, staleHeld := 0, 0
+	for _, id := range a.childList {
+		switch {
+		case !a.seen[id]:
+			a.hold[id] = holdNeverSeen
+			unseen++
+		case a.stalenessBound > 0 && a.stale[id] > a.stalenessBound:
+			a.hold[id] = holdStale
+			staleHeld++
+		}
+	}
+	a.met.unseenChildren.Add(float64(unseen - a.lastUnseen))
+	a.met.staleChildren.Add(float64(staleHeld - a.lastStale))
+	a.lastUnseen, a.lastStale = unseen, staleHeld
+	a.lastStats = PeriodStats{
+		RacksServed:  len(a.clients),
+		GatherErrors: gatherErrors,
+		Elapsed:      time.Since(start),
+	}
 }
 
 // ApplyBudget implements RackClient: it allocates the received budget over
-// its subtree and pushes each downstream worker its share in parallel.
-// Children whose gather has never succeeded are held — their proxies carry
-// no real summary, so pushing them the resulting (typically zero) budget
-// would infeasibly throttle live load; they keep whatever budget they
-// already enforce.
+// its subtree on the persistent engine and pushes each downstream worker
+// its share — bounded, batched, skipping held children. Held children
+// (never gathered, or stale beyond the bound) keep whatever budget they
+// already enforce; their count lands in LastStats.BudgetsHeld. The first
+// push error is returned so the parent's apply accounting sees the
+// failure; the full count lands in LastStats.ApplyErrors.
 func (a *Aggregator) ApplyBudget(ctx context.Context, b power.Watts) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	pt := flightrec.TraceFrom(ctx)
-	span := pt.StartSpan("agg.apply", a.tree.ID, flightrec.ParentIDFrom(ctx))
-	alloc, err := core.AllocateExplained(a.tree, b, a.policy, pt.ExplainSink())
-	if err != nil {
-		err = fmt.Errorf("controlplane: aggregator: %w", err)
-		span.End(err)
+	a.pushMu.Lock()
+	defer a.pushMu.Unlock()
+	if err := ctx.Err(); err != nil {
 		return err
 	}
-	a.lastBudget = b
-	a.lastAlloc = alloc
-	errs := make(chan error, len(a.clients))
-	pushed := 0
-	for id, c := range a.clients {
-		if !a.seen[id] {
+	start := time.Now()
+	pt := flightrec.TraceFrom(ctx)
+	span := pt.StartSpan("agg.apply", a.tree.ID, flightrec.ParentIDFrom(ctx))
+
+	// Engine run and wave configuration need the tree and hold map; the
+	// push I/O below does not, so runMu is released before the wave and a
+	// concurrent Gather can proceed while budgets are still in flight.
+	a.runMu.Lock()
+	a.engine.SetExplainSink(pt.ExplainSink())
+	a.engine.Run(b, a.policy)
+	a.engine.SetExplainSink(nil)
+	alloc := a.engine.Snapshot()
+
+	e := a.pushF
+	e.reset()
+	held := 0
+	for _, id := range a.childList {
+		c := e.add(id, a.clients[id])
+		if _, h := a.hold[id]; h {
+			c.skip = true
+			held++
+			a.met.heldPushes.Inc()
 			continue
 		}
-		pushed++
-		go func(id string, c RackClient) {
-			cs := pt.StartSpan("rpc.apply", id, span.ID())
-			e := c.ApplyBudget(flightrec.ContextWithSpan(ctx, pt, cs), alloc.NodeBudgets[id])
-			cs.End(e)
-			errs <- e
-		}(id, c)
+		c.budget = alloc.NodeBudgets[id]
 	}
+	a.runMu.Unlock()
+
+	e.pushWave(ctx, pt, span.ID())
+	applyErrors := 0
 	var firstErr error
-	for i := 0; i < pushed; i++ {
-		if e := <-errs; e != nil && firstErr == nil {
-			firstErr = e
+	for i := range e.calls {
+		c := &e.calls[i]
+		if !c.skip && c.err != nil {
+			applyErrors++
+			if firstErr == nil {
+				firstErr = c.err
+			}
 		}
 	}
 	span.End(firstErr)
+	a.met.pushSeconds.ObserveSince(start)
+	a.met.applyErrors.Add(float64(applyErrors))
+
+	a.mu.Lock()
+	a.lastBudget = b
+	a.lastAlloc = alloc
+	a.lastStats.ApplyErrors = applyErrors
+	a.lastStats.BudgetsHeld = held
+	a.lastStats.Elapsed += time.Since(start)
+	a.mu.Unlock()
+	if a.log != nil && (applyErrors > 0 || held > 0) {
+		a.log.Warn("aggregator apply degraded", "aggregator", a.tree.ID,
+			"apply_errors", applyErrors, "budgets_held", held)
+	}
 	return firstErr
 }
 
@@ -158,4 +335,14 @@ func (a *Aggregator) LastAllocation() *core.Allocation {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.lastAlloc
+}
+
+// LastStats returns the combined statistics of the aggregator's most
+// recent gather and apply passes: GatherErrors and RacksServed from the
+// last Gather, ApplyErrors and BudgetsHeld from the last ApplyBudget, and
+// Elapsed summing both passes. The zero value before the first gather.
+func (a *Aggregator) LastStats() PeriodStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastStats
 }

@@ -123,15 +123,18 @@ const (
 
 // request op bytes (binary encoding of the op strings).
 const (
-	opByteGather = 1
-	opByteBudget = 2
-	opBytePing   = 3
+	opByteGather      = 1
+	opByteBudget      = 2
+	opBytePing        = 3
+	opByteBatchGather = 4
+	opByteBatchBudget = 5
 )
 
 // request flag bits.
 const (
 	reqFlagTrace      = 1 << 0 // trace context follows
-	reqFlagHaveCached = 1 << 1 // gather: client holds the last full summary
+	reqFlagHaveCached = 1 << 1 // gather: client holds the last full summaries
+	reqFlagRack       = 1 << 2 // single op routed to a named rack
 )
 
 // response flag bits.
@@ -142,6 +145,15 @@ const (
 	respFlagError     = 1 << 3
 	respFlagSpans     = 1 << 4
 	respFlagExplains  = 1 << 5
+	respFlagBatch     = 1 << 6 // per-rack batch entries follow
+)
+
+// batch entry flag bits (one flags byte per entry).
+const (
+	entFlagOK        = 1 << 0
+	entFlagUnchanged = 1 << 1
+	entFlagSummary   = 1 << 2
+	entFlagError     = 1 << 3
 )
 
 func opToByte(op string) (byte, error) {
@@ -152,6 +164,10 @@ func opToByte(op string) (byte, error) {
 		return opByteBudget, nil
 	case opPing:
 		return opBytePing, nil
+	case opBatchGather:
+		return opByteBatchGather, nil
+	case opBatchBudget:
+		return opByteBatchBudget, nil
 	default:
 		return 0, fmt.Errorf("controlplane: binary codec cannot encode op %q", op)
 	}
@@ -165,6 +181,10 @@ func opFromByte(b byte) (string, error) {
 		return opBudget, nil
 	case opBytePing:
 		return opPing, nil
+	case opByteBatchGather:
+		return opBatchGather, nil
+	case opByteBatchBudget:
+		return opBatchBudget, nil
 	default:
 		return "", fmt.Errorf("controlplane: binary frame has unknown op byte %d", b)
 	}
@@ -182,6 +202,10 @@ type binaryCodec struct {
 
 	wbuf []byte // frame assembly for writes
 	rbuf []byte // frame storage for reads
+
+	// batch is the reusable decode buffer for batched response entries;
+	// callers consume resp.Batch before the next read on this connection.
+	batch []wireBatchEntry
 
 	// sendPreamble marks a client codec that still owes the connection
 	// preamble; it is prepended to the first frame's Write.
@@ -381,9 +405,27 @@ func (c *binaryCodec) WriteRequest(req *wireRequest) error {
 	if req.HaveCached {
 		flags |= reqFlagHaveCached
 	}
+	if req.Rack != "" {
+		flags |= reqFlagRack
+	}
 	w.u8(flags)
-	if req.Op == opBudget {
+	if req.Rack != "" {
+		w.str(req.Rack)
+	}
+	switch req.Op {
+	case opBudget:
 		w.f64(float64(req.Budget))
+	case opBatchGather:
+		w.count(len(req.BatchRacks))
+		for _, rack := range req.BatchRacks {
+			w.str(rack)
+		}
+	case opBatchBudget:
+		w.count(len(req.BatchBudgets))
+		for i := range req.BatchBudgets {
+			w.str(req.BatchBudgets[i].Rack)
+			w.f64(float64(req.BatchBudgets[i].Budget))
+		}
 	}
 	if req.Trace != nil {
 		w.str(req.Trace.TraceID)
@@ -408,8 +450,34 @@ func (c *binaryCodec) ReadRequest(req *wireRequest) error {
 	req.Op = op
 	flags := r.u8()
 	req.HaveCached = flags&reqFlagHaveCached != 0
-	if op == opBudget {
+	if flags&reqFlagRack != 0 {
+		req.Rack = r.str()
+	}
+	switch op {
+	case opBudget:
 		req.Budget = power.Watts(r.f64())
+	case opBatchGather:
+		n := r.checkCount(int(r.u16()), 2)
+		if n > 0 && r.err == nil {
+			req.BatchRacks = make([]string, 0, n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			rack := r.str()
+			if r.err == nil {
+				req.BatchRacks = append(req.BatchRacks, rack)
+			}
+		}
+	case opBatchBudget:
+		n := r.checkCount(int(r.u16()), 2+8)
+		if n > 0 && r.err == nil {
+			req.BatchBudgets = make([]BatchBudget, 0, n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			bb := BatchBudget{Rack: r.str(), Budget: power.Watts(r.f64())}
+			if r.err == nil {
+				req.BatchBudgets = append(req.BatchBudgets, bb)
+			}
+		}
 	}
 	if flags&reqFlagTrace != 0 {
 		tc := &flightrec.TraceContext{TraceID: r.str(), ParentID: r.str()}
@@ -442,19 +510,41 @@ func (c *binaryCodec) WriteResponse(resp *wireResponse) error {
 	if len(resp.Explains) > 0 {
 		flags |= respFlagExplains
 	}
+	if len(resp.Batch) > 0 {
+		flags |= respFlagBatch
+	}
 	w.u8(flags)
 	if resp.Error != "" {
 		w.str(resp.Error)
 	}
 	if resp.Summary != nil {
-		w.f64(float64(resp.Summary.Constraint))
-		levels := resp.Summary.LevelMetrics()
-		w.count(len(levels))
-		for i := range levels {
-			w.u32(uint32(int32(levels[i].Priority)))
-			w.f64(float64(levels[i].CapMin))
-			w.f64(float64(levels[i].Demand))
-			w.f64(float64(levels[i].Request))
+		writeSummary(&w, resp.Summary)
+	}
+	if len(resp.Batch) > 0 {
+		w.count(len(resp.Batch))
+		for i := range resp.Batch {
+			e := &resp.Batch[i]
+			w.str(e.Rack)
+			var ef byte
+			if e.OK {
+				ef |= entFlagOK
+			}
+			if e.Unchanged {
+				ef |= entFlagUnchanged
+			}
+			if e.Summary != nil {
+				ef |= entFlagSummary
+			}
+			if e.Error != "" {
+				ef |= entFlagError
+			}
+			w.u8(ef)
+			if e.Error != "" {
+				w.str(e.Error)
+			}
+			if e.Summary != nil {
+				writeSummary(&w, e.Summary)
+			}
 		}
 	}
 	if len(resp.Spans) > 0 {
@@ -503,7 +593,41 @@ const (
 	binLevelSize   = 4 + 3*8           // priority + three watt fields
 	binSpanSize    = 6*2 + 2*8 + 4     // six empty strings, start, duration, retries
 	binExplainSize = 5*2 + 1 + 4 + 5*8 // five empty strings, leaf, priority, five watt fields
+	binEntrySize   = 2 + 1             // empty rack string + entry flags
 )
+
+// writeSummary appends a summary's binary form: constraint, then the
+// priority-level metrics.
+func writeSummary(w *binWriter, s *core.Summary) {
+	w.f64(float64(s.Constraint))
+	levels := s.LevelMetrics()
+	w.count(len(levels))
+	for i := range levels {
+		w.u32(uint32(int32(levels[i].Priority)))
+		w.f64(float64(levels[i].CapMin))
+		w.f64(float64(levels[i].Demand))
+		w.f64(float64(levels[i].Request))
+	}
+}
+
+// readSummary decodes a summary written by writeSummary into a fresh
+// Summary (callers retain decoded summaries beyond the codec's buffers).
+func readSummary(r *binReader) *core.Summary {
+	var s core.Summary
+	s.Constraint = power.Watts(r.f64())
+	n := r.checkCount(int(r.u16()), binLevelSize)
+	for i := 0; i < n && r.err == nil; i++ {
+		p := core.Priority(int32(r.u32()))
+		capMin := power.Watts(r.f64())
+		demand := power.Watts(r.f64())
+		request := power.Watts(r.f64())
+		s.SetLevel(p, capMin, demand, request)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return &s
+}
 
 // checkCount rejects element counts that could not possibly fit in the
 // remaining frame bytes, so a forged count cannot force a large
@@ -535,19 +659,7 @@ func (c *binaryCodec) ReadResponse(resp *wireResponse) error {
 		resp.Error = r.str()
 	}
 	if flags&respFlagSummary != 0 {
-		var s core.Summary
-		s.Constraint = power.Watts(r.f64())
-		n := r.checkCount(int(r.u16()), binLevelSize)
-		for i := 0; i < n && r.err == nil; i++ {
-			p := core.Priority(int32(r.u32()))
-			capMin := power.Watts(r.f64())
-			demand := power.Watts(r.f64())
-			request := power.Watts(r.f64())
-			s.SetLevel(p, capMin, demand, request)
-		}
-		if r.err == nil {
-			resp.Summary = &s
-		}
+		resp.Summary = readSummary(&r)
 	}
 	if flags&respFlagSpans != 0 {
 		n := r.checkCount(int(r.u16()), binSpanSize)
@@ -592,6 +704,30 @@ func (c *binaryCodec) ReadResponse(resp *wireResponse) error {
 			if r.err == nil {
 				resp.Explains = append(resp.Explains, e)
 			}
+		}
+	}
+	if flags&respFlagBatch != 0 {
+		n := r.checkCount(int(r.u16()), binEntrySize)
+		entries := c.batch[:0]
+		for i := 0; i < n && r.err == nil; i++ {
+			var e wireBatchEntry
+			e.Rack = r.str()
+			ef := r.u8()
+			e.OK = ef&entFlagOK != 0
+			e.Unchanged = ef&entFlagUnchanged != 0
+			if ef&entFlagError != 0 {
+				e.Error = r.str()
+			}
+			if ef&entFlagSummary != 0 {
+				e.Summary = readSummary(&r)
+			}
+			if r.err == nil {
+				entries = append(entries, e)
+			}
+		}
+		if r.err == nil {
+			resp.Batch = entries
+			c.batch = entries
 		}
 	}
 	if err := r.finish(); err != nil {
@@ -650,15 +786,28 @@ func detectServerCodec(br *bufio.Reader, w io.Writer, accept string) (codec, err
 }
 
 // deltaTracker is the server side of delta-encoded gathers: it remembers
-// the last full summary sent on this connection and squashes a gather
-// response to a few-byte "unchanged" frame while the fresh summary stays
-// within the deadband of it. Trackers are per-connection, so every
-// reconnect (including each retry, which always re-dials) starts from a
-// forced full-summary resync.
+// the last full summary sent on this connection — per rack, since a
+// multi-rack connection interleaves racks — and squashes a gather
+// response (or batch entry) to a few-byte "unchanged" marker while the
+// fresh summary stays within the deadband of it. Trackers are
+// per-connection, so every reconnect (including each retry, which always
+// re-dials) starts from a forced full-summary resync.
 type deltaTracker struct {
 	deadband power.Watts
-	have     bool
-	last     core.Summary
+	last     map[string]core.Summary // by rack; "" for un-routed gathers
+}
+
+// squashable reports whether the rack's fresh summary may be squashed,
+// updating the tracker's last-sent record when not.
+func (d *deltaTracker) squashable(haveCached bool, rack string, s *core.Summary) bool {
+	if last, ok := d.last[rack]; ok && haveCached && summariesWithin(&last, s, d.deadband) {
+		return true
+	}
+	if d.last == nil {
+		d.last = make(map[string]core.Summary)
+	}
+	d.last[rack] = s.Clone()
+	return false
 }
 
 // squash rewrites resp in place to an "unchanged" frame when permitted,
@@ -669,14 +818,33 @@ func (d *deltaTracker) squash(req *wireRequest, resp *wireResponse) bool {
 	if d == nil || req.Op != opGather || !resp.OK || resp.Summary == nil {
 		return false
 	}
-	if req.HaveCached && d.have && summariesWithin(&d.last, resp.Summary, d.deadband) {
+	if d.squashable(req.HaveCached, req.Rack, resp.Summary) {
 		resp.Summary = nil
 		resp.Unchanged = true
 		return true
 	}
-	d.last = resp.Summary.Clone()
-	d.have = true
 	return false
+}
+
+// squashBatch squashes eligible entries of a batched gather response,
+// returning how many it rewrote.
+func (d *deltaTracker) squashBatch(req *wireRequest, resp *wireResponse) int {
+	if d == nil || req.Op != opBatchGather || !resp.OK {
+		return 0
+	}
+	n := 0
+	for i := range resp.Batch {
+		e := &resp.Batch[i]
+		if !e.OK || e.Summary == nil {
+			continue
+		}
+		if d.squashable(req.HaveCached, e.Rack, e.Summary) {
+			e.Summary = nil
+			e.Unchanged = true
+			n++
+		}
+	}
+	return n
 }
 
 // summariesWithin reports whether every metric of b sits within deadband

@@ -369,10 +369,10 @@ func TestWireProtocolErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if resp := srv.handle(wireRequest{Op: "bogus"}); resp.OK {
+	if resp := srv.handle(wireRequest{Op: "bogus"}, nil); resp.OK {
 		t.Error("unknown op should fail")
 	}
-	if resp := srv.handle(wireRequest{Op: opPing}); !resp.OK {
+	if resp := srv.handle(wireRequest{Op: opPing}, nil); !resp.OK {
 		t.Error("ping should succeed")
 	}
 	if err := ServeRackNilCheck(); err == nil {

@@ -1,0 +1,194 @@
+package controlplane
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/power"
+)
+
+// freshnessClient returns a distinct demand on every Gather
+// (300 + 10·count) and records every pushed budget, so the budget value
+// itself reveals which gather it was derived from.
+type freshnessClient struct {
+	mu      sync.Mutex
+	gathers int
+	pushes  []power.Watts
+	latency time.Duration
+}
+
+func (c *freshnessClient) Gather(ctx context.Context) (core.Summary, error) {
+	if c.latency > 0 {
+		time.Sleep(c.latency)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gathers++
+	d := power.Watts(300 + 10*c.gathers)
+	s := core.NewSummary()
+	s.SetLevel(0, 270, d, d)
+	s.Constraint = d
+	return s, nil
+}
+
+func (c *freshnessClient) ApplyBudget(ctx context.Context, b power.Watts) error {
+	if c.latency > 0 {
+		time.Sleep(c.latency)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pushes = append(c.pushes, b)
+	return nil
+}
+
+// TestPipelinedFreshness is the freshness regression for RunPipelined:
+// even with period k's push overlapping period k+1's gather, the budget
+// pushed for period k must be derived from period k's own gather — never
+// a stale or not-yet-committed one. The rack's demand encodes the gather
+// ordinal and flows through allocation unchanged (unconstrained tree,
+// zero room budget → demand-following), so pushes[k] must equal
+// 300 + 10·(k+1) exactly.
+func TestPipelinedFreshness(t *testing.T) {
+	fc := &freshnessClient{}
+	tree := core.NewShifting("room", 0, core.NewProxy("r1", core.NewSummary()))
+	room, err := NewRoomWorker(tree, 0, core.GlobalPriority, map[string]RackClient{"r1": fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const periods = 6
+	if err := room.RunPipelined(context.Background(), periods, nil); err != nil {
+		t.Fatal(err)
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if fc.gathers != periods {
+		t.Fatalf("gathers = %d, want %d", fc.gathers, periods)
+	}
+	if len(fc.pushes) != periods {
+		t.Fatalf("pushes = %d, want %d", len(fc.pushes), periods)
+	}
+	for k, got := range fc.pushes {
+		want := power.Watts(300 + 10*(k+1))
+		if math.Abs(float64(got-want)) > 0.001 {
+			t.Errorf("push %d = %v W, want %v W (stale gather leaked through the pipeline)", k, got, want)
+		}
+	}
+}
+
+// TestPipelinedMatchesSequential runs the same three-level fixture both
+// ways and asserts identical terminal budgets, period counts, and clean
+// stats.
+func TestPipelinedMatchesSequential(t *testing.T) {
+	seqRoom, seqBudgets := threeLevelHierarchy(t, core.GlobalPriority)
+	pipRoom, pipBudgets := threeLevelHierarchy(t, core.GlobalPriority)
+	ctx := context.Background()
+	const periods = 3
+	for i := 0; i < periods; i++ {
+		if _, stats, err := seqRoom.RunPeriod(ctx); err != nil {
+			t.Fatal(err)
+		} else if stats.Overlap != 0 {
+			t.Errorf("sequential period reported overlap %v", stats.Overlap)
+		}
+	}
+	var (
+		mu       sync.Mutex
+		reported int
+	)
+	err := pipRoom.RunPipelined(ctx, periods, func(alloc *core.Allocation, stats PeriodStats, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		reported++
+		if err != nil {
+			t.Errorf("pipelined period error: %v", err)
+		}
+		if stats.GatherErrors+stats.ApplyErrors+stats.BudgetsHeld != 0 {
+			t.Errorf("pipelined period degraded: %+v", stats)
+		}
+		if alloc == nil {
+			t.Error("pipelined period reported nil allocation")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reported != periods {
+		t.Fatalf("onPeriod fired %d times, want %d", reported, periods)
+	}
+	if len(seqBudgets) == 0 || len(seqBudgets) != len(pipBudgets) {
+		t.Fatalf("budget maps differ in size: %d vs %d", len(seqBudgets), len(pipBudgets))
+	}
+	for supply, want := range seqBudgets {
+		if got := pipBudgets[supply]; math.Abs(float64(got-want)) > 0.001 {
+			t.Errorf("budget[%s]: pipelined %v, sequential %v", supply, got, want)
+		}
+	}
+}
+
+// TestPipelinedOverlapRecorded: with slow racks, consecutive periods must
+// actually overlap, and PeriodStats.Overlap must say so.
+func TestPipelinedOverlapRecorded(t *testing.T) {
+	clients := map[string]RackClient{
+		"r1": &freshnessClient{latency: 10 * time.Millisecond},
+		"r2": &freshnessClient{latency: 10 * time.Millisecond},
+	}
+	tree := core.NewShifting("room", 0,
+		core.NewProxy("r1", core.NewSummary()),
+		core.NewProxy("r2", core.NewSummary()))
+	room, err := NewRoomWorker(tree, 0, core.GlobalPriority, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu       sync.Mutex
+		overlaps []time.Duration
+	)
+	err = room.RunPipelined(context.Background(), 4, func(_ *core.Allocation, stats PeriodStats, err error) {
+		if err != nil {
+			t.Errorf("period error: %v", err)
+		}
+		mu.Lock()
+		overlaps = append(overlaps, stats.Overlap)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var max time.Duration
+	for _, o := range overlaps[:len(overlaps)-1] { // final push drains without a gather to hide behind
+		if o > max {
+			max = o
+		}
+	}
+	if max < time.Millisecond {
+		t.Errorf("max overlap %v; pushes never hid behind gathers (overlaps: %v)", max, overlaps)
+	}
+}
+
+// TestPipelinedCancellation: a cancelled context stops the loop with
+// context.Canceled and no goroutine is left pushing.
+func TestPipelinedCancellation(t *testing.T) {
+	fc := &freshnessClient{latency: 5 * time.Millisecond}
+	tree := core.NewShifting("room", 0, core.NewProxy("r1", core.NewSummary()))
+	room, err := NewRoomWorker(tree, 0, core.GlobalPriority, map[string]RackClient{"r1": fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if err := room.RunPipelined(ctx, 0, nil); err == nil {
+		t.Fatal("unbounded pipelined run returned nil after cancel")
+	}
+	// RunPeriod still works afterwards: the worker is not wedged.
+	if _, _, err := room.RunPeriod(context.Background()); err != nil {
+		t.Fatalf("RunPeriod after cancelled pipeline: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package controlplane
 
 import (
 	"log/slog"
+	"strconv"
 	"time"
 
 	"capmaestro/internal/flightrec"
@@ -27,6 +28,8 @@ type options struct {
 	slo             *slo.Tracker
 	wireCodec       string
 	deltaDeadband   power.Watts
+	rpcConcurrency  int
+	level           int
 }
 
 func buildOptions(opts []Option) options {
@@ -146,6 +149,23 @@ func WithDeltaDeadband(d power.Watts) Option {
 	return func(o *options) { o.deltaDeadband = d }
 }
 
+// WithRPCConcurrency bounds how many rack RPCs a room worker or
+// aggregator keeps in flight at once during its gather and push waves.
+// The default (0) scales with GOMAXPROCS but stays well above it — rack
+// RPCs are I/O-bound, so even a single-core controller wants dozens in
+// flight to hide network latency. Each worker gets its own bound.
+func WithRPCConcurrency(n int) Option {
+	return func(o *options) { o.rpcConcurrency = n }
+}
+
+// WithHierarchyLevel labels an aggregator's per-level telemetry
+// (capmaestro_controlplane_level_* families) with its tier in the
+// hierarchy: level 1 is the tier directly above the racks. BuildHierarchy
+// sets this automatically; a standalone aggregator defaults to level 1.
+func WithHierarchyLevel(level int) Option {
+	return func(o *options) { o.level = level }
+}
+
 // phaseBuckets sizes the control-period phase histograms: gather and push
 // round-trip rack RPCs (ms scale), allocation is in-memory (µs scale),
 // and everything must sit far inside the 8 s control period.
@@ -157,6 +177,7 @@ type roomMetrics struct {
 	gatherSeconds   *telemetry.Histogram
 	allocateSeconds *telemetry.Histogram
 	pushSeconds     *telemetry.Histogram
+	pipelineOverlap *telemetry.Histogram
 	periods         *telemetry.Counter
 	gatherErrors    *telemetry.Counter
 	applyErrors     *telemetry.Counter
@@ -179,6 +200,9 @@ func newRoomMetrics(reg *telemetry.Registry, rackIDs []string) roomMetrics {
 		gatherSeconds:   phases.With("gather"),
 		allocateSeconds: phases.With("allocate"),
 		pushSeconds:     phases.With("push"),
+		pipelineOverlap: reg.Histogram("capmaestro_period_pipeline_overlap_seconds",
+			"Time period k's push phase ran concurrently with period k+1's gather in the pipelined room worker.",
+			phaseBuckets),
 		periods: reg.Counter("capmaestro_controlplane_periods_total",
 			"Control periods executed by the room worker."),
 		gatherErrors: reg.Counter("capmaestro_controlplane_gather_errors_total",
@@ -246,6 +270,8 @@ type rpcMetrics struct {
 	deltaHits      *telemetry.Counter
 	protocolErrors *telemetry.Counter
 	openConns      *telemetry.Gauge
+	batchFrames    *telemetry.Counter
+	batchRacks     *telemetry.Counter
 }
 
 func newRPCMetrics(reg *telemetry.Registry, role string) rpcMetrics {
@@ -276,8 +302,13 @@ func newRPCMetrics(reg *telemetry.Registry, role string) rpcMetrics {
 			"role").With(role),
 		openConns: reg.GaugeVec("capmaestro_rpc_open_connections",
 			"Open rack transport connections.", "role").With(role),
+		batchFrames: reg.CounterVec("capmaestro_rpc_batch_frames_total",
+			"Multi-rack batch frames sent (client) or handled (server).", "role").With(role),
+		batchRacks: reg.CounterVec("capmaestro_rpc_batch_racks_total",
+			"Racks multiplexed into batch frames; batch_racks/batch_frames is the realized batching factor.",
+			"role").With(role),
 	}
-	for _, op := range []string{opGather, opBudget, opPing} {
+	for _, op := range []string{opGather, opBudget, opPing, opBatchGather, opBatchBudget} {
 		m.seconds[op] = seconds.With(role, op)
 		m.errors[op] = errs.With(role, op)
 	}
@@ -294,6 +325,15 @@ func (m *rpcMetrics) codecHists(codecName string) (enc, dec *telemetry.Histogram
 	return m.codecEnc[codecName], m.codecDec[codecName]
 }
 
+// noteBatch records one batch frame multiplexing racks rack slots.
+func (m *rpcMetrics) noteBatch(racks int) {
+	if !m.enabled {
+		return
+	}
+	m.batchFrames.Inc()
+	m.batchRacks.Add(float64(racks))
+}
+
 // observe records one RPC of the given op; nil-safe for unknown ops.
 func (m *rpcMetrics) observe(op string, start time.Time, failed bool) {
 	if !m.enabled {
@@ -302,5 +342,45 @@ func (m *rpcMetrics) observe(op string, start time.Time, failed bool) {
 	m.seconds[op].ObserveSince(start)
 	if failed {
 		m.errors[op].Inc()
+	}
+}
+
+// aggMetrics instruments an aggregator tier. Families are labeled by
+// hierarchy level (1 = directly above the racks), so same-level
+// aggregators share instruments: counters accumulate naturally and the
+// child-state gauges are maintained by per-aggregator deltas.
+type aggMetrics struct {
+	gatherSeconds  *telemetry.Histogram
+	pushSeconds    *telemetry.Histogram
+	gatherErrors   *telemetry.Counter
+	applyErrors    *telemetry.Counter
+	heldPushes     *telemetry.Counter
+	unseenChildren *telemetry.Gauge
+	staleChildren  *telemetry.Gauge
+}
+
+func newAggMetrics(reg *telemetry.Registry, level int) aggMetrics {
+	lvl := strconv.Itoa(level)
+	return aggMetrics{
+		gatherSeconds: reg.HistogramVec("capmaestro_controlplane_level_gather_seconds",
+			"Latency of one aggregator gather wave, per hierarchy level (1 = above the racks).",
+			phaseBuckets, "level").With(lvl),
+		pushSeconds: reg.HistogramVec("capmaestro_controlplane_level_push_seconds",
+			"Latency of one aggregator budget-push wave, per hierarchy level.",
+			phaseBuckets, "level").With(lvl),
+		gatherErrors: reg.CounterVec("capmaestro_controlplane_level_gather_errors_total",
+			"Child gathers that failed or returned invalid summaries, per hierarchy level.",
+			"level").With(lvl),
+		applyErrors: reg.CounterVec("capmaestro_controlplane_level_apply_errors_total",
+			"Child budget pushes that failed, per hierarchy level.", "level").With(lvl),
+		heldPushes: reg.CounterVec("capmaestro_controlplane_level_held_pushes_total",
+			"Child budget pushes withheld at an aggregator tier (never-gathered or stale children).",
+			"level").With(lvl),
+		unseenChildren: reg.GaugeVec("capmaestro_controlplane_level_unseen_children",
+			"Children at this hierarchy level from which no summary has ever been gathered.",
+			"level").With(lvl),
+		staleChildren: reg.GaugeVec("capmaestro_controlplane_level_stale_children",
+			"Children at this hierarchy level currently beyond the staleness bound.",
+			"level").With(lvl),
 	}
 }

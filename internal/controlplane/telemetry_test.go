@@ -193,8 +193,10 @@ func TestTransportTelemetry(t *testing.T) {
 			`capmaestro_rpc_seconds_count{role="server",op="gather"} 1`,
 			`capmaestro_rpc_seconds_count{role="server",op="budget"} 1`,
 			`capmaestro_rpc_errors_total{role="client",op="ping"} 1`,
-			`capmaestro_rpc_open_connections{role="client"} 1`,
-			`capmaestro_rpc_open_connections{role="server"} 1`,
+			// Two connections per side: gathers/pings on one, budget
+			// pushes on the dedicated push channel.
+			`capmaestro_rpc_open_connections{role="client"} 2`,
+			`capmaestro_rpc_open_connections{role="server"} 2`,
 		} {
 			if !strings.Contains(out, want) {
 				missing = append(missing, want)

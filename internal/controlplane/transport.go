@@ -25,22 +25,57 @@ import (
 
 // request ops.
 const (
-	opGather = "gather"
-	opBudget = "budget"
-	opPing   = "ping"
+	opGather      = "gather"
+	opBudget      = "budget"
+	opPing        = "ping"
+	opBatchGather = "batch-gather"
+	opBatchBudget = "batch-budget"
 )
+
+// BatchBudget names one rack's budget inside a batched budget push.
+type BatchBudget struct {
+	Rack   string      `json:"rack"`
+	Budget power.Watts `json:"budget"`
+}
+
+// GatherResult is one rack's outcome inside a batched gather.
+type GatherResult struct {
+	Summary core.Summary
+	Err     error
+}
 
 type wireRequest struct {
 	Op     string      `json:"op"`
 	Budget power.Watts `json:"budget,omitempty"`
+	// Rack routes a single op to one rack on a multi-rack server (see
+	// ServeRacks). Empty selects the server's default worker, which keeps
+	// the single-worker byte stream identical to the historical protocol.
+	Rack string `json:"rack,omitempty"`
+	// BatchRacks (op batch-gather) and BatchBudgets (op batch-budget)
+	// multiplex one round trip over many racks of a multi-rack server.
+	// Response entries come back in request order.
+	BatchRacks   []string      `json:"batch_racks,omitempty"`
+	BatchBudgets []BatchBudget `json:"batch_budgets,omitempty"`
 	// Trace carries the caller's per-period trace context so the rack's
 	// spans nest under the room's period root. Absent when tracing is off.
 	Trace *flightrec.TraceContext `json:"trace,omitempty"`
-	// HaveCached marks a gather from a client that still holds the last
-	// full summary this connection delivered, making it eligible for an
+	// HaveCached marks a gather from a client that still holds the full
+	// summaries this connection delivered, making racks eligible for an
 	// Unchanged response. Only the binary codec sets it, so the JSON byte
 	// stream is unchanged.
 	HaveCached bool `json:"have_cached,omitempty"`
+}
+
+// wireBatchEntry is one rack's slot in a batched response, in request
+// order.
+type wireBatchEntry struct {
+	Rack    string        `json:"rack"`
+	OK      bool          `json:"ok"`
+	Error   string        `json:"error,omitempty"`
+	Summary *core.Summary `json:"summary,omitempty"`
+	// Unchanged marks a batched gather entry squashed by the server's
+	// delta tracker; the client substitutes its cached copy for the rack.
+	Unchanged bool `json:"unchanged,omitempty"`
 }
 
 type wireResponse struct {
@@ -51,15 +86,22 @@ type wireResponse struct {
 	// server's deadband of the last full summary sent on this connection;
 	// the client substitutes its cached copy. Binary codec only.
 	Unchanged bool `json:"unchanged,omitempty"`
+	// Batch carries per-rack outcomes of a batch op, in request order.
+	Batch []wireBatchEntry `json:"batch,omitempty"`
 	// Spans and Explains ship the rack-side trace back to the caller;
 	// populated only when the request carried a trace context.
 	Spans    []flightrec.Span   `json:"spans,omitempty"`
 	Explains []core.NodeExplain `json:"explains,omitempty"`
 }
 
-// RackServer exposes a RackWorker over TCP.
+// RackServer exposes one or more rack-facing workers over TCP. A server
+// built with ServeRack hosts a single RackWorker and speaks the
+// historical single-rack protocol; ServeRacks hosts many workers behind
+// one listener, routed by the request's rack field and reachable in bulk
+// through the batch ops.
 type RackServer struct {
-	worker   *RackWorker
+	workers  map[string]RackClient
+	def      RackClient // target of un-routed single ops; nil if ambiguous
 	listener net.Listener
 	met      rpcMetrics
 	accept   string      // codec restriction: CodecAuto admits both
@@ -78,6 +120,36 @@ func ServeRack(worker *RackWorker, addr string, opts ...Option) (*RackServer, er
 	if worker == nil {
 		return nil, errors.New("controlplane: nil worker")
 	}
+	return serveWorkers(map[string]RackClient{worker.ID(): worker}, worker, addr, opts)
+}
+
+// ServeRacks starts one TCP server hosting every worker in the map, keyed
+// by rack ID. Anything satisfying RackClient can be hosted — RackWorkers
+// and Aggregators alike — which is how a hierarchy tier shards many
+// workers behind few listeners. Single ops route via the request's rack
+// field (an empty rack targets the sole worker, or fails when several are
+// hosted); the batch ops serve many racks in one round trip.
+func ServeRacks(workers map[string]RackClient, addr string, opts ...Option) (*RackServer, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("controlplane: no workers to serve")
+	}
+	var def RackClient
+	if len(workers) == 1 {
+		for _, w := range workers {
+			def = w
+		}
+	}
+	owned := make(map[string]RackClient, len(workers))
+	for id, w := range workers {
+		if w == nil {
+			return nil, fmt.Errorf("controlplane: nil worker for rack %q", id)
+		}
+		owned[id] = w
+	}
+	return serveWorkers(owned, def, addr, opts)
+}
+
+func serveWorkers(workers map[string]RackClient, def RackClient, addr string, opts []Option) (*RackServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("controlplane: listen: %w", err)
@@ -88,7 +160,8 @@ func ServeRack(worker *RackWorker, addr string, opts ...Option) (*RackServer, er
 		accept = CodecAuto
 	}
 	s := &RackServer{
-		worker:   worker,
+		workers:  workers,
+		def:      def,
 		listener: ln,
 		met:      newRPCMetrics(o.reg, "server"),
 		accept:   accept,
@@ -164,6 +237,7 @@ func (s *RackServer) serveConn(conn net.Conn) {
 		delta = &deltaTracker{deadband: s.deadband}
 	}
 	var req wireRequest
+	var batchScratch []wireBatchEntry
 	for {
 		var t0 time.Time
 		if s.met.enabled {
@@ -176,9 +250,15 @@ func (s *RackServer) serveConn(conn net.Conn) {
 			decHist.ObserveSince(t0)
 		}
 		start := time.Now()
-		resp := s.handle(req)
+		resp := s.handle(req, batchScratch[:0])
+		if cap(resp.Batch) > cap(batchScratch) {
+			batchScratch = resp.Batch[:0]
+		}
 		if delta.squash(&req, &resp) {
 			s.met.deltaHits.Inc()
+		}
+		if n := delta.squashBatch(&req, &resp); n > 0 {
+			s.met.deltaHits.Add(float64(n))
 		}
 		s.met.observe(req.Op, start, !resp.OK)
 		if s.met.enabled {
@@ -219,7 +299,7 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func (s *RackServer) handle(req wireRequest) wireResponse {
+func (s *RackServer) handle(req wireRequest, batchScratch []wireBatchEntry) wireResponse {
 	ctx := context.Background()
 	// Continue the caller's trace: the worker's spans adopt the remote
 	// trace ID and parent, and travel back in the response.
@@ -228,7 +308,7 @@ func (s *RackServer) handle(req wireRequest) wireResponse {
 		pt = flightrec.NewRemoteTrace(req.Trace)
 		ctx = flightrec.ContextWithRemote(ctx, pt, req.Trace.ParentID)
 	}
-	resp := s.dispatch(ctx, req)
+	resp := s.dispatch(ctx, req, batchScratch)
 	if pt != nil {
 		resp.Spans = pt.Spans()
 		resp.Explains = pt.Explains()
@@ -236,21 +316,86 @@ func (s *RackServer) handle(req wireRequest) wireResponse {
 	return resp
 }
 
-func (s *RackServer) dispatch(ctx context.Context, req wireRequest) wireResponse {
+// route resolves the worker a single op targets. An empty rack selects
+// the default worker — only defined on single-worker servers, preserving
+// the historical protocol.
+func (s *RackServer) route(rack string) (RackClient, error) {
+	if rack == "" {
+		if s.def == nil {
+			return nil, fmt.Errorf("server hosts %d racks; request names none", len(s.workers))
+		}
+		return s.def, nil
+	}
+	w, ok := s.workers[rack]
+	if !ok {
+		return nil, fmt.Errorf("unknown rack %q", rack)
+	}
+	return w, nil
+}
+
+func (s *RackServer) dispatch(ctx context.Context, req wireRequest, batchScratch []wireBatchEntry) wireResponse {
 	switch req.Op {
 	case opPing:
 		return wireResponse{OK: true}
 	case opGather:
-		summary, err := s.worker.Gather(ctx)
+		w, err := s.route(req.Rack)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		summary, err := w.Gather(ctx)
 		if err != nil {
 			return wireResponse{Error: err.Error()}
 		}
 		return wireResponse{OK: true, Summary: &summary}
 	case opBudget:
-		if err := s.worker.ApplyBudget(ctx, req.Budget); err != nil {
+		w, err := s.route(req.Rack)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		if err := w.ApplyBudget(ctx, req.Budget); err != nil {
 			return wireResponse{Error: err.Error()}
 		}
 		return wireResponse{OK: true}
+	case opBatchGather:
+		if len(req.BatchRacks) == 0 {
+			return wireResponse{Error: "batch-gather with no racks"}
+		}
+		s.met.noteBatch(len(req.BatchRacks))
+		entries := batchScratch
+		for _, rack := range req.BatchRacks {
+			e := wireBatchEntry{Rack: rack}
+			w, ok := s.workers[rack]
+			if !ok {
+				e.Error = fmt.Sprintf("unknown rack %q", rack)
+			} else if summary, err := w.Gather(ctx); err != nil {
+				e.Error = err.Error()
+			} else {
+				e.OK = true
+				s := summary
+				e.Summary = &s
+			}
+			entries = append(entries, e)
+		}
+		return wireResponse{OK: true, Batch: entries}
+	case opBatchBudget:
+		if len(req.BatchBudgets) == 0 {
+			return wireResponse{Error: "batch-budget with no racks"}
+		}
+		s.met.noteBatch(len(req.BatchBudgets))
+		entries := batchScratch
+		for _, bb := range req.BatchBudgets {
+			e := wireBatchEntry{Rack: bb.Rack}
+			w, ok := s.workers[bb.Rack]
+			if !ok {
+				e.Error = fmt.Sprintf("unknown rack %q", bb.Rack)
+			} else if err := w.ApplyBudget(ctx, bb.Budget); err != nil {
+				e.Error = err.Error()
+			} else {
+				e.OK = true
+			}
+			entries = append(entries, e)
+		}
+		return wireResponse{OK: true, Batch: entries}
 	default:
 		return wireResponse{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -296,14 +441,23 @@ type TCPClient struct {
 
 	reqMu sync.Mutex // serializes round trips; never taken by Close
 
-	mu         sync.Mutex // guards everything below
-	closed     bool
-	conn       net.Conn
-	cdc        codec
-	encHist    *telemetry.Histogram
-	decHist    *telemetry.Histogram
-	cached     core.Summary // last full summary decoded on the live conn
-	haveCached bool
+	// pushMu guards pushC, a lazily created client whose connection
+	// carries only budget pushes. Keeping pushes off the gather stream
+	// means a pipelined period's push wave never head-of-line-blocks the
+	// next gather wave on this strict request-response protocol.
+	pushMu sync.Mutex
+	pushC  *TCPClient
+
+	mu      sync.Mutex // guards everything below
+	closed  bool
+	conn    net.Conn
+	cdc     codec
+	encHist *telemetry.Histogram
+	decHist *telemetry.Histogram
+	// cached holds the last full summary decoded on the live connection
+	// per rack ("" for un-routed gathers). Entries are replaced wholesale
+	// (never mutated), so summaries handed out stay valid after eviction.
+	cached map[string]*core.Summary
 }
 
 // DialRack creates a client for the rack server at addr. timeout bounds
@@ -335,17 +489,44 @@ func (c *TCPClient) Codec() string { return c.codecName }
 // already-closed client is a no-op.
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil
+	var err error
+	if !c.closed {
+		c.closed = true
+		if c.conn != nil {
+			err = c.conn.Close()
+			c.dropConnLocked()
+		}
 	}
-	c.closed = true
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.dropConnLocked()
-		return err
+	c.mu.Unlock()
+
+	c.pushMu.Lock()
+	defer c.pushMu.Unlock()
+	if c.pushC != nil {
+		c.pushC.Close()
 	}
-	return nil
+	return err
+}
+
+// pushChannel returns the dedicated budget-push client, creating it on
+// first use. It shares this client's address, options, and metrics but
+// dials its own connection; the server is stateless per connection for
+// budget ops, so pushes and gathers interleave freely across the pair.
+func (c *TCPClient) pushChannel() (*TCPClient, error) {
+	c.pushMu.Lock()
+	defer c.pushMu.Unlock()
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClientClosed
+	}
+	if c.pushC == nil {
+		c.pushC = &TCPClient{
+			addr: c.addr, timeout: c.timeout, retries: c.retries,
+			backoff: c.backoff, codecName: c.codecName, met: c.met,
+		}
+	}
+	return c.pushC, nil
 }
 
 // dropConnLocked forgets the live connection (already closed or being
@@ -356,7 +537,7 @@ func (c *TCPClient) dropConnLocked() {
 	}
 	c.conn = nil
 	c.cdc = nil
-	c.haveCached = false
+	c.cached = nil
 	c.met.openConns.Dec()
 }
 
@@ -390,7 +571,7 @@ func (c *TCPClient) connFor() (net.Conn, codec, error) {
 	}
 	// reqMu serializes dialers, so no connection can have appeared.
 	c.conn, c.cdc = conn, cdc
-	c.haveCached = false
+	c.cached = nil
 	c.encHist, c.decHist = c.met.codecHists(cdc.Name())
 	c.met.openConns.Inc()
 	return conn, cdc, nil
@@ -461,9 +642,9 @@ func (c *TCPClient) attempt(ctx context.Context, req wireRequest) (wireResponse,
 		deadline = d
 	}
 	conn.SetDeadline(deadline)
-	if req.Op == opGather && cdc.Name() == CodecBinary {
+	if (req.Op == opGather || req.Op == opBatchGather) && cdc.Name() == CodecBinary {
 		c.mu.Lock()
-		req.HaveCached = c.haveCached && c.conn == conn
+		req.HaveCached = len(c.cached) > 0 && c.conn == conn
 		c.mu.Unlock()
 	}
 	var t0 time.Time
@@ -484,9 +665,25 @@ func (c *TCPClient) attempt(ctx context.Context, req wireRequest) (wireResponse,
 	if c.met.enabled {
 		c.decHist.ObserveSince(t0)
 	}
-	if resp.OK && req.Op == opGather {
-		if err := c.finishGather(conn, &resp); err != nil {
-			return wireResponse{}, err
+	if resp.OK {
+		switch req.Op {
+		case opGather:
+			if err := c.finishGather(conn, req.Rack, &resp); err != nil {
+				return wireResponse{}, err
+			}
+		case opBatchGather:
+			if err := c.finishBatchGather(conn, req.BatchRacks, &resp); err != nil {
+				return wireResponse{}, err
+			}
+		case opBatchBudget:
+			if err := c.checkBatchShape(conn, len(req.BatchBudgets), &resp); err != nil {
+				return wireResponse{}, err
+			}
+			for i := range resp.Batch {
+				if resp.Batch[i].Rack != req.BatchBudgets[i].Rack {
+					return wireResponse{}, c.protocolFault(conn, "batch response entry out of order")
+				}
+			}
 		}
 	}
 	if !resp.OK {
@@ -500,12 +697,12 @@ func (c *TCPClient) attempt(ctx context.Context, req wireRequest) (wireResponse,
 // substitution, Unchanged responses are resolved from the cache, and
 // malformed combinations (OK with neither, or both) are protocol faults
 // that reset the connection.
-func (c *TCPClient) finishGather(conn net.Conn, resp *wireResponse) error {
+func (c *TCPClient) finishGather(conn net.Conn, rack string, resp *wireResponse) error {
 	c.mu.Lock()
 	switch {
 	case resp.Unchanged && resp.Summary == nil:
-		if c.haveCached && c.conn == conn {
-			resp.Summary = &c.cached
+		if s := c.cached[rack]; s != nil && c.conn == conn {
+			resp.Summary = s
 			c.met.deltaHits.Inc()
 			c.mu.Unlock()
 			return nil
@@ -513,19 +710,74 @@ func (c *TCPClient) finishGather(conn net.Conn, resp *wireResponse) error {
 		c.mu.Unlock()
 		return c.protocolFault(conn, "unchanged gather but no cached summary")
 	case !resp.Unchanged && resp.Summary != nil:
-		// Cache the full summary for this connection. The cached value is
+		// Cache the full summary for this connection. Cache entries are
 		// replaced wholesale (never mutated in place), so earlier copies
 		// handed to the room worker's proxies stay valid.
-		if c.conn == conn {
-			c.cached = *resp.Summary
-			c.haveCached = true
-		}
+		c.cacheLocked(conn, rack, resp.Summary)
 		c.mu.Unlock()
 		return nil
 	default:
 		c.mu.Unlock()
 		return c.protocolFault(conn, "gather response with OK but no usable summary")
 	}
+}
+
+// cacheLocked stores a freshly decoded full summary in the live
+// connection's delta cache.
+func (c *TCPClient) cacheLocked(conn net.Conn, rack string, s *core.Summary) {
+	if c.conn != conn {
+		return
+	}
+	if c.cached == nil {
+		c.cached = make(map[string]*core.Summary)
+	}
+	c.cached[rack] = s
+}
+
+// checkBatchShape validates that a batch response covers exactly the
+// requested racks; anything else is a framing-level lie and resets the
+// connection.
+func (c *TCPClient) checkBatchShape(conn net.Conn, want int, resp *wireResponse) error {
+	if len(resp.Batch) != want {
+		return c.protocolFault(conn, fmt.Sprintf("batch response has %d entries, want %d", len(resp.Batch), want))
+	}
+	return nil
+}
+
+// finishBatchGather validates a batched gather response entry-by-entry
+// and maintains the per-rack delta cache, mirroring finishGather.
+func (c *TCPClient) finishBatchGather(conn net.Conn, racks []string, resp *wireResponse) error {
+	if err := c.checkBatchShape(conn, len(racks), resp); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	for i := range resp.Batch {
+		e := &resp.Batch[i]
+		if e.Rack != racks[i] {
+			c.mu.Unlock()
+			return c.protocolFault(conn, "batch response entry out of order")
+		}
+		if !e.OK {
+			continue
+		}
+		switch {
+		case e.Unchanged && e.Summary == nil:
+			if s := c.cached[e.Rack]; s != nil && c.conn == conn {
+				e.Summary = s
+				c.met.deltaHits.Inc()
+				continue
+			}
+			c.mu.Unlock()
+			return c.protocolFault(conn, "unchanged batch gather but no cached summary")
+		case !e.Unchanged && e.Summary != nil:
+			c.cacheLocked(conn, e.Rack, e.Summary)
+		default:
+			c.mu.Unlock()
+			return c.protocolFault(conn, "batch gather entry with OK but no usable summary")
+		}
+	}
+	c.mu.Unlock()
+	return nil
 }
 
 // retryable reports whether a failed attempt is worth repeating: transport
@@ -581,9 +833,14 @@ func (c *TCPClient) Gather(ctx context.Context) (core.Summary, error) {
 	return *resp.Summary, nil
 }
 
-// ApplyBudget implements RackClient.
+// ApplyBudget implements RackClient. Budget pushes ride the dedicated
+// push channel (see pushChannel).
 func (c *TCPClient) ApplyBudget(ctx context.Context, b power.Watts) error {
-	_, err := c.roundTrip(ctx, wireRequest{Op: opBudget, Budget: b, Trace: flightrec.WireContext(ctx)})
+	pc, err := c.pushChannel()
+	if err != nil {
+		return err
+	}
+	_, err = pc.roundTrip(ctx, wireRequest{Op: opBudget, Budget: b, Trace: flightrec.WireContext(ctx)})
 	return err
 }
 
@@ -592,3 +849,102 @@ func (c *TCPClient) Ping(ctx context.Context) error {
 	_, err := c.roundTrip(ctx, wireRequest{Op: opPing, Trace: flightrec.WireContext(ctx)})
 	return err
 }
+
+// GatherBatch collects summaries for many racks of a multi-rack server in
+// one round trip, writing per-rack outcomes into out (len(out) must equal
+// len(racks)). The returned error covers transport-level failure of the
+// whole batch; per-rack application errors land in out[i].Err.
+func (c *TCPClient) GatherBatch(ctx context.Context, racks []string, out []GatherResult) error {
+	if len(out) != len(racks) {
+		return fmt.Errorf("controlplane: batch gather wants %d result slots, got %d", len(racks), len(out))
+	}
+	if len(racks) == 0 {
+		return nil
+	}
+	c.met.noteBatch(len(racks))
+	resp, err := c.roundTrip(ctx, wireRequest{Op: opBatchGather, BatchRacks: racks, Trace: flightrec.WireContext(ctx)})
+	if err != nil {
+		return err
+	}
+	// finishBatchGather validated shape, order, and per-entry summaries.
+	for i := range resp.Batch {
+		e := &resp.Batch[i]
+		if !e.OK {
+			out[i] = GatherResult{Err: &serverError{msg: e.Error}}
+			continue
+		}
+		out[i] = GatherResult{Summary: *e.Summary}
+	}
+	return nil
+}
+
+// ApplyBudgetBatch pushes many racks' budgets to a multi-rack server in
+// one round trip, writing per-rack outcomes into out (len(out) must equal
+// len(budgets)). The returned error covers transport-level failure of the
+// whole batch.
+func (c *TCPClient) ApplyBudgetBatch(ctx context.Context, budgets []BatchBudget, out []error) error {
+	if len(out) != len(budgets) {
+		return fmt.Errorf("controlplane: batch budget wants %d result slots, got %d", len(budgets), len(out))
+	}
+	if len(budgets) == 0 {
+		return nil
+	}
+	c.met.noteBatch(len(budgets))
+	pc, err := c.pushChannel()
+	if err != nil {
+		return err
+	}
+	resp, err := pc.roundTrip(ctx, wireRequest{Op: opBatchBudget, BatchBudgets: budgets, Trace: flightrec.WireContext(ctx)})
+	if err != nil {
+		return err
+	}
+	for i := range resp.Batch {
+		e := &resp.Batch[i]
+		if !e.OK {
+			out[i] = &serverError{msg: e.Error}
+		} else {
+			out[i] = nil
+		}
+	}
+	return nil
+}
+
+// RackHandle is a RackClient view of one rack hosted on a multi-rack
+// server, sharing its TCPClient's connection. Handles from the same
+// client advertise themselves to the fan-out engine, which coalesces
+// their gathers and pushes into batch frames — one RPC per server instead
+// of one per rack.
+type RackHandle struct {
+	c    *TCPClient
+	rack string
+}
+
+// Rack returns a RackClient view of one rack hosted on the multi-rack
+// server this client is connected to.
+func (c *TCPClient) Rack(id string) *RackHandle { return &RackHandle{c: c, rack: id} }
+
+// Gather implements RackClient with a routed single-rack gather.
+func (h *RackHandle) Gather(ctx context.Context) (core.Summary, error) {
+	resp, err := h.c.roundTrip(ctx, wireRequest{Op: opGather, Rack: h.rack, Trace: flightrec.WireContext(ctx)})
+	if err != nil {
+		return core.Summary{}, err
+	}
+	if resp.Summary == nil {
+		return core.Summary{}, &protocolError{msg: "gather response missing summary"}
+	}
+	return *resp.Summary, nil
+}
+
+// ApplyBudget implements RackClient with a routed single-rack push on the
+// dedicated push channel.
+func (h *RackHandle) ApplyBudget(ctx context.Context, b power.Watts) error {
+	pc, err := h.c.pushChannel()
+	if err != nil {
+		return err
+	}
+	_, err = pc.roundTrip(ctx, wireRequest{Op: opBudget, Budget: b, Rack: h.rack, Trace: flightrec.WireContext(ctx)})
+	return err
+}
+
+// batchTarget implements batchEndpoint.
+func (h *RackHandle) batchTarget() (batcher, string, string) { return h.c, h.rack, h.c.addr }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -186,6 +187,9 @@ type PeriodStats struct {
 	BudgetsHeld int
 	RacksServed int
 	Elapsed     time.Duration
+	// Overlap is how long this period's push phase ran concurrently with
+	// the next period's gather. Always zero outside RunPipelined.
+	Overlap time.Duration
 }
 
 // holdReason explains why a rack's budget push was withheld.
@@ -221,11 +225,26 @@ type RoomWorker struct {
 	recorder       *flightrec.Recorder
 	slo            *slo.Tracker
 
-	// runMu serializes control periods and guards the tree: only RunPeriod
-	// writes proxy summaries and walks the tree for allocation.
+	// runMu serializes control periods and guards the tree and the
+	// per-period scratch below: only a running period writes proxy
+	// summaries and runs the allocation engine.
 	runMu   sync.Mutex
 	tree    *core.Node
 	proxies map[string]*core.Node
+	engine  *core.Allocator
+
+	// Fan-out machinery, reused every period so steady-state periods stay
+	// allocation-free in the control plane itself (the engine snapshot is
+	// the one remaining O(tree) allocation per period). gatherF and pushF
+	// are separate engines sharing one limiter, so the pipelined runner
+	// can overlap period k's push wave with period k+1's gather wave.
+	lim      limiter
+	gatherF  *fanEngine
+	pushF    *fanEngine
+	rackList []string // sorted rack IDs: deterministic wave order
+	fresh    map[string]core.Summary
+	failed   map[string]error
+	hold     map[string]holdReason
 
 	// mu guards the observable state below and is never held across rack
 	// RPCs, so Healthy, LastStats, and LastAllocation return immediately
@@ -271,17 +290,31 @@ func NewRoomWorker(tree *core.Node, budget power.Watts, policy core.Policy, rack
 			return nil, fmt.Errorf("controlplane: proxy node %q has no rack client", id)
 		}
 	}
+	engine, err := core.NewAllocator(tree)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: room tree: %w", err)
+	}
 	o := buildOptions(opts)
 	rackIDs := make([]string, 0, len(racks))
 	for id := range racks {
 		rackIDs = append(rackIDs, id)
 	}
+	sort.Strings(rackIDs)
+	lim := newLimiter(o.rpcConcurrency)
 	w := &RoomWorker{
 		tree:           tree,
 		budget:         budget,
 		policy:         policy,
 		racks:          racks,
 		proxies:        proxies,
+		engine:         engine,
+		lim:            lim,
+		gatherF:        newFanEngine(lim, len(racks)),
+		pushF:          newFanEngine(lim, len(racks)),
+		rackList:       rackIDs,
+		fresh:          make(map[string]core.Summary, len(racks)),
+		failed:         make(map[string]error, len(racks)),
+		hold:           make(map[string]holdReason, len(racks)),
 		log:            o.log,
 		met:            newRoomMetrics(o.reg, rackIDs),
 		budgetLogDelta: o.budgetLogDelta,
@@ -346,113 +379,121 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 	}
 	root := pt.StartSpan("period", "room", "")
 
-	// Metrics gathering phase, in parallel across racks, without any lock
-	// held across the RPCs.
-	gatherSpan := pt.StartSpan("gather", "room", root.ID())
-	type gatherResult struct {
-		id      string
-		summary core.Summary
-		err     error
-	}
-	results := make(chan gatherResult, len(w.racks))
-	for id, client := range w.racks {
-		go func(id string, client RackClient) {
-			span := pt.StartSpan("rpc.gather", id, gatherSpan.ID())
-			s, err := client.Gather(flightrec.ContextWithSpan(ctx, pt, span))
-			if err == nil {
-				err = s.Validate()
-			}
-			span.End(err)
-			results <- gatherResult{id: id, summary: s, err: err}
-		}(id, client)
-	}
-	fresh := make(map[string]core.Summary, len(w.racks))
-	failed := make(map[string]error)
-	for range w.racks {
-		r := <-results
-		if r.err != nil {
-			failed[r.id] = r.err
-			continue
-		}
-		fresh[r.id] = r.summary
-	}
-	gatherSpan.End(nil)
-	if err := ctx.Err(); err != nil {
+	if err := w.gatherPhase(ctx, pt, root.ID(), &stats); err != nil {
 		// Cancelled mid-gather (typically clean shutdown): the per-rack
 		// context errors carry no signal about rack health, and no period
 		// record is written — a shutdown is not a period.
 		return nil, stats, err
 	}
-	stats.GatherErrors = len(failed)
+	alloc := w.allocPhase(pt, root.ID())
+	w.pushPhase(ctx, pt, root.ID(), alloc, &stats)
+
+	stats.Elapsed = time.Since(start)
+	w.finishPeriod(pt, root, start, alloc, stats)
+	return alloc, stats, nil
+}
+
+// gatherPhase runs one gather wave over all racks — bounded concurrency,
+// batched where the transport allows, no lock held across RPCs — and
+// sorts the outcomes into the reused fresh/failed scratch maps. It
+// returns ctx's error when the wave was cancelled; gather metrics are
+// only recorded for completed waves.
+func (w *RoomWorker) gatherPhase(ctx context.Context, pt *flightrec.PeriodTrace, rootID string, stats *PeriodStats) error {
+	start := time.Now()
+	gatherSpan := pt.StartSpan("gather", "room", rootID)
+	e := w.gatherF
+	e.reset()
+	for _, id := range w.rackList {
+		e.add(id, w.racks[id])
+	}
+	e.gatherWave(ctx, pt, gatherSpan.ID())
+	gatherSpan.End(nil)
+	clear(w.fresh)
+	clear(w.failed)
+	for i := range e.calls {
+		c := &e.calls[i]
+		if c.err != nil {
+			w.failed[c.id] = c.err
+		} else {
+			w.fresh[c.id] = c.summary
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	stats.GatherErrors = len(w.failed)
 	w.met.gatherSeconds.ObserveSince(start)
 	w.met.gatherErrors.Add(float64(stats.GatherErrors))
+	return nil
+}
 
-	// Commit gather outcomes and decide which pushes are held this period.
-	hold := w.commitGather(fresh, failed)
+// allocPhase commits the gather outcomes (filling the reused hold map),
+// installs fresh summaries into the proxies, and runs the budgeting
+// phase on the persistent engine. It touches the tree and engine, so in
+// pipelined mode it must not run while a previous period's push wave is
+// still in flight (the runner joins the push first).
+func (w *RoomWorker) allocPhase(pt *flightrec.PeriodTrace, rootID string) *core.Allocation {
+	w.commitGather(w.fresh, w.failed)
 
-	// Install summaries into the proxies (guarded by runMu). Failed racks
-	// keep their previous summary; never-seen racks keep their
-	// construction-time summary or the failsafe reservation.
-	for id, s := range fresh {
+	// Failed racks keep their previous summary; never-seen racks keep
+	// their construction-time summary or the failsafe reservation.
+	for id, s := range w.fresh {
 		*w.proxies[id].Proxy = s
 	}
 	if w.failsafe > 0 {
-		for id, reason := range hold {
+		for id, reason := range w.hold {
 			if reason == holdNeverSeen {
 				*w.proxies[id].Proxy = failsafeSummary(w.failsafe)
 			}
 		}
 	}
 
-	// Budgeting phase over the upper tree.
 	allocStart := time.Now()
-	allocSpan := pt.StartSpan("allocate", "room", root.ID())
-	alloc, err := core.AllocateExplained(w.tree, w.budget, w.policy, pt.ExplainSink())
-	allocSpan.End(err)
-	if err != nil {
-		stats.Elapsed = time.Since(start)
-		if w.log != nil {
-			w.log.Error("room allocation failed", "err", err)
-		}
-		w.commitPeriod(nil, stats)
-		root.End(err)
-		w.recordPeriod(pt, start, stats, nil, err)
-		w.evalSLO()
-		return nil, stats, err
-	}
+	allocSpan := pt.StartSpan("allocate", "room", rootID)
+	w.engine.SetExplainSink(pt.ExplainSink())
+	w.engine.Run(w.budget, w.policy)
+	w.engine.SetExplainSink(nil)
+	alloc := w.engine.Snapshot()
+	allocSpan.End(nil)
 	w.met.allocateSeconds.ObserveSince(allocStart)
 	w.noteRackBudgets(alloc)
+	return alloc
+}
 
-	// Push budgets down, in parallel, skipping held racks. Like the gather
-	// phase, no lock is held across the RPCs.
-	pushStart := time.Now()
-	pushSpan := pt.StartSpan("push", "room", root.ID())
-	errs := make(chan error, len(w.racks))
-	pushed := 0
-	for id, client := range w.racks {
-		if _, held := hold[id]; held {
+// pushPhase runs one push wave — bounded, batched, no lock across RPCs —
+// skipping racks held by the last commitGather. In pipelined mode it runs
+// concurrently with the next period's gatherPhase; it reads the hold map
+// and alloc filled by its own period's allocPhase, touched by nothing
+// else until the wave is joined.
+func (w *RoomWorker) pushPhase(ctx context.Context, pt *flightrec.PeriodTrace, rootID string, alloc *core.Allocation, stats *PeriodStats) {
+	start := time.Now()
+	pushSpan := pt.StartSpan("push", "room", rootID)
+	e := w.pushF
+	e.reset()
+	for _, id := range w.rackList {
+		c := e.add(id, w.racks[id])
+		if _, held := w.hold[id]; held {
+			c.skip = true
 			stats.BudgetsHeld++
 			w.met.heldPushes.Inc()
 			continue
 		}
-		pushed++
-		go func(id string, client RackClient) {
-			span := pt.StartSpan("rpc.apply", id, pushSpan.ID())
-			e := client.ApplyBudget(flightrec.ContextWithSpan(ctx, pt, span), alloc.NodeBudgets[id])
-			span.End(e)
-			errs <- e
-		}(id, client)
+		c.budget = alloc.NodeBudgets[id]
 	}
-	for i := 0; i < pushed; i++ {
-		if e := <-errs; e != nil {
+	e.pushWave(ctx, pt, pushSpan.ID())
+	for i := range e.calls {
+		if c := &e.calls[i]; !c.skip && c.err != nil {
 			stats.ApplyErrors++
 		}
 	}
 	pushSpan.End(nil)
-	w.met.pushSeconds.ObserveSince(pushStart)
+	w.met.pushSeconds.ObserveSince(start)
 	w.met.applyErrors.Add(float64(stats.ApplyErrors))
+}
 
-	stats.Elapsed = time.Since(start)
+// finishPeriod publishes a completed period: stats commit, trace record,
+// SLO evaluation, and end-of-period logging.
+func (w *RoomWorker) finishPeriod(pt *flightrec.PeriodTrace, root *flightrec.ActiveSpan, start time.Time, alloc *core.Allocation, stats PeriodStats) {
 	w.commitPeriod(alloc, stats)
 	root.End(nil)
 	w.recordPeriod(pt, start, stats, alloc, nil)
@@ -467,13 +508,120 @@ func (w *RoomWorker) RunPeriod(ctx context.Context) (*core.Allocation, PeriodSta
 			w.log.Debug("control period end", "elapsed", stats.Elapsed)
 		}
 	}
-	return alloc, stats, nil
+}
+
+// pendingPeriod carries period k's state across the pipeline overlap:
+// its push wave runs while period k+1 gathers, and the period is
+// finished — stats, flight record, callback — once the push joins.
+type pendingPeriod struct {
+	start time.Time
+	pt    *flightrec.PeriodTrace
+	root  *flightrec.ActiveSpan
+	alloc *core.Allocation
+	stats PeriodStats
+	done  chan struct{}
+	push  time.Duration
+}
+
+// RunPipelined executes count control periods back to back, overlapping
+// each period's push phase with the next period's gather: period k's
+// budgets (computed from gather k) push down while gather k+1 is already
+// collecting the next summaries. count <= 0 runs until ctx is cancelled.
+//
+// Freshness semantics are identical to RunPeriod: budgets pushed in
+// period k are always derived from gather k — the overlap never reorders
+// a push ahead of the gather that justified it, because allocation k+1
+// waits for push k to join. The only lag pipelining adds is wall-clock:
+// a rack may receive budget k while already reporting summary k+1.
+//
+// onPeriod (may be nil) receives each completed period once its push
+// wave has joined — so period k's callback fires during period k+1.
+// PeriodStats.Overlap reports how long the period's push ran
+// concurrently with the next gather. A period whose gather is cancelled
+// is never reported; the period whose push was already in flight is.
+func (w *RoomWorker) RunPipelined(ctx context.Context, count int, onPeriod func(*core.Allocation, PeriodStats, error)) error {
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
+	var pend *pendingPeriod
+	finish := func(p *pendingPeriod) {
+		p.stats.Elapsed = time.Since(p.start)
+		w.finishPeriod(p.pt, p.root, p.start, p.alloc, p.stats)
+		if onPeriod != nil {
+			onPeriod(p.alloc, p.stats, nil)
+		}
+	}
+	for k := 0; count <= 0 || k < count; k++ {
+		if err := ctx.Err(); err != nil {
+			if pend != nil {
+				// The pending period's push never launched; like any
+				// cancelled period it goes unrecorded.
+				pend.root.End(err)
+			}
+			return err
+		}
+		start := time.Now()
+		stats := PeriodStats{RacksServed: len(w.racks)}
+		var pt *flightrec.PeriodTrace
+		if w.recorder.Enabled() {
+			pt = flightrec.NewPeriodTrace()
+		}
+		root := pt.StartSpan("period", "room", "")
+		if w.log != nil {
+			w.log.Debug("control period start", "racks", len(w.racks), "pipelined", true)
+		}
+
+		// Launch the previous period's push wave concurrently with this
+		// period's gather. The two waves use separate fan engines but
+		// share the RPC concurrency limiter.
+		if pend != nil {
+			p := pend
+			p.done = make(chan struct{})
+			go func() {
+				pushStart := time.Now()
+				w.pushPhase(ctx, p.pt, p.root.ID(), p.alloc, &p.stats)
+				p.push = time.Since(pushStart)
+				close(p.done)
+			}()
+		}
+
+		gatherStart := time.Now()
+		gerr := w.gatherPhase(ctx, pt, root.ID(), &stats)
+		gatherElapsed := time.Since(gatherStart)
+
+		// Join the overlapped push before touching the hold map or the
+		// engine: allocation k must not race push k-1.
+		if pend != nil {
+			<-pend.done
+			overlap := pend.push
+			if gatherElapsed < overlap {
+				overlap = gatherElapsed
+			}
+			pend.stats.Overlap = overlap
+			w.met.pipelineOverlap.Observe(overlap.Seconds())
+			finish(pend)
+			pend = nil
+		}
+		if gerr != nil {
+			// Cancelled mid-gather: shutdown is not a period.
+			return gerr
+		}
+
+		alloc := w.allocPhase(pt, root.ID())
+		pend = &pendingPeriod{start: start, pt: pt, root: root, alloc: alloc, stats: stats}
+	}
+	// Drain the last period's push synchronously.
+	if pend != nil {
+		w.pushPhase(ctx, pend.pt, pend.root.ID(), pend.alloc, &pend.stats)
+		finish(pend)
+	}
+	return nil
 }
 
 // commitGather records the period's gather outcomes under mu — staleness
-// counters, down/recovered and held/resumed transitions — and returns the
-// racks whose budget pushes are held this period, keyed by reason.
-func (w *RoomWorker) commitGather(fresh map[string]core.Summary, failed map[string]error) map[string]holdReason {
+// counters, down/recovered and held/resumed transitions — and refills the
+// reused hold map with the racks whose budget pushes are held this
+// period, keyed by reason.
+func (w *RoomWorker) commitGather(fresh map[string]core.Summary, failed map[string]error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for id, err := range failed {
@@ -499,7 +647,8 @@ func (w *RoomWorker) commitGather(fresh map[string]core.Summary, failed map[stri
 			w.met.staleByRack[id].Set(0)
 		}
 	}
-	hold := make(map[string]holdReason)
+	hold := w.hold
+	clear(hold)
 	unseen := 0
 	for id := range w.racks {
 		switch {
@@ -526,7 +675,6 @@ func (w *RoomWorker) commitGather(fresh map[string]core.Summary, failed map[stri
 			}
 		}
 	}
-	return hold
 }
 
 // commitPeriod publishes the period's results under mu. It runs on every

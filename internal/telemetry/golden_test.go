@@ -75,6 +75,14 @@ func registerAllSubsystems(t *testing.T, reg *telemetry.Registry) {
 		controlplane.WithTelemetry(reg)); err != nil {
 		t.Fatal(err)
 	}
+	// Aggregator tier: registers the per-level hierarchy families.
+	aggTree := core.NewShifting("agg0", 0, core.NewProxy("rack0", core.NewSummary()))
+	if _, err := controlplane.NewAggregator(aggTree, core.GlobalPriority,
+		map[string]controlplane.RackClient{"rack0": controlplane.LocalClient{Worker: rack}},
+		controlplane.WithTelemetry(reg), controlplane.WithHierarchyLevel(1)); err != nil {
+		t.Fatal(err)
+	}
+
 	srv, err := controlplane.ServeRack(rack, "127.0.0.1:0", controlplane.WithTelemetry(reg))
 	if err != nil {
 		t.Fatal(err)
