@@ -11,9 +11,11 @@
 //	capmaestro -demo serve        # full stack running until interrupted
 //
 // With -telemetry-addr HOST:PORT the process serves Prometheus metrics on
-// /metrics, liveness on /healthz, and a JSON snapshot on /debug/vars; the
-// serve demo defaults it to :9090. Every demo is deterministic and uses
-// only the simulated substrate, so it runs anywhere.
+// /metrics, liveness on /healthz, a JSON snapshot on /debug/vars, and — in
+// the serve demo — the fleet observability drill-down on /debug/fleet and
+// /debug/fleet/history; the serve demo defaults the address to :9090.
+// Every demo is deterministic and uses only the simulated substrate, so it
+// runs anywhere.
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"capmaestro/internal/controlplane"
 	"capmaestro/internal/core"
 	"capmaestro/internal/experiments"
+	"capmaestro/internal/fleetobs"
 	"capmaestro/internal/flightrec"
 	"capmaestro/internal/logging"
 	"capmaestro/internal/power"
@@ -61,6 +64,10 @@ func main() {
 		"serve demo: control periods retained by the flight recorder on /debug/periods and /debug/trace.json (0 disables)")
 	sloRules := flag.String("slo-rules", "",
 		"serve demo: JSON alert-rule file for the safety-SLO tracker on /debug/slo (empty uses the built-in rules)")
+	fleetDigests := flag.Bool("fleet-digests", true,
+		"serve demo: request per-rack stat digests in-band on gathers and serve the merged fleet rollup on /debug/fleet")
+	fleetHistory := flag.Int("fleet-history", 0,
+		"serve demo: control periods retained by the /debug/fleet/history ring (<=0 uses the built-in default)")
 	pprofOn := flag.Bool("pprof", false,
 		"mount net/http/pprof profiling handlers on the telemetry server under /debug/pprof/")
 	logOpts := logging.RegisterFlags(flag.CommandLine)
@@ -117,6 +124,8 @@ func main() {
 			traceBuffer:      *traceBuffer,
 			sloRulesFile:     *sloRules,
 			wireCodec:        codec,
+			fleetDigests:     *fleetDigests,
+			fleetHistory:     *fleetHistory,
 		})
 	default:
 		err = fmt.Errorf("unknown demo %q", *demo)
@@ -362,6 +371,8 @@ type serveConfig struct {
 	traceBuffer      int
 	sloRulesFile     string
 	wireCodec        string
+	fleetDigests     bool
+	fleetHistory     int
 }
 
 // demoServe runs the whole stack continuously until SIGINT/SIGTERM:
@@ -377,6 +388,10 @@ func demoServe(reg *telemetry.Registry, ts *telemetry.Server, logger *slog.Logge
 		controlplane.WithFailsafeBudget(cfg.failsafeBudget),
 		controlplane.WithRPCRetry(cfg.rpcRetries, cfg.rpcRetryBackoff),
 		controlplane.WithWireCodec(cfg.wireCodec),
+		// Shared by workers and clients: workers roll rack digests into the
+		// fleet rollup, clients request them in-band on gather frames.
+		controlplane.WithDigests(cfg.fleetDigests),
+		controlplane.WithFleetHistory(cfg.fleetHistory),
 	}
 	// The flight recorder retains each control period's trace + explain
 	// records and serves them on the telemetry server's debug endpoints.
@@ -505,6 +520,12 @@ func demoServe(reg *telemetry.Registry, ts *telemetry.Server, logger *slog.Logge
 		ts.AddHealthCheck("room", room.Healthy)
 		ts.AddWarnCheck("room-degraded", room.Degraded)
 		ts.AddHealthDetail("racks", func() any { return room.RackFreshness() })
+		if cfg.fleetDigests {
+			fh := fleetobs.Handler(room.FleetReport, room.FleetHistory())
+			ts.Handle("/debug/fleet", fh)
+			ts.Handle("/debug/fleet/", fh)
+			ts.AddHealthDetail("fleet", func() any { return room.LastStats().Fleet })
+		}
 	}
 
 	fmt.Printf("rack workers on %s and %s; control period every 2s; Ctrl-C to stop\n",

@@ -41,6 +41,10 @@ func main() {
 		rpcConc  = flag.Int("rpc-concurrency", 0, "max in-flight rack RPCs per worker (0 = GOMAXPROCS-scaled default)")
 		rpcLatMs = flag.Float64("rpc-latency-ms", 0, "emulated one-way per-frame network latency (0 = pure loopback)")
 		seed     = flag.Uint64("seed", 0, "demand-mix seed (0 = fixed default)")
+		digests  = flag.Bool("digests", false, "request fleet stat digests in-band and measure their wire overhead")
+
+		maxDigestShare = flag.Float64("max-digest-share", 0,
+			"fail if any digest-enabled run's digest bytes exceed this share of inbound client bytes (0 = no budget)")
 	)
 	flag.Parse()
 
@@ -70,6 +74,7 @@ func main() {
 			Warmup:         *warmup,
 			RPCConcurrency: *rpcConc,
 			RPCLatencyMs:   *rpcLatMs,
+			Digests:        *digests,
 			Seed:           *seed,
 		}}
 	}
@@ -85,6 +90,10 @@ func main() {
 		})
 		if err != nil {
 			fatal(err)
+		}
+		if spec.Digests && *maxDigestShare > 0 && res.DigestShareOfBytesIn > *maxDigestShare {
+			fatal(fmt.Errorf("%s: digest wire share %.2f%% of inbound bytes exceeds budget %.2f%%",
+				spec.Name, 100*res.DigestShareOfBytesIn, 100**maxDigestShare))
 		}
 		results = append(results, *res)
 		// Fleets are large; make sure one run's servers are fully gone

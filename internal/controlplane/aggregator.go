@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"capmaestro/internal/core"
+	"capmaestro/internal/fleetobs"
 	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 )
@@ -37,6 +38,16 @@ type Aggregator struct {
 	met            aggMetrics
 	stalenessBound int
 	failsafe       power.Watts
+	level          int
+
+	// digests enables the fleet observability rollup: each gather folds
+	// the children's digests (or synthesized equivalents) into one subtree
+	// digest handed upstream. dm is gatherMu-scoped scratch, reused every
+	// pass; the digest GatherDigest returns points into it and stays valid
+	// until the next gather, which the control plane's phase ordering
+	// guarantees is after the parent has folded it.
+	digests bool
+	dm      digestMerger
 
 	// runMu guards the tree, engine, and hold map — the shared state both
 	// passes touch. Neither pass holds it during network I/O: Gather runs
@@ -127,6 +138,8 @@ func NewAggregator(tree *core.Node, policy core.Policy, clients map[string]RackC
 		met:            newAggMetrics(o.reg, level),
 		stalenessBound: o.stalenessBound,
 		failsafe:       o.failsafeBudget,
+		level:          level,
+		digests:        o.digests == nil || *o.digests,
 		tree:           tree,
 		proxies:        proxies,
 		engine:         engine,
@@ -139,6 +152,7 @@ func NewAggregator(tree *core.Node, policy core.Policy, clients map[string]RackC
 		down:           make(map[string]bool, len(clients)),
 		stale:          make(map[string]int, len(clients)),
 	}
+	a.fan.digests = a.digests
 	// Until the first gather every child is unseen: an ApplyBudget that
 	// arrives before any gather must hold all pushes.
 	for _, id := range childList {
@@ -159,10 +173,21 @@ func (a *Aggregator) ID() string { return a.tree.ID }
 // previous summaries; the failure count lands in LastStats.GatherErrors
 // and the per-level error counter.
 func (a *Aggregator) Gather(ctx context.Context) (core.Summary, error) {
+	s, _, err := a.GatherDigest(ctx)
+	return s, err
+}
+
+// GatherDigest implements DigestGatherer: one gather pass that also folds
+// the children's fleet digests into a single subtree digest. Children that
+// sent no digest (digest-less transports) are synthesized from their
+// summaries and last allocated budgets, so the rollup covers every child
+// that gathered successfully either way. The returned digest points into
+// per-aggregator scratch and is valid until the next gather pass.
+func (a *Aggregator) GatherDigest(ctx context.Context) (core.Summary, *fleetobs.StatDigest, error) {
 	a.gatherMu.Lock()
 	defer a.gatherMu.Unlock()
 	if err := ctx.Err(); err != nil {
-		return core.Summary{}, err
+		return core.Summary{}, nil, err
 	}
 	start := time.Now()
 	pt := flightrec.TraceFrom(ctx)
@@ -195,11 +220,62 @@ func (a *Aggregator) Gather(ctx context.Context) (core.Summary, error) {
 		}
 	}
 	s := a.engine.Summarize(a.policy)
+	var dig *fleetobs.StatDigest
+	if a.digests {
+		dig = a.foldDigest(e, gatherErrors)
+	}
 	a.runMu.Unlock()
 	span.End(nil)
 	a.met.gatherSeconds.ObserveSince(start)
 	a.met.gatherErrors.Add(float64(gatherErrors))
-	return s, nil
+	return s, dig, nil
+}
+
+// foldDigest merges this pass's child digests and stamps the aggregator's
+// own level row. Called under runMu (for the hold map) right after
+// commitGather; takes mu for the staleness bookkeeping and last budgets.
+func (a *Aggregator) foldDigest(e *fanEngine, gatherErrors int) *fleetobs.StatDigest {
+	a.dm.reset()
+	own := fleetobs.LevelStats{
+		Level:        a.level,
+		Workers:      len(a.childList),
+		GatherErrors: gatherErrors,
+		Held:         len(a.hold),
+	}
+	a.mu.Lock()
+	var budgets map[string]power.Watts
+	if a.lastAlloc != nil {
+		budgets = a.lastAlloc.NodeBudgets
+	}
+	for i := range e.calls {
+		c := &e.calls[i]
+		if c.err != nil {
+			continue
+		}
+		b, haveB := budgets[c.id]
+		a.dm.note(c.id, c.digest, &c.summary, b, haveB)
+		own.GatherLatency.Observe(fleetobs.LatencyBounds, c.elapsed.Seconds())
+	}
+	var staleOut []fleetobs.Outlier
+	for id, n := range a.stale {
+		if n > 0 && a.seen[id] {
+			own.Stale++
+			staleOut = append(staleOut, fleetobs.Outlier{
+				Rack:         id,
+				Reason:       fleetobs.ReasonStale,
+				Score:        2 + float64(n),
+				StalePeriods: n,
+			})
+		}
+	}
+	a.mu.Unlock()
+	dig := a.dm.fold(own)
+	// Staleness is the observer's judgment, not the child's, so stale
+	// children become outlier entries after the fold.
+	for i := range staleOut {
+		dig.AddOutlier(staleOut[i])
+	}
+	return dig
 }
 
 // commitGather records the pass's outcomes under mu — per-child staleness

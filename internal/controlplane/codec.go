@@ -12,8 +12,10 @@ import (
 	"time"
 
 	"capmaestro/internal/core"
+	"capmaestro/internal/fleetobs"
 	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
+	"capmaestro/internal/telemetry"
 )
 
 // Wire codec names accepted by WithWireCodec and the -wire-codec flags.
@@ -135,6 +137,7 @@ const (
 	reqFlagTrace      = 1 << 0 // trace context follows
 	reqFlagHaveCached = 1 << 1 // gather: client holds the last full summaries
 	reqFlagRack       = 1 << 2 // single op routed to a named rack
+	reqFlagWantDigest = 1 << 3 // gather: attach a fleet observability digest
 )
 
 // response flag bits.
@@ -146,6 +149,7 @@ const (
 	respFlagSpans     = 1 << 4
 	respFlagExplains  = 1 << 5
 	respFlagBatch     = 1 << 6 // per-rack batch entries follow
+	respFlagDigest    = 1 << 7 // fleet observability digest follows
 )
 
 // batch entry flag bits (one flags byte per entry).
@@ -154,6 +158,7 @@ const (
 	entFlagUnchanged = 1 << 1
 	entFlagSummary   = 1 << 2
 	entFlagError     = 1 << 3
+	entFlagDigest    = 1 << 4
 )
 
 func opToByte(op string) (byte, error) {
@@ -210,6 +215,11 @@ type binaryCodec struct {
 	// sendPreamble marks a client codec that still owes the connection
 	// preamble; it is prepended to the first frame's Write.
 	sendPreamble bool
+
+	// digBytes, when set, accumulates the encoded size of every fleet
+	// digest written or read on this connection — the observability
+	// plane's wire overhead, reported separately from total RPC bytes.
+	digBytes *telemetry.Counter
 }
 
 func newBinaryCodec(r *bufio.Reader, w io.Writer) *binaryCodec {
@@ -408,6 +418,9 @@ func (c *binaryCodec) WriteRequest(req *wireRequest) error {
 	if req.Rack != "" {
 		flags |= reqFlagRack
 	}
+	if req.WantDigest {
+		flags |= reqFlagWantDigest
+	}
 	w.u8(flags)
 	if req.Rack != "" {
 		w.str(req.Rack)
@@ -450,6 +463,7 @@ func (c *binaryCodec) ReadRequest(req *wireRequest) error {
 	req.Op = op
 	flags := r.u8()
 	req.HaveCached = flags&reqFlagHaveCached != 0
+	req.WantDigest = flags&reqFlagWantDigest != 0
 	if flags&reqFlagRack != 0 {
 		req.Rack = r.str()
 	}
@@ -513,12 +527,20 @@ func (c *binaryCodec) WriteResponse(resp *wireResponse) error {
 	if len(resp.Batch) > 0 {
 		flags |= respFlagBatch
 	}
+	if resp.Digest != nil {
+		flags |= respFlagDigest
+	}
 	w.u8(flags)
 	if resp.Error != "" {
 		w.str(resp.Error)
 	}
 	if resp.Summary != nil {
 		writeSummary(&w, resp.Summary)
+	}
+	if resp.Digest != nil {
+		before := len(w.b)
+		writeDigest(&w, resp.Digest)
+		c.digBytes.Add(float64(len(w.b) - before))
 	}
 	if len(resp.Batch) > 0 {
 		w.count(len(resp.Batch))
@@ -538,12 +560,20 @@ func (c *binaryCodec) WriteResponse(resp *wireResponse) error {
 			if e.Error != "" {
 				ef |= entFlagError
 			}
+			if e.Digest != nil {
+				ef |= entFlagDigest
+			}
 			w.u8(ef)
 			if e.Error != "" {
 				w.str(e.Error)
 			}
 			if e.Summary != nil {
 				writeSummary(&w, e.Summary)
+			}
+			if e.Digest != nil {
+				before := len(w.b)
+				writeDigest(&w, e.Digest)
+				c.digBytes.Add(float64(len(w.b) - before))
 			}
 		}
 	}
@@ -643,6 +673,239 @@ func (r *binReader) checkCount(n, minSize int) int {
 	return n
 }
 
+// The fleet digest's binary form carries its own version byte (it evolves
+// independently of the frame layout) followed by a content-flags byte, so
+// empty sections cost nothing on the wire:
+//
+//	[u8 digVersion][u8 content flags][u32 racks][f64 ×7 watt fields]
+//	[u32 violating racks][worst-rack string?][headroom hist?]
+//	[outliers?][levels?]
+//
+// Histograms encode sparsely (u8 nonzero-bucket count, then ascending
+// u8 index + u64 count pairs, then the f64 sum) — a single rack's digest
+// populates one bucket, so the common case is a handful of bytes.
+const (
+	digVersion      = 1
+	digFlagHist     = 1 << 0
+	digFlagOutliers = 1 << 1
+	digFlagLevels   = 1 << 2
+	digFlagWorst    = 1 << 3
+
+	digFlagsKnown = digFlagHist | digFlagOutliers | digFlagLevels | digFlagWorst
+)
+
+// minimum encoded digest element sizes for checkCount.
+const (
+	binOutlierSize  = 2 + 2 + 3*8 + 4 // two empty strings, score + two watt fields, stale periods
+	binDigLevelSize = 5*4 + 1         // five u32 counters + hist-present byte
+)
+
+// u32n writes a non-negative int as a u32, erroring when out of range.
+func (w *binWriter) u32n(n int) {
+	if n < 0 || int64(n) > math.MaxUint32 {
+		if w.err == nil {
+			w.err = fmt.Errorf("controlplane: integer field %d outside binary codec u32 range", n)
+		}
+		n = 0
+	}
+	w.u32(uint32(n))
+}
+
+// u8count writes a u8 element count, erroring when n does not fit.
+func (w *binWriter) u8count(n int) {
+	if n > math.MaxUint8 {
+		if w.err == nil {
+			w.err = fmt.Errorf("controlplane: %d elements exceed binary digest count limit", n)
+		}
+		n = 0
+	}
+	w.u8(byte(n))
+}
+
+func writeMergeHist(w *binWriter, h *telemetry.MergeHist) {
+	nnz := 0
+	for _, c := range h.Counts {
+		if c != 0 {
+			nnz++
+		}
+	}
+	w.u8(byte(nnz))
+	for i, c := range h.Counts {
+		if c != 0 {
+			w.u8(byte(i))
+			w.u64(c)
+		}
+	}
+	w.f64(h.Sum)
+}
+
+func readMergeHist(r *binReader, h *telemetry.MergeHist) {
+	nnz := int(r.u8())
+	if r.err == nil && nnz > telemetry.MergeHistBuckets {
+		r.err = fmt.Errorf("controlplane: digest histogram has %d buckets, max %d", nnz, telemetry.MergeHistBuckets)
+		return
+	}
+	for i := 0; i < nnz && r.err == nil; i++ {
+		idx := int(r.u8())
+		c := r.u64()
+		if r.err != nil {
+			return
+		}
+		if idx >= telemetry.MergeHistBuckets {
+			r.err = fmt.Errorf("controlplane: digest histogram bucket index %d out of range", idx)
+			return
+		}
+		h.Counts[idx] = c
+	}
+	h.Sum = r.f64()
+}
+
+// writeDigest appends a fleet digest's binary form. Content flags are
+// derived from the digest itself, so a decode → re-encode round trip is
+// canonical regardless of how the encoder's digest was built.
+func writeDigest(w *binWriter, d *fleetobs.StatDigest) {
+	w.u8(digVersion)
+	var flags byte
+	if d.Headroom.Count() > 0 {
+		flags |= digFlagHist
+	}
+	if len(d.Outliers) > 0 {
+		flags |= digFlagOutliers
+	}
+	if len(d.Levels) > 0 {
+		flags |= digFlagLevels
+	}
+	if d.WorstHeadroomRack != "" {
+		flags |= digFlagWorst
+	}
+	w.u8(flags)
+	w.u32n(d.Racks)
+	w.f64(d.PowerW)
+	w.f64(d.RequestW)
+	w.f64(d.CapMinW)
+	w.f64(d.BudgetW)
+	w.f64(d.HeadroomW)
+	w.f64(d.WorstHeadroomW)
+	w.f64(d.ViolationW)
+	w.u32n(d.ViolatingRacks)
+	if flags&digFlagWorst != 0 {
+		w.str(d.WorstHeadroomRack)
+	}
+	if flags&digFlagHist != 0 {
+		writeMergeHist(w, &d.Headroom)
+	}
+	if flags&digFlagOutliers != 0 {
+		w.u8count(len(d.Outliers))
+		for i := range d.Outliers {
+			o := &d.Outliers[i]
+			w.str(o.Rack)
+			w.str(o.Reason)
+			w.f64(o.Score)
+			w.f64(o.PowerW)
+			w.f64(o.HeadroomW)
+			w.u32n(o.StalePeriods)
+		}
+	}
+	if flags&digFlagLevels != 0 {
+		w.u8count(len(d.Levels))
+		for i := range d.Levels {
+			l := &d.Levels[i]
+			w.u32n(l.Level)
+			w.u32n(l.Workers)
+			w.u32n(l.GatherErrors)
+			w.u32n(l.Stale)
+			w.u32n(l.Held)
+			if l.GatherLatency.Count() > 0 {
+				w.u8(1)
+				writeMergeHist(w, &l.GatherLatency)
+			} else {
+				w.u8(0)
+			}
+		}
+	}
+}
+
+// readDigest decodes a digest written by writeDigest into a fresh
+// StatDigest (callers retain decoded digests beyond the codec's buffers).
+// Returns nil after latching a reader error.
+func readDigest(r *binReader) *fleetobs.StatDigest {
+	if v := r.u8(); r.err == nil && v != digVersion {
+		r.err = fmt.Errorf("controlplane: digest version %d, want %d", v, digVersion)
+	}
+	flags := r.u8()
+	if r.err == nil && flags&^byte(digFlagsKnown) != 0 {
+		r.err = fmt.Errorf("controlplane: digest has unknown content flags 0x%02x", flags)
+	}
+	if r.err != nil {
+		return nil
+	}
+	d := &fleetobs.StatDigest{}
+	d.Racks = int(r.u32())
+	d.PowerW = r.f64()
+	d.RequestW = r.f64()
+	d.CapMinW = r.f64()
+	d.BudgetW = r.f64()
+	d.HeadroomW = r.f64()
+	d.WorstHeadroomW = r.f64()
+	d.ViolationW = r.f64()
+	d.ViolatingRacks = int(r.u32())
+	if flags&digFlagWorst != 0 {
+		d.WorstHeadroomRack = r.str()
+		if r.err == nil && d.WorstHeadroomRack == "" {
+			r.err = errors.New("controlplane: digest worst-rack flag set with empty rack ID")
+		}
+	}
+	if flags&digFlagHist != 0 {
+		readMergeHist(r, &d.Headroom)
+	}
+	if flags&digFlagOutliers != 0 {
+		n := r.checkCount(int(r.u8()), binOutlierSize)
+		if n > 0 && r.err == nil {
+			d.Outliers = make([]fleetobs.Outlier, 0, n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			var o fleetobs.Outlier
+			o.Rack = r.str()
+			o.Reason = r.str()
+			o.Score = r.f64()
+			o.PowerW = r.f64()
+			o.HeadroomW = r.f64()
+			o.StalePeriods = int(r.u32())
+			if r.err == nil {
+				d.Outliers = append(d.Outliers, o)
+			}
+		}
+	}
+	if flags&digFlagLevels != 0 {
+		n := r.checkCount(int(r.u8()), binDigLevelSize)
+		if n > 0 && r.err == nil {
+			d.Levels = make([]fleetobs.LevelStats, 0, n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			var l fleetobs.LevelStats
+			l.Level = int(r.u32())
+			l.Workers = int(r.u32())
+			l.GatherErrors = int(r.u32())
+			l.Stale = int(r.u32())
+			l.Held = int(r.u32())
+			switch present := r.u8(); {
+			case r.err != nil:
+			case present == 1:
+				readMergeHist(r, &l.GatherLatency)
+			case present != 0:
+				r.err = fmt.Errorf("controlplane: digest level hist-present byte %d, want 0 or 1", present)
+			}
+			if r.err == nil {
+				d.Levels = append(d.Levels, l)
+			}
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	return d
+}
+
 func (c *binaryCodec) ReadResponse(resp *wireResponse) error {
 	*resp = wireResponse{}
 	r, err := c.readFrame()
@@ -660,6 +923,11 @@ func (c *binaryCodec) ReadResponse(resp *wireResponse) error {
 	}
 	if flags&respFlagSummary != 0 {
 		resp.Summary = readSummary(&r)
+	}
+	if flags&respFlagDigest != 0 {
+		before := r.off
+		resp.Digest = readDigest(&r)
+		c.digBytes.Add(float64(r.off - before))
 	}
 	if flags&respFlagSpans != 0 {
 		n := r.checkCount(int(r.u16()), binSpanSize)
@@ -720,6 +988,11 @@ func (c *binaryCodec) ReadResponse(resp *wireResponse) error {
 			}
 			if ef&entFlagSummary != 0 {
 				e.Summary = readSummary(&r)
+			}
+			if ef&entFlagDigest != 0 {
+				before := r.off
+				e.Digest = readDigest(&r)
+				c.digBytes.Add(float64(r.off - before))
 			}
 			if r.err == nil {
 				entries = append(entries, e)
@@ -795,18 +1068,33 @@ func detectServerCodec(br *bufio.Reader, w io.Writer, accept string) (codec, err
 type deltaTracker struct {
 	deadband power.Watts
 	last     map[string]core.Summary // by rack; "" for un-routed gathers
+	// lastDig mirrors last for fleet digests on digest-bearing gathers:
+	// a response only squashes when the summary AND its digest both sit
+	// within the deadband, so the client's cached digest stays a faithful
+	// substitute.
+	lastDig map[string]*fleetobs.StatDigest
 }
 
-// squashable reports whether the rack's fresh summary may be squashed,
-// updating the tracker's last-sent record when not.
-func (d *deltaTracker) squashable(haveCached bool, rack string, s *core.Summary) bool {
-	if last, ok := d.last[rack]; ok && haveCached && summariesWithin(&last, s, d.deadband) {
+// squashable reports whether the rack's fresh summary (and digest, when
+// one rides along) may be squashed, updating the tracker's last-sent
+// records when not.
+func (d *deltaTracker) squashable(haveCached bool, rack string, s *core.Summary, dig *fleetobs.StatDigest) bool {
+	if last, ok := d.last[rack]; ok && haveCached && summariesWithin(&last, s, d.deadband) &&
+		digestsWithin(d.lastDig[rack], dig, d.deadband) {
 		return true
 	}
 	if d.last == nil {
 		d.last = make(map[string]core.Summary)
 	}
 	d.last[rack] = s.Clone()
+	if dig != nil {
+		if d.lastDig == nil {
+			d.lastDig = make(map[string]*fleetobs.StatDigest)
+		}
+		d.lastDig[rack] = dig.Clone()
+	} else {
+		delete(d.lastDig, rack)
+	}
 	return false
 }
 
@@ -818,8 +1106,9 @@ func (d *deltaTracker) squash(req *wireRequest, resp *wireResponse) bool {
 	if d == nil || req.Op != opGather || !resp.OK || resp.Summary == nil {
 		return false
 	}
-	if d.squashable(req.HaveCached, req.Rack, resp.Summary) {
+	if d.squashable(req.HaveCached, req.Rack, resp.Summary, resp.Digest) {
 		resp.Summary = nil
+		resp.Digest = nil
 		resp.Unchanged = true
 		return true
 	}
@@ -838,13 +1127,66 @@ func (d *deltaTracker) squashBatch(req *wireRequest, resp *wireResponse) int {
 		if !e.OK || e.Summary == nil {
 			continue
 		}
-		if d.squashable(req.HaveCached, e.Rack, e.Summary) {
+		if d.squashable(req.HaveCached, e.Rack, e.Summary, e.Digest) {
 			e.Summary = nil
+			e.Digest = nil
 			e.Unchanged = true
 			n++
 		}
 	}
 	return n
+}
+
+// digestsWithin reports whether a fresh digest b may be represented by the
+// last-sent digest a without misleading the fleet rollup: counters and
+// identities must match exactly, watt fields within the deadband. Both
+// nil (a digest-less gather) is trivially within; a digest appearing or
+// disappearing never squashes.
+func digestsWithin(a, b *fleetobs.StatDigest, deadband power.Watts) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if deadband < 0 {
+		deadband = 0
+	}
+	db := float64(deadband)
+	if a.Racks != b.Racks || a.ViolatingRacks != b.ViolatingRacks ||
+		a.WorstHeadroomRack != b.WorstHeadroomRack {
+		return false
+	}
+	if absF(a.PowerW-b.PowerW) > db || absF(a.RequestW-b.RequestW) > db ||
+		absF(a.CapMinW-b.CapMinW) > db || absF(a.BudgetW-b.BudgetW) > db ||
+		absF(a.HeadroomW-b.HeadroomW) > db || absF(a.WorstHeadroomW-b.WorstHeadroomW) > db ||
+		absF(a.ViolationW-b.ViolationW) > db {
+		return false
+	}
+	if a.Headroom != b.Headroom {
+		return false
+	}
+	if len(a.Outliers) != len(b.Outliers) || len(a.Levels) != len(b.Levels) {
+		return false
+	}
+	for i := range a.Outliers {
+		oa, ob := &a.Outliers[i], &b.Outliers[i]
+		if oa.Rack != ob.Rack || oa.Reason != ob.Reason || oa.StalePeriods != ob.StalePeriods ||
+			absF(oa.Score-ob.Score) > db || absF(oa.PowerW-ob.PowerW) > db ||
+			absF(oa.HeadroomW-ob.HeadroomW) > db {
+			return false
+		}
+	}
+	for i := range a.Levels {
+		if a.Levels[i] != b.Levels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // summariesWithin reports whether every metric of b sits within deadband

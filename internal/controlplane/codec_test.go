@@ -3,12 +3,14 @@ package controlplane
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"capmaestro/internal/core"
+	"capmaestro/internal/fleetobs"
 	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 )
@@ -26,7 +28,39 @@ func codecRequestFixtures() map[string]wireRequest {
 		"budget-traced":  {Op: opBudget, Budget: 987.25, Trace: &flightrec.TraceContext{TraceID: "t", ParentID: ""}},
 		"traced-cached":  {Op: opGather, HaveCached: true, Trace: &flightrec.TraceContext{TraceID: "abc123", ParentID: "def456"}},
 		"budget-decimal": {Op: opBudget, Budget: 0.0625},
+		"gather-digest":  {Op: opGather, WantDigest: true},
+		"digest-cached":  {Op: opGather, WantDigest: true, HaveCached: true},
 	}
+}
+
+// codecDigestFixture builds a fleet digest exercising every optional
+// section of the digest wire format: histogram, outliers, level rows
+// (with and without latency histograms), and the worst-rack ID.
+func codecDigestFixture() *fleetobs.StatDigest {
+	d := &fleetobs.StatDigest{
+		Racks:             3,
+		PowerW:            2900,
+		RequestW:          3100,
+		CapMinW:           1740,
+		BudgetW:           3480,
+		HeadroomW:         580,
+		WorstHeadroomW:    -60,
+		WorstHeadroomRack: "rack-2",
+		ViolationW:        60,
+		ViolatingRacks:    1,
+	}
+	d.Headroom.Observe(fleetobs.HeadroomBounds, -0.0625)
+	d.Headroom.Observe(fleetobs.HeadroomBounds, 0.25)
+	d.Headroom.Observe(fleetobs.HeadroomBounds, 0.5)
+	d.AddOutlier(fleetobs.Outlier{Rack: "rack-2", Reason: fleetobs.ReasonCapExceeded,
+		Score: 1.0625, PowerW: 1020, HeadroomW: -60})
+	d.AddOutlier(fleetobs.Outlier{Rack: "rack-9", Reason: fleetobs.ReasonStale,
+		Score: 4, StalePeriods: 2})
+	lvl1 := fleetobs.LevelStats{Level: 1, Workers: 3, GatherErrors: 1, Stale: 1, Held: 1}
+	lvl1.GatherLatency.Observe(fleetobs.LatencyBounds, 0.001953125)
+	d.AddLevel(&lvl1)
+	d.AddLevel(&fleetobs.LevelStats{Level: 2, Workers: 1})
+	return d
 }
 
 func codecResponseFixtures() map[string]wireResponse {
@@ -38,12 +72,16 @@ func codecResponseFixtures() map[string]wireResponse {
 	empty := core.NewSummary()
 	empty.Constraint = 42.5
 	start := time.Unix(0, 1722000000123456789)
+	bareDig := &fleetobs.StatDigest{Racks: 1, PowerW: 950, RequestW: 1000,
+		CapMinW: 570, HeadroomW: 210, WorstHeadroomW: 210}
 	return map[string]wireResponse{
 		"ok":            {OK: true},
 		"error":         {Error: "rack on fire"},
 		"summary":       {OK: true, Summary: &multi},
 		"summary-empty": {OK: true, Summary: &empty},
 		"unchanged":     {OK: true, Unchanged: true},
+		"digest":        {OK: true, Summary: &multi, Digest: codecDigestFixture()},
+		"digest-bare":   {OK: true, Summary: &empty, Digest: bareDig},
 		"traced": {
 			OK:      true,
 			Summary: &multi,
@@ -76,7 +114,8 @@ func codecPair(name string) (codec, *bytes.Buffer) {
 }
 
 func requestsEquivalent(a, b wireRequest) bool {
-	if a.Op != b.Op || a.Budget != b.Budget || a.HaveCached != b.HaveCached {
+	if a.Op != b.Op || a.Budget != b.Budget || a.HaveCached != b.HaveCached ||
+		a.WantDigest != b.WantDigest {
 		return false
 	}
 	switch {
@@ -116,6 +155,9 @@ func responsesEquivalent(a, b wireResponse) bool {
 		return false
 	}
 	if !summariesEquivalent(a.Summary, b.Summary) {
+		return false
+	}
+	if !reflect.DeepEqual(a.Digest, b.Digest) {
 		return false
 	}
 	if len(a.Spans) != len(b.Spans) {
@@ -241,6 +283,52 @@ func TestBinaryDecodeRejectsMalformed(t *testing.T) {
 		"trailing-bytes":   append([]byte{10, 0, 0, 0, binVersion, respFlagOK}, make([]byte, 8)...),
 		"forged-count": append([]byte{12, 0, 0, 0, binVersion, respFlagSummary},
 			0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff), // claims 65535 levels in 0 bytes
+		"digest-bad-version": digestFrame(func(w *binWriter) {
+			w.u8(9)
+			w.u8(0)
+			digestScalars(w)
+		}),
+		"digest-unknown-flags": digestFrame(func(w *binWriter) {
+			w.u8(digVersion)
+			w.u8(0x80)
+		}),
+		"digest-empty-worst-rack": digestFrame(func(w *binWriter) {
+			w.u8(digVersion)
+			w.u8(digFlagWorst)
+			digestScalars(w)
+			w.str("")
+		}),
+		"digest-hist-overflow": digestFrame(func(w *binWriter) {
+			w.u8(digVersion)
+			w.u8(digFlagHist)
+			digestScalars(w)
+			w.u8(200) // claims 200 nonzero buckets, max is MergeHistBuckets
+		}),
+		"digest-hist-bad-index": digestFrame(func(w *binWriter) {
+			w.u8(digVersion)
+			w.u8(digFlagHist)
+			digestScalars(w)
+			w.u8(1)
+			w.u8(50) // bucket index out of range
+			w.u64(1)
+			w.f64(0)
+		}),
+		"digest-forged-outliers": digestFrame(func(w *binWriter) {
+			w.u8(digVersion)
+			w.u8(digFlagOutliers)
+			digestScalars(w)
+			w.u8(255) // claims 255 outliers in 0 bytes
+		}),
+		"digest-level-bad-hist-byte": digestFrame(func(w *binWriter) {
+			w.u8(digVersion)
+			w.u8(digFlagLevels)
+			digestScalars(w)
+			w.u8(1) // one level row
+			for i := 0; i < 5; i++ {
+				w.u32(0)
+			}
+			w.u8(7) // hist-present byte must be 0 or 1
+		}),
 	}
 	for name, data := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -249,11 +337,33 @@ func TestBinaryDecodeRejectsMalformed(t *testing.T) {
 			if err := bc.ReadResponse(&got); err == nil {
 				t.Fatalf("malformed frame decoded: %+v", got)
 			}
-			if got.Summary != nil || got.Spans != nil || got.OK {
+			if got.Summary != nil || got.Spans != nil || got.Digest != nil || got.OK {
 				t.Fatalf("failed decode left state: %+v", got)
 			}
 		})
 	}
+}
+
+// digestFrame wraps hand-built digest payload bytes in a well-formed
+// response frame carrying only the digest flag, so decode failures are
+// attributable to the digest section alone.
+func digestFrame(payload func(w *binWriter)) []byte {
+	var w binWriter
+	w.u8(binVersion)
+	w.u8(respFlagDigest)
+	payload(&w)
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(w.b)))
+	return append(frame, w.b...)
+}
+
+// digestScalars writes the fixed digest header that precedes every
+// optional section: rack count, seven watt fields, violating-rack count.
+func digestScalars(w *binWriter) {
+	w.u32(1)
+	for i := 0; i < 7; i++ {
+		w.f64(100)
+	}
+	w.u32(0)
 }
 
 // TestBinaryEncodeRejectsOversizedFields pins the encoder-side limits:

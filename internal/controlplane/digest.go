@@ -1,0 +1,135 @@
+package controlplane
+
+import (
+	"context"
+	"sort"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/fleetobs"
+	"capmaestro/internal/power"
+)
+
+// DigestGatherer is the optional interface a RackClient implements to
+// piggyback a fleet observability digest on gathers. RackWorker,
+// Aggregator, LocalClient, TCPClient, and RackHandle all implement it;
+// plain RackClients still work — the caller synthesizes a single-rack
+// digest from the summary instead (see digestMerger.note).
+type DigestGatherer interface {
+	GatherDigest(ctx context.Context) (core.Summary, *fleetobs.StatDigest, error)
+}
+
+// gatherMaybeDigest gathers from w, asking for a digest when the request
+// wants one and the worker can produce it.
+func gatherMaybeDigest(ctx context.Context, w RackClient, want bool) (core.Summary, *fleetobs.StatDigest, error) {
+	if want {
+		if dg, ok := w.(DigestGatherer); ok {
+			return dg.GatherDigest(ctx)
+		}
+	}
+	s, err := w.Gather(ctx)
+	return s, nil, err
+}
+
+// rackSelfDigest fills d with a single rack's contribution to the fleet
+// rollup, derived from its freshly gathered summary and the last budget
+// pushed to it. haveBudget is false before the first push; headroom then
+// measures against the rack's own constraint, which is what the budget
+// would converge to absent contention.
+func rackSelfDigest(d *fleetobs.StatDigest, id string, s *core.Summary, budget power.Watts, haveBudget bool) {
+	d.Reset()
+	demand := float64(s.TotalDemand())
+	d.Racks = 1
+	d.PowerW = demand
+	d.RequestW = float64(s.TotalRequest())
+	d.CapMinW = float64(s.TotalCapMin())
+	limit := float64(s.Constraint)
+	if haveBudget {
+		limit = float64(budget)
+		d.BudgetW = limit
+	}
+	headroom := limit - demand
+	d.HeadroomW = headroom
+	d.WorstHeadroomW = headroom
+	d.WorstHeadroomRack = id
+	// Headroom is observed as a fraction of demand so racks of very
+	// different sizes land in comparable buckets.
+	scale := demand
+	if scale < 1 {
+		scale = 1
+	}
+	frac := headroom / scale
+	d.Headroom.Observe(fleetobs.HeadroomBounds, frac)
+	switch {
+	case headroom < 0:
+		d.ViolatingRacks = 1
+		d.ViolationW = -headroom
+		d.AddOutlier(fleetobs.Outlier{
+			Rack:      id,
+			Reason:    fleetobs.ReasonCapExceeded,
+			Score:     1 - frac,
+			PowerW:    demand,
+			HeadroomW: headroom,
+		})
+	case frac < fleetobs.LowHeadroomFrac:
+		d.AddOutlier(fleetobs.Outlier{
+			Rack:      id,
+			Reason:    fleetobs.ReasonLowHeadroom,
+			Score:     fleetobs.LowHeadroomFrac - frac,
+			PowerW:    demand,
+			HeadroomW: headroom,
+		})
+	}
+}
+
+// digestMerger folds child digests into one rollup per gather wave. It
+// keeps a per-child scratch digest so steady state reuses every buffer:
+// note copies (or synthesizes) each child's digest, fold merges them in
+// deterministic child order and appends this tier's own level row.
+type digestMerger struct {
+	children map[string]*fleetobs.StatDigest
+	order    []string
+	acc      fleetobs.StatDigest
+}
+
+// reset forgets the previous wave's children (their scratch digests are
+// kept for reuse).
+func (m *digestMerger) reset() {
+	m.order = m.order[:0]
+}
+
+// note records one child's contribution: its own digest when it sent one,
+// else a single-rack digest synthesized from the summary, so a fleet
+// built from digest-less workers still rolls up watt-for-watt.
+func (m *digestMerger) note(id string, dig *fleetobs.StatDigest, s *core.Summary, budget power.Watts, haveBudget bool) {
+	if m.children == nil {
+		m.children = make(map[string]*fleetobs.StatDigest)
+	}
+	d := m.children[id]
+	if d == nil {
+		d = &fleetobs.StatDigest{}
+		m.children[id] = d
+	}
+	if dig != nil {
+		d.CopyFrom(dig)
+	} else {
+		rackSelfDigest(d, id, s, budget, haveBudget)
+	}
+	m.order = append(m.order, id)
+}
+
+// fold merges every noted child into the accumulator (sorted by child ID,
+// so the merge order — and therefore float rounding — is deterministic)
+// and stamps this tier's level row on top. The returned digest is the
+// merger's scratch accumulator: copy it out before the next fold.
+func (m *digestMerger) fold(own fleetobs.LevelStats) *fleetobs.StatDigest {
+	sort.Strings(m.order)
+	m.acc.Reset()
+	for _, id := range m.order {
+		m.acc.Merge(m.children[id])
+	}
+	if own.Level == 0 {
+		own.Level = m.acc.NextLevel()
+	}
+	m.acc.AddLevel(&own)
+	return &m.acc
+}

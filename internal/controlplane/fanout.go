@@ -4,8 +4,10 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"capmaestro/internal/core"
+	"capmaestro/internal/fleetobs"
 	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 )
@@ -68,6 +70,13 @@ type fanCall struct {
 	batched bool // claimed by a batchTask this wave
 	budget  power.Watts
 	summary core.Summary
+	// digest is the child's fleet digest when the engine gathers digests
+	// and the child produced one (nil otherwise; the worker synthesizes).
+	digest *fleetobs.StatDigest
+	// elapsed is the gather RPC's round-trip time (the whole batch
+	// frame's, for batched calls), observed into the fleet digest's
+	// per-level gather-latency histogram.
+	elapsed time.Duration
 	err     error
 }
 
@@ -92,6 +101,10 @@ type fanEngine struct {
 	lim   limiter
 	calls []fanCall
 	wg    sync.WaitGroup
+
+	// digests asks gather waves to collect fleet digests from children
+	// that implement DigestGatherer.
+	digests bool
 
 	// wave-scoped; set before spawning, read by wave goroutines.
 	ctx    context.Context
@@ -218,12 +231,22 @@ func (e *fanEngine) runWave(ctx context.Context, pt *flightrec.PeriodTrace, pare
 func (e *fanEngine) gatherOne(i int) {
 	c := &e.calls[i]
 	span := e.pt.StartSpan("rpc.gather", c.id, e.parent)
-	s, err := c.client.Gather(flightrec.ContextWithSpan(e.ctx, e.pt, span))
+	ctx := flightrec.ContextWithSpan(e.ctx, e.pt, span)
+	start := time.Now()
+	var s core.Summary
+	var dig *fleetobs.StatDigest
+	var err error
+	if dg, ok := c.client.(DigestGatherer); ok && e.digests {
+		s, dig, err = dg.GatherDigest(ctx)
+	} else {
+		s, err = c.client.Gather(ctx)
+	}
+	c.elapsed = time.Since(start)
 	if err == nil {
 		err = s.Validate()
 	}
 	span.End(err)
-	c.summary, c.err = s, err
+	c.summary, c.digest, c.err = s, dig, err
 	e.lim.release()
 	e.wg.Done()
 }
@@ -241,10 +264,13 @@ func (e *fanEngine) pushOne(i int) {
 func (t *batchTask) gather() {
 	e := t.e
 	span := e.pt.StartSpan("rpc.gather", t.label, e.parent)
+	start := time.Now()
 	err := t.tr.GatherBatch(flightrec.ContextWithSpan(e.ctx, e.pt, span), t.ids, t.gout[:len(t.idx)])
+	elapsed := time.Since(start)
 	span.End(err)
 	for j, i := range t.idx {
 		c := &e.calls[i]
+		c.elapsed = elapsed
 		if err != nil {
 			c.err = err
 			continue
@@ -253,7 +279,7 @@ func (t *batchTask) gather() {
 		if r.Err == nil {
 			r.Err = r.Summary.Validate()
 		}
-		c.summary, c.err = r.Summary, r.Err
+		c.summary, c.digest, c.err = r.Summary, r.Digest, r.Err
 	}
 	e.lim.release()
 	e.wg.Done()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"capmaestro/internal/core"
+	"capmaestro/internal/fleetobs"
 	"capmaestro/internal/power"
 )
 
@@ -126,6 +127,22 @@ func (f *FaultyClient) Gather(ctx context.Context) (core.Summary, error) {
 	}
 	f.gathers.Add(1)
 	return f.inner.Gather(ctx)
+}
+
+// GatherDigest implements DigestGatherer, injecting the same fault
+// schedule as Gather. When the inner client cannot produce a digest the
+// call degrades to a plain gather so wrapped digest-less clients keep
+// working.
+func (f *FaultyClient) GatherDigest(ctx context.Context) (core.Summary, *fleetobs.StatDigest, error) {
+	if err := f.before(ctx, opGather); err != nil {
+		return core.Summary{}, nil, err
+	}
+	f.gathers.Add(1)
+	if dg, ok := f.inner.(DigestGatherer); ok {
+		return dg.GatherDigest(ctx)
+	}
+	s, err := f.inner.Gather(ctx)
+	return s, nil, err
 }
 
 // ApplyBudget implements RackClient.

@@ -172,13 +172,23 @@ func TestHierarchyMatchesMonolithic(t *testing.T) {
 // hierarchy through fault injection at both weak points — a dropping
 // proxy in front of each rack endpoint and FaultyClients between room and
 // aggregators — then clears the faults and asserts the hierarchy settles
-// to exactly the monolithic allocation. Raced in CI under both codecs.
+// to exactly the monolithic allocation, with the fleet observability
+// digest rollup watt-for-watt equal to the racks' total demand. Runs once
+// per wire codec, digests enabled end to end. Raced in CI.
 func TestThreeLevelHierarchyChaos(t *testing.T) {
+	for _, codecName := range []string{CodecJSON, CodecBinary} {
+		t.Run(codecName, func(t *testing.T) {
+			testThreeLevelHierarchyChaos(t, codecName)
+		})
+	}
+}
+
+func testThreeLevelHierarchyChaos(t *testing.T, codecName string) {
 	seed := chaosSeed(t)
 	const (
 		racks      = 4
 		fanOut     = 2
-		roomBudget = 2900 // < total demand ~3500: capping active
+		roomBudget = 2900 // < total demand 3480: capping active
 	)
 
 	budgets := make(map[string]power.Watts)
@@ -226,7 +236,8 @@ func TestThreeLevelHierarchyChaos(t *testing.T) {
 		t.Cleanup(func() { srv.Close() })
 		proxy := newDroppingProxy(t, srv.Addr(), 5)
 		proxies = append(proxies, proxy)
-		tc := DialRack(proxy.addr(), 2*time.Second, WithRPCRetry(3, 2*time.Millisecond))
+		tc := DialRack(proxy.addr(), 2*time.Second, WithWireCodec(codecName),
+			WithDigests(true), WithRPCRetry(3, 2*time.Millisecond))
 		t.Cleanup(func() { tc.Close() })
 		for r := base; r < base+fanOut; r++ {
 			clients[fmt.Sprintf("cr%d", r)] = tc.Rack(fmt.Sprintf("cr%d", r))
@@ -300,12 +311,42 @@ func TestThreeLevelHierarchyChaos(t *testing.T) {
 	}
 	want := core.MustAllocate(monoHierarchy(rackTrees, fanOut, 3), roomBudget, core.GlobalPriority).SupplyBudgets
 	mu.Lock()
-	defer mu.Unlock()
 	for supply, wb := range want {
 		if got := budgets[supply]; math.Abs(float64(got-wb)) > 0.001 {
 			t.Errorf("budget[%s] = %v, want %v", supply, got, wb)
 		}
 	}
+	mu.Unlock()
+
+	// Fleet observability rollup after settling: the digest that rode the
+	// gather path must cover every rack and sum their demand exactly —
+	// racks report 840+20r watts of demand each, 3480 W total.
+	rep, ok := room.FleetReport()
+	if !ok {
+		t.Fatal("no fleet digest after settled periods")
+	}
+	if rep.Summary.Racks != racks {
+		t.Fatalf("fleet digest covers %d racks, want %d", rep.Summary.Racks, racks)
+	}
+	if rep.Summary.PowerWatts != 3480 {
+		t.Fatalf("fleet digest power = %v W, want exactly 3480", rep.Summary.PowerWatts)
+	}
+	// Demand exceeds the room budget, so somebody must be flagged: the
+	// digest's top-K outliers carry the capped racks with reasons.
+	if len(rep.Fleet.Outliers) == 0 {
+		t.Fatal("capped fleet produced no outlier racks")
+	}
+	for _, o := range rep.Fleet.Outliers {
+		if o.Reason == "" || o.Rack == "" {
+			t.Fatalf("outlier missing rack or reason: %+v", o)
+		}
+	}
+	// Level rows: the aggregator tier (level 1, 4 racks across 2 workers
+	// merged) and the room's own row stacked above it.
+	if len(rep.Fleet.Levels) != 2 {
+		t.Fatalf("fleet digest has %d level rows, want 2: %+v", len(rep.Fleet.Levels), rep.Fleet.Levels)
+	}
+
 	drops := 0
 	for _, p := range proxies {
 		drops += p.dropCount()

@@ -30,6 +30,11 @@ type options struct {
 	deltaDeadband   power.Watts
 	rpcConcurrency  int
 	level           int
+	// digests is tri-state: nil means default (workers roll up digests;
+	// TCP clients do not request them over the wire), so existing
+	// deployments' byte streams are untouched until a client opts in.
+	digests      *bool
+	fleetHistory int
 }
 
 func buildOptions(opts []Option) options {
@@ -158,6 +163,25 @@ func WithRPCConcurrency(n int) Option {
 	return func(o *options) { o.rpcConcurrency = n }
 }
 
+// WithDigests turns the fleet observability plane on or off. On workers
+// (room workers and aggregators) it controls whether gathers roll child
+// digests into a fleet StatDigest each period — on by default. On
+// DialRack it controls whether the client asks servers to piggyback
+// digests on gather responses — off by default, so the wire byte stream
+// only changes for clients that explicitly opt in; a room over a
+// digest-less transport still rolls up, synthesizing per-rack digests
+// from the gathered summaries.
+func WithDigests(on bool) Option {
+	return func(o *options) { o.digests = &on }
+}
+
+// WithFleetHistory sizes the room worker's fleet history ring: the last n
+// periods' fleet samples back /debug/fleet/history. n <= 0 keeps the
+// default (fleetobs.DefaultHistorySize).
+func WithFleetHistory(n int) Option {
+	return func(o *options) { o.fleetHistory = n }
+}
+
 // WithHierarchyLevel labels an aggregator's per-level telemetry
 // (capmaestro_controlplane_level_* families) with its tier in the
 // hierarchy: level 1 is the tier directly above the racks. BuildHierarchy
@@ -187,6 +211,15 @@ type roomMetrics struct {
 	unseenRacks     *telemetry.Gauge
 	staleByRack     map[string]*telemetry.Gauge
 	budgetByRack    map[string]*telemetry.Gauge
+
+	// Fleet digest rollup gauges, refreshed once per period from the
+	// merged fleet digest.
+	fleetRacks         *telemetry.Gauge
+	fleetPower         *telemetry.Gauge
+	fleetHeadroom      *telemetry.Gauge
+	fleetWorstHeadroom *telemetry.Gauge
+	fleetViolating     *telemetry.Gauge
+	fleetOutliers      *telemetry.Gauge
 }
 
 func newRoomMetrics(reg *telemetry.Registry, rackIDs []string) roomMetrics {
@@ -219,6 +252,18 @@ func newRoomMetrics(reg *telemetry.Registry, rackIDs []string) roomMetrics {
 			"Racks from which no summary has ever been gathered successfully."),
 		staleByRack:  make(map[string]*telemetry.Gauge, len(rackIDs)),
 		budgetByRack: make(map[string]*telemetry.Gauge, len(rackIDs)),
+		fleetRacks: reg.Gauge("capmaestro_fleet_racks",
+			"Racks covered by the room worker's last merged fleet digest."),
+		fleetPower: reg.Gauge("capmaestro_fleet_power_watts",
+			"Fleet-wide power demand from the last merged fleet digest."),
+		fleetHeadroom: reg.Gauge("capmaestro_fleet_headroom_watts",
+			"Fleet-wide headroom (budget minus demand) from the last merged fleet digest."),
+		fleetWorstHeadroom: reg.Gauge("capmaestro_fleet_worst_rack_headroom_watts",
+			"Worst single-rack headroom in the last merged fleet digest (negative = cap violation)."),
+		fleetViolating: reg.Gauge("capmaestro_fleet_violating_racks",
+			"Racks whose demand exceeded their budget in the last merged fleet digest."),
+		fleetOutliers: reg.Gauge("capmaestro_fleet_outlier_racks",
+			"Racks flagged as outliers (cap-exceeded, low-headroom, stale) in the last merged fleet digest."),
 	}
 	for _, id := range rackIDs {
 		m.staleByRack[id] = stale.With(id)
@@ -272,6 +317,7 @@ type rpcMetrics struct {
 	openConns      *telemetry.Gauge
 	batchFrames    *telemetry.Counter
 	batchRacks     *telemetry.Counter
+	digestBytes    *telemetry.Counter
 }
 
 func newRPCMetrics(reg *telemetry.Registry, role string) rpcMetrics {
@@ -306,6 +352,9 @@ func newRPCMetrics(reg *telemetry.Registry, role string) rpcMetrics {
 			"Multi-rack batch frames sent (client) or handled (server).", "role").With(role),
 		batchRacks: reg.CounterVec("capmaestro_rpc_batch_racks_total",
 			"Racks multiplexed into batch frames; batch_racks/batch_frames is the realized batching factor.",
+			"role").With(role),
+		digestBytes: reg.CounterVec("capmaestro_fleet_digest_wire_bytes_total",
+			"Bytes of fleet digest payload carried inside binary gather frames; digest_wire_bytes/rpc_bytes is the observability plane's wire overhead.",
 			"role").With(role),
 	}
 	for _, op := range []string{opGather, opBudget, opPing, opBatchGather, opBatchBudget} {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"capmaestro/internal/core"
+	"capmaestro/internal/fleetobs"
 	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 	"capmaestro/internal/telemetry"
@@ -41,7 +42,10 @@ type BatchBudget struct {
 // GatherResult is one rack's outcome inside a batched gather.
 type GatherResult struct {
 	Summary core.Summary
-	Err     error
+	// Digest is the rack's fleet observability digest, present when the
+	// client requested digests and the server's worker produces them.
+	Digest *fleetobs.StatDigest
+	Err    error
 }
 
 type wireRequest struct {
@@ -64,6 +68,10 @@ type wireRequest struct {
 	// Unchanged response. Only the binary codec sets it, so the JSON byte
 	// stream is unchanged.
 	HaveCached bool `json:"have_cached,omitempty"`
+	// WantDigest asks gathers to piggyback a fleet observability digest
+	// on the response. Only digest-enabled clients set it, so both codecs'
+	// byte streams are unchanged for everyone else.
+	WantDigest bool `json:"want_digest,omitempty"`
 }
 
 // wireBatchEntry is one rack's slot in a batched response, in request
@@ -73,6 +81,8 @@ type wireBatchEntry struct {
 	OK      bool          `json:"ok"`
 	Error   string        `json:"error,omitempty"`
 	Summary *core.Summary `json:"summary,omitempty"`
+	// Digest piggybacks the rack's fleet digest on a want-digest gather.
+	Digest *fleetobs.StatDigest `json:"digest,omitempty"`
 	// Unchanged marks a batched gather entry squashed by the server's
 	// delta tracker; the client substitutes its cached copy for the rack.
 	Unchanged bool `json:"unchanged,omitempty"`
@@ -82,6 +92,9 @@ type wireResponse struct {
 	OK      bool          `json:"ok"`
 	Error   string        `json:"error,omitempty"`
 	Summary *core.Summary `json:"summary,omitempty"`
+	// Digest piggybacks the responding worker's fleet digest on a
+	// want-digest gather, adding zero extra RPCs to the period.
+	Digest *fleetobs.StatDigest `json:"digest,omitempty"`
 	// Unchanged marks a gather response whose summary stayed within the
 	// server's deadband of the last full summary sent on this connection;
 	// the client substitutes its cached copy. Binary codec only.
@@ -230,6 +243,9 @@ func (s *RackServer) serveConn(conn net.Conn) {
 		return
 	}
 	encHist, decHist := s.met.codecHists(cdc.Name())
+	if bc, ok := cdc.(*binaryCodec); ok {
+		bc.digBytes = s.met.digestBytes
+	}
 	// Delta squashing rides on the binary codec only: the JSON stream
 	// stays byte-compatible with pre-codec servers.
 	var delta *deltaTracker
@@ -342,11 +358,11 @@ func (s *RackServer) dispatch(ctx context.Context, req wireRequest, batchScratch
 		if err != nil {
 			return wireResponse{Error: err.Error()}
 		}
-		summary, err := w.Gather(ctx)
+		summary, dig, err := gatherMaybeDigest(ctx, w, req.WantDigest)
 		if err != nil {
 			return wireResponse{Error: err.Error()}
 		}
-		return wireResponse{OK: true, Summary: &summary}
+		return wireResponse{OK: true, Summary: &summary, Digest: dig}
 	case opBudget:
 		w, err := s.route(req.Rack)
 		if err != nil {
@@ -367,12 +383,13 @@ func (s *RackServer) dispatch(ctx context.Context, req wireRequest, batchScratch
 			w, ok := s.workers[rack]
 			if !ok {
 				e.Error = fmt.Sprintf("unknown rack %q", rack)
-			} else if summary, err := w.Gather(ctx); err != nil {
+			} else if summary, dig, err := gatherMaybeDigest(ctx, w, req.WantDigest); err != nil {
 				e.Error = err.Error()
 			} else {
 				e.OK = true
 				s := summary
 				e.Summary = &s
+				e.Digest = dig
 			}
 			entries = append(entries, e)
 		}
@@ -437,7 +454,11 @@ type TCPClient struct {
 	retries   int
 	backoff   time.Duration
 	codecName string
-	met       rpcMetrics
+	// wantDigest asks every gather on this client to piggyback a fleet
+	// digest. Off by default so existing deployments' byte streams (and
+	// pinned wire-shape tests) are untouched; WithDigests(true) enables it.
+	wantDigest bool
+	met        rpcMetrics
 
 	reqMu sync.Mutex // serializes round trips; never taken by Close
 
@@ -458,6 +479,10 @@ type TCPClient struct {
 	// per rack ("" for un-routed gathers). Entries are replaced wholesale
 	// (never mutated), so summaries handed out stay valid after eviction.
 	cached map[string]*core.Summary
+	// cachedDig mirrors cached for fleet digests: the server only
+	// squashes a digest-bearing gather when the digest also sat within
+	// the deadband, so the cached copy is a faithful substitute.
+	cachedDig map[string]*fleetobs.StatDigest
 }
 
 // DialRack creates a client for the rack server at addr. timeout bounds
@@ -471,12 +496,13 @@ func DialRack(addr string, timeout time.Duration, opts ...Option) *TCPClient {
 	}
 	o := buildOptions(opts)
 	return &TCPClient{
-		addr:      addr,
-		timeout:   timeout,
-		retries:   o.rpcRetries,
-		backoff:   o.rpcRetryBackoff,
-		codecName: resolveClientCodec(o.wireCodec),
-		met:       newRPCMetrics(o.reg, "client"),
+		addr:       addr,
+		timeout:    timeout,
+		retries:    o.rpcRetries,
+		backoff:    o.rpcRetryBackoff,
+		codecName:  resolveClientCodec(o.wireCodec),
+		wantDigest: o.digests != nil && *o.digests,
+		met:        newRPCMetrics(o.reg, "client"),
 	}
 }
 
@@ -523,7 +549,8 @@ func (c *TCPClient) pushChannel() (*TCPClient, error) {
 	if c.pushC == nil {
 		c.pushC = &TCPClient{
 			addr: c.addr, timeout: c.timeout, retries: c.retries,
-			backoff: c.backoff, codecName: c.codecName, met: c.met,
+			backoff: c.backoff, codecName: c.codecName,
+			wantDigest: c.wantDigest, met: c.met,
 		}
 	}
 	return c.pushC, nil
@@ -538,6 +565,7 @@ func (c *TCPClient) dropConnLocked() {
 	c.conn = nil
 	c.cdc = nil
 	c.cached = nil
+	c.cachedDig = nil
 	c.met.openConns.Dec()
 }
 
@@ -562,6 +590,9 @@ func (c *TCPClient) connFor() (net.Conn, codec, error) {
 	}
 	counted := countConn(conn, c.met.bytesIn, c.met.bytesOut)
 	cdc := newClientCodec(c.codecName, counted)
+	if bc, ok := cdc.(*binaryCodec); ok {
+		bc.digBytes = c.met.digestBytes
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -572,6 +603,7 @@ func (c *TCPClient) connFor() (net.Conn, codec, error) {
 	// reqMu serializes dialers, so no connection can have appeared.
 	c.conn, c.cdc = conn, cdc
 	c.cached = nil
+	c.cachedDig = nil
 	c.encHist, c.decHist = c.met.codecHists(cdc.Name())
 	c.met.openConns.Inc()
 	return conn, cdc, nil
@@ -703,6 +735,7 @@ func (c *TCPClient) finishGather(conn net.Conn, rack string, resp *wireResponse)
 	case resp.Unchanged && resp.Summary == nil:
 		if s := c.cached[rack]; s != nil && c.conn == conn {
 			resp.Summary = s
+			resp.Digest = c.cachedDig[rack]
 			c.met.deltaHits.Inc()
 			c.mu.Unlock()
 			return nil
@@ -713,7 +746,7 @@ func (c *TCPClient) finishGather(conn net.Conn, rack string, resp *wireResponse)
 		// Cache the full summary for this connection. Cache entries are
 		// replaced wholesale (never mutated in place), so earlier copies
 		// handed to the room worker's proxies stay valid.
-		c.cacheLocked(conn, rack, resp.Summary)
+		c.cacheLocked(conn, rack, resp.Summary, resp.Digest)
 		c.mu.Unlock()
 		return nil
 	default:
@@ -722,9 +755,9 @@ func (c *TCPClient) finishGather(conn net.Conn, rack string, resp *wireResponse)
 	}
 }
 
-// cacheLocked stores a freshly decoded full summary in the live
-// connection's delta cache.
-func (c *TCPClient) cacheLocked(conn net.Conn, rack string, s *core.Summary) {
+// cacheLocked stores a freshly decoded full summary (and its digest, when
+// one rode along) in the live connection's delta cache.
+func (c *TCPClient) cacheLocked(conn net.Conn, rack string, s *core.Summary, dig *fleetobs.StatDigest) {
 	if c.conn != conn {
 		return
 	}
@@ -732,6 +765,14 @@ func (c *TCPClient) cacheLocked(conn net.Conn, rack string, s *core.Summary) {
 		c.cached = make(map[string]*core.Summary)
 	}
 	c.cached[rack] = s
+	if dig != nil {
+		if c.cachedDig == nil {
+			c.cachedDig = make(map[string]*fleetobs.StatDigest)
+		}
+		c.cachedDig[rack] = dig
+	} else {
+		delete(c.cachedDig, rack)
+	}
 }
 
 // checkBatchShape validates that a batch response covers exactly the
@@ -764,13 +805,14 @@ func (c *TCPClient) finishBatchGather(conn net.Conn, racks []string, resp *wireR
 		case e.Unchanged && e.Summary == nil:
 			if s := c.cached[e.Rack]; s != nil && c.conn == conn {
 				e.Summary = s
+				e.Digest = c.cachedDig[e.Rack]
 				c.met.deltaHits.Inc()
 				continue
 			}
 			c.mu.Unlock()
 			return c.protocolFault(conn, "unchanged batch gather but no cached summary")
 		case !e.Unchanged && e.Summary != nil:
-			c.cacheLocked(conn, e.Rack, e.Summary)
+			c.cacheLocked(conn, e.Rack, e.Summary, e.Digest)
 		default:
 			c.mu.Unlock()
 			return c.protocolFault(conn, "batch gather entry with OK but no usable summary")
@@ -821,16 +863,26 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 
 // Gather implements RackClient.
 func (c *TCPClient) Gather(ctx context.Context) (core.Summary, error) {
-	resp, err := c.roundTrip(ctx, wireRequest{Op: opGather, Trace: flightrec.WireContext(ctx)})
+	s, _, err := c.GatherDigest(ctx)
+	return s, err
+}
+
+// GatherDigest gathers the rack's summary plus, when this client was
+// dialed with WithDigests(true) and the remote worker produces them, its
+// fleet observability digest — piggybacked on the same round trip, never
+// an extra RPC. The digest is nil when digests are off or unsupported
+// remotely.
+func (c *TCPClient) GatherDigest(ctx context.Context) (core.Summary, *fleetobs.StatDigest, error) {
+	resp, err := c.roundTrip(ctx, wireRequest{Op: opGather, WantDigest: c.wantDigest, Trace: flightrec.WireContext(ctx)})
 	if err != nil {
-		return core.Summary{}, err
+		return core.Summary{}, nil, err
 	}
 	if resp.Summary == nil {
 		// finishGather guarantees a summary on success; this guards the
 		// invariant if it is ever violated.
-		return core.Summary{}, &protocolError{msg: "gather response missing summary"}
+		return core.Summary{}, nil, &protocolError{msg: "gather response missing summary"}
 	}
-	return *resp.Summary, nil
+	return *resp.Summary, resp.Digest, nil
 }
 
 // ApplyBudget implements RackClient. Budget pushes ride the dedicated
@@ -862,7 +914,7 @@ func (c *TCPClient) GatherBatch(ctx context.Context, racks []string, out []Gathe
 		return nil
 	}
 	c.met.noteBatch(len(racks))
-	resp, err := c.roundTrip(ctx, wireRequest{Op: opBatchGather, BatchRacks: racks, Trace: flightrec.WireContext(ctx)})
+	resp, err := c.roundTrip(ctx, wireRequest{Op: opBatchGather, BatchRacks: racks, WantDigest: c.wantDigest, Trace: flightrec.WireContext(ctx)})
 	if err != nil {
 		return err
 	}
@@ -873,7 +925,7 @@ func (c *TCPClient) GatherBatch(ctx context.Context, racks []string, out []Gathe
 			out[i] = GatherResult{Err: &serverError{msg: e.Error}}
 			continue
 		}
-		out[i] = GatherResult{Summary: *e.Summary}
+		out[i] = GatherResult{Summary: *e.Summary, Digest: e.Digest}
 	}
 	return nil
 }
@@ -925,14 +977,21 @@ func (c *TCPClient) Rack(id string) *RackHandle { return &RackHandle{c: c, rack:
 
 // Gather implements RackClient with a routed single-rack gather.
 func (h *RackHandle) Gather(ctx context.Context) (core.Summary, error) {
-	resp, err := h.c.roundTrip(ctx, wireRequest{Op: opGather, Rack: h.rack, Trace: flightrec.WireContext(ctx)})
+	s, _, err := h.GatherDigest(ctx)
+	return s, err
+}
+
+// GatherDigest mirrors TCPClient.GatherDigest for one rack of a
+// multi-rack server.
+func (h *RackHandle) GatherDigest(ctx context.Context) (core.Summary, *fleetobs.StatDigest, error) {
+	resp, err := h.c.roundTrip(ctx, wireRequest{Op: opGather, Rack: h.rack, WantDigest: h.c.wantDigest, Trace: flightrec.WireContext(ctx)})
 	if err != nil {
-		return core.Summary{}, err
+		return core.Summary{}, nil, err
 	}
 	if resp.Summary == nil {
-		return core.Summary{}, &protocolError{msg: "gather response missing summary"}
+		return core.Summary{}, nil, &protocolError{msg: "gather response missing summary"}
 	}
-	return *resp.Summary, nil
+	return *resp.Summary, resp.Digest, nil
 }
 
 // ApplyBudget implements RackClient with a routed single-rack push on the

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"capmaestro/internal/core"
+	"capmaestro/internal/fleetobs"
 	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 	"capmaestro/internal/slo"
@@ -51,6 +52,12 @@ type RackWorker struct {
 	met            rackMetrics
 	budgetLogDelta power.Watts
 	budgetSeen     bool
+
+	// dig is the worker's reusable self-digest scratch; GatherDigest
+	// rewrites it under mu each call and hands out a pointer, which the
+	// in-process caller copies before the next gather wave (the room's
+	// pipelined ordering guarantees the waves never overlap).
+	dig fleetobs.StatDigest
 }
 
 // NewRackWorker creates a rack worker for the given local subtree.
@@ -102,6 +109,25 @@ func (w *RackWorker) Gather(ctx context.Context) (core.Summary, error) {
 	s, err := core.Summarize(w.tree, w.policy)
 	span.End(err)
 	return s, err
+}
+
+// GatherDigest gathers the rack's summary plus its single-rack fleet
+// observability digest, derived from the same snapshot under one lock so
+// the two never disagree.
+func (w *RackWorker) GatherDigest(ctx context.Context) (core.Summary, *fleetobs.StatDigest, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Summary{}, nil, err
+	}
+	span := flightrec.TraceFrom(ctx).StartSpan("rack.gather", w.id, flightrec.ParentIDFrom(ctx))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, err := core.Summarize(w.tree, w.policy)
+	span.End(err)
+	if err != nil {
+		return core.Summary{}, nil, err
+	}
+	rackSelfDigest(&w.dig, w.id, &s, w.lastBudget, w.budgetSeen)
+	return s, &w.dig, nil
 }
 
 // ApplyBudget distributes the budget assigned by the room worker down the
@@ -172,6 +198,11 @@ func (c LocalClient) Gather(ctx context.Context) (core.Summary, error) {
 	return c.Worker.Gather(ctx)
 }
 
+// GatherDigest implements DigestGatherer.
+func (c LocalClient) GatherDigest(ctx context.Context) (core.Summary, *fleetobs.StatDigest, error) {
+	return c.Worker.GatherDigest(ctx)
+}
+
 // ApplyBudget implements RackClient.
 func (c LocalClient) ApplyBudget(ctx context.Context, b power.Watts) error {
 	return c.Worker.ApplyBudget(ctx, b)
@@ -190,6 +221,10 @@ type PeriodStats struct {
 	// Overlap is how long this period's push phase ran concurrently with
 	// the next period's gather. Always zero outside RunPipelined.
 	Overlap time.Duration
+	// Fleet is the period's merged fleet digest reduced to its headline
+	// numbers (zero value when digests are off or before the first
+	// rollup).
+	Fleet fleetobs.DigestSummary
 }
 
 // holdReason explains why a rack's budget push was withheld.
@@ -246,6 +281,13 @@ type RoomWorker struct {
 	failed   map[string]error
 	hold     map[string]holdReason
 
+	// Fleet observability rollup (see internal/fleetobs): dm folds the
+	// gather wave's per-rack digests into one fleet digest per period.
+	// digests gates the whole plane; history backs /debug/fleet/history.
+	digests bool
+	dm      digestMerger
+	history *fleetobs.History
+
 	// mu guards the observable state below and is never held across rack
 	// RPCs, so Healthy, LastStats, and LastAllocation return immediately
 	// even while a period's network calls are in flight.
@@ -258,6 +300,10 @@ type RoomWorker struct {
 	rackSeen    map[string]bool        // racks with at least one good gather
 	rackHeld    map[string]bool        // racks whose pushes are being held
 	rackBudgets map[string]power.Watts // last budget pushed per rack
+	pubFleet    fleetobs.StatDigest    // latest merged fleet digest
+	curFleetSum fleetobs.DigestSummary // its headline numbers, for PeriodStats
+	fleetWaves  uint64                 // rollups performed (0 = none yet)
+	fleetTime   time.Time              // when the latest rollup happened
 }
 
 // NewRoomWorker creates a room worker. tree is the upper control tree
@@ -327,6 +373,11 @@ func NewRoomWorker(tree *core.Node, budget power.Watts, policy core.Policy, rack
 		rackSeen:       make(map[string]bool, len(racks)),
 		rackHeld:       make(map[string]bool, len(racks)),
 		rackBudgets:    make(map[string]power.Watts, len(racks)),
+		digests:        o.digests == nil || *o.digests,
+	}
+	if w.digests {
+		w.history = fleetobs.NewHistory(o.fleetHistory)
+		w.gatherF.digests = true
 	}
 	w.met.racks.Set(float64(len(racks)))
 	w.met.budget.Set(float64(budget))
@@ -434,6 +485,7 @@ func (w *RoomWorker) gatherPhase(ctx context.Context, pt *flightrec.PeriodTrace,
 // still in flight (the runner joins the push first).
 func (w *RoomWorker) allocPhase(pt *flightrec.PeriodTrace, rootID string) *core.Allocation {
 	w.commitGather(w.fresh, w.failed)
+	w.buildFleetDigest()
 
 	// Failed racks keep their previous summary; never-seen racks keep
 	// their construction-time summary or the failsafe reservation.
@@ -458,6 +510,78 @@ func (w *RoomWorker) allocPhase(pt *flightrec.PeriodTrace, rootID string) *core.
 	w.met.allocateSeconds.ObserveSince(allocStart)
 	w.noteRackBudgets(alloc)
 	return alloc
+}
+
+// buildFleetDigest folds the gather wave's per-rack digests into the
+// period's fleet rollup and publishes it. It runs from allocPhase — after
+// commitGather, between gather waves — so reading the gather engine's
+// call slots is race-free even in pipelined mode. Racks whose digest did
+// not travel (digest-less transports) are synthesized from their gathered
+// summary and last pushed budget, so the rollup stays watt-for-watt
+// complete either way; racks that failed this period's gather are counted
+// as gather errors and, when riding stale summaries, flagged as stale
+// outliers rather than summed from stale watts.
+func (w *RoomWorker) buildFleetDigest() {
+	if !w.digests {
+		return
+	}
+	w.dm.reset()
+	var own fleetobs.LevelStats
+	own.Workers = len(w.racks)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range w.gatherF.calls {
+		c := &w.gatherF.calls[i]
+		if c.err != nil {
+			own.GatherErrors++
+			continue
+		}
+		b, haveB := w.rackBudgets[c.id]
+		w.dm.note(c.id, c.digest, &c.summary, b, haveB)
+		own.GatherLatency.Observe(fleetobs.LatencyBounds, c.elapsed.Seconds())
+	}
+	own.Held = len(w.hold)
+	for id, n := range w.rackStale {
+		if n > 0 && w.rackSeen[id] {
+			own.Stale++
+		}
+	}
+	fleet := w.dm.fold(own)
+	// Stale racks are an observer-side judgment — a rack never reports
+	// itself stale — so their outlier entries are added after the fold.
+	for id, n := range w.rackStale {
+		if n > 0 && w.rackSeen[id] {
+			fleet.AddOutlier(fleetobs.Outlier{
+				Rack:         id,
+				Reason:       fleetobs.ReasonStale,
+				Score:        2 + float64(n),
+				StalePeriods: n,
+			})
+		}
+	}
+	w.pubFleet.CopyFrom(fleet)
+	w.curFleetSum = fleet.Summary()
+	w.fleetWaves++
+	w.fleetTime = time.Now()
+	w.history.Append(fleetobs.Sample{
+		Period:         w.fleetWaves,
+		UnixMs:         w.fleetTime.UnixMilli(),
+		PowerW:         fleet.PowerW,
+		BudgetW:        fleet.BudgetW,
+		HeadroomW:      fleet.HeadroomW,
+		WorstHeadroomW: fleet.WorstHeadroomW,
+		ViolatingRacks: fleet.ViolatingRacks,
+		OutlierRacks:   len(fleet.Outliers),
+		StaleRacks:     own.Stale,
+		HeldRacks:      own.Held,
+		GatherErrors:   own.GatherErrors,
+	})
+	w.met.fleetRacks.Set(float64(fleet.Racks))
+	w.met.fleetPower.Set(fleet.PowerW)
+	w.met.fleetHeadroom.Set(fleet.HeadroomW)
+	w.met.fleetWorstHeadroom.Set(fleet.WorstHeadroomW)
+	w.met.fleetViolating.Set(float64(fleet.ViolatingRacks))
+	w.met.fleetOutliers.Set(float64(len(fleet.Outliers)))
 }
 
 // pushPhase runs one push wave — bounded, batched, no lock across RPCs —
@@ -494,6 +618,14 @@ func (w *RoomWorker) pushPhase(ctx context.Context, pt *flightrec.PeriodTrace, r
 // finishPeriod publishes a completed period: stats commit, trace record,
 // SLO evaluation, and end-of-period logging.
 func (w *RoomWorker) finishPeriod(pt *flightrec.PeriodTrace, root *flightrec.ActiveSpan, start time.Time, alloc *core.Allocation, stats PeriodStats) {
+	if w.digests {
+		// The fleet summary was built by this period's allocPhase; in
+		// pipelined mode the next allocPhase cannot have run yet (it waits
+		// for this finish), so curFleetSum is still this period's.
+		w.mu.Lock()
+		stats.Fleet = w.curFleetSum
+		w.mu.Unlock()
+	}
 	w.commitPeriod(alloc, stats)
 	root.End(nil)
 	w.recordPeriod(pt, start, stats, alloc, nil)
@@ -715,6 +847,18 @@ func (w *RoomWorker) recordPeriod(pt *flightrec.PeriodTrace, start time.Time, st
 	if alloc != nil {
 		rec.Infeasible = alloc.Infeasible
 	}
+	if stats.Fleet.Racks > 0 {
+		rec.Fleet = &flightrec.FleetNote{
+			Racks:              stats.Fleet.Racks,
+			PowerWatts:         stats.Fleet.PowerWatts,
+			BudgetWatts:        stats.Fleet.BudgetWatts,
+			HeadroomWatts:      stats.Fleet.HeadroomWatts,
+			WorstHeadroomWatts: stats.Fleet.WorstHeadroomWatts,
+			WorstHeadroomRack:  stats.Fleet.WorstHeadroomRack,
+			ViolatingRacks:     stats.Fleet.ViolatingRacks,
+			OutlierRacks:       stats.Fleet.OutlierRacks,
+		}
+	}
 	w.recorder.Add(rec)
 }
 
@@ -795,6 +939,29 @@ func (w *RoomWorker) LastStats() PeriodStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.lastStats
+}
+
+// FleetReport returns the latest fleet digest rollup for the /debug/fleet
+// endpoint. ok is false until the first gather wave completes, or always
+// when digests are disabled.
+func (w *RoomWorker) FleetReport() (fleetobs.Report, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.digests || w.fleetWaves == 0 {
+		return fleetobs.Report{}, false
+	}
+	return fleetobs.Report{
+		Period:  w.fleetWaves,
+		Time:    w.fleetTime,
+		Summary: w.pubFleet.Summary(),
+		Fleet:   w.pubFleet.Clone(),
+	}, true
+}
+
+// FleetHistory returns the per-period fleet sample ring backing
+// /debug/fleet/history (nil when digests are disabled).
+func (w *RoomWorker) FleetHistory() *fleetobs.History {
+	return w.history
 }
 
 // RackFreshness describes one rack's gather freshness, as reported in the

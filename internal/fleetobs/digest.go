@@ -1,0 +1,272 @@
+// Package fleetobs is the fleet observability plane: a mergeable stats
+// layer that rides the control hierarchy's existing gather path instead of
+// scraping every worker's /metrics endpoint. Each rack attaches a compact,
+// fixed-shape StatDigest to its gather response; every aggregator merges
+// its children's digests with associative/commutative operations and
+// attaches the result to its own response; the room worker therefore ends
+// each control period holding one digest describing the whole fleet —
+// watt-for-watt power sums, headroom distribution, cap-violation pressure,
+// top-K outlier racks, and per-level health — at zero extra RPCs.
+package fleetobs
+
+import (
+	"capmaestro/internal/telemetry"
+)
+
+// TopK is the number of outlier racks a digest retains. Truncated top-K
+// union is exactly associative: any rack in the global top-K is in the
+// top-K of every subset containing it, so merging truncated lists level by
+// level loses nothing the full union would have kept.
+const TopK = 8
+
+// Outlier reasons. Scores are constructed so reasons rank coarsely by
+// severity before fine-ranking within a reason: stale (2+periods) >
+// cap-exceeded (1+violation fraction) > low-headroom (fraction below the
+// threshold).
+const (
+	ReasonStale       = "stale"
+	ReasonCapExceeded = "cap-exceeded"
+	ReasonLowHeadroom = "low-headroom"
+)
+
+// LowHeadroomFrac is the headroom fraction (headroom / demand) below which
+// a rack self-reports as a low-headroom outlier.
+const LowHeadroomFrac = 0.05
+
+// Histogram bounds tables. Bounds are a property of the series, not of
+// the histogram value, so they never travel on the wire.
+var (
+	// HeadroomBounds buckets each rack's headroom fraction
+	// (headroom / demand): negative buckets are cap-violation severity,
+	// positive buckets are slack.
+	HeadroomBounds = []float64{-0.25, -0.10, -0.05, -0.02, 0, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50}
+	// LatencyBounds buckets per-child gather latency in seconds.
+	LatencyBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+)
+
+// Outlier is one rack (or subtree) worth surfacing fleet-wide, with the
+// reason it stands out. Lists are kept sorted by (Score desc, Rack asc,
+// Reason asc) and truncated to TopK.
+type Outlier struct {
+	Rack         string  `json:"rack"`
+	Score        float64 `json:"score"`
+	Reason       string  `json:"reason"`
+	PowerW       float64 `json:"power_watts,omitempty"`
+	HeadroomW    float64 `json:"headroom_watts,omitempty"`
+	StalePeriods int     `json:"stale_periods,omitempty"`
+}
+
+// LevelStats is one hierarchy level's health row: each aggregator (and the
+// room) contributes one row for itself; merging digests merges rows of the
+// same level, so the fleet digest ends with one row per level.
+type LevelStats struct {
+	Level         int                 `json:"level"`
+	Workers       int                 `json:"workers"`
+	GatherErrors  int                 `json:"gather_errors"`
+	Stale         int                 `json:"stale"`
+	Held          int                 `json:"held"`
+	GatherLatency telemetry.MergeHist `json:"gather_latency"`
+}
+
+// StatDigest is the fixed-shape mergeable summary a worker attaches to its
+// gather response. All fields are state-shaped (the current period's
+// values, not monotone counters) so an unchanged rack produces a
+// byte-identical digest period after period and the wire delta path can
+// squash it along with the summary.
+//
+// Merge is associative and commutative with the zero value as identity,
+// provided both operands are canonical: Outliers sorted and at most TopK,
+// Levels sorted by level. Every constructor in this package and in
+// internal/controlplane maintains canonical form.
+type StatDigest struct {
+	// Racks is the number of leaf racks summed into this digest.
+	Racks int `json:"racks"`
+	// Watt-for-watt sums over those racks.
+	PowerW    float64 `json:"power_watts"`
+	RequestW  float64 `json:"request_watts"`
+	CapMinW   float64 `json:"cap_min_watts"`
+	BudgetW   float64 `json:"budget_watts"`
+	HeadroomW float64 `json:"headroom_watts"`
+	// Worst headroom across the racks (min-merge; ties break toward the
+	// lexicographically smaller rack ID so merging stays commutative).
+	WorstHeadroomW    float64 `json:"worst_headroom_watts"`
+	WorstHeadroomRack string  `json:"worst_headroom_rack,omitempty"`
+	// Cap-violation pressure: racks whose demand exceeds their applied
+	// budget, and the summed excess watts.
+	ViolatingRacks int     `json:"violating_racks"`
+	ViolationW     float64 `json:"violation_watts"`
+	// Headroom holds one observation per rack: headroom fraction
+	// (headroom / demand) bucketed by HeadroomBounds.
+	Headroom telemetry.MergeHist `json:"headroom_hist"`
+	// Outliers is the top-K racks by severity score, with reasons.
+	Outliers []Outlier `json:"outliers,omitempty"`
+	// Levels is the per-hierarchy-level health breakdown, sorted by level.
+	Levels []LevelStats `json:"levels,omitempty"`
+}
+
+// DigestSummary is the digest reduced to the handful of numbers worth
+// putting in /healthz, PeriodStats, and scalesim output.
+type DigestSummary struct {
+	Racks              int     `json:"racks"`
+	PowerWatts         float64 `json:"power_watts"`
+	BudgetWatts        float64 `json:"budget_watts"`
+	HeadroomWatts      float64 `json:"headroom_watts"`
+	WorstHeadroomWatts float64 `json:"worst_headroom_watts"`
+	WorstHeadroomRack  string  `json:"worst_headroom_rack,omitempty"`
+	ViolatingRacks     int     `json:"violating_racks"`
+	OutlierRacks       int     `json:"outlier_racks"`
+}
+
+// Summary reduces the digest to its headline numbers.
+func (d *StatDigest) Summary() DigestSummary {
+	return DigestSummary{
+		Racks:              d.Racks,
+		PowerWatts:         d.PowerW,
+		BudgetWatts:        d.BudgetW,
+		HeadroomWatts:      d.HeadroomW,
+		WorstHeadroomWatts: d.WorstHeadroomW,
+		WorstHeadroomRack:  d.WorstHeadroomRack,
+		ViolatingRacks:     d.ViolatingRacks,
+		OutlierRacks:       len(d.Outliers),
+	}
+}
+
+// outlierLess is the canonical outlier order: score descending, then rack
+// and reason ascending — a total order, so merged lists are deterministic
+// regardless of merge grouping.
+func outlierLess(a, b *Outlier) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Rack != b.Rack {
+		return a.Rack < b.Rack
+	}
+	return a.Reason < b.Reason
+}
+
+// AddOutlier inserts o into the sorted, TopK-truncated outlier list.
+func (d *StatDigest) AddOutlier(o Outlier) {
+	i := 0
+	for i < len(d.Outliers) && outlierLess(&d.Outliers[i], &o) {
+		i++
+	}
+	if i >= TopK {
+		return
+	}
+	if len(d.Outliers) < TopK {
+		d.Outliers = append(d.Outliers, Outlier{})
+	}
+	copy(d.Outliers[i+1:], d.Outliers[i:])
+	d.Outliers[i] = o
+}
+
+// AddLevel merges one level row into the sorted per-level breakdown.
+func (d *StatDigest) AddLevel(ls *LevelStats) {
+	i := 0
+	for i < len(d.Levels) && d.Levels[i].Level < ls.Level {
+		i++
+	}
+	if i < len(d.Levels) && d.Levels[i].Level == ls.Level {
+		row := &d.Levels[i]
+		row.Workers += ls.Workers
+		row.GatherErrors += ls.GatherErrors
+		row.Stale += ls.Stale
+		row.Held += ls.Held
+		row.GatherLatency.Merge(&ls.GatherLatency)
+		return
+	}
+	d.Levels = append(d.Levels, LevelStats{})
+	copy(d.Levels[i+1:], d.Levels[i:])
+	d.Levels[i] = *ls
+}
+
+// NextLevel returns one above the highest level row present — the level an
+// observer merging this digest should report itself as when its place in
+// the hierarchy was not configured explicitly. 1 when no rows are present
+// (merging raw rack digests).
+func (d *StatDigest) NextLevel() int {
+	if len(d.Levels) == 0 {
+		return 1
+	}
+	return d.Levels[len(d.Levels)-1].Level + 1
+}
+
+// Merge folds o into d. Both operands must be canonical (see type docs);
+// the result is canonical. o is not modified; o == nil is a no-op.
+func (d *StatDigest) Merge(o *StatDigest) {
+	if o == nil {
+		return
+	}
+	// Min-merge the worst headroom first (it reads d.Racks before the sum
+	// below changes it). A side with no racks has no worst rack to offer,
+	// which is what makes the zero value an identity.
+	if o.Racks > 0 {
+		if d.Racks == 0 || o.WorstHeadroomW < d.WorstHeadroomW ||
+			(o.WorstHeadroomW == d.WorstHeadroomW && o.WorstHeadroomRack < d.WorstHeadroomRack) {
+			d.WorstHeadroomW = o.WorstHeadroomW
+			d.WorstHeadroomRack = o.WorstHeadroomRack
+		}
+	}
+	d.Racks += o.Racks
+	d.PowerW += o.PowerW
+	d.RequestW += o.RequestW
+	d.CapMinW += o.CapMinW
+	d.BudgetW += o.BudgetW
+	d.HeadroomW += o.HeadroomW
+	d.ViolatingRacks += o.ViolatingRacks
+	d.ViolationW += o.ViolationW
+	d.Headroom.Merge(&o.Headroom)
+
+	if len(o.Outliers) > 0 {
+		var tmp [TopK]Outlier
+		merged := tmp[:0]
+		i, j := 0, 0
+		for len(merged) < TopK && (i < len(d.Outliers) || j < len(o.Outliers)) {
+			switch {
+			case i >= len(d.Outliers):
+				merged = append(merged, o.Outliers[j])
+				j++
+			case j >= len(o.Outliers):
+				merged = append(merged, d.Outliers[i])
+				i++
+			case outlierLess(&o.Outliers[j], &d.Outliers[i]):
+				merged = append(merged, o.Outliers[j])
+				j++
+			default:
+				merged = append(merged, d.Outliers[i])
+				i++
+			}
+		}
+		d.Outliers = append(d.Outliers[:0], merged...)
+	}
+	for i := range o.Levels {
+		d.AddLevel(&o.Levels[i])
+	}
+}
+
+// Reset clears the digest while keeping the outlier and level backing
+// arrays, so a reused accumulator stays allocation-free in steady state.
+func (d *StatDigest) Reset() {
+	outliers, levels := d.Outliers[:0], d.Levels[:0]
+	*d = StatDigest{}
+	d.Outliers, d.Levels = outliers, levels
+}
+
+// CopyFrom makes d a deep copy of o, reusing d's backing arrays where
+// capacity allows.
+func (d *StatDigest) CopyFrom(o *StatDigest) {
+	if d == o {
+		return
+	}
+	outliers := append(d.Outliers[:0], o.Outliers...)
+	levels := append(d.Levels[:0], o.Levels...)
+	*d = *o
+	d.Outliers, d.Levels = outliers, levels
+}
+
+// Clone returns an independent deep copy.
+func (d *StatDigest) Clone() *StatDigest {
+	c := &StatDigest{}
+	c.CopyFrom(d)
+	return c
+}

@@ -1,0 +1,305 @@
+package fleetobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"capmaestro/internal/telemetry"
+)
+
+// digestJSON canonicalizes a digest for equality: JSON marshaling folds
+// nil and empty slices together (omitempty) while keeping every numeric
+// field exact.
+func digestJSON(t *testing.T, d *StatDigest) string {
+	t.Helper()
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// randDigest builds a random canonical digest. Watt fields are small
+// integers so float64 sums are exact regardless of merge grouping, and
+// rack IDs are globally unique (via seq) so the outlier order is total.
+func randDigest(rng *rand.Rand, seq *int) *StatDigest {
+	d := &StatDigest{}
+	racks := rng.Intn(4)
+	d.Racks = racks
+	if racks > 0 {
+		d.PowerW = float64(rng.Intn(1000) * racks)
+		d.RequestW = float64(rng.Intn(1000) * racks)
+		d.CapMinW = float64(rng.Intn(500) * racks)
+		d.BudgetW = float64(rng.Intn(1000) * racks)
+		d.HeadroomW = float64(rng.Intn(200)*racks - 100)
+		d.WorstHeadroomW = float64(rng.Intn(200) - 100)
+		d.WorstHeadroomRack = fmt.Sprintf("w%04d", rng.Intn(50))
+		d.ViolatingRacks = rng.Intn(racks + 1)
+		d.ViolationW = float64(rng.Intn(300))
+		// Exact binary fractions: the merge-law checks compare sums
+		// bit-for-bit, so observations must add associatively.
+		for i := 0; i < racks; i++ {
+			d.Headroom.Observe(HeadroomBounds, float64(rng.Intn(120)-60)/128)
+		}
+	}
+	for i, n := 0, rng.Intn(TopK+1); i < n; i++ {
+		*seq++
+		d.AddOutlier(Outlier{
+			Rack:   fmt.Sprintf("r%06d", *seq),
+			Score:  float64(rng.Intn(40)) / 8,
+			Reason: []string{ReasonStale, ReasonCapExceeded, ReasonLowHeadroom}[rng.Intn(3)],
+			PowerW: float64(rng.Intn(600)),
+		})
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		ls := LevelStats{
+			Level:        1 + rng.Intn(3),
+			Workers:      1 + rng.Intn(8),
+			GatherErrors: rng.Intn(2),
+			Stale:        rng.Intn(2),
+			Held:         rng.Intn(2),
+		}
+		for j := 0; j < ls.Workers; j++ {
+			ls.GatherLatency.Observe(LatencyBounds, float64(rng.Intn(100))/1024)
+		}
+		d.AddLevel(&ls)
+	}
+	return d
+}
+
+func merged(a, b *StatDigest) *StatDigest {
+	m := a.Clone()
+	m.Merge(b)
+	return m
+}
+
+// TestMergeLaws is the property test for the merge algebra: over
+// randomized canonical digests, Merge must be associative and commutative
+// with the zero value as identity — the precondition for rolling digests
+// up the hierarchy in any grouping.
+func TestMergeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xf1ee7))
+	seq := 0
+	for trial := 0; trial < 300; trial++ {
+		a, b, c := randDigest(rng, &seq), randDigest(rng, &seq), randDigest(rng, &seq)
+
+		left := merged(merged(a, b), c)
+		right := merged(a, merged(b, c))
+		if la, ra := digestJSON(t, left), digestJSON(t, right); la != ra {
+			t.Fatalf("trial %d: not associative:\n(a+b)+c = %s\na+(b+c) = %s", trial, la, ra)
+		}
+
+		ab, ba := merged(a, b), merged(b, a)
+		if la, ra := digestJSON(t, ab), digestJSON(t, ba); la != ra {
+			t.Fatalf("trial %d: not commutative:\na+b = %s\nb+a = %s", trial, la, ra)
+		}
+
+		zero := &StatDigest{}
+		if got := digestJSON(t, merged(zero, a)); got != digestJSON(t, a) {
+			t.Fatalf("trial %d: zero+a != a:\n%s\n%s", trial, got, digestJSON(t, a))
+		}
+		if got := digestJSON(t, merged(a, zero)); got != digestJSON(t, a) {
+			t.Fatalf("trial %d: a+zero != a:\n%s\n%s", trial, got, digestJSON(t, a))
+		}
+	}
+}
+
+// TestTopKMergeMatchesFlatUnion pins the claim the truncation relies on:
+// merging truncated lists level by level keeps exactly the global top-K,
+// however the merge tree is shaped.
+func TestTopKMergeMatchesFlatUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 40
+	parts := make([]*StatDigest, n)
+	var all []Outlier
+	for i := range parts {
+		d := &StatDigest{Racks: 1, PowerW: float64(300 + i)}
+		d.WorstHeadroomW, d.WorstHeadroomRack = float64(i), fmt.Sprintf("r%02d", i)
+		o := Outlier{
+			Rack:   fmt.Sprintf("r%02d", i),
+			Score:  float64(rng.Intn(10)) / 2,
+			Reason: ReasonLowHeadroom,
+		}
+		d.AddOutlier(o)
+		all = append(all, o)
+		parts[i] = d
+	}
+
+	// Sequential fold and a binary merge tree must agree.
+	seq := &StatDigest{}
+	for _, p := range parts {
+		seq.Merge(p)
+	}
+	tree := make([]*StatDigest, n)
+	for i := range parts {
+		tree[i] = parts[i].Clone()
+	}
+	for len(tree) > 1 {
+		var next []*StatDigest
+		for i := 0; i < len(tree); i += 2 {
+			if i+1 < len(tree) {
+				tree[i].Merge(tree[i+1])
+			}
+			next = append(next, tree[i])
+		}
+		tree = next
+	}
+	if a, b := digestJSON(t, seq), digestJSON(t, tree[0]); a != b {
+		t.Fatalf("merge trees disagree:\nseq  %s\ntree %s", a, b)
+	}
+
+	sort.Slice(all, func(i, j int) bool { return outlierLess(&all[i], &all[j]) })
+	want := all[:TopK]
+	if len(seq.Outliers) != TopK {
+		t.Fatalf("merged outliers = %d, want %d", len(seq.Outliers), TopK)
+	}
+	for i := range want {
+		if seq.Outliers[i] != want[i] {
+			t.Fatalf("outlier %d = %+v, want %+v", i, seq.Outliers[i], want[i])
+		}
+	}
+	if seq.Racks != n || seq.WorstHeadroomW != 0 || seq.WorstHeadroomRack != "r00" {
+		t.Fatalf("rollup drifted: %+v", seq.Summary())
+	}
+}
+
+func TestAddOutlierOrderAndTruncation(t *testing.T) {
+	d := &StatDigest{}
+	for i := 0; i < 2*TopK; i++ {
+		d.AddOutlier(Outlier{Rack: fmt.Sprintf("r%02d", i), Score: float64(i), Reason: ReasonStale})
+	}
+	if len(d.Outliers) != TopK {
+		t.Fatalf("outliers = %d, want %d", len(d.Outliers), TopK)
+	}
+	for i := range d.Outliers {
+		if want := float64(2*TopK - 1 - i); d.Outliers[i].Score != want {
+			t.Fatalf("outlier %d score = %v, want %v", i, d.Outliers[i].Score, want)
+		}
+	}
+	// An outlier below the retained range is dropped without shifting.
+	d.AddOutlier(Outlier{Rack: "tiny", Score: -1})
+	if len(d.Outliers) != TopK || d.Outliers[TopK-1].Rack == "tiny" {
+		t.Fatal("below-range outlier was retained")
+	}
+}
+
+func TestLevelsMergeByLevel(t *testing.T) {
+	a, b := &StatDigest{}, &StatDigest{}
+	a.AddLevel(&LevelStats{Level: 1, Workers: 4, GatherErrors: 1})
+	a.AddLevel(&LevelStats{Level: 2, Workers: 2})
+	b.AddLevel(&LevelStats{Level: 1, Workers: 6, Stale: 3})
+	b.AddLevel(&LevelStats{Level: 3, Workers: 1})
+	a.Merge(b)
+	if len(a.Levels) != 3 {
+		t.Fatalf("levels = %+v", a.Levels)
+	}
+	if l1 := a.Levels[0]; l1.Level != 1 || l1.Workers != 10 || l1.GatherErrors != 1 || l1.Stale != 3 {
+		t.Fatalf("level 1 = %+v", l1)
+	}
+	if a.Levels[1].Level != 2 || a.Levels[2].Level != 3 {
+		t.Fatalf("levels out of order: %+v", a.Levels)
+	}
+	if a.NextLevel() != 4 {
+		t.Fatalf("NextLevel = %d, want 4", a.NextLevel())
+	}
+	if (&StatDigest{}).NextLevel() != 1 {
+		t.Fatal("empty digest NextLevel != 1")
+	}
+}
+
+func TestCopyFromCloneReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seq := 0
+	src := randDigest(rng, &seq)
+	src.AddOutlier(Outlier{Rack: "rX", Score: 99})
+	c := src.Clone()
+	if digestJSON(t, c) != digestJSON(t, src) {
+		t.Fatal("clone differs from source")
+	}
+	// The clone is independent: mutating it leaves the source alone.
+	before := digestJSON(t, src)
+	c.AddOutlier(Outlier{Rack: "rY", Score: 100})
+	c.Racks += 7
+	if digestJSON(t, src) != before {
+		t.Fatal("mutating the clone changed the source")
+	}
+	// Reset keeps backing arrays but clears the value.
+	c.Reset()
+	if digestJSON(t, c) != digestJSON(t, &StatDigest{}) {
+		t.Fatalf("reset digest not zero: %s", digestJSON(t, c))
+	}
+	c.CopyFrom(c) // self-copy is a no-op, not a corruption
+	if digestJSON(t, c) != digestJSON(t, &StatDigest{}) {
+		t.Fatal("self CopyFrom corrupted the digest")
+	}
+}
+
+// TestMergeSteadyStateAllocs: with warmed slice capacities, the per-period
+// accumulator pattern (Reset + Merge children + CopyFrom publish) must not
+// allocate.
+func TestMergeSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	seq := 0
+	children := make([]*StatDigest, 16)
+	for i := range children {
+		children[i] = randDigest(rng, &seq)
+	}
+	acc, pub := &StatDigest{}, &StatDigest{}
+	fold := func() {
+		acc.Reset()
+		for _, c := range children {
+			acc.Merge(c)
+		}
+		pub.CopyFrom(acc)
+	}
+	fold() // warm capacities
+	if n := testing.AllocsPerRun(100, fold); n > 0 {
+		t.Fatalf("steady-state fold allocates %.1f allocs/op", n)
+	}
+}
+
+func TestSummaryProjection(t *testing.T) {
+	d := &StatDigest{
+		Racks: 5, PowerW: 2000, BudgetW: 1700, HeadroomW: -300,
+		WorstHeadroomW: -120, WorstHeadroomRack: "r3", ViolatingRacks: 2,
+	}
+	d.AddOutlier(Outlier{Rack: "r3", Score: 1.2, Reason: ReasonCapExceeded})
+	s := d.Summary()
+	want := DigestSummary{
+		Racks: 5, PowerWatts: 2000, BudgetWatts: 1700, HeadroomWatts: -300,
+		WorstHeadroomWatts: -120, WorstHeadroomRack: "r3", ViolatingRacks: 2, OutlierRacks: 1,
+	}
+	if s != want {
+		t.Fatalf("summary = %+v, want %+v", s, want)
+	}
+}
+
+func TestMergeHistQuantileAndMean(t *testing.T) {
+	var h telemetry.MergeHist
+	for _, v := range []float64{-0.2, -0.01, 0.01, 0.04, 0.25, 0.9} {
+		h.Observe(HeadroomBounds, v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(HeadroomBounds, 0); got != -0.10 {
+		t.Fatalf("q0 = %v", got)
+	}
+	// The top observation overflows the last bound: the estimate clamps to
+	// the largest finite bound.
+	if got := h.Quantile(HeadroomBounds, 1); got != 0.50 {
+		t.Fatalf("q1 = %v", got)
+	}
+	var other telemetry.MergeHist
+	other.Observe(HeadroomBounds, 0.03)
+	h.Merge(&other)
+	if h.Count() != 7 {
+		t.Fatalf("merged count = %d", h.Count())
+	}
+	if mean := h.Mean(); mean == 0 {
+		t.Fatalf("mean = %v", mean)
+	}
+}

@@ -1,0 +1,146 @@
+package fleetobs
+
+import "sync"
+
+// Sample is one control period's fleet observability sample: the digest's
+// headline numbers plus the room's own degradation counters, flattened so
+// /debug/fleet/history can serve per-series arrays.
+type Sample struct {
+	Period         uint64  `json:"period"`
+	UnixMs         int64   `json:"unix_ms"`
+	PowerW         float64 `json:"power_watts"`
+	BudgetW        float64 `json:"budget_watts"`
+	HeadroomW      float64 `json:"headroom_watts"`
+	WorstHeadroomW float64 `json:"worst_headroom_watts"`
+	ViolatingRacks int     `json:"violating_racks"`
+	OutlierRacks   int     `json:"outlier_racks"`
+	StaleRacks     int     `json:"stale_racks"`
+	HeldRacks      int     `json:"held_racks"`
+	GatherErrors   int     `json:"gather_errors"`
+}
+
+// DefaultHistorySize is the ring capacity when none is configured: at one
+// sample per control period it covers the recent past without growing.
+const DefaultHistorySize = 512
+
+// History is a fixed-size ring of per-period samples — the /debug/fleet
+// history TSDB. The ring is allocated once; Append never allocates, so the
+// steady-state control loop stays allocation-free. Nil-safe: a nil History
+// drops appends and reports empty.
+type History struct {
+	mu   sync.Mutex
+	ring []Sample
+	head int // next write position
+	n    int // number of valid samples
+}
+
+// NewHistory returns a ring holding the last size samples (size <= 0 uses
+// DefaultHistorySize).
+func NewHistory(size int) *History {
+	if size <= 0 {
+		size = DefaultHistorySize
+	}
+	return &History{ring: make([]Sample, size)}
+}
+
+// Append records one period's sample, overwriting the oldest when full.
+func (h *History) Append(s Sample) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.ring[h.head] = s
+	h.head = (h.head + 1) % len(h.ring)
+	if h.n < len(h.ring) {
+		h.n++
+	}
+	h.mu.Unlock()
+}
+
+// Len returns the number of samples currently held.
+func (h *History) Len() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Cap returns the ring capacity.
+func (h *History) Cap() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.ring)
+}
+
+// Snapshot returns the held samples oldest-first.
+func (h *History) Snapshot() []Sample {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Sample, h.n)
+	start := h.head - h.n
+	if start < 0 {
+		start += len(h.ring)
+	}
+	for i := 0; i < h.n; i++ {
+		out[i] = h.ring[(start+i)%len(h.ring)]
+	}
+	return out
+}
+
+// HistorySeries is the column-oriented projection of the ring, oldest
+// first — one array per series, aligned by index.
+type HistorySeries struct {
+	Capacity           int       `json:"capacity"`
+	Samples            int       `json:"samples"`
+	Period             []uint64  `json:"period"`
+	UnixMs             []int64   `json:"unix_ms"`
+	PowerWatts         []float64 `json:"power_watts"`
+	BudgetWatts        []float64 `json:"budget_watts"`
+	HeadroomWatts      []float64 `json:"headroom_watts"`
+	WorstHeadroomWatts []float64 `json:"worst_headroom_watts"`
+	ViolatingRacks     []int     `json:"violating_racks"`
+	OutlierRacks       []int     `json:"outlier_racks"`
+	StaleRacks         []int     `json:"stale_racks"`
+	HeldRacks          []int     `json:"held_racks"`
+	GatherErrors       []int     `json:"gather_errors"`
+}
+
+// Series returns the per-series projection of the held samples.
+func (h *History) Series() HistorySeries {
+	samples := h.Snapshot()
+	s := HistorySeries{
+		Capacity:           h.Cap(),
+		Samples:            len(samples),
+		Period:             make([]uint64, len(samples)),
+		UnixMs:             make([]int64, len(samples)),
+		PowerWatts:         make([]float64, len(samples)),
+		BudgetWatts:        make([]float64, len(samples)),
+		HeadroomWatts:      make([]float64, len(samples)),
+		WorstHeadroomWatts: make([]float64, len(samples)),
+		ViolatingRacks:     make([]int, len(samples)),
+		OutlierRacks:       make([]int, len(samples)),
+		StaleRacks:         make([]int, len(samples)),
+		HeldRacks:          make([]int, len(samples)),
+		GatherErrors:       make([]int, len(samples)),
+	}
+	for i, sm := range samples {
+		s.Period[i] = sm.Period
+		s.UnixMs[i] = sm.UnixMs
+		s.PowerWatts[i] = sm.PowerW
+		s.BudgetWatts[i] = sm.BudgetW
+		s.HeadroomWatts[i] = sm.HeadroomW
+		s.WorstHeadroomWatts[i] = sm.WorstHeadroomW
+		s.ViolatingRacks[i] = sm.ViolatingRacks
+		s.OutlierRacks[i] = sm.OutlierRacks
+		s.StaleRacks[i] = sm.StaleRacks
+		s.HeldRacks[i] = sm.HeldRacks
+		s.GatherErrors[i] = sm.GatherErrors
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package fleetobs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistoryRingWrap(t *testing.T) {
+	h := NewHistory(4)
+	for i := 1; i <= 6; i++ {
+		h.Append(Sample{Period: uint64(i), PowerW: float64(100 * i)})
+	}
+	if h.Len() != 4 || h.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d", h.Len(), h.Cap())
+	}
+	got := h.Snapshot()
+	for i, want := range []uint64{3, 4, 5, 6} {
+		if got[i].Period != want {
+			t.Fatalf("snapshot = %+v, want periods 3..6 oldest-first", got)
+		}
+	}
+	s := h.Series()
+	if s.Capacity != 4 || s.Samples != 4 || s.Period[0] != 3 || s.PowerWatts[3] != 600 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestHistoryAppendNoAllocs(t *testing.T) {
+	h := NewHistory(64)
+	if n := testing.AllocsPerRun(200, func() {
+		h.Append(Sample{Period: 1, PowerW: 42})
+	}); n > 0 {
+		t.Fatalf("Append allocates %.1f allocs/op", n)
+	}
+}
+
+func TestHistoryNilSafe(t *testing.T) {
+	var h *History
+	h.Append(Sample{})
+	if h.Len() != 0 || h.Cap() != 0 || h.Snapshot() != nil {
+		t.Fatal("nil history not inert")
+	}
+	if s := h.Series(); s.Samples != 0 {
+		t.Fatalf("nil series = %+v", s)
+	}
+}
+
+func TestDefaultHistorySize(t *testing.T) {
+	if got := NewHistory(0).Cap(); got != DefaultHistorySize {
+		t.Fatalf("default cap = %d", got)
+	}
+}
+
+func TestHandlerServesFleetAndHistory(t *testing.T) {
+	dig := &StatDigest{Racks: 2, PowerW: 900, BudgetW: 800, WorstHeadroomW: -40, WorstHeadroomRack: "r1"}
+	dig.AddOutlier(Outlier{Rack: "r1", Score: 1.05, Reason: ReasonCapExceeded})
+	hist := NewHistory(8)
+	hist.Append(Sample{Period: 1, UnixMs: 1000, PowerW: 900, BudgetW: 800})
+	have := true
+	h := Handler(func() (Report, bool) {
+		return Report{Period: 1, Time: time.Unix(1, 0), Summary: dig.Summary(), Fleet: dig}, have
+	}, hist)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/fleet", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var rep Report
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Period != 1 || rep.Fleet == nil || rep.Fleet.PowerW != 900 ||
+		len(rep.Fleet.Outliers) != 1 || rep.Summary.OutlierRacks != 1 {
+		t.Fatalf("fleet payload = %s", rr.Body.String())
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/fleet/history", nil))
+	var series HistorySeries
+	if err := json.Unmarshal(rr.Body.Bytes(), &series); err != nil {
+		t.Fatal(err)
+	}
+	if series.Samples != 1 || series.PowerWatts[0] != 900 {
+		t.Fatalf("history payload = %s", rr.Body.String())
+	}
+
+	// Before the first period the fleet endpoint says so instead of
+	// fabricating an empty digest.
+	have = false
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/fleet", nil))
+	if rr.Code != http.StatusServiceUnavailable || !strings.Contains(rr.Body.String(), "no fleet digest") {
+		t.Fatalf("empty-state response: %d %s", rr.Code, rr.Body.String())
+	}
+}

@@ -1,0 +1,49 @@
+package fleetobs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Report is the /debug/fleet payload: the latest period's fleet digest
+// with its headline summary and when it was taken.
+type Report struct {
+	Period  uint64        `json:"period"`
+	Time    time.Time     `json:"time"`
+	Summary DigestSummary `json:"summary"`
+	Fleet   *StatDigest   `json:"fleet"`
+}
+
+// Handler serves the fleet observability drill-down:
+//
+//	/debug/fleet          — latest fleet digest (rollup, per-level
+//	                        breakdown, top-K outlier racks with reasons)
+//	/debug/fleet/history  — per-series ring of one sample per period
+//
+// Mount it on a telemetry server under both "/debug/fleet" and
+// "/debug/fleet/history". report returns the latest Report and whether
+// one exists yet; hist may be nil.
+func Handler(report func() (Report, bool), hist *History) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch {
+		case strings.HasSuffix(req.URL.Path, "/history"):
+			writeJSON(w, hist.Series())
+		default:
+			rep, ok := report()
+			if !ok {
+				http.Error(w, "no fleet digest yet: no control period has completed", http.StatusServiceUnavailable)
+				return
+			}
+			writeJSON(w, rep)
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -33,11 +33,30 @@ type PeriodRecord struct {
 	BudgetsHeld int  `json:"budgets_held,omitempty"`
 	Infeasible  bool `json:"infeasible,omitempty"`
 
+	// Fleet is the period's fleet observability digest, reduced to its
+	// headline numbers (see internal/fleetobs). Present when the recording
+	// worker rolls up digests.
+	Fleet *FleetNote `json:"fleet,omitempty"`
+
 	Spans    []Span             `json:"spans"`
 	Explains []core.NodeExplain `json:"explains,omitempty"`
 	// Annotations are events attached to the period after it was
 	// recorded — e.g. SLO alert transitions evaluated from its data.
 	Annotations []Annotation `json:"annotations,omitempty"`
+}
+
+// FleetNote annotates a period with the fleet digest's headline numbers.
+// It mirrors fleetobs.DigestSummary field-for-field without importing it,
+// keeping flightrec dependency-light.
+type FleetNote struct {
+	Racks              int     `json:"racks"`
+	PowerWatts         float64 `json:"power_watts"`
+	BudgetWatts        float64 `json:"budget_watts"`
+	HeadroomWatts      float64 `json:"headroom_watts"`
+	WorstHeadroomWatts float64 `json:"worst_headroom_watts"`
+	WorstHeadroomRack  string  `json:"worst_headroom_rack,omitempty"`
+	ViolatingRacks     int     `json:"violating_racks,omitempty"`
+	OutlierRacks       int     `json:"outlier_racks,omitempty"`
 }
 
 // Annotation is a timestamped note attached to a period record, such as

@@ -60,6 +60,15 @@ func Summarize(runs []Result) string {
 			break
 		}
 	}
+	for i := range runs {
+		r := &runs[i]
+		if !r.Digests {
+			continue
+		}
+		fmt.Fprintf(&b, " Fleet digests on %s (%s codec): %.0f digest B/period, %.1f%% of inbound gather bytes; rollup %d racks / %.0f W watt-exact, %d outlier racks.",
+			r.Name, r.Codec, r.DigestBytesPerPeriod, 100*r.DigestShareOfBytesIn,
+			r.FleetRacks, r.FleetPowerWatts, r.FleetOutlierRacks)
+	}
 	return b.String()
 }
 

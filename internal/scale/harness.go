@@ -202,6 +202,9 @@ func buildFleet(spec *Spec, reg *telemetry.Registry) (*fleet, error) {
 		clientOpts = append(clientOpts, controlplane.WithWireCodec(controlplane.CodecBinary))
 		serverOpts = append(serverOpts, controlplane.WithDeltaDeadband(1))
 	}
+	if spec.Digests {
+		clientOpts = append(clientOpts, controlplane.WithDigests(true))
+	}
 
 	f := &fleet{clients: make(map[string]controlplane.RackClient, spec.Racks)}
 	delay := time.Duration(spec.RPCLatencyMs * float64(time.Millisecond))
@@ -298,6 +301,9 @@ func counterValue(reg *telemetry.Registry, name string, labels ...string) float6
 	case "capmaestro_rpc_delta_hits_total":
 		return reg.CounterVec(name, "Gather responses squashed to (server) or resolved from (client) an unchanged-summary delta frame.",
 			"role").With(labels...).Value()
+	case "capmaestro_fleet_digest_wire_bytes_total":
+		return reg.CounterVec(name, "Bytes of fleet digest payload carried inside binary gather frames; digest_wire_bytes/rpc_bytes is the observability plane's wire overhead.",
+			"role").With(labels...).Value()
 	}
 	return 0
 }
@@ -325,7 +331,10 @@ func Run(ctx context.Context, spec Spec, logf func(format string, args ...any)) 
 	// Budget at 85% of aggregate demand: every period does real capping
 	// work instead of rubber-stamping demand.
 	budget := totalDemand(&spec) * 85 / 100
-	hopts := []controlplane.Option{controlplane.WithTelemetry(reg)}
+	hopts := []controlplane.Option{
+		controlplane.WithTelemetry(reg),
+		controlplane.WithDigests(spec.Digests),
+	}
 	if spec.RPCConcurrency > 0 {
 		hopts = append(hopts, controlplane.WithRPCConcurrency(spec.RPCConcurrency))
 	}
@@ -356,6 +365,7 @@ func Run(ctx context.Context, spec Spec, logf func(format string, args ...any)) 
 	bytesOut0 := counterValue(reg, "capmaestro_rpc_bytes_total", "client", "out")
 	bytesIn0 := counterValue(reg, "capmaestro_rpc_bytes_total", "client", "in")
 	delta0 := counterValue(reg, "capmaestro_rpc_delta_hits_total", "client")
+	dig0 := counterValue(reg, "capmaestro_fleet_digest_wire_bytes_total", "client")
 
 	var elapsed []time.Duration
 	var overlapSum time.Duration
@@ -411,6 +421,28 @@ func Run(ctx context.Context, spec Spec, logf func(format string, args ...any)) 
 	res.GatherErrors = last.GatherErrors
 	res.ApplyErrors = last.ApplyErrors
 	res.BudgetsHeld = last.BudgetsHeld
+	if spec.Digests {
+		res.DigestBytesPerPeriod = (counterValue(reg, "capmaestro_fleet_digest_wire_bytes_total", "client") - dig0) / periods
+		if res.BytesInPerPeriod > 0 {
+			res.DigestShareOfBytesIn = res.DigestBytesPerPeriod / res.BytesInPerPeriod
+		}
+		// The rollup is only worth shipping if it is exact: the merged
+		// fleet digest must cover every rack and sum power watt-for-watt
+		// against the deterministic demand the harness planted.
+		rep, ok := h.Room.FleetReport()
+		if !ok {
+			return nil, fmt.Errorf("scale: digests on but no fleet report after %d periods", spec.Periods)
+		}
+		if rep.Summary.Racks != spec.Racks {
+			return nil, fmt.Errorf("scale: fleet digest covers %d racks, want %d", rep.Summary.Racks, spec.Racks)
+		}
+		if want := float64(totalDemand(&spec)); rep.Summary.PowerWatts != want {
+			return nil, fmt.Errorf("scale: fleet digest power %.3f W, want exactly %.3f W", rep.Summary.PowerWatts, want)
+		}
+		res.FleetRacks = rep.Summary.Racks
+		res.FleetPowerWatts = rep.Summary.PowerWatts
+		res.FleetOutlierRacks = rep.Summary.OutlierRacks
+	}
 	logf("%s: p50 %.1f ms, p99 %.1f ms, effective period %.1f ms, peak goroutines %d",
 		spec.Name, res.P50Ms, res.P99Ms, res.EffectivePeriodMs, res.PeakGoroutines)
 	return res, nil

@@ -48,6 +48,10 @@ type Spec struct {
 	// proxy, emulating the ms-scale in-room RTT the paper's deployment
 	// sees. 0 connects directly (pure loopback).
 	RPCLatencyMs float64 `json:"rpc_latency_ms,omitempty"`
+	// Digests turns on the fleet observability plane: clients request
+	// per-rack stat digests in-band on gather frames and every tier merges
+	// them, so the run also measures the digest wire overhead.
+	Digests bool `json:"digests,omitempty"`
 	// Seed drives the deterministic per-server demand mix.
 	Seed uint64 `json:"seed,omitempty"`
 }
@@ -117,6 +121,19 @@ type Result struct {
 	// DeltaHitsPerPeriod counts gather responses squashed to
 	// unchanged-summary frames (binary-delta runs).
 	DeltaHitsPerPeriod float64 `json:"delta_hits_per_period,omitempty"`
+	// Digest-plane wire cost (digest runs over the binary codec): bytes of
+	// digest payload inside gather frames per period, and that as a share
+	// of total inbound client bytes — the observability plane's overhead.
+	// Deliberately not omitempty: 0 on a binary-delta digest run records
+	// that every steady-state digest squashed to a cached-copy marker.
+	DigestBytesPerPeriod float64 `json:"digest_bytes_per_period"`
+	DigestShareOfBytesIn float64 `json:"digest_share_of_bytes_in"`
+	// Fleet rollup from the final measured period (digest runs): rack
+	// count and summed power must match the fleet exactly — Run fails the
+	// spec otherwise — and outliers count low-headroom/violating racks.
+	FleetRacks        int     `json:"fleet_racks,omitempty"`
+	FleetPowerWatts   float64 `json:"fleet_power_watts,omitempty"`
+	FleetOutlierRacks int     `json:"fleet_outlier_racks,omitempty"`
 	// Sanity from the final measured period: all should be zero.
 	GatherErrors int `json:"gather_errors"`
 	ApplyErrors  int `json:"apply_errors"`

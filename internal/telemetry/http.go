@@ -1,9 +1,11 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -332,10 +334,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	enc := json.NewEncoder(w)
+	// Encode into a buffer first: once bytes hit the ResponseWriter the
+	// status is committed and a mid-snapshot failure could no longer be
+	// reported as a 500.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.reg.Snapshot())
+	if err := enc.Encode(s.reg.Snapshot()); err != nil {
+		slog.Error("telemetry: /debug/vars snapshot encoding failed", "err", err)
+		http.Error(w, "metrics snapshot encoding failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
 }
 
 // ErrUnhealthy is a convenience sentinel for health checks that have no

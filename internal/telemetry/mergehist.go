@@ -1,0 +1,101 @@
+package telemetry
+
+// MergeHist is a fixed-shape, bounded-bucket histogram built for in-band
+// aggregation rather than scraping: every instance has exactly
+// MergeHistBuckets counts, so merging two histograms is a bucket-wise sum
+// with no reallocation and no bucket negotiation. Bucket boundaries are
+// NOT part of the value — they are a property of the series (e.g. headroom
+// fraction vs. gather latency) and are passed to Observe/Quantile by the
+// caller, which keeps the wire encoding to the counts and sum alone.
+//
+// Merge is associative and commutative, and the zero value is its
+// identity, which is what lets digests carrying MergeHists roll up a
+// hierarchy level by level in any grouping.
+type MergeHist struct {
+	Counts [MergeHistBuckets]uint64 `json:"counts"`
+	Sum    float64                  `json:"sum"`
+}
+
+// MergeHistBuckets is the fixed bucket count of every MergeHist. The last
+// bucket is the overflow bucket, so bounds tables carry
+// MergeHistBuckets-1 upper bounds.
+const MergeHistBuckets = 12
+
+// Observe records v into the bucket selected by bounds: bucket i holds
+// values <= bounds[i], the final bucket holds everything beyond the last
+// bound. Extra bounds beyond MergeHistBuckets-1 are ignored.
+func (h *MergeHist) Observe(bounds []float64, v float64) {
+	i := 0
+	for i < len(bounds) && i < MergeHistBuckets-1 && v > bounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.Sum += v
+}
+
+// Merge adds o's buckets and sum into h. Safe with o == nil (no-op).
+func (h *MergeHist) Merge(o *MergeHist) {
+	if o == nil {
+		return
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Sum += o.Sum
+}
+
+// Count returns the total number of observations.
+func (h *MergeHist) Count() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// IsZero reports whether the histogram holds no observations.
+func (h *MergeHist) IsZero() bool { return h.Count() == 0 }
+
+// Reset clears the histogram to its zero value.
+func (h *MergeHist) Reset() { *h = MergeHist{} }
+
+// Mean returns the average observed value, or 0 with no observations.
+func (h *MergeHist) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum / float64(n)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0, 1]) under the given bounds table: the upper bound of the bucket the
+// quantile rank lands in, or the last finite bound for the overflow
+// bucket. Returns 0 with no observations.
+func (h *MergeHist) Quantile(bounds []float64, q float64) float64 {
+	total := h.Count()
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen > rank {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			return bounds[len(bounds)-1]
+		}
+	}
+	return bounds[len(bounds)-1]
+}
