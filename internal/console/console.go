@@ -1,0 +1,330 @@
+// Package console is the interactive operator mode behind `scenariorun
+// interactive`: a mutex-guarded session wrapping a live simulator, a
+// command language for day-2 operations (cordon/drain/uncordon a rack,
+// retire a feed, re-prioritize a server, re-budget a feed or subtree),
+// and an HTTP surface that serves the fleet's full observability plane —
+// telemetry, flight recorder, SLO, and fleet digests — against the
+// running simulation.
+//
+// Every command flows through the simulator's real control-plane path:
+// a re-budget lands as an allocator input on the next control period, a
+// drain moves measured load the capping controllers react to, and the
+// refalloc oracle can be invoked at any point to prove the applied
+// budgets are watt-exact for the mutated fleet.
+package console
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"capmaestro/internal/core"
+	"capmaestro/internal/fleetobs"
+	"capmaestro/internal/flightrec"
+	"capmaestro/internal/power"
+	"capmaestro/internal/scenario"
+	"capmaestro/internal/sim"
+	"capmaestro/internal/slo"
+	"capmaestro/internal/topology"
+)
+
+// ErrQuit is returned by Exec for the quit command; the caller owns the
+// session lifecycle.
+var ErrQuit = errors.New("console: quit")
+
+// Session drives one simulator interactively. All methods are safe for
+// concurrent use; the HTTP surface and a stdin command loop can share a
+// session.
+type Session struct {
+	mu      sync.Mutex
+	sim     *sim.Simulator
+	tracker *slo.Tracker
+	rec     *flightrec.Recorder
+
+	// fleet observability synthesis (see fleet.go)
+	hist       *fleetobs.History
+	periods    uint64
+	lastDigest fleetobs.Report
+	haveDigest bool
+}
+
+// New wraps a built simulator in a session. tracker and rec may be nil.
+func New(s *sim.Simulator, tracker *slo.Tracker, rec *flightrec.Recorder) *Session {
+	sess := &Session{sim: s, tracker: tracker, rec: rec}
+	sess.initFleet()
+	return sess
+}
+
+// Sim exposes the wrapped simulator for tests. Callers must not mutate
+// it concurrently with session use.
+func (c *Session) Sim() *sim.Simulator { return c.sim }
+
+// Step advances the simulation n seconds.
+func (c *Session) Step(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.step(n)
+}
+
+func (c *Session) step(n int) {
+	for i := 0; i < n; i++ {
+		c.sim.Run(time.Second)
+		c.sampleFleet()
+	}
+}
+
+// Exec parses and executes one command line, returning its output.
+func (c *Session) Exec(line string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	cmd, args := fields[0], fields[1:]
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("console: %s takes %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "help":
+		return helpText, nil
+	case "quit", "exit":
+		return "", ErrQuit
+	case "status":
+		return c.statusText(), nil
+	case "step":
+		if err := arity(1); err != nil {
+			return "", err
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 {
+			return "", fmt.Errorf("console: step wants a positive second count, got %q", args[0])
+		}
+		c.step(n)
+		return fmt.Sprintf("advanced %ds, t=%s", n, c.sim.Now()), nil
+	case "cordon":
+		if err := arity(1); err != nil {
+			return "", err
+		}
+		if err := c.sim.Cordon(args[0]); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("cordoned %s (%d servers cordoned fleet-wide)", args[0], len(c.sim.CordonedServers())), nil
+	case "drain":
+		if err := arity(1); err != nil {
+			return "", err
+		}
+		if err := c.sim.Drain(args[0]); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("drained %s (%d servers drained fleet-wide)", args[0], len(c.sim.DrainedServers())), nil
+	case "uncordon":
+		if err := arity(1); err != nil {
+			return "", err
+		}
+		if err := c.sim.Uncordon(args[0]); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("uncordoned %s", args[0]), nil
+	case "retire-feed":
+		if err := arity(1); err != nil {
+			return "", err
+		}
+		feed, err := c.feedArg(args[0])
+		if err != nil {
+			return "", err
+		}
+		c.sim.FailFeed(feed)
+		return fmt.Sprintf("retired feed %s", feed), nil
+	case "restore-feed":
+		if err := arity(1); err != nil {
+			return "", err
+		}
+		feed, err := c.feedArg(args[0])
+		if err != nil {
+			return "", err
+		}
+		c.sim.RestoreFeed(feed)
+		return fmt.Sprintf("restored feed %s", feed), nil
+	case "priority":
+		if err := arity(2); err != nil {
+			return "", err
+		}
+		p, err := strconv.Atoi(args[1])
+		if err != nil || p < 0 {
+			return "", fmt.Errorf("console: priority wants a non-negative integer, got %q", args[1])
+		}
+		if err := c.sim.SetPriority(args[0], core.Priority(p)); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("server %s priority → %d", args[0], p), nil
+	case "util":
+		if err := arity(2); err != nil {
+			return "", err
+		}
+		u, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || u < 0 || u > 1 {
+			return "", fmt.Errorf("console: util wants a fraction in [0,1], got %q", args[1])
+		}
+		if err := c.sim.SetUtilization(args[0], u); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("server %s utilization → %.2f", args[0], u), nil
+	case "budget":
+		if err := arity(2); err != nil {
+			return "", err
+		}
+		w, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || w < 0 {
+			return "", fmt.Errorf("console: budget wants non-negative watts, got %q", args[1])
+		}
+		return c.setBudget(args[0], power.Watts(w))
+	case "oracle":
+		if err := scenario.CheckOracle(c.sim); err != nil {
+			return "", fmt.Errorf("console: oracle diverged: %w", err)
+		}
+		return "applied budgets are watt-exact against the refalloc oracle", nil
+	default:
+		return "", fmt.Errorf("console: unknown command %q (try help)", cmd)
+	}
+}
+
+const helpText = `commands:
+  status                     fleet state: time, feeds, operator flags, SLO
+  step <sec>                 advance the simulation
+  cordon <node>              close servers under a node to new work
+  drain <node>               migrate load off cordoned servers under a node
+  uncordon <node>            restore drained load and reopen servers
+  retire-feed <X|Y>          take a utility feed out of service
+  restore-feed <X|Y>         bring a retired feed back
+  priority <server> <p>      change a server's priority
+  util <server> <0..1>       change a server's utilization
+  budget <feed|node> <watts> re-budget a feed (contractual) or subtree
+                             (operator overlay; 0 clears the overlay)
+  oracle                     verify applied budgets against refalloc
+  quit                       end the session`
+
+// feedArg resolves a feed name against the topology.
+func (c *Session) feedArg(name string) (topology.FeedID, error) {
+	for _, root := range c.sim.Topology().Roots() {
+		if string(root.Feed) == name {
+			return root.Feed, nil
+		}
+	}
+	return "", fmt.Errorf("console: unknown feed %q", name)
+}
+
+// setBudget routes a budget command: a feed name re-budgets the
+// contractual root budget; anything else is a subtree overlay on a
+// distribution node.
+func (c *Session) setBudget(target string, w power.Watts) (string, error) {
+	if feed, err := c.feedArg(target); err == nil {
+		c.sim.SetRootBudget(feed, w)
+		return fmt.Sprintf("feed %s contractual budget → %.0f W", feed, float64(w)), nil
+	}
+	if err := c.sim.SetNodeBudget(target, w); err != nil {
+		return "", err
+	}
+	if w == 0 {
+		return fmt.Sprintf("node %s budget overlay cleared", target), nil
+	}
+	return fmt.Sprintf("node %s budget overlay → %.0f W", target, float64(w)), nil
+}
+
+// Status is the machine-readable session state served on /op/status.
+type Status struct {
+	TimeSec float64      `json:"time_sec"`
+	Feeds   []FeedStatus `json:"feeds"`
+
+	Cordoned    []string           `json:"cordoned,omitempty"`
+	Drained     []string           `json:"drained,omitempty"`
+	NodeBudgets map[string]float64 `json:"node_budgets,omitempty"`
+
+	TrippedBreakers     []string `json:"tripped_breakers,omitempty"`
+	InfeasiblePeriods   int      `json:"infeasible_periods"`
+	InvariantViolations int      `json:"invariant_violations"`
+
+	WindowsClosed uint64      `json:"slo_windows_closed"`
+	OpenWindow    *slo.Window `json:"slo_open_window,omitempty"`
+	PeakRisk      float64     `json:"slo_peak_risk"`
+}
+
+// FeedStatus is one utility feed's state.
+type FeedStatus struct {
+	Feed   string  `json:"feed"`
+	Failed bool    `json:"failed"`
+	Budget float64 `json:"budget_watts,omitempty"`
+	Load   float64 `json:"load_watts"`
+}
+
+// Status snapshots the session.
+func (c *Session) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.status()
+}
+
+func (c *Session) status() Status {
+	s := c.sim
+	st := Status{
+		TimeSec:             s.Now().Seconds(),
+		Cordoned:            s.CordonedServers(),
+		Drained:             s.DrainedServers(),
+		TrippedBreakers:     s.TrippedBreakers(),
+		InfeasiblePeriods:   s.InfeasiblePeriods(),
+		InvariantViolations: len(s.InvariantViolations()),
+		WindowsClosed:       c.tracker.WindowsClosed(),
+		OpenWindow:          c.tracker.OpenWindow(),
+		PeakRisk:            c.tracker.PeakRisk(),
+	}
+	if ov := s.NodeBudgetOverlays(); len(ov) > 0 {
+		st.NodeBudgets = make(map[string]float64, len(ov))
+		for id, b := range ov {
+			st.NodeBudgets[id] = float64(b)
+		}
+	}
+	roots := s.Topology().Roots()
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Feed < roots[j].Feed })
+	for _, root := range roots {
+		st.Feeds = append(st.Feeds, FeedStatus{
+			Feed:   string(root.Feed),
+			Failed: s.FeedFailed(root.Feed),
+			Budget: float64(s.RootBudget(root.Feed)),
+			Load:   float64(s.NodeLoad(root.ID)),
+		})
+	}
+	return st
+}
+
+// statusText renders the status for terminal use.
+func (c *Session) statusText() string {
+	st := c.status()
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%.0fs", st.TimeSec)
+	for _, f := range st.Feeds {
+		state := "up"
+		if f.Failed {
+			state = "RETIRED"
+		}
+		fmt.Fprintf(&b, "  feed %s: %s load=%.0fW", f.Feed, state, f.Load)
+		if f.Budget > 0 {
+			fmt.Fprintf(&b, " budget=%.0fW", f.Budget)
+		}
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "cordoned=%d drained=%d overlays=%d tripped=%d infeasible=%d violations=%d\n",
+		len(st.Cordoned), len(st.Drained), len(st.NodeBudgets),
+		len(st.TrippedBreakers), st.InfeasiblePeriods, st.InvariantViolations)
+	fmt.Fprintf(&b, "slo: windows_closed=%d peak_risk=%.3f", st.WindowsClosed, st.PeakRisk)
+	if st.OpenWindow != nil {
+		fmt.Fprintf(&b, " OPEN window since t=%.0fs (%s)", st.OpenWindow.OpenedSec, strings.Join(st.OpenWindow.Causes, ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,289 @@
+package console_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"capmaestro/internal/console"
+	"capmaestro/internal/fleetobs"
+	"capmaestro/internal/flightrec"
+	"capmaestro/internal/scenario"
+	"capmaestro/internal/slo"
+	"capmaestro/internal/telemetry"
+)
+
+// newSession builds a live dual-feed fleet (two racks, four servers
+// each) wrapped in an operator session with the full instrument stack.
+func newSession(t *testing.T) (*console.Session, *telemetry.Registry) {
+	t.Helper()
+	f := &scenario.File{
+		Name: "console-" + t.Name(),
+		Fleet: scenario.FleetSpec{
+			Policy:      "global",
+			DurationSec: 600,
+			Topology: scenario.TopologySpec{RPPs: []scenario.RPPSpec{{
+				XRating: 12000, YRating: 12000,
+				Racks: []scenario.RackSpec{
+					{XRating: 2400, YRating: 2400},
+					{XRating: 2400, YRating: 2400},
+				},
+			}}},
+			Groups: []scenario.ServerGroup{
+				{Prefix: "a", Count: 4, RPP: 0, Rack: 0, Priority: 1, XShare: 0.5, Utilization: 0.7},
+				{Prefix: "b", Count: 4, RPP: 0, Rack: 1, Priority: 2, XShare: 0.5, Utilization: 0.6},
+			},
+		},
+		Assertions: []scenario.Assertion{{Kind: scenario.AssertNoTrips}},
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := f.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	rec := flightrec.NewRecorder(flightrec.DefaultBufferSize)
+	tracker, err := slo.New(slo.Config{Recorder: rec, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sc.BuildSimInstrumented(scenario.SimInstruments{
+		SLO: tracker, FlightRecorder: rec, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return console.New(s, tracker, rec), reg
+}
+
+func exec(t *testing.T, sess *console.Session, line string) string {
+	t.Helper()
+	out, err := sess.Exec(line)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", line, err)
+	}
+	return out
+}
+
+// TestScriptedCordonRebudgetSettlesWattExact is the acceptance check for
+// interactive mode: a scripted session cordons and drains a rack,
+// overlays a subtree budget, re-budgets a feed, steps through control
+// periods, and at each settle point the oracle command must certify the
+// applied budgets watt-identical to the refalloc reference.
+func TestScriptedCordonRebudgetSettlesWattExact(t *testing.T) {
+	sess, _ := newSession(t)
+	const oracleOK = "applied budgets are watt-exact against the refalloc oracle"
+
+	script := []string{
+		"step 16", // two control periods of steady state
+		"oracle",
+		"cordon X-rpp0-cdu0",
+		"drain X-rpp0-cdu0",
+		"budget X-rpp0-cdu1 900", // subtree overlay on the other rack
+		"budget X 2600",          // contractual feed re-budget
+		"step 8",                 // one control period under the new constraints
+		"oracle",
+		"uncordon X-rpp0-cdu0",
+		"budget X-rpp0-cdu1 0", // clear the overlay
+		"step 8",
+		"oracle",
+	}
+	for _, line := range script {
+		out, err := sess.Exec(line)
+		if err != nil {
+			t.Fatalf("Exec(%q): %v", line, err)
+		}
+		if line == "oracle" && out != oracleOK {
+			t.Fatalf("oracle output = %q", out)
+		}
+	}
+
+	s := sess.Sim()
+	if tripped := s.TrippedBreakers(); len(tripped) != 0 {
+		t.Fatalf("breakers tripped: %v", tripped)
+	}
+	if v := s.InvariantViolations(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+	// The session's mutations really landed on the control plane: the
+	// feed's contractual budget bounds the last X allocation.
+	alloc := s.LastAllocation("X")
+	if alloc == nil {
+		t.Fatal("no allocation on X")
+	}
+	if got := float64(alloc.NodeBudgets["X"]); got > 2600 {
+		t.Fatalf("X root budget %v W exceeds the 2600 W contract", got)
+	}
+}
+
+// TestExecErrors pins the console's error surface.
+func TestExecErrors(t *testing.T) {
+	sess, _ := newSession(t)
+	cases := []struct {
+		line, wantErr string
+	}{
+		{"bogus", `console: unknown command "bogus" (try help)`},
+		{"cordon", "console: cordon takes 1 argument(s)"},
+		{"step zero", `console: step wants a positive second count, got "zero"`},
+		{"retire-feed Z", `console: unknown feed "Z"`},
+		{"util a-0 2", `console: util wants a fraction in [0,1], got "2"`},
+		{"priority a-0 -1", `console: priority wants a non-negative integer, got "-1"`},
+		{"drain X-rpp0-cdu0", `sim: drain "X-rpp0-cdu0": server "a-0" is not cordoned`},
+	}
+	for _, tc := range cases {
+		_, err := sess.Exec(tc.line)
+		if err == nil || err.Error() != tc.wantErr {
+			t.Fatalf("Exec(%q): err = %v, want %q", tc.line, err, tc.wantErr)
+		}
+	}
+	if _, err := sess.Exec("quit"); err != console.ErrQuit {
+		t.Fatalf("quit returned %v", err)
+	}
+	if out, err := sess.Exec("   "); err != nil || out != "" {
+		t.Fatalf("blank line: %q, %v", out, err)
+	}
+	if out := exec(t, sess, "help"); !strings.Contains(out, "retire-feed") {
+		t.Fatalf("help output missing commands:\n%s", out)
+	}
+}
+
+// TestOperatorHTTPSurface drives the mounted HTTP plane end to end:
+// operator commands over POST /op, machine status, and the telemetry,
+// SLO, flight-recorder, and fleet endpoints all serve against the live
+// sim.
+func TestOperatorHTTPSurface(t *testing.T) {
+	sess, reg := newSession(t)
+	ts, err := telemetry.Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	sess.Mount(ts)
+	base := "http://" + ts.Addr()
+
+	post := func(cmd string) (int, console.Status, string) {
+		t.Helper()
+		body := strings.NewReader(fmt.Sprintf(`{"cmd":%q}`, cmd))
+		resp, err := http.Post(base+"/op", "application/json", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var or struct {
+			Output string `json:"output"`
+			Error  string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+			t.Fatal(err)
+		}
+		if or.Error != "" {
+			return resp.StatusCode, console.Status{}, or.Error
+		}
+		return resp.StatusCode, console.Status{}, or.Output
+	}
+
+	if code, _, out := post("step 16"); code != http.StatusOK || !strings.Contains(out, "advanced 16s") {
+		t.Fatalf("step over HTTP: %d %q", code, out)
+	}
+	if code, _, out := post("cordon X-rpp0-cdu0"); code != http.StatusOK || !strings.Contains(out, "cordoned") {
+		t.Fatalf("cordon over HTTP: %d %q", code, out)
+	}
+	if code, _, out := post("oracle"); code != http.StatusOK || !strings.Contains(out, "watt-exact") {
+		t.Fatalf("oracle over HTTP: %d %q", code, out)
+	}
+	if code, _, msg := post("drain Y"); code != http.StatusBadRequest || !strings.Contains(msg, "not cordoned") {
+		t.Fatalf("bad drain over HTTP: %d %q", code, msg)
+	}
+	if code, _, msg := post("quit"); code != http.StatusBadRequest || !strings.Contains(msg, "terminal command") {
+		t.Fatalf("quit over HTTP: %d %q", code, msg)
+	}
+
+	// GET /op must be refused.
+	resp, err := http.Get(base + "/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /op = %d", resp.StatusCode)
+	}
+
+	// Machine status reflects the cordon issued above.
+	resp, err = http.Get(base + "/op/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st console.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TimeSec != 16 || len(st.Cordoned) != 4 {
+		t.Fatalf("status = t%vs cordoned=%v", st.TimeSec, st.Cordoned)
+	}
+	if len(st.Feeds) != 2 || st.Feeds[0].Feed != "X" || st.Feeds[0].Load <= 0 {
+		t.Fatalf("feeds = %+v", st.Feeds)
+	}
+
+	// The observability plane is mounted and serving.
+	for _, path := range []string{"/metrics", "/debug/slo", "/debug/periods", "/debug/fleet", "/debug/fleet/history"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+
+	// The fleet digest is synthesized per control period from the live
+	// allocation: one digest per rack-feed side (2 racks × 2 feeds)
+	// rolled up, with real watts behind them.
+	resp, err = http.Get(base + "/debug/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fleet fleetobs.Report
+	err = json.NewDecoder(resp.Body).Decode(&fleet)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Fleet == nil || fleet.Fleet.Racks != 4 {
+		t.Fatalf("fleet digest = %+v", fleet.Fleet)
+	}
+	if fleet.Fleet.PowerW <= 0 || fleet.Fleet.BudgetW <= 0 {
+		t.Fatalf("fleet digest has no watts: power=%v budget=%v", fleet.Fleet.PowerW, fleet.Fleet.BudgetW)
+	}
+	if fleet.Period == 0 {
+		t.Fatalf("fleet digest period = 0")
+	}
+}
+
+// TestRunLoop drives the line-oriented console front end with a scripted
+// stdin and checks the transcript.
+func TestRunLoop(t *testing.T) {
+	sess, _ := newSession(t)
+	in := strings.NewReader("status\nstep 8\noracle\nquit\n")
+	var out strings.Builder
+	if err := sess.Run(in, &out, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"capmaestro operator console",
+		"advanced 8s",
+		"watt-exact",
+		"bye",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package console
+
+import (
+	"time"
+
+	"capmaestro/internal/fleetobs"
+	"capmaestro/internal/topology"
+)
+
+// The interactive session synthesizes the fleet observability plane the
+// sharded control plane produces in production: one StatDigest per rack
+// (CDU position per feed), merged into a fleet rollup and appended to
+// the /debug/fleet/history ring once per control period. The digests are
+// derived from the simulator's measured node loads and the last applied
+// allocation, so /debug/fleet shows the same cap-violation pressure and
+// headroom distribution an operator would see on a real room.
+
+func (c *Session) initFleet() {
+	c.hist = fleetobs.NewHistory(fleetobs.DefaultHistorySize)
+}
+
+// sampleFleet refreshes the synthesized fleet digest on control-period
+// boundaries. Callers hold c.mu.
+func (c *Session) sampleFleet() {
+	periodSec := int(c.sim.ControlPeriod().Seconds())
+	if periodSec <= 0 {
+		return
+	}
+	nowSec := int(c.sim.Now().Seconds())
+	if nowSec == 0 || nowSec%periodSec != 0 {
+		return
+	}
+	c.periods++
+
+	fleet := &fleetobs.StatDigest{}
+	for _, root := range c.sim.Topology().Roots() {
+		if c.sim.FeedFailed(root.Feed) {
+			continue
+		}
+		alloc := c.sim.LastAllocation(root.Feed)
+		root.Walk(func(n *topology.Node) bool {
+			if n.Kind != topology.KindCDU {
+				return true
+			}
+			d := &fleetobs.StatDigest{Racks: 1}
+			d.PowerW = float64(c.sim.NodeLoad(n.ID))
+			d.RequestW = d.PowerW
+			if alloc != nil {
+				d.BudgetW = float64(alloc.NodeBudgets[n.ID])
+			}
+			if d.BudgetW > 0 {
+				d.HeadroomW = d.BudgetW - d.PowerW
+				d.WorstHeadroomW = d.HeadroomW
+				d.WorstHeadroomRack = n.ID
+				if d.PowerW > 0 {
+					d.Headroom.Observe(fleetobs.HeadroomBounds, d.HeadroomW/d.PowerW)
+				}
+				if d.PowerW > d.BudgetW {
+					d.ViolatingRacks = 1
+					d.ViolationW = d.PowerW - d.BudgetW
+					d.AddOutlier(fleetobs.Outlier{
+						Rack:      n.ID,
+						Score:     d.ViolationW,
+						Reason:    "cap-violation",
+						PowerW:    d.PowerW,
+						HeadroomW: d.HeadroomW,
+					})
+				}
+			}
+			fleet.Merge(d)
+			return true
+		})
+	}
+
+	c.lastDigest = fleetobs.Report{
+		Period:  c.periods,
+		Time:    time.Now(),
+		Summary: fleet.Summary(),
+		Fleet:   fleet,
+	}
+	c.haveDigest = true
+
+	sum := c.lastDigest.Summary
+	c.hist.Append(fleetobs.Sample{
+		Period:         c.periods,
+		UnixMs:         c.lastDigest.Time.UnixMilli(),
+		PowerW:         sum.PowerWatts,
+		BudgetW:        sum.BudgetWatts,
+		HeadroomW:      sum.HeadroomWatts,
+		WorstHeadroomW: sum.WorstHeadroomWatts,
+		ViolatingRacks: sum.ViolatingRacks,
+		OutlierRacks:   sum.OutlierRacks,
+	})
+}
+
+// fleetReport snapshots the latest synthesized digest for the HTTP
+// handler.
+func (c *Session) fleetReport() (fleetobs.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastDigest, c.haveDigest
+}

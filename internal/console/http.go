@@ -1,0 +1,129 @@
+package console
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"capmaestro/internal/fleetobs"
+	"capmaestro/internal/telemetry"
+)
+
+// Mount attaches the session's full surface to a telemetry server:
+//
+//	POST /op              — execute one operator command
+//	GET  /op/status       — machine-readable session state
+//	GET  /debug/periods   — flight-recorder ring (and /debug/trace.json)
+//	GET  /debug/slo       — exposure windows, trip risk, alert state
+//	GET  /debug/fleet     — synthesized fleet digest (+ /history)
+//
+// plus the registry's own /metrics, /healthz, and /debug/vars the server
+// carries already.
+func (c *Session) Mount(ts *telemetry.Server) {
+	ts.Handle("/op", http.HandlerFunc(c.serveOp))
+	ts.Handle("/op/status", http.HandlerFunc(c.serveStatus))
+	if c.rec != nil {
+		h := c.rec.Handler()
+		ts.Handle("/debug/periods", h)
+		ts.Handle("/debug/periods/", h)
+		ts.Handle("/debug/trace.json", h)
+	}
+	if c.tracker != nil {
+		ts.Handle("/debug/slo", c.tracker.Handler())
+		ts.AddLeveledCheck("slo", c.tracker.HealthCheck)
+	}
+	fh := fleetobs.Handler(c.fleetReport, c.hist)
+	ts.Handle("/debug/fleet", fh)
+	ts.Handle("/debug/fleet/", fh)
+}
+
+// opRequest is the POST /op body.
+type opRequest struct {
+	Cmd string `json:"cmd"`
+}
+
+// opResponse is the POST /op reply.
+type opResponse struct {
+	Output string `json:"output,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (c *Session) serveOp(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var or opRequest
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<16)).Decode(&or); err != nil {
+		writeJSON(w, http.StatusBadRequest, opResponse{Error: fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	out, err := c.Exec(or.Cmd)
+	switch {
+	case errors.Is(err, ErrQuit):
+		writeJSON(w, http.StatusBadRequest, opResponse{Error: "quit is a terminal command; stop the process instead"})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, opResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, opResponse{Output: out})
+	}
+}
+
+func (c *Session) serveStatus(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Run drives the session from a line-oriented command stream (stdin in
+// interactive mode), advancing the simulation rate simulated seconds per
+// wall second via the caller's clock channel. Each tick received on
+// clock advances the sim; a nil clock disables real-time advance (the
+// step command still works). Run returns on quit or end of input.
+func (c *Session) Run(in io.Reader, out io.Writer, rate int, clock <-chan struct{}) error {
+	lines := make(chan string)
+	errc := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(in)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		errc <- sc.Err()
+		close(lines)
+	}()
+	fmt.Fprintln(out, "capmaestro operator console — type help for commands")
+	prompt := func() { fmt.Fprint(out, "> ") }
+	prompt()
+	for {
+		select {
+		case <-clock:
+			if rate > 0 {
+				c.Step(rate)
+			}
+		case line, ok := <-lines:
+			if !ok {
+				return <-errc
+			}
+			res, err := c.Exec(line)
+			switch {
+			case errors.Is(err, ErrQuit):
+				fmt.Fprintln(out, "bye")
+				return nil
+			case err != nil:
+				fmt.Fprintf(out, "error: %v\n", err)
+			case res != "":
+				fmt.Fprintln(out, res)
+			}
+			prompt()
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// This file is the declarative scenario format the scenariorun command
+// consumes: a named fleet (topology, server population, budgets), a
+// timed event schedule, and a set of assertions the run must satisfy.
+// Files are authored in the YAML subset (see yaml.go) or plain JSON;
+// both flow through the one canonical strict decode path, so an unknown
+// field is an error in either syntax.
+//
+// A File is sugar over the fuzzing-era Scenario value: Scenario() lowers
+// it (expanding server groups into individual ServerSpecs) and from
+// there every existing tool works — Validate, Verify, CheckStates, the
+// simulator builders, and the minimizer.
+
+// DefaultControlPeriodSec is the paper's 8 s control period, used when a
+// fleet omits control_period_sec.
+const DefaultControlPeriodSec = 8
+
+// File is one declarative scenario document.
+type File struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	Fleet FleetSpec `json:"fleet"`
+
+	// Events is the timed schedule: faults, load changes, and operator
+	// actions, in firing order.
+	Events []Event `json:"events,omitempty"`
+
+	// Assertions are evaluated after the run; all must pass.
+	Assertions []Assertion `json:"assertions,omitempty"`
+}
+
+// FleetSpec describes the fleet under test.
+type FleetSpec struct {
+	// Policy is a core.ParsePolicy name: "none", "local", or "global".
+	Policy string `json:"policy"`
+	SPO    bool   `json:"spo,omitempty"`
+
+	// ControlPeriodSec defaults to the paper's 8 s period when omitted.
+	ControlPeriodSec int `json:"control_period_sec,omitempty"`
+	DurationSec      int `json:"duration_sec"`
+
+	Topology TopologySpec `json:"topology"`
+
+	// Servers places individual servers; Groups stamps out runs of
+	// identical ones. Both may be used together.
+	Servers []ServerSpec  `json:"servers,omitempty"`
+	Groups  []ServerGroup `json:"groups,omitempty"`
+
+	Budgets []FeedBudget `json:"budgets,omitempty"`
+}
+
+// ServerGroup stamps out Count identical servers named Prefix-0,
+// Prefix-1, … on one rack position.
+type ServerGroup struct {
+	Prefix string `json:"prefix"`
+	Count  int    `json:"count"`
+	RPP    int    `json:"rpp"`
+	Rack   int    `json:"rack"`
+
+	Priority    int     `json:"priority"`
+	XShare      float64 `json:"x_share"`
+	Utilization float64 `json:"utilization"`
+}
+
+// Servers expands the group into individual specs.
+func (g *ServerGroup) Servers() []ServerSpec {
+	out := make([]ServerSpec, g.Count)
+	for i := range out {
+		out[i] = ServerSpec{
+			ID:          fmt.Sprintf("%s-%d", g.Prefix, i),
+			RPP:         g.RPP,
+			Rack:        g.Rack,
+			Priority:    g.Priority,
+			XShare:      g.XShare,
+			Utilization: g.Utilization,
+		}
+	}
+	return out
+}
+
+// LoadFile parses a declarative scenario document. A document whose
+// first non-space byte is '{' is decoded as JSON; anything else is
+// parsed as the YAML subset and re-encoded through the same strict JSON
+// decoder, so unknown fields are rejected identically in both syntaxes.
+func LoadFile(data []byte) (*File, error) {
+	var f File
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if strings.HasPrefix(trimmed, "{") {
+		if err := strictUnmarshalJSON([]byte(trimmed), &f); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		return &f, nil
+	}
+	v, err := parseYAML(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	bridge, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := strictUnmarshalJSON(bridge, &f); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &f, nil
+}
+
+// ReadFile loads a declarative scenario from disk.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	f, err := LoadFile(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Scenario lowers the declarative file to the replayable Scenario value
+// every existing tool consumes, expanding server groups and applying
+// defaults. The lowering is deterministic: explicit servers first, then
+// each group's servers in declaration order.
+func (f *File) Scenario() (*Scenario, error) {
+	period := f.Fleet.ControlPeriodSec
+	if period == 0 {
+		period = DefaultControlPeriodSec
+	}
+	servers := make([]ServerSpec, 0, len(f.Fleet.Servers))
+	servers = append(servers, f.Fleet.Servers...)
+	for i := range f.Fleet.Groups {
+		g := &f.Fleet.Groups[i]
+		if g.Prefix == "" {
+			return nil, fmt.Errorf("scenario: group %d has no prefix", i)
+		}
+		if g.Count < 1 {
+			return nil, fmt.Errorf("scenario: group %q count %d invalid", g.Prefix, g.Count)
+		}
+		servers = append(servers, g.Servers()...)
+	}
+	return &Scenario{
+		Name:             f.Name,
+		Topology:         f.Fleet.Topology,
+		Servers:          servers,
+		Policy:           f.Fleet.Policy,
+		SPO:              f.Fleet.SPO,
+		ControlPeriodSec: period,
+		DurationSec:      f.Fleet.DurationSec,
+		Budgets:          f.Fleet.Budgets,
+		Events:           f.Events,
+	}, nil
+}
+
+// ValidateFiles checks each file and renders the deterministic one-line-
+// per-file report `scenariorun validate` prints and the scenario-library
+// golden test pins.
+func ValidateFiles(paths []string) (string, bool) {
+	var b strings.Builder
+	ok := true
+	for _, path := range paths {
+		f, err := ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(&b, "FAIL %s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		if err := f.Validate(); err != nil {
+			fmt.Fprintf(&b, "FAIL %s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		sc, err := f.Scenario()
+		if err != nil {
+			fmt.Fprintf(&b, "FAIL %s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		fmt.Fprintf(&b, "ok   %s  %s  servers=%d events=%d assertions=%d duration=%ds\n",
+			path, f.Name, len(sc.Servers), len(sc.Events), len(f.Assertions), sc.DurationSec)
+	}
+	return b.String(), ok
+}
+
+// Validate checks the whole document: the file must have a name, the
+// lowered scenario must pass the full structural battery, and every
+// assertion must be well-formed against the fleet it asserts over.
+func (f *File) Validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("scenario: file has no name")
+	}
+	sc, err := f.Scenario()
+	if err != nil {
+		return err
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	if len(f.Assertions) == 0 {
+		return fmt.Errorf("scenario: file %q has no assertions", f.Name)
+	}
+	topo, err := sc.BuildTopology()
+	if err != nil {
+		return err
+	}
+	for i := range f.Assertions {
+		if err := f.Assertions[i].validate(sc, topo); err != nil {
+			return fmt.Errorf("scenario: assertion %d (%s): %w", i, f.Assertions[i].Kind, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const yamlDoc = `# A comment above the document.
+name: loader-check
+description: "exercises the YAML subset: quoting, nesting, sequences"
+fleet:
+  policy: global
+  spo: true
+  duration_sec: 60
+  topology:
+    rpps:
+      - x_rating: 6000
+        y_rating: 6000
+        racks:
+          - x_rating: 2400
+            y_rating: 2400
+  groups:
+    - prefix: web
+      count: 3
+      rpp: 0
+      rack: 0
+      priority: 2
+      x_share: 0.5
+      utilization: 0.8
+  budgets:
+    - feed: X
+      watts: 5000
+events:
+  - at_sec: 10
+    kind: fail_feed
+    feed: X
+  - at_sec: 30   # trailing comment
+    kind: set_util
+    server: web-1
+    value: 0.25
+assertions:
+  - kind: no_trips
+  - kind: throughput_floor
+    priority: 2
+    min: 0.5
+`
+
+const jsonDoc = `{
+  "name": "loader-check",
+  "description": "exercises the YAML subset: quoting, nesting, sequences",
+  "fleet": {
+    "policy": "global",
+    "spo": true,
+    "duration_sec": 60,
+    "topology": {
+      "rpps": [
+        {"x_rating": 6000, "y_rating": 6000,
+         "racks": [{"x_rating": 2400, "y_rating": 2400}]}
+      ]
+    },
+    "groups": [
+      {"prefix": "web", "count": 3, "rpp": 0, "rack": 0,
+       "priority": 2, "x_share": 0.5, "utilization": 0.8}
+    ],
+    "budgets": [{"feed": "X", "watts": 5000}]
+  },
+  "events": [
+    {"at_sec": 10, "kind": "fail_feed", "feed": "X"},
+    {"at_sec": 30, "kind": "set_util", "server": "web-1", "value": 0.25}
+  ],
+  "assertions": [
+    {"kind": "no_trips"},
+    {"kind": "throughput_floor", "priority": 2, "min": 0.5}
+  ]
+}`
+
+// TestLoadFileYAMLAndJSONAgree parses the same document in both syntaxes
+// and demands identical File values: the YAML subset is sugar, not a
+// second format.
+func TestLoadFileYAMLAndJSONAgree(t *testing.T) {
+	fy, err := LoadFile([]byte(yamlDoc))
+	if err != nil {
+		t.Fatalf("yaml: %v", err)
+	}
+	fj, err := LoadFile([]byte(jsonDoc))
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	if !reflect.DeepEqual(fy, fj) {
+		t.Fatalf("yaml and json disagree:\nyaml: %+v\njson: %+v", fy, fj)
+	}
+	if err := fy.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	sc, err := fy.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ControlPeriodSec != DefaultControlPeriodSec {
+		t.Fatalf("control period = %d, want default %d", sc.ControlPeriodSec, DefaultControlPeriodSec)
+	}
+	want := []string{"web-0", "web-1", "web-2"}
+	if len(sc.Servers) != len(want) {
+		t.Fatalf("lowered %d servers, want %d", len(sc.Servers), len(want))
+	}
+	for i, id := range want {
+		if sc.Servers[i].ID != id {
+			t.Fatalf("server %d = %q, want %q", i, sc.Servers[i].ID, id)
+		}
+	}
+}
+
+// TestLoadFileRejections pins the loader's error messages for malformed
+// documents: YAML-subset syntax errors and strict-decode violations must
+// fail loudly, never silently drop fields.
+func TestLoadFileRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		doc     string
+		wantErr string
+	}{
+		{"unknown_field_yaml",
+			"name: x\nfrobnicate: 3\n",
+			`json: unknown field "frobnicate"`},
+		{"unknown_field_json",
+			`{"name": "x", "frobnicate": 3}`,
+			`json: unknown field "frobnicate"`},
+		{"unknown_nested_field",
+			"name: x\nfleet:\n  policy: global\n  rpp_count: 2\n",
+			`json: unknown field "rpp_count"`},
+		{"trailing_json",
+			`{"name": "x"} {"name": "y"}`,
+			"trailing data after document"},
+		{"tab_indent",
+			"name: x\nfleet:\n\tpolicy: global\n",
+			"yaml: line 3: tab in indentation"},
+		{"duplicate_key",
+			"name: x\nname: y\n",
+			`yaml: line 2: duplicate key "name"`},
+		{"flow_collection",
+			"name: x\nevents: [1, 2]\n",
+			"yaml: line 2: flow collections are not supported"},
+		{"block_scalar",
+			"name: x\ndescription: |\n  text\n",
+			"yaml: line 2: block scalars are not supported"},
+		{"anchor",
+			"name: &a x\n",
+			"yaml: line 1: anchors, aliases, and tags are not supported"},
+		{"multi_document",
+			"name: x\n---\nname: y\n",
+			"yaml: line 2: multi-document streams are not supported"},
+		{"unterminated_quote",
+			"name: 'oops\n",
+			"yaml: line 1: unterminated single-quoted string"},
+		{"missing_space_after_key",
+			"name:x\n",
+			`yaml: line 1: missing space after key "name"`},
+		{"empty", "", "yaml: empty document"},
+		{"comments_only", "# nothing here\n", "yaml: empty document"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadFile([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("LoadFile accepted %q", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+			if !strings.HasPrefix(err.Error(), "scenario: ") {
+				t.Fatalf("error %q not namespaced", err)
+			}
+		})
+	}
+}
+
+// TestYAMLScalarTyping checks the subset's scalar inference end to end:
+// quoted strings stay strings, bare literals become bool/number/null.
+func TestYAMLScalarTyping(t *testing.T) {
+	v, err := parseYAML([]byte("a: true\nb: 'true'\nc: 3.5\nd: \"3.5\"\ne: null\nf: ~\ng: hello world\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		t.Fatalf("parsed %T, want map", v)
+	}
+	want := map[string]any{
+		"a": true, "b": "true",
+		"c": 3.5, "d": "3.5",
+		"e": nil, "f": nil,
+		"g": "hello world",
+	}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("parsed %#v, want %#v", m, want)
+	}
+}
+
+// TestMinimizedScenarioReloadsByteIdentically is the canonical-Load-path
+// regression: a scenario the minimizer produced must survive
+// MarshalStable → Load → MarshalStable with identical bytes, proving the
+// minimizer and the loaders share one strict decode path and the stable
+// encoding drops nothing.
+func TestMinimizedScenarioReloadsByteIdentically(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		sc := Generate(seed)
+		// A structural predicate keeps minimization deterministic and fast;
+		// the minimizer shrinks as far as the predicate allows.
+		min := Minimize(sc, func(c *Scenario) bool { return len(c.Servers) >= 1 })
+		data, err := min.MarshalStable()
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		re, err := Load(data)
+		if err != nil {
+			t.Fatalf("seed %d: reload: %v", seed, err)
+		}
+		data2, err := re.MarshalStable()
+		if err != nil {
+			t.Fatalf("seed %d: re-marshal: %v", seed, err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("seed %d: minimized scenario did not reload byte-identically:\nfirst:\n%s\nsecond:\n%s",
+				seed, data, data2)
+		}
+	}
+}
+
+// TestReadFileWrapsPath checks the on-disk loader names the offending
+// file in its error.
+func TestReadFileWrapsPath(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bad.yaml"
+	if err := os.WriteFile(path, []byte("name: x\nbogus: 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if err == nil {
+		t.Fatal("ReadFile accepted a bad document")
+	}
+	if !strings.Contains(err.Error(), path) || !strings.Contains(err.Error(), `unknown field "bogus"`) {
+		t.Fatalf("error %q does not name the file and the field", err)
+	}
+}

@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// libraryPaths returns the committed scenario library, relative to this
+// package directory, in deterministic (sorted) order.
+func libraryPaths(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed scenarios found under scenarios/")
+	}
+	return paths
+}
+
+// TestScenarioLibrary runs every committed scenario end to end and
+// requires all of its assertions to pass: the library doubles as the
+// system-level regression suite for the simulator, the SLO tracker, and
+// the assertion engine. CI runs this under -race.
+func TestScenarioLibrary(t *testing.T) {
+	for _, path := range libraryPaths(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			f, err := ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunFile(f, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Report.OK() {
+				t.Fatalf("scenario failed:\n%s", res.Report.Text())
+			}
+		})
+	}
+}
+
+// TestScenarioLibraryValidateGolden pins the `scenariorun validate`
+// report for the committed library. Regenerate with `go test -run
+// ValidateGolden -update ./internal/scenario/`.
+func TestScenarioLibraryValidateGolden(t *testing.T) {
+	report, ok := ValidateFiles(libraryPaths(t))
+	if !ok {
+		t.Fatalf("library does not validate:\n%s", report)
+	}
+	golden := filepath.Join("testdata", "library-validate.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(report), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if report != string(want) {
+		t.Fatalf("validate report drifted from golden:\ngot:\n%s\nwant:\n%s", report, want)
+	}
+}

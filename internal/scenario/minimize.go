@@ -87,15 +87,16 @@ func accept(cand *Scenario, fails func(*Scenario) bool) bool {
 	return fails(cand)
 }
 
-// cloneScenario deep-copies via the stable JSON encoding; scenario values
-// are plain data, so the round trip is exact.
+// cloneScenario deep-copies via the stable JSON encoding and the one
+// canonical strict decode path (see strictUnmarshalJSON); scenario
+// values are plain data, so the round trip is exact.
 func cloneScenario(sc *Scenario) *Scenario {
 	data, err := json.Marshal(sc)
 	if err != nil {
 		panic(err) // scenarios are plain data; marshal cannot fail
 	}
 	var c Scenario
-	if err := json.Unmarshal(data, &c); err != nil {
+	if err := strictUnmarshalJSON(data, &c); err != nil {
 		panic(err)
 	}
 	return &c

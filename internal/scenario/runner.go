@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"log/slog"
+	"time"
+
+	"capmaestro/internal/flightrec"
+	"capmaestro/internal/sim"
+	"capmaestro/internal/slo"
+	"capmaestro/internal/telemetry"
+)
+
+// RunResult bundles everything a caller needs after a scenario run: the
+// assertion report plus the live instruments, so the CLI can dump the
+// flight-recorder trace of a failing run and tests can poke at the
+// simulator's end state.
+type RunResult struct {
+	Report   *RunReport
+	Sim      *sim.Simulator
+	SLO      *slo.Tracker
+	Recorder *flightrec.Recorder
+}
+
+// RunOptions tunes a scenario run. The zero value is what CI wants.
+type RunOptions struct {
+	// Logger receives simulator events (nil disables).
+	Logger *slog.Logger
+	// Telemetry registers the fleet's live metrics (nil disables).
+	Telemetry *telemetry.Registry
+	// RecorderSize bounds the flight-recorder ring; 0 selects the
+	// recorder's default.
+	RecorderSize int
+}
+
+// RunFile validates a declarative scenario, runs it second by second
+// with the probe sampling, and evaluates its assertions. The error
+// return covers malformed scenarios only; assertion failures are
+// reported through Report (check Report.OK()).
+func RunFile(f *File, opts RunOptions) (*RunResult, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	sc, err := f.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	size := opts.RecorderSize
+	if size == 0 {
+		size = flightrec.DefaultBufferSize
+	}
+	rec := flightrec.NewRecorder(size)
+	tracker, err := slo.New(slo.Config{
+		Recorder: rec,
+		Registry: opts.Telemetry,
+		Logger:   opts.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s, err := sc.BuildSimInstrumented(SimInstruments{
+		SLO:            tracker,
+		FlightRecorder: rec,
+		Telemetry:      opts.Telemetry,
+		Logger:         opts.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	probe := NewProbe(f)
+	for t := 0; t < sc.DurationSec; t++ {
+		s.Run(time.Second)
+		probe.Sample(s)
+	}
+	return &RunResult{
+		Report:   Evaluate(f, s, tracker, probe),
+		Sim:      s,
+		SLO:      tracker,
+		Recorder: rec,
+	}, nil
+}

@@ -22,14 +22,19 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
+	"sort"
 	"time"
 
 	"capmaestro/internal/core"
+	"capmaestro/internal/flightrec"
 	"capmaestro/internal/power"
 	"capmaestro/internal/server"
 	"capmaestro/internal/sim"
 	"capmaestro/internal/slo"
+	"capmaestro/internal/telemetry"
 	"capmaestro/internal/topology"
 )
 
@@ -109,7 +114,11 @@ type FeedBudget struct {
 	Watts float64 `json:"watts"`
 }
 
-// Event kinds understood by the schedule.
+// Event kinds understood by the schedule. The first block is the fault
+// schedule the fuzzing generator draws from; the second block is the
+// operator actions the declarative scenario format adds (rolling
+// maintenance and subtree re-budgeting, routed through the simulator's
+// operator surface).
 const (
 	EventFailFeed      = "fail_feed"
 	EventRestoreFeed   = "restore_feed"
@@ -118,9 +127,14 @@ const (
 	EventSetPriority   = "set_priority"
 	EventFailSupply    = "fail_supply"
 	EventRestoreSupply = "restore_supply"
+
+	EventCordon        = "cordon"
+	EventDrain         = "drain"
+	EventUncordon      = "uncordon"
+	EventSetNodeBudget = "set_node_budget"
 )
 
-// Event is one timed fault or reconfiguration.
+// Event is one timed fault, reconfiguration, or operator action.
 type Event struct {
 	AtSec int    `json:"at_sec"`
 	Kind  string `json:"kind"`
@@ -128,6 +142,7 @@ type Event struct {
 	Feed   string  `json:"feed,omitempty"`
 	Server string  `json:"server,omitempty"`
 	Supply string  `json:"supply,omitempty"`
+	Node   string  `json:"node,omitempty"`
 	Value  float64 `json:"value,omitempty"`
 }
 
@@ -137,13 +152,28 @@ func (sc *Scenario) MarshalStable() ([]byte, error) {
 	return json.MarshalIndent(sc, "", "  ")
 }
 
+// strictUnmarshalJSON is the one canonical strict decode every scenario
+// loader shares (legacy Scenario JSON, declarative files, minimized
+// replay corpora): unknown fields are rejected so a replayed file cannot
+// silently drop information, and trailing content after the document is
+// an error rather than ignored bytes.
+func strictUnmarshalJSON(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after document")
+	}
+	return nil
+}
+
 // Load parses a scenario previously written with MarshalStable, rejecting
 // unknown fields so replayed files cannot silently drop information.
 func Load(data []byte) (*Scenario, error) {
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
 	var sc Scenario
-	if err := dec.Decode(&sc); err != nil {
+	if err := strictUnmarshalJSON(data, &sc); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	return &sc, nil
@@ -234,6 +264,24 @@ func (sc *Scenario) BuildSim() (*sim.Simulator, error) {
 // verification battery (and debugging reruns) can assert exposure-window
 // and trip-risk properties over the scenario's fault schedule.
 func (sc *Scenario) BuildSimWithSLO(tracker *slo.Tracker) (*sim.Simulator, error) {
+	return sc.BuildSimInstrumented(SimInstruments{SLO: tracker})
+}
+
+// SimInstruments bundles the optional observability attachments for a
+// scenario-built simulator: the scenario runner and interactive operator
+// mode wire all of them; the verification battery only the SLO tracker.
+type SimInstruments struct {
+	SLO            *slo.Tracker
+	FlightRecorder *flightrec.Recorder
+	Telemetry      *telemetry.Registry
+	Logger         *slog.Logger
+}
+
+// BuildSimInstrumented assembles a simulator for the scenario with the
+// given instruments attached and schedules its event timeline. The
+// servers run noiseless with instantaneous actuation so two runs of the
+// same scenario are bit-identical.
+func (sc *Scenario) BuildSimInstrumented(ins SimInstruments) (*sim.Simulator, error) {
 	topo, err := sc.BuildTopology()
 	if err != nil {
 		return nil, err
@@ -258,13 +306,16 @@ func (sc *Scenario) BuildSimWithSLO(tracker *slo.Tracker) (*sim.Simulator, error
 		budgets[topology.FeedID(b.Feed)] = power.Watts(b.Watts)
 	}
 	simulator, err := sim.New(sim.Config{
-		Topology:      topo,
-		Servers:       servers,
-		Policy:        pol,
-		SPO:           sc.SPO,
-		RootBudgets:   budgets,
-		ControlPeriod: time.Duration(sc.ControlPeriodSec) * time.Second,
-		SLO:           tracker,
+		Topology:       topo,
+		Servers:        servers,
+		Policy:         pol,
+		SPO:            sc.SPO,
+		RootBudgets:    budgets,
+		ControlPeriod:  time.Duration(sc.ControlPeriodSec) * time.Second,
+		SLO:            ins.SLO,
+		FlightRecorder: ins.FlightRecorder,
+		Telemetry:      ins.Telemetry,
+		Logger:         ins.Logger,
 	})
 	if err != nil {
 		return nil, err
@@ -320,6 +371,34 @@ func scheduleEvent(s *sim.Simulator, ev Event) error {
 				panic(err)
 			}
 		})
+	case EventCordon:
+		node := ev.Node
+		s.Schedule(at, name, func(s *sim.Simulator) {
+			if err := s.Cordon(node); err != nil {
+				panic(err) // node references are validated before scheduling
+			}
+		})
+	case EventDrain:
+		node := ev.Node
+		s.Schedule(at, name, func(s *sim.Simulator) {
+			if err := s.Drain(node); err != nil {
+				panic(err) // cordon-before-drain ordering is validated
+			}
+		})
+	case EventUncordon:
+		node := ev.Node
+		s.Schedule(at, name, func(s *sim.Simulator) {
+			if err := s.Uncordon(node); err != nil {
+				panic(err)
+			}
+		})
+	case EventSetNodeBudget:
+		node, w := ev.Node, power.Watts(ev.Value)
+		s.Schedule(at, name, func(s *sim.Simulator) {
+			if err := s.SetNodeBudget(node, w); err != nil {
+				panic(err)
+			}
+		})
 	default:
 		return fmt.Errorf("scenario: unknown event kind %q", ev.Kind)
 	}
@@ -339,7 +418,8 @@ func (sc *Scenario) Validate() error {
 	if sc.DurationSec < 1 {
 		return fmt.Errorf("scenario: duration %ds invalid", sc.DurationSec)
 	}
-	if _, err := sc.BuildTopology(); err != nil {
+	topo, err := sc.BuildTopology()
+	if err != nil {
 		return err
 	}
 	servers := make(map[string]*ServerSpec, len(sc.Servers))
@@ -381,9 +461,87 @@ func (sc *Scenario) Validate() error {
 			if !supplies[ev.Supply] {
 				return fmt.Errorf("scenario: event %q references unknown supply %q", ev.Kind, ev.Supply)
 			}
+		case EventCordon, EventDrain, EventUncordon:
+			if err := validateNodeRef(topo, ev); err != nil {
+				return err
+			}
+		case EventSetNodeBudget:
+			if err := validateNodeRef(topo, ev); err != nil {
+				return err
+			}
+			if ev.Value < 0 || math.IsNaN(ev.Value) || math.IsInf(ev.Value, 0) {
+				return fmt.Errorf("scenario: event %q budget %v invalid", ev.Kind, ev.Value)
+			}
 		default:
 			return fmt.Errorf("scenario: unknown event kind %q", ev.Kind)
 		}
 	}
+	return sc.validateDrainOrder(topo)
+}
+
+// validateNodeRef checks that an operator event targets a known
+// distribution node (not a supply leaf).
+func validateNodeRef(topo *topology.Topology, ev Event) error {
+	n := topo.Node(ev.Node)
+	if n == nil {
+		return fmt.Errorf("scenario: event %q references unknown node %q", ev.Kind, ev.Node)
+	}
+	if n.Kind == topology.KindSupply {
+		return fmt.Errorf("scenario: event %q references supply %q, not a distribution node", ev.Kind, ev.Node)
+	}
 	return nil
+}
+
+// validateDrainOrder replays the operator events in firing order and
+// rejects a drain whose servers are not all cordoned at that point, so a
+// scheduled drain can never fail at runtime.
+func (sc *Scenario) validateDrainOrder(topo *topology.Topology) error {
+	events := make([]Event, len(sc.Events))
+	copy(events, sc.Events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].AtSec < events[j].AtSec })
+	cordoned := make(map[string]bool)
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventCordon:
+			for id := range serversUnderNode(topo, ev.Node) {
+				cordoned[id] = true
+			}
+		case EventUncordon:
+			for id := range serversUnderNode(topo, ev.Node) {
+				delete(cordoned, id)
+			}
+		case EventDrain:
+			under := serversUnderNode(topo, ev.Node)
+			ids := make([]string, 0, len(under))
+			for id := range under {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				if !cordoned[id] {
+					return fmt.Errorf("scenario: event %q at %ds: server %q under node %q is not cordoned", ev.Kind, ev.AtSec, id, ev.Node)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// serversUnderNode collects the servers with a supply beneath the node.
+func serversUnderNode(topo *topology.Topology, nodeID string) map[string]bool {
+	set := make(map[string]bool)
+	if topo == nil {
+		return set
+	}
+	n := topo.Node(nodeID)
+	if n == nil {
+		return set
+	}
+	n.Walk(func(m *topology.Node) bool {
+		if m.Kind == topology.KindSupply {
+			set[m.ServerID] = true
+		}
+		return true
+	})
+	return set
 }

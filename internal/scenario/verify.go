@@ -132,23 +132,33 @@ func verifySim(sc *Scenario) error {
 
 // allocState is one point of the scenario's state timeline.
 type allocState struct {
-	atSec    int
-	feedDown map[string]bool
-	supDown  map[string]bool
-	util     map[string]float64
-	priority map[string]core.Priority
-	budget   map[string]power.Watts // by feed; absence means "no budget"
+	atSec      int
+	feedDown   map[string]bool
+	supDown    map[string]bool
+	util       map[string]float64
+	priority   map[string]core.Priority
+	budget     map[string]power.Watts // by feed; absence means "no budget"
+	drained    map[string]float64     // serverID → utilization before drain
+	nodeBudget map[string]power.Watts // operator subtree budget overlays
 }
 
 // states replays the fault schedule and returns the initial state plus one
-// state per event timestamp.
+// state per event timestamp. Operator events (cordon/drain/uncordon and
+// subtree re-budgets) are modelled exactly as the simulator applies them,
+// so the differential oracle stays sound for declarative scenarios.
 func (sc *Scenario) states() []*allocState {
+	topo, err := sc.BuildTopology()
+	if err != nil {
+		topo = nil // callers validate first; states() is then never reached
+	}
 	cur := &allocState{
-		feedDown: map[string]bool{},
-		supDown:  map[string]bool{},
-		util:     map[string]float64{},
-		priority: map[string]core.Priority{},
-		budget:   map[string]power.Watts{},
+		feedDown:   map[string]bool{},
+		supDown:    map[string]bool{},
+		util:       map[string]float64{},
+		priority:   map[string]core.Priority{},
+		budget:     map[string]power.Watts{},
+		drained:    map[string]float64{},
+		nodeBudget: map[string]power.Watts{},
 	}
 	for i := range sc.Servers {
 		sv := &sc.Servers[i]
@@ -163,7 +173,7 @@ func (sc *Scenario) states() []*allocState {
 		next := cur.clone()
 		t := sc.Events[i].AtSec
 		for ; i < len(sc.Events) && sc.Events[i].AtSec == t; i++ {
-			next.apply(sc.Events[i])
+			next.apply(sc.Events[i], topo)
 		}
 		next.atSec = t
 		out = append(out, next)
@@ -174,12 +184,14 @@ func (sc *Scenario) states() []*allocState {
 
 func (s *allocState) clone() *allocState {
 	c := &allocState{
-		atSec:    s.atSec,
-		feedDown: make(map[string]bool, len(s.feedDown)),
-		supDown:  make(map[string]bool, len(s.supDown)),
-		util:     make(map[string]float64, len(s.util)),
-		priority: make(map[string]core.Priority, len(s.priority)),
-		budget:   make(map[string]power.Watts, len(s.budget)),
+		atSec:      s.atSec,
+		feedDown:   make(map[string]bool, len(s.feedDown)),
+		supDown:    make(map[string]bool, len(s.supDown)),
+		util:       make(map[string]float64, len(s.util)),
+		priority:   make(map[string]core.Priority, len(s.priority)),
+		budget:     make(map[string]power.Watts, len(s.budget)),
+		drained:    make(map[string]float64, len(s.drained)),
+		nodeBudget: make(map[string]power.Watts, len(s.nodeBudget)),
 	}
 	for k, v := range s.feedDown {
 		c.feedDown[k] = v
@@ -196,10 +208,16 @@ func (s *allocState) clone() *allocState {
 	for k, v := range s.budget {
 		c.budget[k] = v
 	}
+	for k, v := range s.drained {
+		c.drained[k] = v
+	}
+	for k, v := range s.nodeBudget {
+		c.nodeBudget[k] = v
+	}
 	return c
 }
 
-func (s *allocState) apply(ev Event) {
+func (s *allocState) apply(ev Event, topo *topology.Topology) {
 	switch ev.Kind {
 	case EventFailFeed:
 		s.feedDown[ev.Feed] = true
@@ -215,6 +233,28 @@ func (s *allocState) apply(ev Event) {
 		s.supDown[ev.Supply] = true
 	case EventRestoreSupply:
 		s.supDown[ev.Supply] = false
+	case EventCordon:
+		// Scheduling bookkeeping only; no allocation-layer effect.
+	case EventDrain:
+		for id := range serversUnderNode(topo, ev.Node) {
+			if _, drained := s.drained[id]; !drained {
+				s.drained[id] = s.util[id]
+				s.util[id] = 0
+			}
+		}
+	case EventUncordon:
+		for id := range serversUnderNode(topo, ev.Node) {
+			if u, drained := s.drained[id]; drained {
+				s.util[id] = u
+				delete(s.drained, id)
+			}
+		}
+	case EventSetNodeBudget:
+		if ev.Value == 0 {
+			delete(s.nodeBudget, ev.Node)
+		} else {
+			s.nodeBudget[ev.Node] = power.Watts(ev.Value)
+		}
 	}
 }
 
@@ -266,6 +306,18 @@ func (sc *Scenario) buildTrees(st *allocState) (trees []*core.Node, budgets []po
 		tree, err := core.BuildTree(root, topology.DefaultDerating(), src)
 		if err != nil {
 			continue // feed with no working supplies: nothing to budget
+		}
+		// Operator subtree re-budgets tighten limits exactly as the
+		// simulator's applyNodeBudgets does.
+		if len(st.nodeBudget) > 0 {
+			tree.Walk(func(n *core.Node) {
+				if n.IsLeaf() {
+					return
+				}
+				if b, ok := st.nodeBudget[n.ID]; ok && (n.Limit <= 0 || b < n.Limit) {
+					n.Limit = b
+				}
+			})
 		}
 		trees = append(trees, tree)
 		budgets = append(budgets, st.budget[string(root.Feed)])

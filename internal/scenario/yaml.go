@@ -1,0 +1,287 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is a deliberately small YAML-subset decoder, just large
+// enough for scenario files, so the module stays dependency-free. The
+// subset is block-style YAML:
+//
+//   - mappings (`key: value`, or `key:` introducing an indented block)
+//   - sequences (`- value`, `- key: value` starting an inline mapping,
+//     or a bare `-` introducing an indented block)
+//   - scalars: null/~, booleans, integers, floats, plain and quoted
+//     strings, plus the empty flow collections `[]` and `{}`
+//   - `#` comments (full-line and trailing) and blank lines
+//
+// Anchors, aliases, tags, multi-document streams, flow collections, and
+// block scalars (`|`, `>`) are rejected with a line-numbered error.
+// Indentation must use spaces; a tab in indentation is an error.
+//
+// The decoder produces the same generic shape encoding/json produces
+// (map[string]any, []any, float64/int64/bool/string/nil), so a parsed
+// document re-encodes to JSON and flows through the one canonical strict
+// decode path every scenario loader shares.
+
+// yamlLine is one significant (non-blank, non-comment) line.
+type yamlLine struct {
+	num    int // 1-based line number in the source
+	indent int
+	text   string // content with indentation and comments stripped
+}
+
+// parseYAML decodes a YAML-subset document into generic values.
+func parseYAML(data []byte) (any, error) {
+	lines, err := yamlLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	v, rest, err := parseYAMLBlock(lines, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("yaml: line %d: unexpected de-indented content %q", rest[0].num, rest[0].text)
+	}
+	return v, nil
+}
+
+// yamlLines splits the document into significant lines, stripping
+// comments and validating indentation.
+func yamlLines(data []byte) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		num := i + 1
+		if strings.HasPrefix(strings.TrimSpace(raw), "---") {
+			return nil, fmt.Errorf("yaml: line %d: multi-document streams are not supported", num)
+		}
+		indent := 0
+		for indent < len(raw) && raw[indent] == ' ' {
+			indent++
+		}
+		if indent < len(raw) && raw[indent] == '\t' {
+			return nil, fmt.Errorf("yaml: line %d: tab in indentation", num)
+		}
+		text := stripYAMLComment(raw[indent:])
+		text = strings.TrimRight(text, " \r")
+		if text == "" {
+			continue
+		}
+		out = append(out, yamlLine{num: num, indent: indent, text: text})
+	}
+	return out, nil
+}
+
+// stripYAMLComment removes a trailing comment, honoring quoted strings.
+// A '#' starts a comment at the beginning of content or after a space.
+func stripYAMLComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				if quote == '\'' && i+1 < len(s) && s[i+1] == '\'' {
+					i++ // escaped single quote
+					continue
+				}
+				quote = 0
+			} else if quote == '"' && c == '\\' {
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseYAMLBlock parses the run of lines at exactly the given indent into
+// one node (mapping or sequence), returning the unconsumed tail.
+func parseYAMLBlock(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	if len(lines) == 0 {
+		return nil, nil, fmt.Errorf("yaml: empty block")
+	}
+	if lines[0].indent != indent {
+		return nil, nil, fmt.Errorf("yaml: line %d: unexpected indentation", lines[0].num)
+	}
+	if lines[0].text == "-" || strings.HasPrefix(lines[0].text, "- ") {
+		return parseYAMLSequence(lines, indent)
+	}
+	return parseYAMLMapping(lines, indent)
+}
+
+// parseYAMLSequence parses `- item` lines at the given indent.
+func parseYAMLSequence(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	var seq []any
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("yaml: line %d: unexpected indentation", ln.num)
+		}
+		if ln.text != "-" && !strings.HasPrefix(ln.text, "- ") {
+			return nil, nil, fmt.Errorf("yaml: line %d: expected sequence item, got %q", ln.num, ln.text)
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		lines = lines[1:]
+		switch {
+		case rest == "":
+			// `-` introducing a nested block on the following lines.
+			if len(lines) == 0 || lines[0].indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			item, tail, err := parseYAMLBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			seq = append(seq, item)
+			lines = tail
+		case yamlLooksLikeKey(rest):
+			// `- key: value` starts a mapping whose remaining keys sit at
+			// the item content column (indent of '-' plus two).
+			item := []yamlLine{{num: ln.num, indent: indent + 2, text: rest}}
+			for len(lines) > 0 && lines[0].indent > indent {
+				item = append(item, lines[0])
+				lines = lines[1:]
+			}
+			m, tail, err := parseYAMLMapping(item, indent+2)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(tail) > 0 {
+				return nil, nil, fmt.Errorf("yaml: line %d: unexpected indentation", tail[0].num)
+			}
+			seq = append(seq, m)
+		default:
+			v, err := yamlScalar(rest, ln.num)
+			if err != nil {
+				return nil, nil, err
+			}
+			seq = append(seq, v)
+		}
+	}
+	return seq, lines, nil
+}
+
+// parseYAMLMapping parses `key: value` lines at the given indent.
+func parseYAMLMapping(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	m := make(map[string]any)
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("yaml: line %d: unexpected indentation", ln.num)
+		}
+		key, rest, err := yamlSplitKey(ln.text, ln.num)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, nil, fmt.Errorf("yaml: line %d: duplicate key %q", ln.num, key)
+		}
+		lines = lines[1:]
+		switch {
+		case rest == "":
+			// `key:` introduces a nested block, or an explicit null when
+			// nothing more deeply indented follows.
+			if len(lines) == 0 || lines[0].indent <= indent {
+				m[key] = nil
+				continue
+			}
+			v, tail, err := parseYAMLBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			m[key] = v
+			lines = tail
+		case rest == "|" || rest == ">" || strings.HasPrefix(rest, "|") || strings.HasPrefix(rest, ">"):
+			return nil, nil, fmt.Errorf("yaml: line %d: block scalars are not supported", ln.num)
+		case strings.HasPrefix(rest, "&") || strings.HasPrefix(rest, "*") || strings.HasPrefix(rest, "!"):
+			return nil, nil, fmt.Errorf("yaml: line %d: anchors, aliases, and tags are not supported", ln.num)
+		default:
+			v, err := yamlScalar(rest, ln.num)
+			if err != nil {
+				return nil, nil, err
+			}
+			m[key] = v
+		}
+	}
+	return m, lines, nil
+}
+
+// yamlLooksLikeKey reports whether a sequence item's inline content
+// begins a mapping (`key: value` or `key:`) rather than a scalar.
+func yamlLooksLikeKey(s string) bool {
+	_, _, err := yamlSplitKey(s, 0)
+	return err == nil
+}
+
+// yamlSplitKey splits `key: value` (or `key:`) into key and raw value.
+// Keys are plain scalars without quotes or colons.
+func yamlSplitKey(s string, num int) (key, rest string, err error) {
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("yaml: line %d: expected `key: value`, got %q", num, s)
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", fmt.Errorf("yaml: line %d: missing space after key %q", num, s[:i])
+	}
+	key = strings.TrimSpace(s[:i])
+	if key == "" || strings.ContainsAny(key, "\"'#{}[],&*!|>%@`") {
+		return "", "", fmt.Errorf("yaml: line %d: invalid key %q", num, key)
+	}
+	return key, strings.TrimSpace(s[i+1:]), nil
+}
+
+// yamlScalar decodes one scalar value.
+func yamlScalar(s string, num int) (any, error) {
+	switch s {
+	case "", "~", "null", "Null", "NULL":
+		return nil, nil
+	case "true", "True", "TRUE":
+		return true, nil
+	case "false", "False", "FALSE":
+		return false, nil
+	case "[]":
+		return []any{}, nil
+	case "{}":
+		return map[string]any{}, nil
+	}
+	if s[0] == '"' {
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("yaml: line %d: bad double-quoted string %s", num, s)
+		}
+		return v, nil
+	}
+	if s[0] == '\'' {
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, fmt.Errorf("yaml: line %d: unterminated single-quoted string %s", num, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	if s[0] == '[' || s[0] == '{' {
+		return nil, fmt.Errorf("yaml: line %d: flow collections are not supported: %q", num, s)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

@@ -1,0 +1,235 @@
+package sim_test
+
+// Integration tests for the day-2 operator surface, driven through the
+// declarative scenario builders so the fleet under test is the same one
+// the scenario runner and interactive console operate on. Every mutation
+// is checked watt-exact against the refalloc reference over the trees
+// the simulator actually allocated from.
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"capmaestro/internal/scenario"
+	"capmaestro/internal/sim"
+	"capmaestro/internal/slo"
+)
+
+// opFleet builds a dual-corded, two-rack fleet: four "a" servers on rack
+// 0, four "b" servers on rack 1, all x_share 0.5 at the given
+// utilization.
+func opFleet(t *testing.T, util float64, rackRating float64, tracker *slo.Tracker) *sim.Simulator {
+	t.Helper()
+	f := &scenario.File{
+		Name: "op-" + t.Name(),
+		Fleet: scenario.FleetSpec{
+			Policy:      "global",
+			DurationSec: 600,
+			Topology: scenario.TopologySpec{RPPs: []scenario.RPPSpec{{
+				XRating: 12000, YRating: 12000,
+				Racks: []scenario.RackSpec{
+					{XRating: rackRating, YRating: rackRating},
+					{XRating: rackRating, YRating: rackRating},
+				},
+			}}},
+			Groups: []scenario.ServerGroup{
+				{Prefix: "a", Count: 4, RPP: 0, Rack: 0, Priority: 1, XShare: 0.5, Utilization: util},
+				{Prefix: "b", Count: 4, RPP: 0, Rack: 1, Priority: 1, XShare: 0.5, Utilization: util},
+			},
+		},
+		Assertions: []scenario.Assertion{{Kind: scenario.AssertNoTrips}},
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := f.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sc.BuildSimWithSLO(tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustOracle(t *testing.T, s *sim.Simulator) {
+	t.Helper()
+	if err := scenario.CheckOracle(s); err != nil {
+		t.Fatalf("refalloc oracle diverged: %v", err)
+	}
+}
+
+// TestRollingMaintenanceWattExact walks a rack through the full
+// cordon → drain → uncordon cycle mid-run and demands the applied
+// budgets stay watt-exact against the reference allocator at every
+// stage.
+func TestRollingMaintenanceWattExact(t *testing.T) {
+	s := opFleet(t, 0.7, 2400, nil)
+	const rack = "X-rpp0-cdu0"
+	s.Run(16 * time.Second)
+	mustOracle(t, s)
+
+	// Draining an uncordoned rack must be refused: the scheduler has not
+	// stopped placing work yet.
+	err := s.Drain(rack)
+	want := `sim: drain "X-rpp0-cdu0": server "a-0" is not cordoned`
+	if err == nil || err.Error() != want {
+		t.Fatalf("Drain before Cordon: err = %v, want %q", err, want)
+	}
+
+	if err := s.Cordon(rack); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Cordoned("a-0") || s.Cordoned("b-0") {
+		t.Fatalf("cordon scope wrong: cordoned=%v", s.CordonedServers())
+	}
+	// Cordon alone is bookkeeping: load stays put.
+	if u := s.Server("a-0").Utilization(); u != 0.7 {
+		t.Fatalf("cordon moved load: utilization = %v", u)
+	}
+
+	if err := s.Drain(rack); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DrainedServers(); len(got) != 4 || got[0] != "a-0" || got[3] != "a-3" {
+		t.Fatalf("drained = %v", got)
+	}
+	for _, id := range []string{"a-0", "a-1", "a-2", "a-3"} {
+		if u := s.Server(id).Utilization(); u != 0 {
+			t.Fatalf("server %s still at utilization %v after drain", id, u)
+		}
+	}
+	// The drained rack's X-side load falls to idle power split over both
+	// cords: 4 × 160 W × 0.5.
+	s.Run(8 * time.Second)
+	if load := s.NodeLoad(rack); math.Abs(float64(load)-320) > 0.01 {
+		t.Fatalf("drained rack load = %v, want 320 W", load)
+	}
+	mustOracle(t, s)
+
+	// Draining twice must not overwrite the remembered utilization.
+	if err := s.Drain(rack); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Uncordon(rack); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.CordonedServers()) != 0 || len(s.DrainedServers()) != 0 {
+		t.Fatalf("uncordon left state: cordoned=%v drained=%v", s.CordonedServers(), s.DrainedServers())
+	}
+	for _, id := range []string{"a-0", "a-1", "a-2", "a-3"} {
+		if u := s.Server(id).Utilization(); u != 0.7 {
+			t.Fatalf("server %s at utilization %v after uncordon, want 0.7", id, u)
+		}
+	}
+	s.Run(8 * time.Second)
+	mustOracle(t, s)
+	if tripped := s.TrippedBreakers(); len(tripped) != 0 {
+		t.Fatalf("breakers tripped: %v", tripped)
+	}
+}
+
+// TestFeedRetireRestoreWattExact retires feed X mid-run on a fleet whose
+// surviving feed overloads until capping sheds the excess, then restores
+// it. Exactly one SLO exposure window must open and close, and budgets
+// must match the oracle both during the outage (Y-only trees) and after
+// restoration.
+func TestFeedRetireRestoreWattExact(t *testing.T) {
+	tracker, err := slo.New(slo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.9 utilization on 1600 W racks: healthy load is 914 W per rack
+	// side, a lone feed carries 1828 W — overloaded until the next
+	// control period caps the servers under the 1280 W derated limit.
+	s := opFleet(t, 0.9, 1600, tracker)
+	s.Run(16 * time.Second)
+
+	s.FailFeed("X")
+	if !s.FeedFailed("X") {
+		t.Fatal("feed X not marked failed")
+	}
+	s.Run(16 * time.Second) // at least one control period on the survivor
+	mustOracle(t, s)
+	if _, _, feeds := s.LastControlTrees(); len(feeds) != 1 || feeds[0] != "Y" {
+		t.Fatalf("control feeds during outage = %v, want [Y]", feeds)
+	}
+
+	s.RestoreFeed("X")
+	if s.FeedFailed("X") {
+		t.Fatal("feed X still marked failed after restore")
+	}
+	s.Run(24 * time.Second)
+	mustOracle(t, s)
+
+	if n := tracker.WindowsClosed(); n != 1 {
+		t.Fatalf("windows closed = %d, want exactly 1", n)
+	}
+	if w := tracker.OpenWindow(); w != nil {
+		t.Fatalf("window still open at end: %v", w.Causes)
+	}
+	if n := tracker.FaultCount(); n != 1 {
+		t.Fatalf("fault count = %d, want 1 (retire only; restore is not a fault)", n)
+	}
+	if tripped := s.TrippedBreakers(); len(tripped) != 0 {
+		t.Fatalf("breakers tripped during retire/restore: %v", tripped)
+	}
+}
+
+// TestSubtreeRebudgetWattExact overlays an operator budget on one rack,
+// checks the next period's applied budget honors it watt-exactly, then
+// clears the overlay and checks the watts come back.
+func TestSubtreeRebudgetWattExact(t *testing.T) {
+	s := opFleet(t, 0.7, 2400, nil)
+	const rack = "X-rpp0-cdu0"
+	s.Run(16 * time.Second)
+
+	// Healthy X-side rack load: 4 × PowerAt(0.7) × 0.5 = 782 W.
+	if load := s.NodeLoad(rack); math.Abs(float64(load)-782) > 0.01 {
+		t.Fatalf("baseline rack load = %v, want 782 W", load)
+	}
+
+	if err := s.SetNodeBudget(rack, 500); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := s.NodeBudget(rack); !ok || b != 500 {
+		t.Fatalf("NodeBudget = %v,%v", b, ok)
+	}
+	s.Run(8 * time.Second)
+	alloc := s.LastAllocation("X")
+	if alloc == nil {
+		t.Fatal("no allocation on X")
+	}
+	if got := alloc.NodeBudgets[rack]; got > 500 {
+		t.Fatalf("rack budget %v W exceeds 500 W overlay", got)
+	}
+	mustOracle(t, s)
+
+	// Clearing the overlay restores the physical limit as the only bound.
+	if err := s.SetNodeBudget(rack, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.NodeBudget(rack); ok {
+		t.Fatal("overlay survived clearing")
+	}
+	s.Run(8 * time.Second)
+	if got := s.LastAllocation("X").NodeBudgets[rack]; got <= 500 {
+		t.Fatalf("rack budget %v W still pinned after clearing overlay", got)
+	}
+	mustOracle(t, s)
+
+	// Error paths, pinned.
+	if err := s.SetNodeBudget("nope", 100); err == nil || err.Error() != `sim: unknown node "nope"` {
+		t.Fatalf("unknown node: err = %v", err)
+	}
+	if err := s.SetNodeBudget("a-0-psX", 100); err == nil || !strings.Contains(err.Error(), "is a supply") {
+		t.Fatalf("supply node: err = %v", err)
+	}
+	if err := s.SetNodeBudget(rack, -1); err == nil || err.Error() != `sim: node "X-rpp0-cdu0" budget -1.0W is negative` {
+		t.Fatalf("negative budget: err = %v", err)
+	}
+}

@@ -117,6 +117,16 @@ type Simulator struct {
 	lastAllocs   map[topology.FeedID]*core.Allocation
 	lastSPO      *core.SPOReport
 
+	// operator state (see operator.go)
+	cordoned    map[string]bool        // serverID → closed to new work
+	drainedUtil map[string]float64     // serverID → utilization before drain
+	nodeBudgets map[string]power.Watts // nodeID → operator budget overlay
+
+	// the most recent control period's allocator input, for oracle checks
+	lastTrees       []*core.Node
+	lastTreeBudgets []power.Watts
+	lastTreeFeeds   []topology.FeedID
+
 	// safety monitor counters
 	invariantViolations []string
 	infeasiblePeriods   int
@@ -179,6 +189,9 @@ func New(cfg Config) (*Simulator, error) {
 		feedFailed:    make(map[topology.FeedID]bool),
 		lastReadings:  make(map[string]server.Reading),
 		lastAllocs:    make(map[topology.FeedID]*core.Allocation),
+		cordoned:      make(map[string]bool),
+		drainedUtil:   make(map[string]float64),
+		nodeBudgets:   make(map[string]power.Watts),
 		rec:           trace.NewRecorder(),
 		log:           cfg.Logger,
 		flightRec:     cfg.FlightRecorder,
@@ -533,6 +546,7 @@ func (s *Simulator) controlPeriod() {
 			s.lastAllocs[root.Feed] = nil
 			continue
 		}
+		s.applyNodeBudgets(tree)
 		trees = append(trees, tree)
 		b := power.Watts(0)
 		if s.rootBudgets != nil {
@@ -541,6 +555,7 @@ func (s *Simulator) controlPeriod() {
 		budgets = append(budgets, b)
 		feeds = append(feeds, root.Feed)
 	}
+	s.lastTrees, s.lastTreeBudgets, s.lastTreeFeeds = trees, budgets, feeds
 	if len(trees) == 0 {
 		return
 	}
